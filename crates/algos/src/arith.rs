@@ -1,0 +1,461 @@
+//! Quantum arithmetic: QFT, inverse QFT, and Fourier-space constant
+//! adders (Draper adders), following the paper's Listing 2 structure.
+//!
+//! Two QFT conventions appear:
+//!
+//! * [`qft`] — the full discrete Fourier transform on the register's
+//!   integer value (bit-reversal swaps included). `|x⟩ → (1/√N) Σₖ
+//!   e^{2πi xk/N} |k⟩`. This is what Listing 1's test harness uses.
+//! * [`qft_no_swap`] — the swap-free variant used *inside* arithmetic:
+//!   Draper adders are written against it, exactly like the paper's
+//!   `cADD` (Listing 2), whose rotation angles `π / 2^{b_indx − a_indx}`
+//!   assume the bit-reversed Fourier layout.
+//!
+//! The adder builders take an [`AdderVariant`] so that the paper's bug
+//! types 2 and 3 (flipped rotation signs, §4.2; iteration/angle indexing
+//! errors, §4.3) can be injected deliberately.
+
+use qdb_circuit::{GateSink, QReg};
+use std::f64::consts::PI;
+
+/// Which version of the constant adder to build: the correct one or one
+/// of the paper's buggy variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdderVariant {
+    /// The correct Listing 2 adder.
+    #[default]
+    Correct,
+    /// Bug type 2 (§4.2 / Table 1): every rotation angle's sign is
+    /// flipped, as when the controlled-rotation decomposition is coded
+    /// with the angles reversed.
+    AnglesFlipped,
+    /// Bug type 3 (§4.3 / Listing 2): the angle denominator is off by
+    /// one (`π / 2^{b−a+1}` instead of `π / 2^{b−a}`), a classic
+    /// iteration indexing mistake.
+    AngleDenominatorOffByOne,
+}
+
+/// Full quantum Fourier transform on `reg`'s integer value (with final
+/// bit-reversal swaps): `|x⟩ → (1/√N) Σₖ e^{2πi xk/N} |k⟩`.
+pub fn qft<S: GateSink + ?Sized>(sink: &mut S, reg: &QReg) {
+    let n = reg.width();
+    for j in (0..n).rev() {
+        sink.h(reg.bit(j));
+        for m in (0..j).rev() {
+            sink.cphase(reg.bit(m), reg.bit(j), PI / f64::from(1u32 << (j - m)));
+        }
+    }
+    for i in 0..n / 2 {
+        sink.swap(reg.bit(i), reg.bit(n - 1 - i));
+    }
+}
+
+/// Inverse of [`qft`].
+pub fn iqft<S: GateSink + ?Sized>(sink: &mut S, reg: &QReg) {
+    let n = reg.width();
+    for i in 0..n / 2 {
+        sink.swap(reg.bit(i), reg.bit(n - 1 - i));
+    }
+    for j in 0..n {
+        for m in 0..j {
+            sink.cphase(reg.bit(m), reg.bit(j), -PI / f64::from(1u32 << (j - m)));
+        }
+        sink.h(reg.bit(j));
+    }
+}
+
+/// Swap-free QFT: the Fourier basis in bit-reversed order, as assumed by
+/// the Draper adder rotations of Listing 2.
+pub fn qft_no_swap<S: GateSink + ?Sized>(sink: &mut S, reg: &QReg) {
+    let n = reg.width();
+    for j in (0..n).rev() {
+        sink.h(reg.bit(j));
+        for m in (0..j).rev() {
+            sink.cphase(reg.bit(m), reg.bit(j), PI / f64::from(1u32 << (j - m)));
+        }
+    }
+}
+
+/// Inverse of [`qft_no_swap`].
+pub fn iqft_no_swap<S: GateSink + ?Sized>(sink: &mut S, reg: &QReg) {
+    let n = reg.width();
+    for j in 0..n {
+        for m in 0..j {
+            sink.cphase(reg.bit(m), reg.bit(j), -PI / f64::from(1u32 << (j - m)));
+        }
+        sink.h(reg.bit(j));
+    }
+}
+
+/// The paper's Listing 2 `cADD` body: add the classical constant `a`
+/// into register `b` *already in (swap-free) Fourier space*, with 0, 1,
+/// or 2 (or more) control qubits.
+///
+/// Faithful transcription of the double loop:
+///
+/// ```c
+/// for ( int b_indx=width-1; b_indx>=0; b_indx-- )
+///   for ( int a_indx=b_indx; a_indx>=0; a_indx-- )
+///     if ( (a>>a_indx) & 1 ) {
+///       double angle = M_PI / pow(2, b_indx - a_indx);
+///       ... Rz / cRz / ccRz ( b[b_indx], angle ) ...
+///     }
+/// ```
+///
+/// # Panics
+///
+/// Panics if a control qubit lies inside `b`.
+pub fn add_const_fourier<S: GateSink + ?Sized>(
+    sink: &mut S,
+    controls: &[usize],
+    b: &QReg,
+    a: u64,
+    variant: AdderVariant,
+) {
+    let width = b.width();
+    for b_indx in (0..width).rev() {
+        for a_indx in (0..=b_indx).rev() {
+            if (a >> a_indx) & 1 == 1 {
+                let angle = match variant {
+                    AdderVariant::Correct => PI / f64::from(1u32 << (b_indx - a_indx)),
+                    AdderVariant::AnglesFlipped => {
+                        -PI / f64::from(1u32 << (b_indx - a_indx))
+                    }
+                    AdderVariant::AngleDenominatorOffByOne => {
+                        PI / f64::from(1u32 << (b_indx - a_indx + 1))
+                    }
+                };
+                match controls {
+                    [] => sink.phase(b.bit(b_indx), angle),
+                    [c] => sink.cphase(*c, b.bit(b_indx), angle),
+                    [c0, c1] => sink.ccphase(*c0, *c1, b.bit(b_indx), angle),
+                    more => {
+                        use qdb_circuit::{GateKind, Instruction};
+                        sink.push(Instruction::controlled_gate(
+                            more.to_vec(),
+                            GateKind::Phase(angle),
+                            b.bit(b_indx),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Subtract the classical constant `a` from `b` in Fourier space (the
+/// adjoint of [`add_const_fourier`]).
+pub fn sub_const_fourier<S: GateSink + ?Sized>(
+    sink: &mut S,
+    controls: &[usize],
+    b: &QReg,
+    a: u64,
+    variant: AdderVariant,
+) {
+    // The adjoint of a diagonal phase circuit is the same circuit with
+    // negated angles; order is immaterial, so reuse the builder.
+    let negated = match variant {
+        AdderVariant::Correct => AdderVariant::AnglesFlipped,
+        AdderVariant::AnglesFlipped => AdderVariant::Correct,
+        // Off-by-one bug: negating it keeps the bug, so inject manually.
+        AdderVariant::AngleDenominatorOffByOne => {
+            let width = b.width();
+            for b_indx in (0..width).rev() {
+                for a_indx in (0..=b_indx).rev() {
+                    if (a >> a_indx) & 1 == 1 {
+                        let angle = -PI / f64::from(1u32 << (b_indx - a_indx + 1));
+                        match controls {
+                            [] => sink.phase(b.bit(b_indx), angle),
+                            [c] => sink.cphase(*c, b.bit(b_indx), angle),
+                            [c0, c1] => sink.ccphase(*c0, *c1, b.bit(b_indx), angle),
+                            more => {
+                                use qdb_circuit::{GateKind, Instruction};
+                                sink.push(Instruction::controlled_gate(
+                                    more.to_vec(),
+                                    GateKind::Phase(angle),
+                                    b.bit(b_indx),
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+            return;
+        }
+    };
+    add_const_fourier(sink, controls, b, a, negated);
+}
+
+/// The complete (non-Fourier) controlled adder of Listing 3:
+/// `b ← b + a (mod 2^width)` via QFT → phase rotations → inverse QFT.
+pub fn add_const<S: GateSink + ?Sized>(
+    sink: &mut S,
+    controls: &[usize],
+    b: &QReg,
+    a: u64,
+    variant: AdderVariant,
+) {
+    qft_no_swap(sink, b);
+    add_const_fourier(sink, controls, b, a, variant);
+    iqft_no_swap(sink, b);
+}
+
+/// The correct/incorrect controlled-rotation decompositions from
+/// Table 1, for a rotation about Z by `angle` controlled on `q0`.
+///
+/// The decomposition uses `Rz(±angle/2)` around CNOTs plus a corrective
+/// rotation on the control (operation D).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RotationDecomposition {
+    /// Column 1 of Table 1: operation A dropped.
+    CorrectDropA,
+    /// Column 2 of Table 1: operation C dropped.
+    CorrectDropC,
+    /// Column 3 of Table 1: the buggy version with the angle signs
+    /// flipped.
+    IncorrectFlipped,
+}
+
+/// Emit a controlled-Z-rotation `cRz(angle)` decomposed into CNOTs and
+/// single-qubit rotations per Table 1 of the paper.
+pub fn crz_decomposed<S: GateSink + ?Sized>(
+    sink: &mut S,
+    q0: usize,
+    q1: usize,
+    angle: f64,
+    decomposition: RotationDecomposition,
+) {
+    match decomposition {
+        RotationDecomposition::CorrectDropA => {
+            sink.rz(q1, angle / 2.0); // C
+            sink.cx(q0, q1);
+            sink.rz(q1, -angle / 2.0); // B
+            sink.cx(q0, q1);
+            sink.rz(q0, angle / 2.0); // D
+        }
+        RotationDecomposition::CorrectDropC => {
+            sink.cx(q0, q1);
+            sink.rz(q1, -angle / 2.0); // B
+            sink.cx(q0, q1);
+            sink.rz(q1, angle / 2.0); // A
+            sink.rz(q0, angle / 2.0); // D
+        }
+        RotationDecomposition::IncorrectFlipped => {
+            sink.rz(q1, -angle / 2.0);
+            sink.cx(q0, q1);
+            sink.rz(q1, angle / 2.0);
+            sink.cx(q0, q1);
+            sink.rz(q0, angle / 2.0); // D
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdb_circuit::Circuit;
+    use qdb_sim::{Complex, State};
+
+    fn reg(n: usize) -> QReg {
+        QReg::contiguous("r", 0, n)
+    }
+
+    #[test]
+    fn qft_of_zero_is_uniform_positive() {
+        let r = reg(3);
+        let mut c = Circuit::new(3);
+        qft(&mut c, &r);
+        let s = c.run_on_basis(0).unwrap();
+        for i in 0..8 {
+            assert!(s
+                .amplitude(i)
+                .approx_eq(Complex::real(1.0 / 8f64.sqrt()), 1e-12));
+        }
+    }
+
+    #[test]
+    fn qft_matches_dft_definition() {
+        // F|x⟩ amplitudes must be e^{2πi xk/N}/√N for every x.
+        let n = 3;
+        let dim = 1usize << n;
+        let r = reg(n);
+        let mut c = Circuit::new(n);
+        qft(&mut c, &r);
+        for x in 0..dim {
+            let s = c.run_on_basis(x as u64).unwrap();
+            for k in 0..dim {
+                let want = Complex::cis(2.0 * PI * (x * k) as f64 / dim as f64)
+                    .scale(1.0 / (dim as f64).sqrt());
+                assert!(
+                    s.amplitude(k).approx_eq(want, 1e-10),
+                    "x={x} k={k}: {} vs {want}",
+                    s.amplitude(k)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn qft_iqft_is_identity() {
+        let r = reg(4);
+        let mut c = Circuit::new(4);
+        qft(&mut c, &r);
+        iqft(&mut c, &r);
+        for x in 0..16u64 {
+            let s = c.run_on_basis(x).unwrap();
+            assert!((s.probability(x as usize) - 1.0).abs() < 1e-10, "x={x}");
+        }
+    }
+
+    #[test]
+    fn qft_no_swap_round_trip() {
+        let r = reg(4);
+        let mut c = Circuit::new(4);
+        qft_no_swap(&mut c, &r);
+        iqft_no_swap(&mut c, &r);
+        for x in 0..16u64 {
+            let s = c.run_on_basis(x).unwrap();
+            assert!((s.probability(x as usize) - 1.0).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn adder_adds_constants_exhaustively() {
+        // Listing 3's 12 + 13 = 25 plus an exhaustive sweep at width 4.
+        let width = 5;
+        let r = reg(width);
+        let mut c = Circuit::new(width);
+        add_const(&mut c, &[], &r, 13, AdderVariant::Correct);
+        let s = c.run_on_basis(12).unwrap();
+        assert!((s.probability(25) - 1.0).abs() < 1e-9);
+
+        let width = 4;
+        let r = reg(width);
+        for a in 0..16u64 {
+            let mut c = Circuit::new(width);
+            add_const(&mut c, &[], &r, a, AdderVariant::Correct);
+            for b in 0..16u64 {
+                let s = c.run_on_basis(b).unwrap();
+                let want = ((a + b) % 16) as usize;
+                assert!(
+                    (s.probability(want) - 1.0).abs() < 1e-8,
+                    "{a}+{b}: want {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn controlled_adder_respects_controls() {
+        let width = 4;
+        let r = QReg::contiguous("b", 0, width);
+        let ctrl = 4;
+        let mut c = Circuit::new(width + 1);
+        add_const(&mut c, &[ctrl], &r, 5, AdderVariant::Correct);
+        // Control off: b unchanged.
+        let s = c.run_on_basis(3).unwrap();
+        assert!((s.probability(3) - 1.0).abs() < 1e-9);
+        // Control on: b += 5.
+        let s = c.run_on_basis(3 | (1 << ctrl)).unwrap();
+        assert!((s.probability(8 | (1 << ctrl)) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn doubly_controlled_adder() {
+        let width = 3;
+        let r = QReg::contiguous("b", 0, width);
+        let (c0, c1) = (3, 4);
+        let mut c = Circuit::new(width + 2);
+        add_const(&mut c, &[c0, c1], &r, 3, AdderVariant::Correct);
+        // Only one control on: unchanged.
+        let s = c.run_on_basis(1 | (1 << c0)).unwrap();
+        assert!((s.probability(1 | (1 << c0)) - 1.0).abs() < 1e-9);
+        // Both controls on: b += 3.
+        let input = 2 | (1 << c0) | (1 << c1);
+        let s = c.run_on_basis(input).unwrap();
+        let want = 5 | (1usize << c0) | (1 << c1);
+        assert!((s.probability(want) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn subtractor_inverts_adder() {
+        let width = 4;
+        let r = reg(width);
+        let mut c = Circuit::new(width);
+        qft_no_swap(&mut c, &r);
+        add_const_fourier(&mut c, &[], &r, 11, AdderVariant::Correct);
+        sub_const_fourier(&mut c, &[], &r, 11, AdderVariant::Correct);
+        iqft_no_swap(&mut c, &r);
+        for b in 0..16u64 {
+            let s = c.run_on_basis(b).unwrap();
+            assert!((s.probability(b as usize) - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn flipped_angle_bug_subtracts_instead_of_adding() {
+        // The Table 1 bug: with flipped angles the adder becomes a
+        // subtractor, so 12 + 13 lands on 12 − 13 mod 32 = 31.
+        let width = 5;
+        let r = reg(width);
+        let mut c = Circuit::new(width);
+        add_const(&mut c, &[], &r, 13, AdderVariant::AnglesFlipped);
+        let s = c.run_on_basis(12).unwrap();
+        assert!(s.probability(25) < 1e-9, "bug must break the addition");
+        assert!((s.probability(31) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn off_by_one_bug_halves_the_addend() {
+        // π/2^{b−a+1} rotations add a/2 (with fractional spill), so the
+        // result is wrong for odd a.
+        let width = 4;
+        let r = reg(width);
+        let mut c = Circuit::new(width);
+        add_const(&mut c, &[], &r, 6, AdderVariant::AngleDenominatorOffByOne);
+        let s = c.run_on_basis(4).unwrap();
+        assert!(s.probability(10) < 0.99, "bug must break 4 + 6");
+    }
+
+    #[test]
+    fn table1_correct_decompositions_agree() {
+        let mut drop_a = Circuit::new(2);
+        crz_decomposed(&mut drop_a, 0, 1, 0.7, RotationDecomposition::CorrectDropA);
+        let mut drop_c = Circuit::new(2);
+        crz_decomposed(&mut drop_c, 0, 1, 0.7, RotationDecomposition::CorrectDropC);
+        assert!(drop_a.equivalent_up_to_phase(&drop_c, 1e-10).unwrap());
+    }
+
+    #[test]
+    fn table1_correct_decomposition_implements_cphase() {
+        // The decomposition (with D on the control) equals a controlled
+        // phase rotation up to global phase.
+        let mut decomposed = Circuit::new(2);
+        crz_decomposed(&mut decomposed, 0, 1, 0.7, RotationDecomposition::CorrectDropA);
+        let mut reference = Circuit::new(2);
+        reference.cphase(0, 1, 0.7);
+        assert!(decomposed
+            .equivalent_up_to_phase(&reference, 1e-10)
+            .unwrap());
+    }
+
+    #[test]
+    fn table1_incorrect_decomposition_differs() {
+        let mut buggy = Circuit::new(2);
+        crz_decomposed(&mut buggy, 0, 1, 0.7, RotationDecomposition::IncorrectFlipped);
+        let mut reference = Circuit::new(2);
+        reference.cphase(0, 1, 0.7);
+        assert!(!buggy.equivalent_up_to_phase(&reference, 1e-10).unwrap());
+    }
+
+    #[test]
+    fn adders_preserve_norm() {
+        let width = 4;
+        let r = reg(width);
+        let mut c = Circuit::new(width);
+        add_const(&mut c, &[], &r, 7, AdderVariant::Correct);
+        let mut s = State::zero(width);
+        c.apply_to(&mut s);
+        assert!((s.norm_sqr() - 1.0).abs() < 1e-12);
+    }
+}

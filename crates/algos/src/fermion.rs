@@ -1,0 +1,461 @@
+//! A small second-quantization toolkit: fermionic ladder operators on
+//! occupation-number basis states, dense Hamiltonian assembly, and
+//! decomposition into Pauli strings.
+//!
+//! The paper's chemistry case study needs the H₂ Hamiltonian both as an
+//! exact matrix (for cross-validation, replacing the LIQUi|>/QISKit data
+//! files) and as a sum of Pauli strings (for the Trotterized circuits).
+//! Building the matrix from ladder operators with Jordan–Wigner sign
+//! bookkeeping and then projecting onto the Pauli basis gives both forms
+//! from one set of integrals, with no hand-derived operator algebra to
+//! get wrong — exactly the class of classical-input bug (§5.2.1) the
+//! paper warns about.
+
+use qdb_sim::linalg::CMatrix;
+use qdb_sim::state::Pauli;
+use qdb_sim::Complex;
+
+/// Apply the annihilation operator `a_p` to basis state `occ`
+/// (a bitmask; bit `p` is orbital `p`'s occupancy). Returns the new
+/// state and the Jordan–Wigner sign, or `None` if the orbital is empty.
+#[must_use]
+pub fn annihilate(occ: u64, p: usize) -> Option<(u64, f64)> {
+    if occ & (1 << p) == 0 {
+        return None;
+    }
+    let parity = (occ & ((1u64 << p) - 1)).count_ones();
+    let sign = if parity % 2 == 1 { -1.0 } else { 1.0 };
+    Some((occ ^ (1 << p), sign))
+}
+
+/// Apply the creation operator `a†_p`. Returns `None` if the orbital is
+/// already occupied (Pauli exclusion).
+#[must_use]
+pub fn create(occ: u64, p: usize) -> Option<(u64, f64)> {
+    if occ & (1 << p) != 0 {
+        return None;
+    }
+    let parity = (occ & ((1u64 << p) - 1)).count_ones();
+    let sign = if parity % 2 == 1 { -1.0 } else { 1.0 };
+    Some((occ | (1 << p), sign))
+}
+
+/// One-body term `h · a†_p a_q`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OneBody {
+    /// Creation orbital.
+    pub p: usize,
+    /// Annihilation orbital.
+    pub q: usize,
+    /// Coefficient.
+    pub coeff: f64,
+}
+
+/// Two-body term `g · a†_p a†_q a_r a_s`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TwoBody {
+    /// First creation orbital.
+    pub p: usize,
+    /// Second creation orbital.
+    pub q: usize,
+    /// First annihilation orbital.
+    pub r: usize,
+    /// Second annihilation orbital.
+    pub s: usize,
+    /// Coefficient.
+    pub coeff: f64,
+}
+
+/// Assemble the dense Hamiltonian `Σ h a†a + Σ g a†a†aa (+ shift·I)` on
+/// `num_orbitals` spin orbitals (so a `2^n × 2^n` matrix).
+///
+/// # Panics
+///
+/// Panics if `num_orbitals > 10` or a term references an orbital out of
+/// range.
+#[must_use]
+pub fn build_hamiltonian(
+    num_orbitals: usize,
+    one_body: &[OneBody],
+    two_body: &[TwoBody],
+    shift: f64,
+) -> CMatrix {
+    assert!(num_orbitals <= 10, "dense fermionic matrix limited to 10 orbitals");
+    let dim = 1usize << num_orbitals;
+    let mut h = vec![vec![Complex::ZERO; dim]; dim];
+    for (i, row) in h.iter_mut().enumerate() {
+        row[i] += Complex::real(shift);
+    }
+    for term in one_body {
+        assert!(term.p < num_orbitals && term.q < num_orbitals, "orbital out of range");
+        for col in 0..dim as u64 {
+            let Some((mid, s1)) = annihilate(col, term.q) else {
+                continue;
+            };
+            let Some((row, s2)) = create(mid, term.p) else {
+                continue;
+            };
+            h[row as usize][col as usize] += Complex::real(term.coeff * s1 * s2);
+        }
+    }
+    for term in two_body {
+        assert!(
+            term.p < num_orbitals
+                && term.q < num_orbitals
+                && term.r < num_orbitals
+                && term.s < num_orbitals,
+            "orbital out of range"
+        );
+        for col in 0..dim as u64 {
+            let Some((st1, s1)) = annihilate(col, term.s) else {
+                continue;
+            };
+            let Some((st2, s2)) = annihilate(st1, term.r) else {
+                continue;
+            };
+            let Some((st3, s3)) = create(st2, term.q) else {
+                continue;
+            };
+            let Some((row, s4)) = create(st3, term.p) else {
+                continue;
+            };
+            h[row as usize][col as usize] += Complex::real(term.coeff * s1 * s2 * s3 * s4);
+        }
+    }
+    h
+}
+
+/// A weighted Pauli string: `coeff · ⊗ (qubit, operator)` with identity
+/// on unlisted qubits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PauliTerm {
+    /// Real coefficient (Hermitian operators have real Pauli spectra).
+    pub coeff: f64,
+    /// Non-identity factors as `(qubit, operator)`, sorted by qubit.
+    pub ops: Vec<(usize, Pauli)>,
+}
+
+fn pauli_entry(p: Pauli, row: usize, col: usize) -> Complex {
+    match p {
+        Pauli::I => {
+            if row == col {
+                Complex::ONE
+            } else {
+                Complex::ZERO
+            }
+        }
+        Pauli::X => {
+            if row != col {
+                Complex::ONE
+            } else {
+                Complex::ZERO
+            }
+        }
+        Pauli::Y => match (row, col) {
+            (0, 1) => -Complex::I,
+            (1, 0) => Complex::I,
+            _ => Complex::ZERO,
+        },
+        Pauli::Z => match (row, col) {
+            (0, 0) => Complex::ONE,
+            (1, 1) => -Complex::ONE,
+            _ => Complex::ZERO,
+        },
+    }
+}
+
+const PAULIS: [Pauli; 4] = [Pauli::I, Pauli::X, Pauli::Y, Pauli::Z];
+
+/// Decompose a Hermitian `2^n × 2^n` matrix into Pauli strings:
+/// `H = Σ c_P · P` with `c_P = Tr(P · H) / 2^n`.
+///
+/// Coefficients below `1e-12` are dropped. The identity string (if
+/// present) appears as a term with empty `ops`.
+///
+/// # Panics
+///
+/// Panics if the matrix is not `2^n × 2^n` for `n ≤ 6`.
+#[must_use]
+pub fn pauli_decompose(h: &CMatrix, num_qubits: usize) -> Vec<PauliTerm> {
+    let dim = 1usize << num_qubits;
+    assert!(num_qubits <= 6, "Pauli decomposition limited to 6 qubits");
+    assert_eq!(h.len(), dim, "matrix dimension mismatch");
+    let mut terms = Vec::new();
+    for code in 0..(4usize.pow(num_qubits as u32)) {
+        let string: Vec<Pauli> = (0..num_qubits)
+            .map(|k| PAULIS[(code >> (2 * k)) & 3])
+            .collect();
+        // Tr(P·H) = Σ_{i,j} P[i][j]·H[j][i]; P factorizes bitwise.
+        let mut trace = Complex::ZERO;
+        for i in 0..dim {
+            for j in 0..dim {
+                if h[j][i] == Complex::ZERO {
+                    continue;
+                }
+                let mut p_ij = Complex::ONE;
+                for (k, &pk) in string.iter().enumerate() {
+                    p_ij *= pauli_entry(pk, (i >> k) & 1, (j >> k) & 1);
+                    if p_ij == Complex::ZERO {
+                        break;
+                    }
+                }
+                trace += p_ij * h[j][i];
+            }
+        }
+        let coeff = trace.re / dim as f64;
+        debug_assert!(
+            trace.im.abs() < 1e-9,
+            "non-Hermitian input: imaginary Pauli coefficient"
+        );
+        if coeff.abs() > 1e-12 {
+            let ops: Vec<(usize, Pauli)> = string
+                .iter()
+                .enumerate()
+                .filter(|(_, &p)| p != Pauli::I)
+                .map(|(k, &p)| (k, p))
+                .collect();
+            terms.push(PauliTerm { coeff, ops });
+        }
+    }
+    terms
+}
+
+/// Rebuild the dense matrix from Pauli terms (testing aid).
+#[must_use]
+pub fn pauli_reassemble(terms: &[PauliTerm], num_qubits: usize) -> CMatrix {
+    let dim = 1usize << num_qubits;
+    let mut h = vec![vec![Complex::ZERO; dim]; dim];
+    for term in terms {
+        for i in 0..dim {
+            for j in 0..dim {
+                let mut val = Complex::ONE;
+                for k in 0..num_qubits {
+                    let p = term
+                        .ops
+                        .iter()
+                        .find(|&&(q, _)| q == k)
+                        .map_or(Pauli::I, |&(_, p)| p);
+                    val *= pauli_entry(p, (i >> k) & 1, (j >> k) & 1);
+                    if val == Complex::ZERO {
+                        break;
+                    }
+                }
+                h[i][j] += val.scale(term.coeff);
+            }
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdb_sim::linalg::is_hermitian;
+
+    #[test]
+    fn ladder_operator_signs() {
+        // a_0 on |…1⟩: no orbitals below → +.
+        assert_eq!(annihilate(0b01, 0), Some((0b00, 1.0)));
+        // a_1 on |11⟩: one occupied orbital below → −.
+        assert_eq!(annihilate(0b11, 1), Some((0b01, -1.0)));
+        assert_eq!(annihilate(0b01, 1), None);
+        assert_eq!(create(0b01, 1), Some((0b11, -1.0)));
+        assert_eq!(create(0b01, 0), None);
+        assert_eq!(create(0b10, 0), Some((0b11, 1.0)));
+    }
+
+    #[test]
+    fn anticommutation_holds() {
+        // {a_p, a†_q} = δ_pq on every basis state, p ≠ q case.
+        for occ in 0..16u64 {
+            for p in 0..4 {
+                for q in 0..4 {
+                    if p == q {
+                        continue;
+                    }
+                    // a_p a†_q + a†_q a_p must annihilate-or-cancel.
+                    let path1 = create(occ, q).and_then(|(s, g1)| {
+                        annihilate(s, p).map(|(s2, g2)| (s2, g1 * g2))
+                    });
+                    let path2 = annihilate(occ, p).and_then(|(s, g1)| {
+                        create(s, q).map(|(s2, g2)| (s2, g1 * g2))
+                    });
+                    match (path1, path2) {
+                        (Some((s1, g1)), Some((s2, g2))) => {
+                            assert_eq!(s1, s2);
+                            assert_eq!(g1, -g2, "occ={occ:#b} p={p} q={q}");
+                        }
+                        (None, None) => {}
+                        // One path may vanish when the other does too —
+                        // mixed cases mean the anticommutator acts as 0.
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn number_operator_is_diagonal_occupancy() {
+        // a†_p a_p |occ⟩ = n_p |occ⟩.
+        let h = build_hamiltonian(
+            3,
+            &[OneBody {
+                p: 1,
+                q: 1,
+                coeff: 1.0,
+            }],
+            &[],
+            0.0,
+        );
+        for occ in 0..8usize {
+            let n1 = f64::from((occ as u32 >> 1) & 1);
+            assert!((h[occ][occ].re - n1).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn hopping_term_is_hermitian_when_symmetrized() {
+        let h = build_hamiltonian(
+            2,
+            &[
+                OneBody {
+                    p: 0,
+                    q: 1,
+                    coeff: 0.5,
+                },
+                OneBody {
+                    p: 1,
+                    q: 0,
+                    coeff: 0.5,
+                },
+            ],
+            &[],
+            0.0,
+        );
+        assert!(is_hermitian(&h, 1e-12));
+        // |01⟩ ↔ |10⟩ hopping amplitude 0.5.
+        assert!((h[0b10][0b01].re - 0.5).abs() < 1e-14);
+    }
+
+    #[test]
+    fn shift_adds_identity() {
+        let h = build_hamiltonian(2, &[], &[], 2.5);
+        for i in 0..4 {
+            assert!((h[i][i].re - 2.5).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn two_body_coulomb_diagonal() {
+        // g·a†_0 a†_1 a_1 a_0 counts double occupancy of orbitals 0,1.
+        let h = build_hamiltonian(
+            2,
+            &[],
+            &[TwoBody {
+                p: 0,
+                q: 1,
+                r: 1,
+                s: 0,
+                coeff: 0.7,
+            }],
+            0.0,
+        );
+        assert!((h[0b11][0b11].re - 0.7).abs() < 1e-12);
+        assert!(h[0b01][0b01].re.abs() < 1e-12);
+        assert!(h[0b10][0b10].re.abs() < 1e-12);
+    }
+
+    #[test]
+    fn pauli_decompose_number_operator() {
+        // a†a = (I − Z)/2.
+        let h = build_hamiltonian(
+            1,
+            &[OneBody {
+                p: 0,
+                q: 0,
+                coeff: 1.0,
+            }],
+            &[],
+            0.0,
+        );
+        let terms = pauli_decompose(&h, 1);
+        assert_eq!(terms.len(), 2);
+        let ident = terms.iter().find(|t| t.ops.is_empty()).unwrap();
+        let z = terms.iter().find(|t| !t.ops.is_empty()).unwrap();
+        assert!((ident.coeff - 0.5).abs() < 1e-12);
+        assert_eq!(z.ops, vec![(0, Pauli::Z)]);
+        assert!((z.coeff + 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pauli_round_trip_random_hermitian() {
+        // Hopping + interaction on 3 orbitals: decompose and reassemble.
+        let h = build_hamiltonian(
+            3,
+            &[
+                OneBody {
+                    p: 0,
+                    q: 2,
+                    coeff: 0.3,
+                },
+                OneBody {
+                    p: 2,
+                    q: 0,
+                    coeff: 0.3,
+                },
+                OneBody {
+                    p: 1,
+                    q: 1,
+                    coeff: -0.9,
+                },
+            ],
+            &[TwoBody {
+                p: 0,
+                q: 1,
+                r: 1,
+                s: 0,
+                coeff: 0.45,
+            }],
+            0.1,
+        );
+        assert!(is_hermitian(&h, 1e-12));
+        let terms = pauli_decompose(&h, 3);
+        let back = pauli_reassemble(&terms, 3);
+        for i in 0..8 {
+            for j in 0..8 {
+                assert!(
+                    back[i][j].approx_eq(h[i][j], 1e-10),
+                    "mismatch at ({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn jordan_wigner_hopping_has_z_string() {
+        // a†_0 a_2 + h.c. on 3 orbitals must produce XZX/YZY-type terms
+        // (the Z on qubit 1 is the JW string).
+        let h = build_hamiltonian(
+            3,
+            &[
+                OneBody {
+                    p: 0,
+                    q: 2,
+                    coeff: 1.0,
+                },
+                OneBody {
+                    p: 2,
+                    q: 0,
+                    coeff: 1.0,
+                },
+            ],
+            &[],
+            0.0,
+        );
+        let terms = pauli_decompose(&h, 3);
+        assert!(terms
+            .iter()
+            .any(|t| t.ops.iter().any(|&(q, p)| q == 1 && p == Pauli::Z)));
+    }
+}

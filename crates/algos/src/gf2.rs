@@ -1,0 +1,243 @@
+//! Arithmetic in the binary fields GF(2^m) — the classical substrate for
+//! the Grover case study's search criterion (§5.1.2: "find the square
+//! root of a number in a Galois field of two elements").
+//!
+//! Squaring in GF(2^m) is *linear* over GF(2), so the quantum oracle can
+//! compute it with a plain CNOT network (see
+//! [`crate::grover::sqrt_oracle_circuit`]); this module supplies the
+//! field arithmetic and the squaring matrix.
+
+/// A binary extension field GF(2^m) with a fixed irreducible modulus
+/// polynomial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Gf2m {
+    m: u32,
+    /// Modulus polynomial including the `x^m` term, e.g. `0b1011` for
+    /// x³ + x + 1.
+    poly: u64,
+}
+
+impl Gf2m {
+    /// Create a field with an explicit modulus polynomial.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the polynomial's degree is not exactly `m`, or `m` is 0
+    /// or over 16.
+    #[must_use]
+    pub fn new(m: u32, poly: u64) -> Self {
+        assert!(m >= 1 && m <= 16, "supported field sizes: GF(2)..GF(2^16)");
+        assert_eq!(
+            64 - poly.leading_zeros() - 1,
+            m,
+            "modulus polynomial degree must equal m"
+        );
+        Self { m, poly }
+    }
+
+    /// A standard irreducible polynomial for each supported degree.
+    ///
+    /// # Panics
+    ///
+    /// Panics for `m` outside `1..=8`.
+    #[must_use]
+    pub fn standard(m: u32) -> Self {
+        let poly = match m {
+            1 => 0b10, // GF(2): x (arithmetic mod 2)
+            2 => 0b111,
+            3 => 0b1011,
+            4 => 0b1_0011,
+            5 => 0b10_0101,
+            6 => 0b100_0011,
+            7 => 0b1000_0011,
+            8 => 0b1_0001_1011, // the AES polynomial
+            _ => panic!("no standard polynomial stored for m = {m}"),
+        };
+        Self::new(m, poly)
+    }
+
+    /// The field degree `m`.
+    #[must_use]
+    pub fn degree(&self) -> u32 {
+        self.m
+    }
+
+    /// Number of field elements, `2^m`.
+    #[must_use]
+    pub fn order(&self) -> u64 {
+        1u64 << self.m
+    }
+
+    /// Reduce a polynomial (of degree < 2m) modulo the field polynomial.
+    fn reduce(&self, mut value: u64) -> u64 {
+        let m = self.m;
+        let mut bit = 63 - value.leading_zeros().min(63);
+        while value >= (1u64 << m) {
+            if value & (1u64 << bit) != 0 {
+                value ^= self.poly << (bit - m);
+            }
+            bit -= 1;
+        }
+        value
+    }
+
+    /// Field multiplication (carry-less multiply then reduce).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an operand is not a field element.
+    #[must_use]
+    pub fn mul(&self, a: u64, b: u64) -> u64 {
+        assert!(a < self.order() && b < self.order(), "operands not in field");
+        let mut product = 0u64;
+        for i in 0..self.m {
+            if b & (1 << i) != 0 {
+                product ^= a << i;
+            }
+        }
+        self.reduce(product)
+    }
+
+    /// Field squaring.
+    #[must_use]
+    pub fn square(&self, a: u64) -> u64 {
+        self.mul(a, a)
+    }
+
+    /// Exponentiation by squaring.
+    #[must_use]
+    pub fn pow(&self, mut base: u64, mut exp: u64) -> u64 {
+        let mut acc = 1u64;
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = self.mul(acc, base);
+            }
+            base = self.square(base);
+            exp >>= 1;
+        }
+        acc
+    }
+
+    /// The unique square root: `√a = a^{2^{m−1}}` (the Frobenius map is
+    /// a bijection in characteristic 2, so every element has exactly one
+    /// square root — which is why the Grover criterion has exactly one
+    /// match).
+    #[must_use]
+    pub fn sqrt(&self, a: u64) -> u64 {
+        if self.m == 1 {
+            return a;
+        }
+        self.pow(a, 1u64 << (self.m - 1))
+    }
+
+    /// The squaring map as a GF(2) matrix: `rows[i]` is the bitmask of
+    /// input bits whose XOR gives output bit `i`. Because squaring is
+    /// linear, `square(x)` bit `i` = parity of `x & rows[i]`.
+    #[must_use]
+    pub fn squaring_matrix(&self) -> Vec<u64> {
+        let mut rows = vec![0u64; self.m as usize];
+        for j in 0..self.m {
+            let sq = self.square(1 << j);
+            for (i, row) in rows.iter_mut().enumerate() {
+                if sq & (1 << i) != 0 {
+                    *row |= 1 << j;
+                }
+            }
+        }
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gf8_multiplication_table_spot_checks() {
+        // GF(8) with x³ + x + 1: x·x² = x³ = x + 1 = 0b011.
+        let f = Gf2m::standard(3);
+        assert_eq!(f.mul(0b010, 0b100), 0b011);
+        // (x+1)(x²+1) = x³+x²+x+1 = (x+1)+x²+x+1 = x².
+        assert_eq!(f.mul(0b011, 0b101), 0b100);
+        assert_eq!(f.mul(0, 0b111), 0);
+        assert_eq!(f.mul(1, 0b110), 0b110);
+    }
+
+    #[test]
+    fn multiplication_is_commutative_and_associative() {
+        let f = Gf2m::standard(4);
+        for a in 0..16u64 {
+            for b in 0..16u64 {
+                assert_eq!(f.mul(a, b), f.mul(b, a));
+                for c in [3u64, 9] {
+                    assert_eq!(f.mul(f.mul(a, b), c), f.mul(a, f.mul(b, c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nonzero_elements_form_a_group() {
+        // Every nonzero element has order dividing 2^m − 1.
+        for m in 2..=5u32 {
+            let f = Gf2m::standard(m);
+            for a in 1..f.order() {
+                assert_eq!(f.pow(a, f.order() - 1), 1, "a={a} m={m}");
+            }
+        }
+    }
+
+    #[test]
+    fn sqrt_inverts_square_bijectively() {
+        for m in 1..=6u32 {
+            let f = Gf2m::standard(m);
+            let mut seen = std::collections::HashSet::new();
+            for a in 0..f.order() {
+                let sq = f.square(a);
+                assert!(seen.insert(sq) || m == 0, "squaring must be injective");
+                assert_eq!(f.sqrt(sq), a, "sqrt(a²) = a for a={a}, m={m}");
+            }
+        }
+    }
+
+    #[test]
+    fn squaring_matrix_reproduces_square() {
+        for m in 2..=6u32 {
+            let f = Gf2m::standard(m);
+            let rows = f.squaring_matrix();
+            for x in 0..f.order() {
+                let mut y = 0u64;
+                for (i, &row) in rows.iter().enumerate() {
+                    if (x & row).count_ones() % 2 == 1 {
+                        y |= 1 << i;
+                    }
+                }
+                assert_eq!(y, f.square(x), "matrix disagrees at x={x}, m={m}");
+            }
+        }
+    }
+
+    #[test]
+    fn frobenius_is_additive() {
+        // (a + b)² = a² + b² in characteristic 2.
+        let f = Gf2m::standard(5);
+        for a in 0..32u64 {
+            for b in 0..32u64 {
+                assert_eq!(f.square(a ^ b), f.square(a) ^ f.square(b));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "degree must equal m")]
+    fn bad_polynomial_rejected() {
+        let _ = Gf2m::new(3, 0b111); // degree 2, not 3
+    }
+
+    #[test]
+    #[should_panic(expected = "not in field")]
+    fn out_of_field_operand_rejected() {
+        let f = Gf2m::standard(3);
+        let _ = f.mul(8, 1);
+    }
+}

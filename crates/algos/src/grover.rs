@@ -1,0 +1,391 @@
+//! Grover's database search (§5.1 of the paper): amplitude
+//! amplification with a GF(2^m) square-root oracle, in both of Table 4's
+//! styles — the manual Scaffold-style version with an explicit ancilla
+//! chain, and the scoped ProjectQ-style version built with
+//! `Control` / compute-uncompute combinators.
+
+use qdb_circuit::{scopes, Circuit, GateSink, Program, QReg};
+
+use crate::gf2::Gf2m;
+
+/// Which Table 4 coding style to use for the amplitude-amplification
+/// subroutine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GroverStyle {
+    /// Scaffold-style: manual ancilla chain of CCNOTs, manually
+    /// mirrored (Table 4, left column).
+    #[default]
+    Manual,
+    /// ProjectQ-style: `Control` scope and automatic uncompute
+    /// (Table 4, right column).
+    Scoped,
+}
+
+/// Register layout of the Grover circuit.
+#[derive(Debug, Clone)]
+pub struct GroverLayout {
+    /// Search register (`m` qubits) holding the candidate `x`.
+    pub q: QReg,
+    /// Oracle scratch register holding `x²` during the oracle.
+    pub y: QReg,
+    /// Ancilla chain for the manual diffusion (`max(m − 1, 1)` qubits).
+    pub anc: QReg,
+}
+
+/// Build the phase oracle for the criterion `x² = target` in the given
+/// field: computes `y = x²` with a CNOT network (squaring is GF(2)
+/// linear), compares against `target`, phase-flips the matching branch,
+/// and uncomputes.
+///
+/// # Panics
+///
+/// Panics if `target` is not a field element or the registers have the
+/// wrong widths.
+#[must_use]
+pub fn sqrt_oracle_circuit(field: &Gf2m, q: &QReg, y: &QReg, target: u64) -> Circuit {
+    let m = field.degree() as usize;
+    assert!(target < field.order(), "target must be a field element");
+    assert_eq!(q.width(), m, "search register width must equal m");
+    assert_eq!(y.width(), m, "scratch register width must equal m");
+    let num_qubits = q
+        .qubits()
+        .iter()
+        .chain(y.qubits())
+        .max()
+        .expect("nonempty registers")
+        + 1;
+    let rows = field.squaring_matrix();
+    let mut circuit = Circuit::new(num_qubits);
+    scopes::with_computed(
+        &mut circuit,
+        |compute| {
+            // y ← S(x): CNOT network from the squaring matrix.
+            for (i, &row) in rows.iter().enumerate() {
+                for j in 0..m {
+                    if row & (1 << j) != 0 {
+                        compute.cx(q.bit(j), y.bit(i));
+                    }
+                }
+            }
+            // Invert the zero bits of `target` so a match reads all-ones.
+            for i in 0..m {
+                if target & (1 << i) == 0 {
+                    compute.x(y.bit(i));
+                }
+            }
+        },
+        |action| {
+            // Phase flip iff y == target (all ones after adjustment).
+            let controls: Vec<usize> = (0..m - 1).map(|i| y.bit(i)).collect();
+            action.mcz(&controls, y.bit(m - 1));
+        },
+    );
+    circuit
+}
+
+/// The diffusion (inversion about the mean) in Table 4's *manual*
+/// Scaffold style: Hadamards, X's, an explicit CCNOT ancilla chain
+/// computing the AND of the search register, a controlled-Z, and the
+/// hand-mirrored undo.
+///
+/// # Panics
+///
+/// Panics if `anc` is narrower than `q.width() − 1` (for `q` wider than
+/// one qubit).
+#[must_use]
+pub fn diffusion_manual(q: &QReg, anc: &QReg) -> Circuit {
+    let n = q.width();
+    let num_qubits = q
+        .qubits()
+        .iter()
+        .chain(anc.qubits())
+        .max()
+        .expect("nonempty registers")
+        + 1;
+    let mut c = Circuit::new(num_qubits);
+    for j in 0..n {
+        c.h(q.bit(j));
+    }
+    for j in 0..n {
+        c.x(q.bit(j));
+    }
+    if n == 1 {
+        c.z(q.bit(0));
+    } else if n == 2 {
+        c.cz(q.bit(0), q.bit(1));
+    } else {
+        assert!(anc.width() >= n - 1, "ancilla chain too short");
+        // Table 4 rows 3–5, transcribed: compute the AND chain, apply
+        // cZ, then mirror the chain by hand.
+        c.ccx(q.bit(1), q.bit(0), anc.bit(0));
+        for j in 1..n - 1 {
+            c.ccx(anc.bit(j - 1), q.bit(j + 1), anc.bit(j));
+        }
+        c.cz(anc.bit(n - 2), q.bit(n - 1));
+        for j in (1..n - 1).rev() {
+            c.ccx(anc.bit(j - 1), q.bit(j + 1), anc.bit(j));
+        }
+        c.ccx(q.bit(1), q.bit(0), anc.bit(0));
+    }
+    for j in 0..n {
+        c.x(q.bit(j));
+    }
+    for j in 0..n {
+        c.h(q.bit(j));
+    }
+    c
+}
+
+/// The diffusion in Table 4's *scoped* ProjectQ style: the same
+/// reflection expressed with a multi-controlled Z (what a `Control`
+/// scope emits), no manual ancilla bookkeeping.
+#[must_use]
+pub fn diffusion_scoped(q: &QReg) -> Circuit {
+    let n = q.width();
+    let num_qubits = q.qubits().iter().max().expect("nonempty register") + 1;
+    let mut c = Circuit::new(num_qubits);
+    scopes::with_computed(
+        &mut c,
+        |compute| {
+            for j in 0..n {
+                compute.h(q.bit(j));
+            }
+            for j in 0..n {
+                compute.x(q.bit(j));
+            }
+        },
+        |action| {
+            if n == 1 {
+                action.z(q.bit(0));
+            } else {
+                let controls: Vec<usize> = (0..n - 1).map(|j| q.bit(j)).collect();
+                action.mcz(&controls, q.bit(n - 1));
+            }
+        },
+    );
+    c
+}
+
+/// The textbook-optimal iteration count `⌊(π/4)·√N⌋` (at least 1).
+#[must_use]
+pub fn optimal_iterations(search_space: u64) -> usize {
+    let k = (std::f64::consts::FRAC_PI_4 * (search_space as f64).sqrt()).floor() as usize;
+    k.max(1)
+}
+
+/// Build the full Grover circuit searching for `x` with `x² = target`.
+///
+/// Returns the circuit and its register layout. The success probability
+/// after the optimal iteration count is `sin²((2k+1)·asin(1/√N))`.
+#[must_use]
+pub fn grover_circuit(
+    field: &Gf2m,
+    target: u64,
+    style: GroverStyle,
+    iterations: usize,
+) -> (Circuit, GroverLayout) {
+    let m = field.degree() as usize;
+    let q = QReg::contiguous("q", 0, m);
+    let y = QReg::contiguous("y", m, m);
+    let anc = QReg::contiguous("anc", 2 * m, (m.saturating_sub(1)).max(1));
+    let num_qubits = 2 * m + anc.width();
+    let mut c = Circuit::new(num_qubits);
+
+    for j in 0..m {
+        c.h(q.bit(j));
+    }
+    let oracle = sqrt_oracle_circuit(field, &q, &y, target);
+    for _ in 0..iterations {
+        c.append(&oracle);
+        match style {
+            GroverStyle::Manual => c.append(&diffusion_manual(&q, &anc)),
+            GroverStyle::Scoped => c.append(&diffusion_scoped(&q)),
+        }
+    }
+    (c, GroverLayout { q, y, anc })
+}
+
+/// Build the assertion-annotated Grover program per §5.1: a
+/// superposition precondition after initialization, and product-state
+/// postconditions checking that the oracle scratch and the ancilla
+/// chain are cleanly disentangled from the search register at the end
+/// (the compute–uncompute pattern's guarantee).
+#[must_use]
+pub fn grover_program(
+    field: &Gf2m,
+    target: u64,
+    style: GroverStyle,
+    iterations: usize,
+) -> (Program, GroverLayout) {
+    let (circuit, layout) = grover_circuit(field, target, style, iterations);
+    let m = field.degree() as usize;
+    let mut p = Program::new();
+    let q = p.alloc_register("q", m);
+    let y = p.alloc_register("y", m);
+    let anc = p.alloc_register("anc", layout.anc.width());
+    debug_assert_eq!(q.qubits(), layout.q.qubits());
+
+    let all = circuit.instructions();
+    for inst in &all[..m] {
+        p.push(inst.clone()); // the initial Hadamards
+    }
+    p.assert_superposition(&q);
+    for inst in &all[m..] {
+        p.push(inst.clone());
+    }
+    p.assert_product(&q, &y);
+    p.assert_product(&q, &anc);
+    p.assert_classical(&y, 0);
+    (p, layout)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oracle_flips_only_the_matching_phase() {
+        let f = Gf2m::standard(3);
+        let target = 5u64;
+        let x_match = f.sqrt(target);
+        let q = QReg::contiguous("q", 0, 3);
+        let y = QReg::contiguous("y", 3, 3);
+        let oracle = sqrt_oracle_circuit(&f, &q, &y, target);
+        for x in 0..8u64 {
+            let s = oracle.run_on_basis(x).unwrap();
+            let amp = s.amplitude(x as usize);
+            let want = if x == x_match { -1.0 } else { 1.0 };
+            assert!(
+                (amp.re - want).abs() < 1e-10 && amp.im.abs() < 1e-10,
+                "x={x}: amp {amp}"
+            );
+            // Scratch restored.
+            for i in 0..3 {
+                assert!(s.prob_one(y.bit(i)) < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn manual_and_scoped_diffusion_agree() {
+        // The two styles act identically whenever the ancilla chain
+        // starts clean (they differ, of course, on dirty-ancilla inputs
+        // the program never produces).
+        for n in [2usize, 3, 4] {
+            let q = QReg::contiguous("q", 0, n);
+            let anc = QReg::contiguous("anc", n, (n - 1).max(1));
+            let manual = diffusion_manual(&q, &anc);
+            let scoped_small = diffusion_scoped(&q);
+            let mut scoped = Circuit::new(manual.num_qubits());
+            scoped.append(&scoped_small);
+            for x in 0..(1u64 << n) {
+                let a = manual.run_on_basis(x).unwrap();
+                let b = scoped.run_on_basis(x).unwrap();
+                assert!(a.approx_eq(&b, 1e-10), "styles disagree at n = {n}, x = {x}");
+            }
+        }
+    }
+
+    #[test]
+    fn optimal_iterations_reference_values() {
+        assert_eq!(optimal_iterations(4), 1);
+        assert_eq!(optimal_iterations(8), 2);
+        assert_eq!(optimal_iterations(16), 3);
+        assert_eq!(optimal_iterations(2), 1);
+    }
+
+    #[test]
+    fn grover_amplifies_the_square_root() {
+        let f = Gf2m::standard(3);
+        for target in [1u64, 3, 5, 7] {
+            let answer = f.sqrt(target);
+            let (c, layout) =
+                grover_circuit(&f, target, GroverStyle::Manual, optimal_iterations(8));
+            let s = c.run_on_basis(0).unwrap();
+            let mut p_answer = 0.0;
+            for i in 0..s.dim() {
+                if layout.q.value_of(i as u64) == answer {
+                    p_answer += s.probability(i);
+                }
+            }
+            assert!(
+                p_answer > 0.9,
+                "target {target}: P(x = {answer}) = {p_answer}"
+            );
+        }
+    }
+
+    #[test]
+    fn both_styles_give_identical_success_probability() {
+        let f = Gf2m::standard(3);
+        let target = 6u64;
+        let answer = f.sqrt(target);
+        let mut probs = Vec::new();
+        for style in [GroverStyle::Manual, GroverStyle::Scoped] {
+            let (c, layout) = grover_circuit(&f, target, style, 2);
+            let s = c.run_on_basis(0).unwrap();
+            let mut p_answer = 0.0;
+            for i in 0..s.dim() {
+                if layout.q.value_of(i as u64) == answer {
+                    p_answer += s.probability(i);
+                }
+            }
+            probs.push(p_answer);
+        }
+        assert!((probs[0] - probs[1]).abs() < 1e-9, "{probs:?}");
+    }
+
+    #[test]
+    fn scratch_registers_end_clean() {
+        let f = Gf2m::standard(3);
+        let (c, layout) = grover_circuit(&f, 2, GroverStyle::Manual, 2);
+        let s = c.run_on_basis(0).unwrap();
+        for reg in [&layout.y, &layout.anc] {
+            for i in 0..reg.width() {
+                assert!(s.prob_one(reg.bit(i)) < 1e-10, "{} dirty", reg.name());
+            }
+        }
+    }
+
+    #[test]
+    fn grover_program_assertions_present() {
+        let f = Gf2m::standard(3);
+        let (p, _) = grover_program(&f, 5, GroverStyle::Scoped, 2);
+        assert_eq!(p.breakpoints().len(), 4);
+    }
+
+    #[test]
+    fn too_many_iterations_overshoots() {
+        // Grover is periodic: overshooting reduces the success
+        // probability — a behaviour worth pinning down as a test.
+        let f = Gf2m::standard(3);
+        let target = 5u64;
+        let answer = f.sqrt(target);
+        let p_at = |iters: usize| {
+            let (c, layout) = grover_circuit(&f, target, GroverStyle::Scoped, iters);
+            let s = c.run_on_basis(0).unwrap();
+            (0..s.dim())
+                .filter(|&i| layout.q.value_of(i as u64) == answer)
+                .map(|i| s.probability(i))
+                .sum::<f64>()
+        };
+        assert!(p_at(4) < p_at(2));
+    }
+
+    #[test]
+    fn gf2_single_bit_field_edge_case() {
+        // GF(2): sqrt(x) = x; the circuit builds and runs, but Grover
+        // famously cannot amplify an N = 2 search space — the success
+        // probability stays at 1/2 (sin²(3·π/4) = 1/2).
+        let f = Gf2m::standard(1);
+        let (c, layout) = grover_circuit(&f, 1, GroverStyle::Scoped, 1);
+        let s = c.run_on_basis(0).unwrap();
+        let mut p1 = 0.0;
+        for i in 0..s.dim() {
+            if layout.q.value_of(i as u64) == 1 {
+                p1 += s.probability(i);
+            }
+        }
+        assert!((p1 - 0.5).abs() < 1e-10, "P(answer) = {p1}");
+    }
+}

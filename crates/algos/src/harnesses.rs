@@ -1,0 +1,366 @@
+//! The paper's test harnesses (Listings 1, 3, 4) as reusable program
+//! builders with injectable bugs, plus the §4 bug-taxonomy catalogue
+//! that maps every bug type to the assertion that catches it.
+
+use qdb_circuit::{GateSink as _, Program, QReg};
+
+use crate::arith::{add_const, iqft, qft, AdderVariant};
+use crate::modular::{c_mod_mul_acc_circuit, ControlRouting};
+
+/// Listing 1: the QFT unit-test harness. Prepare `value`, assert
+/// classical, QFT, assert superposition, inverse QFT, assert classical
+/// again.
+///
+/// With `initial_bug` (bug type 1) the register is prepared with the
+/// bit pattern inverted, so the very first precondition fires.
+#[must_use]
+pub fn listing1_qft_harness(width: usize, value: u64, initial_bug: bool) -> Program {
+    let mut p = Program::new();
+    let reg = p.alloc_register("reg", width);
+    if initial_bug {
+        // PrepZ with the wrong parity — e.g. `(i % 2)` instead of
+        // `(i + 1) % 2` in the paper's loop.
+        p.prep_int(&reg, !value & (reg.domain_size() - 1));
+    } else {
+        p.prep_int(&reg, value);
+    }
+    p.assert_classical(&reg, value);
+    qft(&mut p, &reg);
+    p.assert_superposition(&reg);
+    iqft(&mut p, &reg);
+    p.assert_classical(&reg, value);
+    p
+}
+
+/// Listing 3: the controlled-adder unit-test harness. Initialize `b`,
+/// assert classical, compute `b + a`, assert the sum.
+///
+/// The `variant` knob injects bug types 2/3 inside the adder.
+#[must_use]
+pub fn listing3_cadd_harness(width: usize, b_val: u64, a: u64, variant: AdderVariant) -> Program {
+    let mut p = Program::new();
+    let ctrl = p.alloc_register("ctrl", 2);
+    let b = p.alloc_register("b", width);
+    p.prep_int(&ctrl, 0); // "control qubits unimportant here"
+    p.prep_int(&b, b_val);
+    p.assert_classical(&b, b_val);
+    add_const(&mut p, &[], &b, a, variant);
+    p.assert_classical(&b, (b_val + a) % b.domain_size());
+    p
+}
+
+/// Parameters of the Listing 4 controlled-modular-multiplier harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Listing4Params {
+    /// Register width (the listing uses 5, with the modulus below).
+    pub width: usize,
+    /// The modulus `N` (15 in the paper).
+    pub modulus: u64,
+    /// The multiplier `a` (7).
+    pub a: u64,
+    /// The claimed modular inverse `a⁻¹` (13 correct; 12 is bug type 6).
+    pub a_inv: u64,
+    /// Initial `x` value (6).
+    pub x_val: u64,
+    /// Initial `b` value (7).
+    pub b_val: u64,
+    /// Control-qubit routing inside the multiplier (bug type 4 knob).
+    pub routing: ControlRouting,
+}
+
+impl Listing4Params {
+    /// The paper's exact values, all-correct.
+    #[must_use]
+    pub fn paper() -> Self {
+        Self {
+            width: 4,
+            modulus: 15,
+            a: 7,
+            a_inv: 13,
+            x_val: 6,
+            b_val: 7,
+            routing: ControlRouting::Correct,
+        }
+    }
+
+    /// The §4.4 routing bug (ctrl1 used twice).
+    #[must_use]
+    pub fn with_routing_bug(mut self) -> Self {
+        self.routing = ControlRouting::Ctrl1Twice;
+        self
+    }
+
+    /// The §4.5/§4.6 wrong-inverse bug (12 instead of 13).
+    #[must_use]
+    pub fn with_wrong_inverse(mut self) -> Self {
+        self.a_inv = 12;
+        self
+    }
+}
+
+/// Registers of the Listing 4 harness, for inspecting ensembles.
+#[derive(Debug, Clone)]
+pub struct Listing4Layout {
+    /// The control qubit (in superposition).
+    pub ctrl: QReg,
+    /// The multiplicand register.
+    pub x: QReg,
+    /// The accumulator register.
+    pub b: QReg,
+    /// The comparison ancilla.
+    pub ancilla: QReg,
+}
+
+/// Listing 4: the controlled modular multiplier harness.
+///
+/// Control in superposition; `x = 6`, `b = 7` classical preconditions;
+/// `b ← b + a·x mod N` controlled; **assert_entangled(ctrl, b)**; then
+/// the inverse multiplication with `a⁻¹`; **assert_product(ctrl, b)**.
+///
+/// With the paper's parameters the inverse step returns `b` to 7 on
+/// both branches (6·(7 + 13) ≡ 0 mod 15), so a correct run ends
+/// unentangled; the wrong inverse (12) leaves `ctrl` and `b`
+/// correlated, which the product assertion catches with p ≈ 0.0005.
+#[must_use]
+pub fn listing4_modmul_harness(params: Listing4Params) -> (Program, Listing4Layout) {
+    let Listing4Params {
+        width,
+        modulus,
+        a,
+        a_inv,
+        x_val,
+        b_val,
+        routing,
+    } = params;
+    let mut p = Program::new();
+    let ctrl = p.alloc_register("ctrl", 1);
+    let x = p.alloc_register("x", width);
+    let b = p.alloc_register("b", width + 1);
+    let ancilla = p.alloc_register("ancilla", 1);
+
+    // Control qubit in superposition (PrepZ 1 then H, as in the listing).
+    p.prep_z(ctrl.bit(0), 1);
+    p.h(ctrl.bit(0));
+
+    p.prep_int(&x, x_val);
+    p.assert_classical(&x, x_val);
+    p.prep_int(&b, b_val);
+    p.assert_classical(&b, b_val);
+
+    // b ← (b + a·x) mod N, controlled.
+    p.append(&c_mod_mul_acc_circuit(
+        ctrl.bit(0),
+        &x,
+        &b,
+        ancilla.bit(0),
+        a % modulus,
+        modulus,
+        routing,
+        AdderVariant::Correct,
+    ));
+    p.assert_entangled(&ctrl, &b);
+
+    // "Inverse" multiplication by the modular inverse.
+    p.append(&c_mod_mul_acc_circuit(
+        ctrl.bit(0),
+        &x,
+        &b,
+        ancilla.bit(0),
+        a_inv % modulus,
+        modulus,
+        routing,
+        AdderVariant::Correct,
+    ));
+    p.assert_product(&ctrl, &b);
+
+    (
+        p,
+        Listing4Layout {
+            ctrl,
+            x,
+            b,
+            ancilla,
+        },
+    )
+}
+
+/// The paper's six bug types (§4.1–§4.6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BugType {
+    /// §4.1 — incorrect quantum initial values.
+    IncorrectInitialValues,
+    /// §4.2 — incorrect basic operations (Table 1's flipped rotation).
+    IncorrectOperations,
+    /// §4.3 — incorrect iteration (adder angle indexing).
+    IncorrectIteration,
+    /// §4.4 — incorrect recursion (mis-routed control qubits).
+    IncorrectRecursion,
+    /// §4.5 — incorrect mirroring (bad uncomputation).
+    IncorrectMirroring,
+    /// §4.6 — incorrect classical input parameters.
+    IncorrectClassicalInputs,
+}
+
+impl BugType {
+    /// All six bug types in paper order.
+    #[must_use]
+    pub fn all() -> [BugType; 6] {
+        [
+            BugType::IncorrectInitialValues,
+            BugType::IncorrectOperations,
+            BugType::IncorrectIteration,
+            BugType::IncorrectRecursion,
+            BugType::IncorrectMirroring,
+            BugType::IncorrectClassicalInputs,
+        ]
+    }
+
+    /// The assertion type the paper designates to catch this bug.
+    #[must_use]
+    pub fn catching_assertion(&self) -> &'static str {
+        match self {
+            BugType::IncorrectInitialValues => "classical/superposition precondition",
+            BugType::IncorrectOperations | BugType::IncorrectIteration => {
+                "classical postcondition (unit test)"
+            }
+            BugType::IncorrectRecursion => "assert_entangled",
+            BugType::IncorrectMirroring => "assert_product",
+            BugType::IncorrectClassicalInputs => "classical postcondition on ancillas",
+        }
+    }
+
+    /// Build a demonstration program containing this bug (and the
+    /// paper's assertion placement that catches it). Returns the
+    /// program and the index of the breakpoint expected to fail first.
+    #[must_use]
+    pub fn demonstration(&self) -> (Program, usize) {
+        match self {
+            BugType::IncorrectInitialValues => (listing1_qft_harness(4, 5, true), 0),
+            BugType::IncorrectOperations => (
+                listing3_cadd_harness(5, 12, 13, AdderVariant::AnglesFlipped),
+                1,
+            ),
+            BugType::IncorrectIteration => (
+                listing3_cadd_harness(5, 12, 13, AdderVariant::AngleDenominatorOffByOne),
+                1,
+            ),
+            BugType::IncorrectRecursion => {
+                let (p, _) = listing4_modmul_harness(Listing4Params::paper().with_routing_bug());
+                (p, 2) // the entanglement assertion
+            }
+            BugType::IncorrectMirroring | BugType::IncorrectClassicalInputs => {
+                let (p, _) =
+                    listing4_modmul_harness(Listing4Params::paper().with_wrong_inverse());
+                (p, 3) // the product assertion
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn listing1_breakpoints_and_structure() {
+        let p = listing1_qft_harness(4, 5, false);
+        assert_eq!(p.breakpoints().len(), 3);
+        // Final state must be classical 5 again.
+        let s = p.circuit().run_on_basis(0).unwrap();
+        assert!((s.probability(5) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn listing1_bug_corrupts_initial_value() {
+        let p = listing1_qft_harness(4, 5, true);
+        let prefix = p.prefix_for(0);
+        let s = prefix.run_on_basis(0).unwrap();
+        assert!(s.probability(5) < 1e-12);
+    }
+
+    #[test]
+    fn listing3_computes_25() {
+        let p = listing3_cadd_harness(5, 12, 13, AdderVariant::Correct);
+        let s = p.circuit().run_on_basis(0).unwrap();
+        // b occupies qubits 2..7 (after the 2 control qubits).
+        let b = p.register("b").unwrap();
+        let mut p25 = 0.0;
+        for i in 0..s.dim() {
+            if b.value_of(i as u64) == 25 {
+                p25 += s.probability(i);
+            }
+        }
+        assert!((p25 - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn listing4_correct_run_returns_b_to_7_on_both_branches() {
+        let (p, layout) = listing4_modmul_harness(Listing4Params::paper());
+        let s = p.circuit().run_on_basis(0).unwrap();
+        let mut p_b7 = 0.0;
+        for i in 0..s.dim() {
+            if layout.b.value_of(i as u64) == 7 {
+                p_b7 += s.probability(i);
+            }
+        }
+        assert!((p_b7 - 1.0).abs() < 1e-7, "P(b = 7) = {p_b7}");
+    }
+
+    #[test]
+    fn listing4_intermediate_state_is_entangled() {
+        let (p, layout) = listing4_modmul_harness(Listing4Params::paper());
+        // Breakpoint 2 is the entanglement assertion.
+        let prefix = p.prefix_for(2);
+        let s = prefix.run_on_basis(0).unwrap();
+        // ctrl=0 branch: b = 7; ctrl=1 branch: b = (7 + 42) mod 15 = 4.
+        let mut joint = std::collections::HashMap::new();
+        for i in 0..s.dim() {
+            let pr = s.probability(i);
+            if pr > 1e-12 {
+                *joint
+                    .entry((
+                        layout.ctrl.value_of(i as u64),
+                        layout.b.value_of(i as u64),
+                    ))
+                    .or_insert(0.0) += pr;
+            }
+        }
+        assert!((joint.get(&(0, 7)).copied().unwrap_or(0.0) - 0.5).abs() < 1e-7);
+        assert!((joint.get(&(1, 4)).copied().unwrap_or(0.0) - 0.5).abs() < 1e-7);
+    }
+
+    #[test]
+    fn listing4_wrong_inverse_leaves_correlation() {
+        let (p, layout) =
+            listing4_modmul_harness(Listing4Params::paper().with_wrong_inverse());
+        let s = p.circuit().run_on_basis(0).unwrap();
+        // ctrl=0: b = 7; ctrl=1: b = (4 + 12·6) mod 15 = 76 mod 15 = 1.
+        let mut joint = std::collections::HashMap::new();
+        for i in 0..s.dim() {
+            let pr = s.probability(i);
+            if pr > 1e-12 {
+                *joint
+                    .entry((
+                        layout.ctrl.value_of(i as u64),
+                        layout.b.value_of(i as u64),
+                    ))
+                    .or_insert(0.0) += pr;
+            }
+        }
+        assert!((joint.get(&(0, 7)).copied().unwrap_or(0.0) - 0.5).abs() < 1e-7);
+        assert!(joint.get(&(1, 7)).copied().unwrap_or(0.0) < 1e-7);
+    }
+
+    #[test]
+    fn bug_catalogue_is_complete() {
+        assert_eq!(BugType::all().len(), 6);
+        for bug in BugType::all() {
+            assert!(!bug.catching_assertion().is_empty());
+            let (p, failing) = bug.demonstration();
+            assert!(
+                failing < p.breakpoints().len(),
+                "{bug:?} failing index out of range"
+            );
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! # qdb-algos — the paper's benchmark quantum programs
+//!
+//! The three case-study algorithms from *Statistical Assertions for
+//! Validating Patterns and Finding Bugs in Quantum Programs* (ISCA
+//! 2019), built from scratch on the QDB circuit IR, with every bug type
+//! from the paper's taxonomy injectable on demand:
+//!
+//! * [`arith`] — QFT / inverse QFT and Fourier-space constant adders
+//!   (Listing 2), including Table 1's controlled-rotation decompositions
+//!   (correct and buggy);
+//! * [`modular`] — Beauregard modular adders, multiply-accumulate
+//!   (Listing 4), and in-place modular multiplication;
+//! * [`shor`] — the Figure 2 Shor pipeline for N = 15 (and other small
+//!   semiprimes) plus classical pre/post-processing (Table 2, continued
+//!   fractions, factor extraction);
+//! * [`gf2`] — GF(2^m) field arithmetic (the Grover oracle's classical
+//!   substrate);
+//! * [`grover`] — amplitude amplification in both Table 4 styles
+//!   (manual Scaffold-like and scoped ProjectQ-like);
+//! * [`fermion`] — second-quantized operators, dense Hamiltonian
+//!   assembly, Pauli decomposition;
+//! * [`chem`] — the H₂/STO-3G model, Trotterization, and iterative
+//!   phase estimation (Table 5, §5.2.3 convergence checks);
+//! * [`harnesses`] — Listings 1/3/4 as ready-made assertion-annotated
+//!   programs and the §4 bug-type catalogue.
+
+pub mod arith;
+pub mod chem;
+pub mod fermion;
+pub mod gf2;
+pub mod grover;
+pub mod harnesses;
+pub mod modular;
+pub mod shor;
+
+pub use arith::AdderVariant;
+pub use gf2::Gf2m;
+pub use grover::GroverStyle;
+pub use harnesses::{BugType, Listing4Params};
+pub use modular::ControlRouting;
+pub use shor::ShorConfig;

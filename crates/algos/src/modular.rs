@@ -1,0 +1,444 @@
+//! Beauregard-style modular arithmetic (the paper's reference \[2\]):
+//! modular adders, multiply-accumulate, and in-place modular
+//! multiplication — the building blocks of Shor's controlled modular
+//! exponentiation (Figure 2's bottom module).
+//!
+//! All builders return a [`Circuit`] so callers can take the adjoint for
+//! uncomputation (mirroring, §4.5) — the same mechanism whose *manual*
+//! misuse the paper demonstrates as bug type 5.
+
+use qdb_circuit::{Circuit, GateSink, QReg};
+
+use crate::arith::{
+    add_const_fourier, iqft_no_swap, qft_no_swap, sub_const_fourier, AdderVariant,
+};
+
+/// How the two control qubits of the inner `ccADD` calls are routed —
+/// the recursion-pattern bug of §4.4 (Listing 2's `switch`, where the
+/// buggy line passes `ctrl1` twice instead of `ctrl0, ctrl1`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ControlRouting {
+    /// Correct: additions are controlled on the algorithm control *and*
+    /// the multiplicand bit.
+    #[default]
+    Correct,
+    /// Buggy: the multiplicand bit is used twice, dropping the algorithm
+    /// control — the multiplier then acts regardless of the control
+    /// qubit, so `assert_entangled(ctrl, b)` fails.
+    Ctrl1Twice,
+}
+
+fn max_qubit(regs: &[&QReg], extra: &[usize]) -> usize {
+    regs.iter()
+        .flat_map(|r| r.qubits().iter().copied())
+        .chain(extra.iter().copied())
+        .max()
+        .expect("at least one qubit")
+}
+
+/// Build the controlled modular adder `b ← (b + a) mod N` (Beauregard's
+/// φADDMOD), acting on `b` *in swap-free Fourier space*.
+///
+/// * `b` must have `n + 1` qubits where `N < 2ⁿ` (the extra most
+///   significant qubit catches the transient overflow);
+/// * `anc` is one clean ancilla qubit, returned clean;
+/// * `controls` may be empty, or carry one or two algorithm controls.
+///
+/// # Panics
+///
+/// Panics if `a ≥ N` or `N` does not fit `b`'s width.
+#[must_use]
+pub fn c_mod_add_circuit(
+    controls: &[usize],
+    b: &QReg,
+    anc: usize,
+    a: u64,
+    modulus: u64,
+    variant: AdderVariant,
+) -> Circuit {
+    assert!(a < modulus, "addend {a} must be reduced modulo {modulus}");
+    assert!(
+        b.width() >= 2 && modulus < (1u64 << (b.width() - 1)),
+        "modulus {modulus} needs b to have at least one overflow qubit"
+    );
+    let num_qubits = max_qubit(&[b], &[anc]).max(controls.iter().copied().max().unwrap_or(0)) + 1;
+    let msb = b.bit(b.width() - 1);
+    let mut c = Circuit::new(num_qubits);
+
+    // 1. b += a (controlled).
+    add_const_fourier(&mut c, controls, b, a, variant);
+    // 2. b -= N (unconditionally; may underflow into the MSB).
+    sub_const_fourier(&mut c, &[], b, modulus, AdderVariant::Correct);
+    // 3. Copy the underflow flag (MSB) into the ancilla.
+    iqft_no_swap(&mut c, b);
+    c.cx(msb, anc);
+    qft_no_swap(&mut c, b);
+    // 4. If we underflowed, add N back.
+    add_const_fourier(&mut c, &[anc], b, modulus, AdderVariant::Correct);
+    // 5. b -= a (controlled) to recompute the comparison bit…
+    sub_const_fourier(&mut c, controls, b, a, variant);
+    // 6. …clear the ancilla when b ≥ a (MSB now 0)…
+    iqft_no_swap(&mut c, b);
+    c.x(msb);
+    c.cx(msb, anc);
+    c.x(msb);
+    qft_no_swap(&mut c, b);
+    // 7. …and restore b += a (controlled).
+    add_const_fourier(&mut c, controls, b, a, variant);
+    c
+}
+
+/// Build the controlled modular multiply-accumulate of Listing 4:
+/// `b ← (b + a·x) mod N` when `ctrl` is `|1⟩` (with `x` unchanged).
+///
+/// `b` must have one more qubit than the modulus needs; `anc` is one
+/// clean ancilla.
+///
+/// # Panics
+///
+/// Panics on the same width conditions as [`c_mod_add_circuit`].
+#[must_use]
+pub fn c_mod_mul_acc_circuit(
+    ctrl: usize,
+    x: &QReg,
+    b: &QReg,
+    anc: usize,
+    a: u64,
+    modulus: u64,
+    routing: ControlRouting,
+    variant: AdderVariant,
+) -> Circuit {
+    let num_qubits = max_qubit(&[x, b], &[anc, ctrl]) + 1;
+    let mut c = Circuit::new(num_qubits);
+    qft_no_swap(&mut c, b);
+    let mut addend = a % modulus;
+    for i in 0..x.width() {
+        let controls = match routing {
+            ControlRouting::Correct => vec![ctrl, x.bit(i)],
+            ControlRouting::Ctrl1Twice => vec![x.bit(i)],
+        };
+        c.append(&c_mod_add_circuit(
+            &controls, b, anc, addend, modulus, variant,
+        ));
+        addend = (addend * 2) % modulus;
+    }
+    iqft_no_swap(&mut c, b);
+    c
+}
+
+/// Build the in-place controlled modular multiplier used by Shor's
+/// algorithm: `x ← a·x mod N` when `ctrl` is `|1⟩`, with scratch
+/// register `b` (n+1 qubits, starting and ending at `|0⟩`) and one
+/// ancilla.
+///
+/// Implements Beauregard's construction: multiply-accumulate into `b`,
+/// controlled-swap `x ↔ b`, then *un*-multiply-accumulate with `a⁻¹`.
+/// Passing a wrong `a_inv` (the paper's bug type 6) leaves `b` entangled
+/// with everything — which is exactly what the deallocation assertions
+/// catch.
+///
+/// # Panics
+///
+/// Panics if `gcd(a, N) ≠ 1` would make the claimed `a_inv` impossible
+/// to satisfy trivially (we only check widths; the *value* of `a_inv`
+/// is deliberately caller-supplied so bugs can be injected).
+#[must_use]
+pub fn c_mod_mul_inplace_circuit(
+    ctrl: usize,
+    x: &QReg,
+    b: &QReg,
+    anc: usize,
+    a: u64,
+    a_inv: u64,
+    modulus: u64,
+    routing: ControlRouting,
+) -> Circuit {
+    let num_qubits = max_qubit(&[x, b], &[anc, ctrl]) + 1;
+    let mut c = Circuit::new(num_qubits);
+    c.append(&c_mod_mul_acc_circuit(
+        ctrl,
+        x,
+        b,
+        anc,
+        a,
+        modulus,
+        routing,
+        AdderVariant::Correct,
+    ));
+    for i in 0..x.width() {
+        c.cswap(ctrl, x.bit(i), b.bit(i));
+    }
+    c.append(
+        &c_mod_mul_acc_circuit(
+            ctrl,
+            x,
+            b,
+            anc,
+            a_inv % modulus,
+            modulus,
+            routing,
+            AdderVariant::Correct,
+        )
+        .adjoint(),
+    );
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const N: u64 = 15;
+
+    /// Layout helper: b (width+1 qubits) at 0, x (width) after, then
+    /// ancilla, then control.
+    struct Layout {
+        b: QReg,
+        x: QReg,
+        anc: usize,
+        ctrl: usize,
+        num_qubits: usize,
+    }
+
+    fn layout(width: usize) -> Layout {
+        let b = QReg::contiguous("b", 0, width + 1);
+        let x = QReg::contiguous("x", width + 1, width);
+        let anc = 2 * width + 1;
+        let ctrl = 2 * width + 2;
+        Layout {
+            b,
+            x,
+            anc,
+            ctrl,
+            num_qubits: 2 * width + 3,
+        }
+    }
+
+    fn pack(l: &Layout, b: u64, x: u64, anc: u64, ctrl: u64) -> u64 {
+        b | (x << l.b.width()) | (anc << l.anc) | (ctrl << l.ctrl)
+    }
+
+    #[test]
+    fn mod_add_exhaustive_small() {
+        // b ← (b + a) mod 15, all reduced inputs, a ∈ {1, 7, 14}.
+        let width = 4;
+        let l = layout(width);
+        for a in [1u64, 7, 14] {
+            let mut c = Circuit::new(l.num_qubits);
+            qft_no_swap(&mut c, &l.b);
+            c.append(&c_mod_add_circuit(
+                &[],
+                &l.b,
+                l.anc,
+                a,
+                N,
+                AdderVariant::Correct,
+            ));
+            iqft_no_swap(&mut c, &l.b);
+            for b in 0..N {
+                let s = c.run_on_basis(pack(&l, b, 0, 0, 0)).unwrap();
+                let want = pack(&l, (b + a) % N, 0, 0, 0) as usize;
+                assert!(
+                    (s.probability(want) - 1.0).abs() < 1e-7,
+                    "({b} + {a}) mod 15"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mod_add_controlled_gating() {
+        let width = 4;
+        let l = layout(width);
+        let mut c = Circuit::new(l.num_qubits);
+        qft_no_swap(&mut c, &l.b);
+        c.append(&c_mod_add_circuit(
+            &[l.ctrl],
+            &l.b,
+            l.anc,
+            9,
+            N,
+            AdderVariant::Correct,
+        ));
+        iqft_no_swap(&mut c, &l.b);
+        // Control off: identity.
+        let s = c.run_on_basis(pack(&l, 8, 0, 0, 0)).unwrap();
+        assert!((s.probability(pack(&l, 8, 0, 0, 0) as usize) - 1.0).abs() < 1e-7);
+        // Control on: 8 + 9 = 17 ≡ 2 (mod 15).
+        let s = c.run_on_basis(pack(&l, 8, 0, 0, 1)).unwrap();
+        assert!((s.probability(pack(&l, 2, 0, 0, 1) as usize) - 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn mod_add_restores_ancilla() {
+        let width = 4;
+        let l = layout(width);
+        let mut c = Circuit::new(l.num_qubits);
+        qft_no_swap(&mut c, &l.b);
+        c.append(&c_mod_add_circuit(
+            &[],
+            &l.b,
+            l.anc,
+            11,
+            N,
+            AdderVariant::Correct,
+        ));
+        iqft_no_swap(&mut c, &l.b);
+        for b in 0..N {
+            let s = c.run_on_basis(pack(&l, b, 0, 0, 0)).unwrap();
+            assert!(s.prob_one(l.anc) < 1e-9, "ancilla dirty for b = {b}");
+        }
+    }
+
+    #[test]
+    fn mod_add_adjoint_subtracts() {
+        let width = 4;
+        let l = layout(width);
+        let add = c_mod_add_circuit(&[], &l.b, l.anc, 6, N, AdderVariant::Correct);
+        let mut c = Circuit::new(l.num_qubits);
+        qft_no_swap(&mut c, &l.b);
+        c.append(&add.adjoint());
+        iqft_no_swap(&mut c, &l.b);
+        for b in 0..N {
+            let s = c.run_on_basis(pack(&l, b, 0, 0, 0)).unwrap();
+            let want = pack(&l, (b + N - 6) % N, 0, 0, 0) as usize;
+            assert!((s.probability(want) - 1.0).abs() < 1e-7, "{b} - 6 mod 15");
+        }
+    }
+
+    #[test]
+    fn mul_acc_matches_listing4_example() {
+        // Listing 4: x = 6, b = 7, a = 7 → b ← (7 + 7·6) mod 15 = 4.
+        let width = 4;
+        let l = layout(width);
+        let c = c_mod_mul_acc_circuit(
+            l.ctrl,
+            &l.x,
+            &l.b,
+            l.anc,
+            7,
+            N,
+            ControlRouting::Correct,
+            AdderVariant::Correct,
+        );
+        // Control on:
+        let s = c.run_on_basis(pack(&l, 7, 6, 0, 1)).unwrap();
+        assert!((s.probability(pack(&l, 4, 6, 0, 1) as usize) - 1.0).abs() < 1e-7);
+        // Control off: unchanged.
+        let s = c.run_on_basis(pack(&l, 7, 6, 0, 0)).unwrap();
+        assert!((s.probability(pack(&l, 7, 6, 0, 0) as usize) - 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn mul_acc_random_cases() {
+        let width = 4;
+        let l = layout(width);
+        for (a, x, b) in [(7u64, 3u64, 0u64), (13, 9, 14), (2, 11, 5), (11, 1, 1)] {
+            let c = c_mod_mul_acc_circuit(
+                l.ctrl,
+                &l.x,
+                &l.b,
+                l.anc,
+                a,
+                N,
+                ControlRouting::Correct,
+                AdderVariant::Correct,
+            );
+            let s = c.run_on_basis(pack(&l, b, x, 0, 1)).unwrap();
+            let want = pack(&l, (b + a * x) % N, x, 0, 1) as usize;
+            assert!(
+                (s.probability(want) - 1.0).abs() < 1e-7,
+                "b={b} + {a}*{x} mod 15"
+            );
+        }
+    }
+
+    #[test]
+    fn ctrl1_twice_bug_ignores_control() {
+        // With the routing bug the multiplication happens even when the
+        // control is |0⟩.
+        let width = 4;
+        let l = layout(width);
+        let c = c_mod_mul_acc_circuit(
+            l.ctrl,
+            &l.x,
+            &l.b,
+            l.anc,
+            7,
+            N,
+            ControlRouting::Ctrl1Twice,
+            AdderVariant::Correct,
+        );
+        let s = c.run_on_basis(pack(&l, 7, 6, 0, 0)).unwrap();
+        // b was updated despite ctrl = 0: the signature of the bug.
+        assert!((s.probability(pack(&l, 4, 6, 0, 0) as usize) - 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn inplace_multiplier_computes_ax_and_clears_scratch() {
+        let width = 4;
+        let l = layout(width);
+        let c = c_mod_mul_inplace_circuit(
+            l.ctrl,
+            &l.x,
+            &l.b,
+            l.anc,
+            7,
+            13,
+            N,
+            ControlRouting::Correct,
+        );
+        for x in [1u64, 2, 4, 7, 11, 13] {
+            let s = c.run_on_basis(pack(&l, 0, x, 0, 1)).unwrap();
+            let want = pack(&l, 0, (7 * x) % N, 0, 1) as usize;
+            assert!(
+                (s.probability(want) - 1.0).abs() < 1e-6,
+                "x = {x}: expected {} got dist peak elsewhere",
+                (7 * x) % N
+            );
+        }
+        // Control off: identity.
+        let s = c.run_on_basis(pack(&l, 0, 6, 0, 0)).unwrap();
+        assert!((s.probability(pack(&l, 0, 6, 0, 0) as usize) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn inplace_multiplier_with_wrong_inverse_leaves_scratch_dirty() {
+        // Bug type 6: a_inv = 12 instead of 13 → b does not return to 0.
+        let width = 4;
+        let l = layout(width);
+        let c = c_mod_mul_inplace_circuit(
+            l.ctrl,
+            &l.x,
+            &l.b,
+            l.anc,
+            7,
+            12,
+            N,
+            ControlRouting::Correct,
+        );
+        let s = c.run_on_basis(pack(&l, 0, 6, 0, 1)).unwrap();
+        // Probability that b = 0 is (much) less than 1.
+        let mut p_b_zero = 0.0;
+        for i in 0..s.dim() {
+            if l.b.value_of(i as u64) == 0 {
+                p_b_zero += s.probability(i);
+            }
+        }
+        assert!(p_b_zero < 0.999, "scratch must stay dirty, p(b=0) = {p_b_zero}");
+    }
+
+    #[test]
+    #[should_panic(expected = "reduced modulo")]
+    fn mod_add_rejects_unreduced_addend() {
+        let l = layout(4);
+        let _ = c_mod_add_circuit(&[], &l.b, l.anc, 20, N, AdderVariant::Correct);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow qubit")]
+    fn mod_add_rejects_narrow_register() {
+        let b = QReg::contiguous("b", 0, 4); // needs 5 for N = 15
+        let _ = c_mod_add_circuit(&[], &b, 4, 7, N, AdderVariant::Correct);
+    }
+}

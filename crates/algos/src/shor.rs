@@ -1,0 +1,472 @@
+//! Shor's factoring algorithm (§4 of the paper): the quantum circuit —
+//! upper phase-estimation register, controlled in-place modular
+//! multiplications, inverse QFT — plus all the classical number theory
+//! around it (Table 2's modular inverses, continued-fraction
+//! post-processing, and the final factor extraction).
+
+use qdb_circuit::{Circuit, GateSink, Program, QReg};
+
+use crate::arith::iqft;
+use crate::modular::{c_mod_mul_inplace_circuit, ControlRouting};
+
+/// Classical number-theory helpers used by Shor's algorithm.
+pub mod classical {
+    /// Greatest common divisor.
+    #[must_use]
+    pub fn gcd(mut a: u64, mut b: u64) -> u64 {
+        while b != 0 {
+            (a, b) = (b, a % b);
+        }
+        a
+    }
+
+    /// `base^exp mod modulus` by square and multiply.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modulus == 0`.
+    #[must_use]
+    pub fn mod_pow(base: u64, mut exp: u64, modulus: u64) -> u64 {
+        assert!(modulus != 0, "modulus must be nonzero");
+        if modulus == 1 {
+            return 0;
+        }
+        let mut result = 1u128;
+        let mut base = u128::from(base % modulus);
+        let m = u128::from(modulus);
+        while exp > 0 {
+            if exp & 1 == 1 {
+                result = result * base % m;
+            }
+            base = base * base % m;
+            exp >>= 1;
+        }
+        result as u64
+    }
+
+    /// Modular inverse via the extended Euclidean algorithm, or `None`
+    /// when `gcd(a, modulus) ≠ 1`.
+    #[must_use]
+    pub fn mod_inv(a: u64, modulus: u64) -> Option<u64> {
+        let (mut old_r, mut r) = (i128::from(a % modulus), i128::from(modulus));
+        let (mut old_s, mut s) = (1i128, 0i128);
+        while r != 0 {
+            let q = old_r / r;
+            (old_r, r) = (r, old_r - q * r);
+            (old_s, s) = (s, old_s - q * s);
+        }
+        if old_r != 1 {
+            return None;
+        }
+        let m = i128::from(modulus);
+        Some(((old_s % m + m) % m) as u64)
+    }
+
+    /// Table 2 of the paper: for iteration `k`, the multiplier
+    /// `a^{2^k} mod N` and its modular inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gcd(a, n) ≠ 1` (no inverse exists — the caller should
+    /// have found a factor classically already).
+    #[must_use]
+    pub fn iteration_inputs(a: u64, n: u64, iterations: usize) -> Vec<(u64, u64)> {
+        (0..iterations)
+            .map(|k| {
+                let ak = mod_pow(a, 1u64 << k, n);
+                let inv = mod_inv(ak, n).expect("a must be coprime to N");
+                (ak, inv)
+            })
+            .collect()
+    }
+
+    /// Continued-fraction expansion of `numerator / denominator`,
+    /// returning the partial quotients.
+    #[must_use]
+    pub fn continued_fraction(mut numerator: u64, mut denominator: u64) -> Vec<u64> {
+        let mut quotients = Vec::new();
+        while denominator != 0 {
+            quotients.push(numerator / denominator);
+            (numerator, denominator) = (denominator, numerator % denominator);
+        }
+        quotients
+    }
+
+    /// Recover a candidate order `r` from a phase-estimation outcome
+    /// `y / 2^m` using convergents of the continued fraction, keeping
+    /// the first denominator `≤ max_r` with `a^r ≡ 1 (mod n)`.
+    #[must_use]
+    pub fn order_from_measurement(y: u64, m_bits: u32, a: u64, n: u64) -> Option<u64> {
+        if y == 0 {
+            return None;
+        }
+        let q = 1u64 << m_bits;
+        let quotients = continued_fraction(y, q);
+        // Reconstruct convergents h/k.
+        let (mut h0, mut h1) = (1u64, quotients[0]);
+        let (mut k0, mut k1) = (0u64, 1u64);
+        for &aq in &quotients[1..] {
+            let h2 = aq.checked_mul(h1)?.checked_add(h0)?;
+            let k2 = aq.checked_mul(k1)?.checked_add(k0)?;
+            (h0, h1) = (h1, h2);
+            (k0, k1) = (k1, k2);
+            if k1 >= n {
+                break;
+            }
+            if k1 > 0 && mod_pow(a, k1, n) == 1 {
+                return Some(k1);
+            }
+        }
+        if k1 > 0 && k1 < n && mod_pow(a, k1, n) == 1 {
+            Some(k1)
+        } else {
+            None
+        }
+    }
+
+    /// Given an even order `r` of `a` modulo `n`, try to split `n`.
+    #[must_use]
+    pub fn factors_from_order(a: u64, r: u64, n: u64) -> Option<(u64, u64)> {
+        if r == 0 || r % 2 == 1 {
+            return None;
+        }
+        let half = mod_pow(a, r / 2, n);
+        if half == n - 1 {
+            return None; // trivial square root of 1
+        }
+        let f1 = gcd(half + 1, n);
+        let f2 = gcd(half + n - 1, n);
+        for f in [f1, f2] {
+            if f > 1 && f < n {
+                return Some((f.min(n / f), f.max(n / f)));
+            }
+        }
+        None
+    }
+}
+
+/// Register layout of the compiled Shor circuit.
+#[derive(Debug, Clone)]
+pub struct ShorLayout {
+    /// Upper phase-estimation register (`m` qubits; measured output).
+    pub upper: QReg,
+    /// Lower target register holding `a^x mod N` (`n` qubits, starts at 1).
+    pub x: QReg,
+    /// Multiplication scratch register (`n + 1` qubits, starts/ends 0).
+    pub b: QReg,
+    /// Comparison ancilla (1 qubit, starts/ends 0).
+    pub anc: QReg,
+}
+
+/// Configuration for building the Shor circuit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShorConfig {
+    /// The number to factor.
+    pub modulus: u64,
+    /// The classical trial base `a` (must be coprime to `modulus`).
+    pub base: u64,
+    /// Upper-register width in qubits (the paper's compiled N=15 example
+    /// uses 3).
+    pub upper_bits: usize,
+}
+
+impl ShorConfig {
+    /// The paper's running example: factor 15 with base 7, 3 output bits.
+    #[must_use]
+    pub fn paper_n15() -> Self {
+        Self {
+            modulus: 15,
+            base: 7,
+            upper_bits: 3,
+        }
+    }
+
+    /// A second instance beyond the paper: factor 21 with base 13
+    /// (which has order 2, keeping the circuit small enough for dense
+    /// simulation: 2 + 2·5 + 2 = 14 qubits).
+    #[must_use]
+    pub fn n21_base13() -> Self {
+        Self {
+            modulus: 21,
+            base: 13,
+            upper_bits: 2,
+        }
+    }
+
+    /// Number of bits needed for values mod `modulus`.
+    #[must_use]
+    pub fn n_bits(&self) -> usize {
+        (64 - self.modulus.leading_zeros()) as usize
+    }
+}
+
+/// Override table for the per-iteration classical inputs `(a^{2^k},
+/// (a^{2^k})⁻¹)` — the paper's bug type 6 supplies a wrong inverse for
+/// the first iteration (12 instead of 13).
+pub type IterationOverrides = Vec<(u64, u64)>;
+
+/// Build the full Shor circuit (without assertions) and its layout.
+///
+/// `overrides`, when non-empty, replaces the computed Table 2 inputs —
+/// use this to inject the paper's wrong-classical-input bug.
+///
+/// # Panics
+///
+/// Panics if `gcd(base, modulus) ≠ 1`.
+#[must_use]
+pub fn shor_circuit(
+    config: &ShorConfig,
+    routing: ControlRouting,
+    overrides: &IterationOverrides,
+) -> (Circuit, ShorLayout) {
+    let n = config.n_bits();
+    let m = config.upper_bits;
+    let upper = QReg::contiguous("upper", 0, m);
+    let x = QReg::contiguous("x", m, n);
+    let b = QReg::contiguous("b", m + n, n + 1);
+    let anc = QReg::contiguous("anc", m + 2 * n + 1, 1);
+    let num_qubits = m + 2 * n + 2;
+    let mut c = Circuit::new(num_qubits);
+
+    // Upper register into uniform superposition; lower register to 1.
+    for k in 0..m {
+        c.h(upper.bit(k));
+    }
+    c.x(x.bit(0));
+
+    let inputs = if overrides.is_empty() {
+        classical::iteration_inputs(config.base, config.modulus, m)
+    } else {
+        assert_eq!(overrides.len(), m, "need one (a, a⁻¹) pair per iteration");
+        overrides.clone()
+    };
+    for (k, &(ak, ak_inv)) in inputs.iter().enumerate() {
+        c.append(&c_mod_mul_inplace_circuit(
+            upper.bit(k),
+            &x,
+            &b,
+            anc.bit(0),
+            ak % config.modulus,
+            ak_inv % config.modulus,
+            config.modulus,
+            routing,
+        ));
+    }
+    iqft(&mut c, &upper);
+
+    (
+        c,
+        ShorLayout {
+            upper,
+            x,
+            b,
+            anc,
+        },
+    )
+}
+
+/// Build the assertion-annotated Shor *program* following the paper's
+/// Figure 2 roadmap: classical preconditions on both registers (§4.1), a
+/// superposition precondition after the Hadamards, and classical
+/// postconditions on the deallocated scratch registers (§4.6).
+#[must_use]
+pub fn shor_program(
+    config: &ShorConfig,
+    routing: ControlRouting,
+    overrides: &IterationOverrides,
+) -> (Program, ShorLayout) {
+    let (circuit, layout) = shor_circuit(config, routing, overrides);
+    let mut p = Program::new();
+    let upper = p.alloc_register("upper", layout.upper.width());
+    let x = p.alloc_register("x", layout.x.width());
+    let b = p.alloc_register("b", layout.b.width());
+    let anc = p.alloc_register("anc", 1);
+    debug_assert_eq!(upper.qubits(), layout.upper.qubits());
+
+    // §4.1 preconditions hold trivially at the very start: both
+    // registers are |0⟩ classical; x becomes 1 after its PrepZ below.
+    p.assert_classical(&x, 0);
+
+    // Split the built circuit at its structural seams: Hadamards + X,
+    // then the modular exponentiation, then the inverse QFT.
+    let m = layout.upper.width();
+    let prep_len = m + 1; // m Hadamards + one X
+    let all = circuit.instructions();
+    for inst in &all[..prep_len] {
+        p.push(inst.clone());
+    }
+    // §4.1: upper register must now be a uniform superposition and the
+    // target must hold the classical value 1.
+    p.assert_superposition(&upper);
+    p.assert_classical(&x, 1);
+
+    for inst in &all[prep_len..] {
+        p.push(inst.clone());
+    }
+    // §4.6 postconditions: scratch registers deallocated to 0.
+    p.assert_classical(&b, 0);
+    p.assert_classical(&anc, 0);
+
+    (p, layout)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::classical::*;
+    use super::*;
+    use qdb_sim::State;
+
+    #[test]
+    fn gcd_and_mod_pow_basics() {
+        assert_eq!(gcd(15, 7), 1);
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(gcd(0, 5), 5);
+        assert_eq!(mod_pow(7, 4, 15), 1);
+        assert_eq!(mod_pow(7, 0, 15), 1);
+        assert_eq!(mod_pow(2, 10, 1), 0);
+        assert_eq!(mod_pow(3, 5, 7), 5);
+    }
+
+    #[test]
+    fn mod_inv_agrees_with_definition() {
+        for n in [15u64, 21, 33, 35] {
+            for a in 2..n {
+                match mod_inv(a, n) {
+                    Some(inv) => {
+                        assert_eq!(gcd(a, n), 1);
+                        assert_eq!(a * inv % n, 1, "a={a} n={n}");
+                    }
+                    None => assert_ne!(gcd(a, n), 1),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn table2_inputs_for_n15_base7() {
+        // Table 2 of the paper: a = 7, 4, 1, 1…; a⁻¹ = 13, 4, 1, 1…
+        let inputs = iteration_inputs(7, 15, 4);
+        assert_eq!(inputs, vec![(7, 13), (4, 4), (1, 1), (1, 1)]);
+    }
+
+    #[test]
+    fn continued_fraction_of_classic_values() {
+        // 6/8 = [0; 1, 3]
+        assert_eq!(continued_fraction(6, 8), vec![0, 1, 3]);
+        // 2/8 = [0; 4]
+        assert_eq!(continued_fraction(2, 8), vec![0, 4]);
+    }
+
+    #[test]
+    fn order_recovery_from_shor_outputs() {
+        // Outputs 2 and 6 (of 8) reveal the order r = 4 of 7 mod 15.
+        assert_eq!(order_from_measurement(2, 3, 7, 15), Some(4));
+        assert_eq!(order_from_measurement(6, 3, 7, 15), Some(4));
+        // Output 4 gives the divisor 2 of r — not the order itself.
+        assert_eq!(order_from_measurement(4, 3, 7, 15), None);
+        assert_eq!(order_from_measurement(0, 3, 7, 15), None);
+    }
+
+    #[test]
+    fn factors_of_15_from_order_4() {
+        assert_eq!(factors_from_order(7, 4, 15), Some((3, 5)));
+        assert_eq!(factors_from_order(7, 3, 15), None); // odd order
+    }
+
+    #[test]
+    fn shor_circuit_output_distribution_matches_nielsen_chuang() {
+        // Factoring 15 with a = 7: upper register (3 bits) measures
+        // 0, 2, 4, 6 with probability 1/4 each [N&C p. 235].
+        let (c, layout) = shor_circuit(
+            &ShorConfig::paper_n15(),
+            ControlRouting::Correct,
+            &Vec::new(),
+        );
+        let s = c.run_on_basis(0).unwrap();
+        let mut dist = [0.0f64; 8];
+        for i in 0..s.dim() {
+            dist[layout.upper.value_of(i as u64) as usize] += s.probability(i);
+        }
+        for (value, &p) in dist.iter().enumerate() {
+            let want = if value % 2 == 0 { 0.25 } else { 0.0 };
+            assert!(
+                (p - want).abs() < 1e-6,
+                "P(output = {value}) = {p}, want {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn shor_circuit_deallocates_scratch() {
+        let (c, layout) = shor_circuit(
+            &ShorConfig::paper_n15(),
+            ControlRouting::Correct,
+            &Vec::new(),
+        );
+        let s: State = c.run_on_basis(0).unwrap();
+        let mut p_clean = 0.0;
+        for i in 0..s.dim() {
+            if layout.b.value_of(i as u64) == 0 && layout.anc.value_of(i as u64) == 0 {
+                p_clean += s.probability(i);
+            }
+        }
+        assert!((p_clean - 1.0).abs() < 1e-6, "p(clean scratch) = {p_clean}");
+    }
+
+    #[test]
+    fn shor_with_wrong_inverse_dirties_ancillas() {
+        // Bug type 6: (7, 12) instead of (7, 13) on iteration 0.
+        let overrides = vec![(7, 12), (4, 4), (1, 1)];
+        let (c, layout) = shor_circuit(
+            &ShorConfig::paper_n15(),
+            ControlRouting::Correct,
+            &overrides,
+        );
+        let s = c.run_on_basis(0).unwrap();
+        let mut p_clean = 0.0;
+        for i in 0..s.dim() {
+            if layout.b.value_of(i as u64) == 0 {
+                p_clean += s.probability(i);
+            }
+        }
+        // Table 3: the scratch register is nonzero with probability ~1/2.
+        assert!(
+            (0.2..0.8).contains(&p_clean),
+            "p(b = 0) = {p_clean}, expected ≈ 1/2"
+        );
+    }
+
+    #[test]
+    fn shor_generalizes_to_n21() {
+        // Beyond the paper's N = 15: factor 21 with base 13 (order 2).
+        // Output phases are s/2 → upper register measures 0 or 2 (of 4).
+        let config = ShorConfig::n21_base13();
+        let (c, layout) = shor_circuit(&config, ControlRouting::Correct, &Vec::new());
+        let s = c.run_on_basis(0).unwrap();
+        let mut dist = [0.0f64; 4];
+        let mut p_clean = 0.0;
+        for i in 0..s.dim() {
+            dist[layout.upper.value_of(i as u64) as usize] += s.probability(i);
+            if layout.b.value_of(i as u64) == 0 && layout.anc.value_of(i as u64) == 0 {
+                p_clean += s.probability(i);
+            }
+        }
+        assert!((dist[0] - 0.5).abs() < 1e-6, "P(0) = {}", dist[0]);
+        assert!((dist[2] - 0.5).abs() < 1e-6, "P(2) = {}", dist[2]);
+        assert!(p_clean > 1.0 - 1e-6, "scratch dirty: {p_clean}");
+        // Classical post-processing: y = 2 of 4 → r = 2 → 21 = 3 × 7.
+        let r = order_from_measurement(2, 2, 13, 21).unwrap();
+        assert_eq!(r, 2);
+        assert_eq!(factors_from_order(13, r, 21), Some((3, 7)));
+    }
+
+    #[test]
+    fn shor_program_breakpoints_cover_figure2() {
+        let (p, _) = shor_program(
+            &ShorConfig::paper_n15(),
+            ControlRouting::Correct,
+            &Vec::new(),
+        );
+        assert_eq!(p.breakpoints().len(), 5);
+    }
+}

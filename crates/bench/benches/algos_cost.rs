@@ -1,0 +1,106 @@
+//! Benchmark-program construction and simulation cost: the arithmetic
+//! stack (adder → modular adder → multiplier → full Shor), Grover, and
+//! the Trotterized chemistry evolution.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qdb_algos::arith::{add_const, AdderVariant};
+use qdb_algos::chem::{trotter_step_circuit, H2Molecule};
+use qdb_algos::gf2::Gf2m;
+use qdb_algos::grover::{grover_circuit, GroverStyle};
+use qdb_algos::modular::{c_mod_mul_inplace_circuit, ControlRouting};
+use qdb_algos::shor::{shor_circuit, ShorConfig};
+use qdb_circuit::{Circuit, QReg};
+
+fn bench_adder(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adder");
+    for width in [4usize, 6, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(width), &width, |b, &width| {
+            let reg = QReg::contiguous("b", 0, width);
+            let mut circuit = Circuit::new(width);
+            add_const(&mut circuit, &[], &reg, 3, AdderVariant::Correct);
+            b.iter(|| circuit.run_on_basis(1).expect("run"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_modmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("modmul_inplace");
+    group.sample_size(20);
+    let width = 4;
+    let x = QReg::contiguous("x", 1, width);
+    let b = QReg::contiguous("b", 1 + width, width + 1);
+    let circuit = c_mod_mul_inplace_circuit(
+        0,
+        &x,
+        &b,
+        2 * width + 2,
+        7,
+        13,
+        15,
+        ControlRouting::Correct,
+    );
+    group.bench_function("n15_a7", |bch| {
+        bch.iter(|| circuit.run_on_basis(0b10 | 1).expect("run"));
+    });
+    group.finish();
+}
+
+fn bench_shor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shor_n15");
+    group.sample_size(10);
+    let config = ShorConfig::paper_n15();
+    group.bench_function("build_circuit", |b| {
+        b.iter(|| shor_circuit(&config, ControlRouting::Correct, &Vec::new()));
+    });
+    let (circuit, _) = shor_circuit(&config, ControlRouting::Correct, &Vec::new());
+    group.bench_function("simulate", |b| {
+        b.iter(|| circuit.run_on_basis(0).expect("run"));
+    });
+    group.finish();
+}
+
+fn bench_grover(c: &mut Criterion) {
+    let mut group = c.benchmark_group("grover");
+    for m in [3u32, 4] {
+        let field = Gf2m::standard(m);
+        for style in [GroverStyle::Manual, GroverStyle::Scoped] {
+            let (circuit, _) = grover_circuit(&field, 2, style, 2);
+            group.bench_with_input(
+                BenchmarkId::new(format!("{style:?}"), m),
+                &m,
+                |b, _| {
+                    b.iter(|| circuit.run_on_basis(0).expect("run"));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_trotter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("h2_trotter");
+    group.sample_size(20);
+    let molecule = H2Molecule::sto3g();
+    let reg = QReg::contiguous("sys", 0, 4);
+    for steps in [1usize, 8, 32] {
+        let circuit = trotter_step_circuit(molecule.pauli_terms(), &reg, 1.0, steps);
+        group.bench_with_input(BenchmarkId::from_parameter(steps), &steps, |b, _| {
+            b.iter(|| circuit.run_on_basis(0b0011).expect("run"));
+        });
+    }
+    group.bench_function("exact_evolution_16x16", |b| {
+        b.iter(|| molecule.exact_evolution(1.0));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_adder,
+    bench_modmul,
+    bench_shor,
+    bench_grover,
+    bench_trotter
+);
+criterion_main!(benches);

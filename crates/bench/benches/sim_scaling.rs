@@ -1,0 +1,87 @@
+//! Simulator cost scaling: the 2ⁿ wall the paper's §2.1 describes
+//! ("interactive simulation … limited to 20 to 30 qubits"), measured on
+//! our substrate — gate application, QFT, and ensemble sampling cost as
+//! functions of qubit count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use qdb_algos::arith::qft;
+use qdb_circuit::{Circuit, QReg};
+use qdb_sim::{gates, Sampler, State};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_single_gate_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hadamard_layer");
+    for n in [6usize, 10, 14, 18] {
+        group.throughput(Throughput::Elements(1 << n));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut state = State::zero(n);
+            b.iter(|| {
+                for q in 0..n {
+                    state.apply_1q(q, &gates::h());
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_controlled_gate_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("toffoli");
+    for n in [6usize, 10, 14, 18] {
+        group.throughput(Throughput::Elements(1 << n));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut state = State::zero(n);
+            b.iter(|| {
+                state.apply_controlled_1q(&[0, 1], n - 1, &gates::x());
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_qft_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qft_full");
+    for n in [4usize, 8, 12] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let reg = QReg::contiguous("r", 0, n);
+            let mut circuit = Circuit::new(n);
+            qft(&mut circuit, &reg);
+            b.iter(|| circuit.run_on_basis(1).expect("run"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_sampler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ensemble_sampling");
+    let n = 12;
+    let mut state = State::zero(n);
+    for q in 0..n {
+        state.apply_1q(q, &gates::h());
+    }
+    group.bench_function("build_cdf_12q", |b| {
+        b.iter(|| Sampler::new(&state));
+    });
+    let sampler = Sampler::new(&state);
+    for shots in [16usize, 256, 4096] {
+        group.bench_with_input(
+            BenchmarkId::new("draw", shots),
+            &shots,
+            |b, &shots| {
+                let mut rng = StdRng::seed_from_u64(1);
+                b.iter(|| sampler.sample_many(&mut rng, shots));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_single_gate_scaling,
+    bench_controlled_gate_scaling,
+    bench_qft_scaling,
+    bench_sampler
+);
+criterion_main!(benches);

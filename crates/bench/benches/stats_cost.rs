@@ -1,0 +1,83 @@
+//! Statistics cost and the DESIGN.md §7 ablations: chi-square
+//! goodness-of-fit vs bin count, contingency analysis with and without
+//! Yates correction, and bin pooling on/off.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qdb_stats::contingency::YatesCorrection;
+use qdb_stats::special::gamma_q;
+use qdb_stats::{ContingencyTable, GoodnessOfFit};
+
+fn bench_gamma(c: &mut Criterion) {
+    c.bench_function("gamma_q_series_branch", |b| {
+        b.iter(|| gamma_q(std::hint::black_box(3.5), std::hint::black_box(2.0)).unwrap())
+    });
+    c.bench_function("gamma_q_cf_branch", |b| {
+        b.iter(|| gamma_q(std::hint::black_box(3.5), std::hint::black_box(40.0)).unwrap())
+    });
+}
+
+fn bench_gof_bins(c: &mut Criterion) {
+    let mut group = c.benchmark_group("goodness_of_fit");
+    for bins in [16usize, 256, 4096, 65536] {
+        let gof = GoodnessOfFit::uniform(bins).unwrap();
+        let counts: Vec<u64> = (0..bins).map(|i| 4 + (i % 3) as u64).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(bins), &bins, |b, _| {
+            b.iter(|| gof.test_counts(&counts).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_gof_pooling_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pooling_ablation");
+    let bins = 4096;
+    let counts: Vec<u64> = (0..bins).map(|i| u64::from(i % 97 == 0)).collect();
+    let plain = GoodnessOfFit::uniform(bins).unwrap();
+    let pooled = GoodnessOfFit::uniform(bins).unwrap().with_pooling(5.0);
+    group.bench_function("no_pooling", |b| {
+        b.iter(|| plain.test_counts(&counts).unwrap())
+    });
+    group.bench_function("pooling_at_5", |b| {
+        b.iter(|| pooled.test_counts(&counts).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_contingency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("contingency");
+    // 2×2 Bell-style and a larger 16×16 table.
+    let pairs_small: Vec<(u64, u64)> = (0..4096).map(|i| (i % 2, i % 2)).collect();
+    let pairs_large: Vec<(u64, u64)> = (0..4096).map(|i| (i % 16, (i / 3) % 16)).collect();
+    group.bench_function("build_2x2_4096shots", |b| {
+        b.iter(|| ContingencyTable::from_pairs(pairs_small.iter().copied()))
+    });
+    group.bench_function("build_16x16_4096shots", |b| {
+        b.iter(|| ContingencyTable::from_pairs(pairs_large.iter().copied()))
+    });
+    let t_small = ContingencyTable::from_pairs(pairs_small.iter().copied());
+    let t_large = ContingencyTable::from_pairs(pairs_large.iter().copied());
+    // Yates ablation (DESIGN.md §7).
+    group.bench_function("test_2x2_yates_auto", |b| {
+        b.iter(|| t_small.independence_test().unwrap())
+    });
+    group.bench_function("test_2x2_yates_never", |b| {
+        b.iter(|| {
+            t_small
+                .independence_test_with(YatesCorrection::Never)
+                .unwrap()
+        })
+    });
+    group.bench_function("test_16x16", |b| {
+        b.iter(|| t_large.independence_test().unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_gamma,
+    bench_gof_bins,
+    bench_gof_pooling_ablation,
+    bench_contingency
+);
+criterion_main!(benches);

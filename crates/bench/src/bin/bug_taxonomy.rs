@@ -1,0 +1,42 @@
+//! The §4 bug-taxonomy sweep: how many shots each bug type needs before
+//! its designated assertion reliably catches it — the paper's
+//! "with enough measurements" claim, quantified.
+
+use qdb_algos::harnesses::BugType;
+use qdb_bench::banner;
+use qdb_core::{Debugger, EnsembleConfig};
+
+fn main() {
+    println!("{}", banner("Bug taxonomy: detection rate vs ensemble size"));
+    let shot_counts = [8usize, 16, 32, 64, 128, 512];
+    print!("{:<30}", "bug type");
+    for &s in &shot_counts {
+        print!("{s:>7}");
+    }
+    println!("   (fraction of 20 seeded runs caught)");
+
+    for bug in BugType::all() {
+        let (program, expected_index) = bug.demonstration();
+        print!("{:<30}", format!("{bug:?}"));
+        for &shots in &shot_counts {
+            let mut caught = 0usize;
+            for seed in 0..20u64 {
+                let debugger =
+                    Debugger::new(EnsembleConfig::default().with_shots(shots).with_seed(seed));
+                let report = debugger.run(&program).expect("session");
+                if report
+                    .first_failure()
+                    .is_some_and(|f| f.index == expected_index)
+                {
+                    caught += 1;
+                }
+            }
+            print!("{:>7.2}", caught as f64 / 20.0);
+        }
+        println!();
+    }
+    println!(
+        "\npaper: every bug type is catchable by its designated assertion;\n\
+         detection power grows with ensemble size (§3.1)"
+    );
+}

@@ -1,0 +1,48 @@
+//! Figure 1: Bell-state creation, its contingency table of correlated
+//! measurements, and the entanglement verdict — at the paper's 16-shot
+//! scale and at larger ensembles.
+//!
+//! Paper: contingency table (½, 0; 0, ½); p = 0.0005 at 16 shots.
+
+use qdb_bench::banner;
+use qdb_circuit::{GateSink, Program, QReg};
+use qdb_core::{EnsembleConfig, EnsembleRunner};
+use qdb_stats::ContingencyTable;
+
+fn main() {
+    println!("{}", banner("Figure 1: Bell state entanglement assertion"));
+    let mut program = Program::new();
+    let q = program.alloc_register("q", 2);
+    program.h(q.bit(0));
+    program.cx(q.bit(0), q.bit(1));
+    let m0 = QReg::new("m0", vec![q.bit(0)]);
+    let m1 = QReg::new("m1", vec![q.bit(1)]);
+    program.assert_entangled(&m0, &m1);
+
+    println!("{:>8} {:>10} {:>8} {:>12} {:>10}", "shots", "chi2", "dof", "p-value", "verdict");
+    for shots in [16usize, 64, 256, 1024, 4096] {
+        let runner = EnsembleRunner::new(EnsembleConfig::default().with_shots(shots).with_seed(3));
+        let ensemble = runner.run_breakpoint(&program, 0).expect("run");
+        let table = ContingencyTable::from_pairs(
+            ensemble
+                .outcomes
+                .iter()
+                .map(|&o| (m0.value_of(o), m1.value_of(o))),
+        );
+        let r = table.independence_test().expect("testable");
+        println!(
+            "{shots:>8} {:>10.3} {:>8} {:>12.3e} {:>10}",
+            r.statistic,
+            r.dof,
+            r.p_value,
+            if r.dependent(0.05) { "entangled" } else { "product" }
+        );
+        if shots == 16 {
+            println!("\n16-shot contingency table (paper: 1/2, 0 / 0, 1/2):");
+            println!("{table}");
+            println!(
+                "paper reports p = 0.0005 for the ideal 8/8 split (Yates-corrected χ² = 12.25)\n"
+            );
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! Listing 1: the QFT test harness — classical 5 → QFT → uniform
+//! superposition → inverse QFT → classical 5 again, with the paper's
+//! assertion placement.
+
+use qdb_algos::harnesses::listing1_qft_harness;
+use qdb_bench::banner;
+use qdb_core::{Debugger, EnsembleConfig};
+
+fn main() {
+    println!("{}", banner("Listing 1: QFT test harness (width 4, value 5)"));
+    let debugger = Debugger::new(EnsembleConfig::default().with_shots(1024).with_seed(1));
+
+    let report = debugger
+        .run(&listing1_qft_harness(4, 5, false))
+        .expect("session");
+    println!("correct program:\n{report}");
+
+    let report = debugger
+        .run(&listing1_qft_harness(4, 5, true))
+        .expect("session");
+    println!("with the PrepZ parity bug (bug type 1):\n{report}");
+    println!(
+        "paper: precondition assert_classical(reg, 5) fires on the wrong initial state"
+    );
+}

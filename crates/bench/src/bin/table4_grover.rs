@@ -1,0 +1,59 @@
+//! Table 4: Grover's amplitude amplification coded in the two styles
+//! the paper contrasts — manual Scaffold-style (explicit ancilla chain,
+//! hand mirroring) vs scoped ProjectQ-style (Control scope +
+//! automatic uncompute) — verified equivalent, with the automatically
+//! placed assertions passing in both.
+
+use qdb_algos::gf2::Gf2m;
+use qdb_algos::grover::{
+    diffusion_manual, diffusion_scoped, grover_program, optimal_iterations, GroverStyle,
+};
+use qdb_bench::banner;
+use qdb_circuit::{Circuit, GateSink, QReg};
+use qdb_core::{Debugger, EnsembleConfig};
+
+fn main() {
+    println!("{}", banner("Table 4: manual vs scoped amplitude amplification"));
+
+    // Structural comparison of the diffusion subroutine.
+    println!("{:>4} {:>16} {:>16} {:>22}", "n", "manual gates", "scoped gates", "same unitary (anc=0)");
+    for n in [2usize, 3, 4, 5] {
+        let q = QReg::contiguous("q", 0, n);
+        let anc = QReg::contiguous("anc", n, (n - 1).max(1));
+        let manual = diffusion_manual(&q, &anc);
+        let scoped = diffusion_scoped(&q);
+        let mut scoped_wide = Circuit::new(manual.num_qubits());
+        scoped_wide.append(&scoped);
+        let mut agree = true;
+        for x in 0..(1u64 << n) {
+            let a = manual.run_on_basis(x).expect("run");
+            let b = scoped_wide.run_on_basis(x).expect("run");
+            if !a.approx_eq(&b, 1e-9) {
+                agree = false;
+                break;
+            }
+        }
+        println!(
+            "{n:>4} {:>16} {:>16} {:>22}",
+            manual.len(),
+            scoped.len(),
+            if agree { "YES" } else { "NO" }
+        );
+    }
+
+    // Full algorithm with the auto-placed assertions (§5.1.1/§5.1.3).
+    println!("{}", banner("Assertion sessions for both styles (GF(2^3), x² = 5)"));
+    let field = Gf2m::standard(3);
+    let debugger = Debugger::new(EnsembleConfig::default().with_shots(512).with_seed(4));
+    for style in [GroverStyle::Manual, GroverStyle::Scoped] {
+        let (program, _) =
+            grover_program(&field, 5, style, optimal_iterations(field.order()));
+        let report = debugger.run(&program).expect("session");
+        println!("{style:?}:\n{report}");
+    }
+    println!(
+        "paper: the controlled-operation scope marks where the entanglement\n\
+         assertion belongs; the compute-uncompute scope implies the product-state\n\
+         assertion after uncomputation — both pass on the correct program"
+    );
+}

@@ -1,0 +1,361 @@
+//! The instruction set of the QDB program IR.
+//!
+//! Instructions are deliberately close to the paper's Scaffold subset:
+//! single-qubit Cliffords, parametric rotations, the QFT's phase
+//! rotations, swaps — each with an arbitrary list of control qubits. The
+//! paper's `CNOT(a, b)` is `X` on `b` controlled on `a`; its `ccRz` is a
+//! `Phase` with two controls (Scaffold's `Rz` is the phase rotation
+//! `diag(1, e^{iθ})`, see `qdb_sim::gates`).
+
+use qdb_sim::gates::{self, Matrix2};
+use std::fmt;
+
+/// The non-controlled part of a gate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GateKind {
+    /// Hadamard.
+    H,
+    /// Pauli-X.
+    X,
+    /// Pauli-Y.
+    Y,
+    /// Pauli-Z.
+    Z,
+    /// Phase gate `S = diag(1, i)`.
+    S,
+    /// `S†`.
+    Sdg,
+    /// `T = diag(1, e^{iπ/4})`.
+    T,
+    /// `T†`.
+    Tdg,
+    /// X rotation by the contained angle.
+    Rx(f64),
+    /// Y rotation by the contained angle.
+    Ry(f64),
+    /// Z rotation `diag(e^{−iθ/2}, e^{iθ/2})`.
+    Rz(f64),
+    /// Phase rotation `diag(1, e^{iθ})` — Scaffold's `Rz`.
+    Phase(f64),
+}
+
+impl GateKind {
+    /// The 2×2 unitary of this gate.
+    #[must_use]
+    pub fn matrix(self) -> Matrix2 {
+        match self {
+            GateKind::H => gates::h(),
+            GateKind::X => gates::x(),
+            GateKind::Y => gates::y(),
+            GateKind::Z => gates::z(),
+            GateKind::S => gates::s(),
+            GateKind::Sdg => gates::sdg(),
+            GateKind::T => gates::t(),
+            GateKind::Tdg => gates::tdg(),
+            GateKind::Rx(theta) => gates::rx(theta),
+            GateKind::Ry(theta) => gates::ry(theta),
+            GateKind::Rz(theta) => gates::rz(theta),
+            GateKind::Phase(theta) => gates::phase(theta),
+        }
+    }
+
+    /// The inverse gate (adjoint).
+    #[must_use]
+    pub fn inverse(self) -> Self {
+        match self {
+            GateKind::H | GateKind::X | GateKind::Y | GateKind::Z => self,
+            GateKind::S => GateKind::Sdg,
+            GateKind::Sdg => GateKind::S,
+            GateKind::T => GateKind::Tdg,
+            GateKind::Tdg => GateKind::T,
+            GateKind::Rx(t) => GateKind::Rx(-t),
+            GateKind::Ry(t) => GateKind::Ry(-t),
+            GateKind::Rz(t) => GateKind::Rz(-t),
+            GateKind::Phase(t) => GateKind::Phase(-t),
+        }
+    }
+
+    /// Lower-case mnemonic (matches the OpenQASM emission).
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            GateKind::H => "h",
+            GateKind::X => "x",
+            GateKind::Y => "y",
+            GateKind::Z => "z",
+            GateKind::S => "s",
+            GateKind::Sdg => "sdg",
+            GateKind::T => "t",
+            GateKind::Tdg => "tdg",
+            GateKind::Rx(_) => "rx",
+            GateKind::Ry(_) => "ry",
+            GateKind::Rz(_) => "rz",
+            GateKind::Phase(_) => "phase",
+        }
+    }
+
+    /// The rotation angle, if this gate is parametric.
+    #[must_use]
+    pub fn angle(self) -> Option<f64> {
+        match self {
+            GateKind::Rx(t) | GateKind::Ry(t) | GateKind::Rz(t) | GateKind::Phase(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for GateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.angle() {
+            Some(theta) => write!(f, "{}({theta})", self.mnemonic()),
+            None => write!(f, "{}", self.mnemonic()),
+        }
+    }
+}
+
+/// One IR instruction: a (possibly multiply-controlled) gate or swap.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Instruction {
+    /// Apply `kind` to `target` when all `controls` are `|1⟩`.
+    Gate {
+        /// Control qubits (empty for an uncontrolled gate).
+        controls: Vec<usize>,
+        /// Target qubit.
+        target: usize,
+        /// The gate applied to the target.
+        kind: GateKind,
+    },
+    /// Swap qubits `a` and `b` when all `controls` are `|1⟩` (Fredkin for
+    /// one control).
+    Swap {
+        /// Control qubits (empty for a plain swap).
+        controls: Vec<usize>,
+        /// First swapped qubit.
+        a: usize,
+        /// Second swapped qubit.
+        b: usize,
+    },
+}
+
+impl Instruction {
+    /// Uncontrolled gate constructor.
+    #[must_use]
+    pub fn gate(kind: GateKind, target: usize) -> Self {
+        Instruction::Gate {
+            controls: Vec::new(),
+            target,
+            kind,
+        }
+    }
+
+    /// Controlled gate constructor.
+    #[must_use]
+    pub fn controlled_gate(controls: Vec<usize>, kind: GateKind, target: usize) -> Self {
+        Instruction::Gate {
+            controls,
+            target,
+            kind,
+        }
+    }
+
+    /// The adjoint of this instruction.
+    #[must_use]
+    pub fn inverse(&self) -> Self {
+        match self {
+            Instruction::Gate {
+                controls,
+                target,
+                kind,
+            } => Instruction::Gate {
+                controls: controls.clone(),
+                target: *target,
+                kind: kind.inverse(),
+            },
+            Instruction::Swap { .. } => self.clone(),
+        }
+    }
+
+    /// A copy of this instruction with additional control qubits.
+    ///
+    /// This is the recursion pattern from §4.4 of the paper: a
+    /// multiply-controlled operation is the controlled version of an
+    /// already-controlled operation.
+    #[must_use]
+    pub fn with_extra_controls(&self, extra: &[usize]) -> Self {
+        let add = |controls: &Vec<usize>| {
+            let mut all = controls.clone();
+            all.extend_from_slice(extra);
+            all
+        };
+        match self {
+            Instruction::Gate {
+                controls,
+                target,
+                kind,
+            } => Instruction::Gate {
+                controls: add(controls),
+                target: *target,
+                kind: *kind,
+            },
+            Instruction::Swap { controls, a, b } => Instruction::Swap {
+                controls: add(controls),
+                a: *a,
+                b: *b,
+            },
+        }
+    }
+
+    /// Every qubit this instruction touches (controls first).
+    #[must_use]
+    pub fn qubits(&self) -> Vec<usize> {
+        match self {
+            Instruction::Gate {
+                controls, target, ..
+            } => {
+                let mut q = controls.clone();
+                q.push(*target);
+                q
+            }
+            Instruction::Swap { controls, a, b } => {
+                let mut q = controls.clone();
+                q.push(*a);
+                q.push(*b);
+                q
+            }
+        }
+    }
+
+    /// The highest qubit index used, or `None` for an (impossible)
+    /// qubit-free instruction.
+    #[must_use]
+    pub fn max_qubit(&self) -> Option<usize> {
+        self.qubits().into_iter().max()
+    }
+
+    /// Number of control qubits.
+    #[must_use]
+    pub fn num_controls(&self) -> usize {
+        match self {
+            Instruction::Gate { controls, .. } | Instruction::Swap { controls, .. } => {
+                controls.len()
+            }
+        }
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instruction::Gate {
+                controls,
+                target,
+                kind,
+            } => {
+                for _ in controls {
+                    write!(f, "c")?;
+                }
+                write!(f, "{kind} ")?;
+                for c in controls {
+                    write!(f, "q{c}, ")?;
+                }
+                write!(f, "q{target}")
+            }
+            Instruction::Swap { controls, a, b } => {
+                for _ in controls {
+                    write!(f, "c")?;
+                }
+                write!(f, "swap ")?;
+                for c in controls {
+                    write!(f, "q{c}, ")?;
+                }
+                write!(f, "q{a}, q{b}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdb_sim::gates::Matrix2;
+
+    #[test]
+    fn inverse_kinds_compose_to_identity() {
+        let kinds = [
+            GateKind::H,
+            GateKind::X,
+            GateKind::Y,
+            GateKind::Z,
+            GateKind::S,
+            GateKind::Sdg,
+            GateKind::T,
+            GateKind::Tdg,
+            GateKind::Rx(0.7),
+            GateKind::Ry(-1.2),
+            GateKind::Rz(2.3),
+            GateKind::Phase(0.9),
+        ];
+        for kind in kinds {
+            let prod = kind.matrix().mul(&kind.inverse().matrix());
+            assert!(
+                prod.approx_eq(&Matrix2::identity(), 1e-12),
+                "{kind} inverse wrong"
+            );
+        }
+    }
+
+    #[test]
+    fn inverse_is_involution() {
+        assert_eq!(GateKind::S.inverse().inverse(), GateKind::S);
+        assert_eq!(GateKind::Rx(0.4).inverse().inverse(), GateKind::Rx(0.4));
+    }
+
+    #[test]
+    fn instruction_inverse_preserves_wiring() {
+        let inst = Instruction::controlled_gate(vec![0, 1], GateKind::Phase(0.5), 3);
+        let inv = inst.inverse();
+        assert_eq!(inv.qubits(), vec![0, 1, 3]);
+        assert_eq!(inv.inverse(), inst);
+    }
+
+    #[test]
+    fn swap_is_self_inverse() {
+        let swap = Instruction::Swap {
+            controls: vec![2],
+            a: 0,
+            b: 1,
+        };
+        assert_eq!(swap.inverse(), swap);
+    }
+
+    #[test]
+    fn with_extra_controls_appends() {
+        let cx = Instruction::controlled_gate(vec![0], GateKind::X, 1);
+        let ccx = cx.with_extra_controls(&[2]);
+        assert_eq!(ccx.num_controls(), 2);
+        assert_eq!(ccx.qubits(), vec![0, 2, 1]);
+        let cswap = Instruction::Swap {
+            controls: vec![],
+            a: 0,
+            b: 1,
+        }
+        .with_extra_controls(&[3]);
+        assert_eq!(cswap.num_controls(), 1);
+    }
+
+    #[test]
+    fn max_qubit_and_display() {
+        let inst = Instruction::controlled_gate(vec![5], GateKind::Rz(1.0), 2);
+        assert_eq!(inst.max_qubit(), Some(5));
+        let text = inst.to_string();
+        assert!(text.contains("crz"), "got {text}");
+        assert!(text.contains("q5"));
+    }
+
+    #[test]
+    fn mnemonics_and_angles() {
+        assert_eq!(GateKind::Phase(0.25).mnemonic(), "phase");
+        assert_eq!(GateKind::Phase(0.25).angle(), Some(0.25));
+        assert_eq!(GateKind::H.angle(), None);
+    }
+}

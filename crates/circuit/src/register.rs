@@ -1,0 +1,159 @@
+//! Named quantum registers: the variable → qubit bookkeeping the paper's
+//! footnote 3 calls "one of the trickiest aspects of quantum programming".
+
+use qdb_sim::measure::extract_bits;
+use std::fmt;
+
+/// A named, ordered set of qubit indices representing one quantum
+/// variable. `qubits()[0]` is the least significant bit of the variable's
+/// integer value, matching the Scaffold idiom
+/// `PrepZ(reg[i], (value >> i) & 1)`.
+///
+/// ```
+/// use qdb_circuit::QReg;
+/// let reg = QReg::new("b", vec![4, 5, 6, 7, 8]);
+/// assert_eq!(reg.width(), 5);
+/// // outcome bits at qubits 4, 6, 8 are set → variable value 0b10101
+/// assert_eq!(reg.value_of(0b1_0101_0000), 0b10101);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct QReg {
+    name: String,
+    qubits: Vec<usize>,
+}
+
+impl QReg {
+    /// Create a register from an explicit qubit list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qubits` is empty or contains duplicates.
+    #[must_use]
+    pub fn new(name: impl Into<String>, qubits: Vec<usize>) -> Self {
+        assert!(!qubits.is_empty(), "register must own at least one qubit");
+        let mut sorted = qubits.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), qubits.len(), "register has duplicate qubits");
+        Self {
+            name: name.into(),
+            qubits,
+        }
+    }
+
+    /// A register spanning the contiguous range `start..start + width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`.
+    #[must_use]
+    pub fn contiguous(name: impl Into<String>, start: usize, width: usize) -> Self {
+        Self::new(name, (start..start + width).collect())
+    }
+
+    /// The register's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of qubits (bit width of the variable).
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.qubits.len()
+    }
+
+    /// The qubit indices, least significant bit first.
+    #[must_use]
+    pub fn qubits(&self) -> &[usize] {
+        &self.qubits
+    }
+
+    /// The qubit holding bit `i` of the variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i ≥ width()`.
+    #[must_use]
+    pub fn bit(&self, i: usize) -> usize {
+        self.qubits[i]
+    }
+
+    /// Number of representable values, `2^width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width ≥ 64`.
+    #[must_use]
+    pub fn domain_size(&self) -> u64 {
+        assert!(self.width() < 64, "register too wide for u64 domain");
+        1u64 << self.width()
+    }
+
+    /// Extract this variable's integer value from a full-register
+    /// measurement outcome.
+    #[must_use]
+    pub fn value_of(&self, outcome: u64) -> u64 {
+        extract_bits(outcome, &self.qubits)
+    }
+
+    /// `true` when the registers share no qubits.
+    #[must_use]
+    pub fn disjoint_from(&self, other: &QReg) -> bool {
+        self.qubits.iter().all(|q| !other.qubits.contains(q))
+    }
+}
+
+impl fmt::Display for QReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.name, self.width())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contiguous_layout() {
+        let r = QReg::contiguous("x", 3, 4);
+        assert_eq!(r.qubits(), &[3, 4, 5, 6]);
+        assert_eq!(r.width(), 4);
+        assert_eq!(r.bit(0), 3);
+        assert_eq!(r.domain_size(), 16);
+    }
+
+    #[test]
+    fn value_extraction_lsb_first() {
+        let r = QReg::new("v", vec![2, 0]); // bit0 ← qubit2, bit1 ← qubit0
+        assert_eq!(r.value_of(0b100), 0b01);
+        assert_eq!(r.value_of(0b001), 0b10);
+        assert_eq!(r.value_of(0b101), 0b11);
+    }
+
+    #[test]
+    fn disjointness() {
+        let a = QReg::contiguous("a", 0, 3);
+        let b = QReg::contiguous("b", 3, 2);
+        let c = QReg::new("c", vec![2, 7]);
+        assert!(a.disjoint_from(&b));
+        assert!(!a.disjoint_from(&c));
+    }
+
+    #[test]
+    fn display_shows_width() {
+        assert_eq!(QReg::contiguous("ctrl", 0, 2).to_string(), "ctrl[2]");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn rejects_duplicates() {
+        let _ = QReg::new("bad", vec![1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn rejects_empty() {
+        let _ = QReg::new("bad", vec![]);
+    }
+}

@@ -1,0 +1,190 @@
+//! High-level program scopes: `Control` and compute/uncompute.
+//!
+//! Table 4 of the paper contrasts Scaffold's manual coding of Grover's
+//! amplitude amplification against ProjectQ's `with Compute(eng): …;
+//! Uncompute(eng)` and `with Control(eng, qubits):` syntax, arguing that
+//! language support for these patterns (a) prevents mirroring and
+//! recursion bugs outright and (b) marks exactly where entanglement and
+//! product-state assertions belong. These combinators are the Rust
+//! equivalent.
+
+use crate::circuit::{Circuit, GateSink};
+
+/// Run `body` with every emitted instruction additionally controlled on
+/// `controls` — ProjectQ's `with Control(eng, ...)`.
+///
+/// The body builds into a scratch [`Circuit`]; its controlled version is
+/// then appended to `sink`.
+///
+/// ```
+/// use qdb_circuit::{scopes, Circuit, GateSink};
+///
+/// let mut c = Circuit::new(3);
+/// scopes::controlled(&mut c, &[2], |body| {
+///     body.h(0);
+///     body.cx(0, 1);
+/// });
+/// // Both gates gained qubit 2 as a control.
+/// assert!(c.instructions().iter().all(|i| i.qubits().contains(&2)));
+/// ```
+///
+/// # Panics
+///
+/// Panics if a control qubit is also touched by the body.
+pub fn controlled<S, F>(sink: &mut S, controls: &[usize], body: F)
+where
+    S: GateSink + ?Sized,
+    F: FnOnce(&mut Circuit),
+{
+    let mut scratch = Circuit::new(sink.num_qubits());
+    body(&mut scratch);
+    sink.append(&scratch.controlled(controls));
+}
+
+/// The compute/action/uncompute sandwich — ProjectQ's
+/// `with Compute(eng): …` followed by automatic `Uncompute(eng)`.
+///
+/// Emits `compute`, then `action`, then the adjoint of `compute`. Because
+/// the uncomputation is generated mechanically from the computation, the
+/// entire class of *mirroring bugs* (paper §4.5, bug type 5) is
+/// impossible: ancillas touched only inside `compute` are guaranteed to
+/// be disentangled again after the scope, which is why a product-state
+/// assertion placed right after it must pass.
+///
+/// ```
+/// use qdb_circuit::{scopes, Circuit, GateSink};
+/// use qdb_sim::State;
+///
+/// // Toffoli via an ancilla (qubit 3): compute AND into 3, use it, undo.
+/// let mut c = Circuit::new(4);
+/// scopes::with_computed(
+///     &mut c,
+///     |compute| compute.ccx(0, 1, 3),
+///     |action| action.cx(3, 2),
+/// );
+/// let mut s = State::basis(4, 0b0011).unwrap();
+/// c.apply_to(&mut s);
+/// // target (qubit 2) flipped, ancilla (qubit 3) restored to |0⟩.
+/// assert!((s.probability(0b0111) - 1.0).abs() < 1e-12);
+/// ```
+pub fn with_computed<S, F, G>(sink: &mut S, compute: F, action: G)
+where
+    S: GateSink + ?Sized,
+    F: FnOnce(&mut Circuit),
+    G: FnOnce(&mut Circuit),
+{
+    let mut computed = Circuit::new(sink.num_qubits());
+    compute(&mut computed);
+    let mut acted = Circuit::new(sink.num_qubits());
+    action(&mut acted);
+    sink.append(&computed);
+    sink.append(&acted);
+    sink.append(&computed.adjoint());
+}
+
+/// Emit `body` and then its adjoint around nothing — useful for testing
+/// that a computation is self-reversing.
+pub fn mirrored<S, F>(sink: &mut S, body: F)
+where
+    S: GateSink + ?Sized,
+    F: FnOnce(&mut Circuit),
+{
+    with_computed(sink, body, |_| {});
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdb_sim::State;
+
+    #[test]
+    fn controlled_scope_is_gated_by_control_value() {
+        let mut c = Circuit::new(2);
+        controlled(&mut c, &[1], |b| b.x(0));
+        // control 0 → identity
+        let s = c.run_on_basis(0b00).unwrap();
+        assert!((s.probability(0b00) - 1.0).abs() < 1e-12);
+        // control 1 → X applied
+        let s = c.run_on_basis(0b10).unwrap();
+        assert!((s.probability(0b11) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn controlled_scope_matches_manual_construction() {
+        let mut scoped = Circuit::new(3);
+        controlled(&mut scoped, &[2], |b| {
+            b.h(0);
+            b.cx(0, 1);
+        });
+        let mut manual = Circuit::new(3);
+        manual.push(crate::Instruction::controlled_gate(
+            vec![2],
+            crate::GateKind::H,
+            0,
+        ));
+        manual.push(crate::Instruction::controlled_gate(
+            vec![0, 2],
+            crate::GateKind::X,
+            1,
+        ));
+        assert_eq!(scoped, manual);
+    }
+
+    #[test]
+    fn with_computed_restores_scratch() {
+        // Compute a parity into qubit 2, phase-flip on it, uncompute.
+        let mut c = Circuit::new(3);
+        with_computed(
+            &mut c,
+            |comp| {
+                comp.cx(0, 2);
+                comp.cx(1, 2);
+            },
+            |act| act.z(2),
+        );
+        for input in 0..4u64 {
+            let mut s = State::basis(3, input).unwrap();
+            c.apply_to(&mut s);
+            // Qubit 2 always returns to |0⟩.
+            assert!(s.prob_one(2) < 1e-12, "input {input}");
+        }
+    }
+
+    #[test]
+    fn with_computed_emits_sandwich() {
+        let mut c = Circuit::new(2);
+        with_computed(&mut c, |comp| comp.h(0), |act| act.x(1));
+        assert_eq!(c.len(), 3);
+        // Last instruction is the adjoint of the first.
+        assert_eq!(c.instructions()[2], c.instructions()[0].inverse());
+    }
+
+    #[test]
+    fn mirrored_body_is_identity() {
+        let mut c = Circuit::new(2);
+        mirrored(&mut c, |b| {
+            b.h(0);
+            b.t(0);
+            b.cx(0, 1);
+        });
+        for input in 0..4u64 {
+            let s = c.run_on_basis(input).unwrap();
+            assert!((s.probability(input as usize) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn scopes_nest() {
+        // controlled(compute/uncompute) — e.g. a controlled clean-ancilla op.
+        let mut c = Circuit::new(4);
+        controlled(&mut c, &[3], |outer| {
+            with_computed(outer, |comp| comp.cx(0, 2), |act| act.cx(2, 1));
+        });
+        // With control off nothing happens; with it on, ancilla 2 is clean.
+        let s = c.run_on_basis(0b0001).unwrap();
+        assert!((s.probability(0b0001) - 1.0).abs() < 1e-12);
+        let s = c.run_on_basis(0b1001).unwrap();
+        assert!(s.prob_one(2) < 1e-12);
+        assert!((s.prob_one(1) - 1.0).abs() < 1e-12);
+    }
+}

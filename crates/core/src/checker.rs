@@ -1,0 +1,652 @@
+//! The statistical decision procedures for each assertion type, plus the
+//! exact amplitude-based oracle used for cross-validation.
+
+use std::collections::HashMap;
+
+use qdb_circuit::{BreakpointKind, QReg};
+use qdb_sim::State;
+use qdb_stats::chi2::DEFAULT_POINT_MASS_EPSILON;
+use qdb_stats::exact::{fisher_exact_table, g_test};
+use qdb_stats::{ContingencyTable, GoodnessOfFit, StatsError};
+
+use crate::error::CoreError;
+use crate::report::{TestKind, Verdict};
+
+/// Maximum register width (qubits) for the dense uniformity test.
+pub const MAX_SUPERPOSITION_WIDTH: usize = 16;
+
+/// Which independence test backs `assert_entangled` / `assert_product`.
+///
+/// The paper uses the Pearson chi-square test (with what its numbers
+/// imply is a Yates correction). At 16-shot ensembles the chi-square
+/// approximation is at its weakest, so QDB also offers the exact and
+/// likelihood-ratio alternatives for ablation (DESIGN.md §7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IndependenceMethod {
+    /// Pearson chi-square with automatic Yates correction (the paper's
+    /// method; default).
+    #[default]
+    PearsonChi2,
+    /// G-test (log-likelihood ratio), chi-square distributed.
+    GTest,
+    /// Fisher's exact test for 2×2 tables, falling back to Pearson for
+    /// larger tables (where exact enumeration is impractical).
+    FisherExact,
+}
+
+/// Raw result of one statistical check, before being wrapped into an
+/// [`AssertionReport`](crate::AssertionReport).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CheckOutcome {
+    /// Which test ran.
+    pub test: TestKind,
+    /// χ² statistic (`NAN` when the test degenerated).
+    pub statistic: f64,
+    /// Degrees of freedom (0 when degenerate).
+    pub dof: usize,
+    /// p-value used for the decision (for degenerate contingency tables
+    /// this is reported as 1.0: "no evidence of dependence").
+    pub p_value: f64,
+    /// The decision at the configured significance level.
+    pub verdict: Verdict,
+}
+
+/// `assert_classical`: the ensemble should contain only `expected`.
+///
+/// Modelled as a two-bin chi-square test (`match` vs `miss`) against the
+/// hypothesis `P(match) = 1 − ε` with the paper's behaviour: a clean
+/// ensemble yields `p ≈ 1.0`, a single stray observation `p ≈ 0.0`.
+///
+/// # Errors
+///
+/// [`CoreError::Stats`]`(`[`StatsError::EmptySample`]`)` on an empty
+/// ensemble.
+pub fn check_classical(values: &[u64], expected: u64, alpha: f64) -> Result<CheckOutcome, CoreError> {
+    if values.is_empty() {
+        return Err(StatsError::EmptySample.into());
+    }
+    let matches = values.iter().filter(|&&v| v == expected).count() as u64;
+    let misses = values.len() as u64 - matches;
+    let gof = GoodnessOfFit::new([1.0 - DEFAULT_POINT_MASS_EPSILON, DEFAULT_POINT_MASS_EPSILON])?;
+    let result = gof.test_counts(&[matches, misses])?;
+    Ok(CheckOutcome {
+        test: TestKind::PointMassChi2,
+        statistic: result.statistic,
+        dof: result.dof,
+        p_value: result.p_value,
+        verdict: if result.rejects(alpha) {
+            Verdict::Fail
+        } else {
+            Verdict::Pass
+        },
+    })
+}
+
+/// `assert_superposition`: the ensemble should look uniform over all
+/// `2^width` register values.
+///
+/// # Errors
+///
+/// * [`CoreError::RegisterTooWide`] beyond [`MAX_SUPERPOSITION_WIDTH`];
+/// * [`CoreError::Stats`] on an empty ensemble.
+pub fn check_superposition(
+    values: &[u64],
+    width: usize,
+    alpha: f64,
+) -> Result<CheckOutcome, CoreError> {
+    if width > MAX_SUPERPOSITION_WIDTH {
+        return Err(CoreError::RegisterTooWide {
+            name: "<register>".into(),
+            width,
+            max: MAX_SUPERPOSITION_WIDTH,
+        });
+    }
+    if values.is_empty() {
+        return Err(StatsError::EmptySample.into());
+    }
+    let bins = 1usize << width;
+    let mut counts = vec![0u64; bins];
+    for &v in values {
+        counts[(v as usize) & (bins - 1)] += 1;
+    }
+    let gof = GoodnessOfFit::uniform(bins)?;
+    let result = gof.test_counts(&counts)?;
+    Ok(CheckOutcome {
+        test: TestKind::UniformChi2,
+        statistic: result.statistic,
+        dof: result.dof,
+        p_value: result.p_value,
+        verdict: if result.rejects(alpha) {
+            Verdict::Fail
+        } else {
+            Verdict::Pass
+        },
+    })
+}
+
+/// Statistic + dof + p-value of an independence test, or `None` when
+/// the table is degenerate (a constant register carries no correlation
+/// information).
+struct IndependenceOutcome {
+    statistic: f64,
+    dof: usize,
+    p_value: f64,
+}
+
+fn contingency(
+    pairs: &[(u64, u64)],
+    method: IndependenceMethod,
+) -> Result<Option<IndependenceOutcome>, CoreError> {
+    if pairs.is_empty() {
+        return Err(StatsError::EmptySample.into());
+    }
+    let table = ContingencyTable::from_pairs(pairs.iter().copied());
+    let result = match method {
+        IndependenceMethod::PearsonChi2 => table.independence_test().map(|r| IndependenceOutcome {
+            statistic: r.statistic,
+            dof: r.dof,
+            p_value: r.p_value,
+        }),
+        IndependenceMethod::GTest => g_test(&table).map(|r| IndependenceOutcome {
+            statistic: r.statistic,
+            dof: r.dof,
+            p_value: r.p_value,
+        }),
+        IndependenceMethod::FisherExact => match fisher_exact_table(&table) {
+            Ok(r) => Ok(IndependenceOutcome {
+                statistic: f64::NAN, // exact test has no χ² statistic
+                dof: 1,
+                p_value: r.p_value,
+            }),
+            // Larger than 2×2: fall back to Pearson.
+            Err(StatsError::DegenerateTable)
+                if table.row_labels().len() > 2 || table.col_labels().len() > 2 =>
+            {
+                table.independence_test().map(|r| IndependenceOutcome {
+                    statistic: r.statistic,
+                    dof: r.dof,
+                    p_value: r.p_value,
+                })
+            }
+            Err(e) => Err(e),
+        },
+    };
+    match result {
+        Ok(r) => Ok(Some(r)),
+        // A constant register (single row or column) carries no
+        // correlation information: treat as "no dependence observed".
+        Err(StatsError::DegenerateTable) => Ok(None),
+        Err(e) => Err(e.into()),
+    }
+}
+
+/// `assert_entangled`: measurement outcomes of the two registers should be
+/// *dependent* — the assertion passes when the independence hypothesis is
+/// rejected (`p ≤ α`), as in §4.4.
+///
+/// A degenerate table (one register constant) is evidence of *no*
+/// correlation and therefore fails the assertion.
+///
+/// # Errors
+///
+/// [`CoreError::Stats`] on an empty ensemble.
+pub fn check_entangled(pairs: &[(u64, u64)], alpha: f64) -> Result<CheckOutcome, CoreError> {
+    check_entangled_with(pairs, alpha, IndependenceMethod::default())
+}
+
+/// [`check_entangled`] with an explicit independence-test method.
+///
+/// # Errors
+///
+/// [`CoreError::Stats`] on an empty ensemble.
+pub fn check_entangled_with(
+    pairs: &[(u64, u64)],
+    alpha: f64,
+    method: IndependenceMethod,
+) -> Result<CheckOutcome, CoreError> {
+    Ok(match contingency(pairs, method)? {
+        Some(r) => CheckOutcome {
+            test: TestKind::ContingencyDependent,
+            statistic: r.statistic,
+            dof: r.dof,
+            p_value: r.p_value,
+            verdict: if r.p_value <= alpha {
+                Verdict::Pass
+            } else {
+                Verdict::Fail
+            },
+        },
+        None => CheckOutcome {
+            test: TestKind::ContingencyDependent,
+            statistic: f64::NAN,
+            dof: 0,
+            p_value: 1.0,
+            verdict: Verdict::Fail,
+        },
+    })
+}
+
+/// `assert_product`: measurement outcomes of the two registers should be
+/// *independent* — the assertion passes when the independence hypothesis
+/// is **not** rejected (`p > α`), as in §4.5.
+///
+/// A degenerate table (one register constant) is consistent with a
+/// product state and passes.
+///
+/// # Errors
+///
+/// [`CoreError::Stats`] on an empty ensemble.
+pub fn check_product(pairs: &[(u64, u64)], alpha: f64) -> Result<CheckOutcome, CoreError> {
+    check_product_with(pairs, alpha, IndependenceMethod::default())
+}
+
+/// [`check_product`] with an explicit independence-test method.
+///
+/// # Errors
+///
+/// [`CoreError::Stats`] on an empty ensemble.
+pub fn check_product_with(
+    pairs: &[(u64, u64)],
+    alpha: f64,
+    method: IndependenceMethod,
+) -> Result<CheckOutcome, CoreError> {
+    Ok(match contingency(pairs, method)? {
+        Some(r) => CheckOutcome {
+            test: TestKind::ContingencyIndependent,
+            statistic: r.statistic,
+            dof: r.dof,
+            p_value: r.p_value,
+            verdict: if r.p_value <= alpha {
+                Verdict::Fail
+            } else {
+                Verdict::Pass
+            },
+        },
+        None => CheckOutcome {
+            test: TestKind::ContingencyIndependent,
+            statistic: f64::NAN,
+            dof: 0,
+            p_value: 1.0,
+            verdict: Verdict::Pass,
+        },
+    })
+}
+
+/// Dispatch an ensemble of *full-register* outcomes to the right test for
+/// a breakpoint.
+///
+/// # Errors
+///
+/// Propagates the individual checkers' errors.
+pub fn check_breakpoint(
+    kind: &BreakpointKind,
+    outcomes: &[u64],
+    alpha: f64,
+) -> Result<CheckOutcome, CoreError> {
+    check_breakpoint_with(kind, outcomes, alpha, IndependenceMethod::default())
+}
+
+/// [`check_breakpoint`] with an explicit independence-test method for
+/// the entanglement/product assertions (classical and superposition
+/// checks are unaffected).
+///
+/// # Errors
+///
+/// Propagates the individual checkers' errors.
+pub fn check_breakpoint_with(
+    kind: &BreakpointKind,
+    outcomes: &[u64],
+    alpha: f64,
+    method: IndependenceMethod,
+) -> Result<CheckOutcome, CoreError> {
+    match kind {
+        BreakpointKind::Classical { register, expected } => {
+            let values: Vec<u64> = outcomes.iter().map(|&o| register.value_of(o)).collect();
+            check_classical(&values, *expected, alpha)
+        }
+        BreakpointKind::Superposition { register } => {
+            let values: Vec<u64> = outcomes.iter().map(|&o| register.value_of(o)).collect();
+            check_superposition(&values, register.width(), alpha).map_err(|e| match e {
+                CoreError::RegisterTooWide { width, max, .. } => CoreError::RegisterTooWide {
+                    name: register.name().to_string(),
+                    width,
+                    max,
+                },
+                other => other,
+            })
+        }
+        BreakpointKind::Entangled { a, b } => {
+            let pairs: Vec<(u64, u64)> = outcomes
+                .iter()
+                .map(|&o| (a.value_of(o), b.value_of(o)))
+                .collect();
+            check_entangled_with(&pairs, alpha, method)
+        }
+        BreakpointKind::Product { a, b } => {
+            let pairs: Vec<(u64, u64)> = outcomes
+                .iter()
+                .map(|&o| (a.value_of(o), b.value_of(o)))
+                .collect();
+            check_product_with(&pairs, alpha, method)
+        }
+    }
+}
+
+/// The marginal Born distribution of a register's values in `state`.
+fn register_distribution(state: &State, reg: &QReg) -> HashMap<u64, f64> {
+    let mut dist: HashMap<u64, f64> = HashMap::new();
+    for i in 0..state.dim() {
+        let p = state.probability(i);
+        if p > 0.0 {
+            *dist.entry(reg.value_of(i as u64)).or_insert(0.0) += p;
+        }
+    }
+    dist
+}
+
+/// The joint Born distribution of two registers' values.
+fn joint_distribution(state: &State, a: &QReg, b: &QReg) -> HashMap<(u64, u64), f64> {
+    let mut dist: HashMap<(u64, u64), f64> = HashMap::new();
+    for i in 0..state.dim() {
+        let p = state.probability(i);
+        if p > 0.0 {
+            *dist
+                .entry((a.value_of(i as u64), b.value_of(i as u64)))
+                .or_insert(0.0) += p;
+        }
+    }
+    dist
+}
+
+/// The exact, amplitude-level verdict for a breakpoint: what an infinite
+/// ensemble would conclude.
+///
+/// * classical — all probability mass on the expected value;
+/// * superposition — the register's marginal distribution is flat;
+/// * entangled / product — the joint measurement distribution does /
+///   does not factor into the product of marginals.
+///
+/// Note the entanglement criterion matches the *statistical test's*
+/// semantics (correlation of measurement outcomes in the computational
+/// basis), not full quantum entanglement — exactly the quantity the
+/// paper's contingency tables estimate.
+#[must_use]
+pub fn exact_verdict(kind: &BreakpointKind, state: &State, tol: f64) -> Verdict {
+    match kind {
+        BreakpointKind::Classical { register, expected } => {
+            let dist = register_distribution(state, register);
+            let p = dist.get(expected).copied().unwrap_or(0.0);
+            if (p - 1.0).abs() <= tol {
+                Verdict::Pass
+            } else {
+                Verdict::Fail
+            }
+        }
+        BreakpointKind::Superposition { register } => {
+            let dist = register_distribution(state, register);
+            let want = 1.0 / register.domain_size() as f64;
+            let flat = dist.len() as u64 == register.domain_size()
+                && dist.values().all(|&p| (p - want).abs() <= tol);
+            if flat {
+                Verdict::Pass
+            } else {
+                Verdict::Fail
+            }
+        }
+        BreakpointKind::Entangled { a, b } | BreakpointKind::Product { a, b } => {
+            let pa = register_distribution(state, a);
+            let pb = register_distribution(state, b);
+            let joint = joint_distribution(state, a, b);
+            let mut max_dev: f64 = 0.0;
+            for (&va, &pa_v) in &pa {
+                for (&vb, &pb_v) in &pb {
+                    let j = joint.get(&(va, vb)).copied().unwrap_or(0.0);
+                    max_dev = max_dev.max((j - pa_v * pb_v).abs());
+                }
+            }
+            let dependent = max_dev > tol;
+            let want_dependent = matches!(kind, BreakpointKind::Entangled { .. });
+            if dependent == want_dependent {
+                Verdict::Pass
+            } else {
+                Verdict::Fail
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdb_circuit::QReg;
+    use qdb_sim::{gates, State};
+
+    const ALPHA: f64 = 0.05;
+
+    #[test]
+    fn classical_clean_ensemble_passes_with_p_near_one() {
+        let values = vec![25u64; 16];
+        let out = check_classical(&values, 25, ALPHA).unwrap();
+        assert_eq!(out.verdict, Verdict::Pass);
+        assert!(out.p_value > 0.99, "p = {}", out.p_value);
+    }
+
+    #[test]
+    fn classical_single_miss_fails_with_p_near_zero() {
+        let mut values = vec![25u64; 15];
+        values.push(24);
+        let out = check_classical(&values, 25, ALPHA).unwrap();
+        assert_eq!(out.verdict, Verdict::Fail);
+        assert!(out.p_value < 1e-10, "p = {}", out.p_value);
+    }
+
+    #[test]
+    fn classical_empty_errors() {
+        assert!(check_classical(&[], 0, ALPHA).is_err());
+    }
+
+    #[test]
+    fn superposition_uniform_passes() {
+        // 16 shots over 2 qubits, perfectly flat.
+        let values: Vec<u64> = (0..16).map(|i| i % 4).collect();
+        let out = check_superposition(&values, 2, ALPHA).unwrap();
+        assert_eq!(out.verdict, Verdict::Pass);
+    }
+
+    #[test]
+    fn superposition_concentrated_fails() {
+        let values = vec![3u64; 64];
+        let out = check_superposition(&values, 2, ALPHA).unwrap();
+        assert_eq!(out.verdict, Verdict::Fail);
+        assert!(out.p_value < 1e-10);
+    }
+
+    #[test]
+    fn superposition_width_guard() {
+        assert!(matches!(
+            check_superposition(&[0], 17, ALPHA),
+            Err(CoreError::RegisterTooWide { .. })
+        ));
+    }
+
+    #[test]
+    fn entangled_bell_ensemble_passes() {
+        let pairs: Vec<(u64, u64)> = (0..16).map(|i| (i % 2, i % 2)).collect();
+        let out = check_entangled(&pairs, ALPHA).unwrap();
+        assert_eq!(out.verdict, Verdict::Pass);
+        // Paper: p = 0.0005 at 16 shots (Yates-corrected).
+        assert!((out.p_value - 4.66e-4).abs() < 5e-5, "p = {}", out.p_value);
+    }
+
+    #[test]
+    fn entangled_independent_ensemble_fails() {
+        // All four combinations equally often → independent.
+        let pairs: Vec<(u64, u64)> = (0..16).map(|i| (i % 2, (i / 2) % 2)).collect();
+        let out = check_entangled(&pairs, ALPHA).unwrap();
+        assert_eq!(out.verdict, Verdict::Fail);
+    }
+
+    #[test]
+    fn entangled_constant_register_fails_gracefully() {
+        let pairs: Vec<(u64, u64)> = (0..16).map(|i| (0, i % 2)).collect();
+        let out = check_entangled(&pairs, ALPHA).unwrap();
+        assert_eq!(out.verdict, Verdict::Fail);
+        assert!(out.statistic.is_nan());
+        assert_eq!(out.dof, 0);
+    }
+
+    #[test]
+    fn product_independent_passes_and_correlated_fails() {
+        let indep: Vec<(u64, u64)> = (0..32).map(|i| (i % 2, (i / 2) % 2)).collect();
+        assert_eq!(check_product(&indep, ALPHA).unwrap().verdict, Verdict::Pass);
+        let corr: Vec<(u64, u64)> = (0..32).map(|i| (i % 2, i % 2)).collect();
+        assert_eq!(check_product(&corr, ALPHA).unwrap().verdict, Verdict::Fail);
+    }
+
+    #[test]
+    fn all_methods_agree_on_bell_ensemble() {
+        let pairs: Vec<(u64, u64)> = (0..16).map(|i| (i % 2, i % 2)).collect();
+        for method in [
+            IndependenceMethod::PearsonChi2,
+            IndependenceMethod::GTest,
+            IndependenceMethod::FisherExact,
+        ] {
+            let out = check_entangled_with(&pairs, ALPHA, method).unwrap();
+            assert_eq!(out.verdict, Verdict::Pass, "{method:?}");
+            assert!(out.p_value < 0.01, "{method:?}: p = {}", out.p_value);
+        }
+    }
+
+    #[test]
+    fn fisher_exact_is_least_anticonservative_at_16_shots() {
+        // The exact p for the ideal Bell table is 2/C(16,8) ≈ 1.55e-4,
+        // smaller than the Yates-corrected chi-square's 4.7e-4 (the
+        // correction over-corrects at this sample size).
+        let pairs: Vec<(u64, u64)> = (0..16).map(|i| (i % 2, i % 2)).collect();
+        let chi2 = check_entangled_with(&pairs, ALPHA, IndependenceMethod::PearsonChi2).unwrap();
+        let fisher =
+            check_entangled_with(&pairs, ALPHA, IndependenceMethod::FisherExact).unwrap();
+        assert!(fisher.p_value < chi2.p_value);
+        assert!(fisher.statistic.is_nan(), "exact test reports no χ²");
+    }
+
+    #[test]
+    fn fisher_falls_back_to_pearson_beyond_2x2() {
+        // 3-valued registers: Fisher cannot run; Pearson fallback must.
+        let pairs: Vec<(u64, u64)> = (0..30).map(|i| (i % 3, i % 3)).collect();
+        let out = check_entangled_with(&pairs, ALPHA, IndependenceMethod::FisherExact).unwrap();
+        assert_eq!(out.verdict, Verdict::Pass);
+        assert!(out.statistic.is_finite(), "fallback provides a χ²");
+        assert_eq!(out.dof, 4);
+    }
+
+    #[test]
+    fn gtest_product_check_passes_on_independent_pairs() {
+        let pairs: Vec<(u64, u64)> = (0..64).map(|i| (i % 2, (i / 2) % 2)).collect();
+        let out = check_product_with(&pairs, ALPHA, IndependenceMethod::GTest).unwrap();
+        assert_eq!(out.verdict, Verdict::Pass);
+    }
+
+    #[test]
+    fn degenerate_tables_handled_for_all_methods() {
+        let pairs: Vec<(u64, u64)> = (0..16).map(|i| (0, i % 2)).collect();
+        for method in [
+            IndependenceMethod::PearsonChi2,
+            IndependenceMethod::GTest,
+            IndependenceMethod::FisherExact,
+        ] {
+            assert_eq!(
+                check_entangled_with(&pairs, ALPHA, method).unwrap().verdict,
+                Verdict::Fail,
+                "{method:?}"
+            );
+            assert_eq!(
+                check_product_with(&pairs, ALPHA, method).unwrap().verdict,
+                Verdict::Pass,
+                "{method:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn product_constant_register_passes() {
+        let pairs: Vec<(u64, u64)> = (0..16).map(|i| (0, i % 2)).collect();
+        assert_eq!(check_product(&pairs, ALPHA).unwrap().verdict, Verdict::Pass);
+    }
+
+    #[test]
+    fn check_breakpoint_extracts_register_values() {
+        // Full outcomes on 3 qubits; register = qubits [1, 2].
+        let reg = QReg::new("r", vec![1, 2]);
+        let kind = BreakpointKind::Classical {
+            register: reg,
+            expected: 0b11,
+        };
+        let outcomes = vec![0b110u64; 20]; // register value 0b11
+        let out = check_breakpoint(&kind, &outcomes, ALPHA).unwrap();
+        assert_eq!(out.verdict, Verdict::Pass);
+    }
+
+    fn bell_state() -> State {
+        let mut s = State::zero(2);
+        s.apply_1q(0, &gates::h());
+        s.apply_controlled_1q(&[0], 1, &gates::x());
+        s
+    }
+
+    #[test]
+    fn exact_classical_verdicts() {
+        let s = State::basis(3, 0b101).unwrap();
+        let reg = QReg::contiguous("r", 0, 3);
+        let pass = BreakpointKind::Classical {
+            register: reg.clone(),
+            expected: 0b101,
+        };
+        let fail = BreakpointKind::Classical {
+            register: reg,
+            expected: 0b100,
+        };
+        assert_eq!(exact_verdict(&pass, &s, 1e-9), Verdict::Pass);
+        assert_eq!(exact_verdict(&fail, &s, 1e-9), Verdict::Fail);
+    }
+
+    #[test]
+    fn exact_superposition_verdicts() {
+        let mut s = State::zero(2);
+        s.apply_1q(0, &gates::h());
+        s.apply_1q(1, &gates::h());
+        let reg = QReg::contiguous("r", 0, 2);
+        let kind = BreakpointKind::Superposition { register: reg };
+        assert_eq!(exact_verdict(&kind, &s, 1e-9), Verdict::Pass);
+        let basis = State::zero(2);
+        assert_eq!(
+            exact_verdict(
+                &BreakpointKind::Superposition {
+                    register: QReg::contiguous("r", 0, 2)
+                },
+                &basis,
+                1e-9
+            ),
+            Verdict::Fail
+        );
+    }
+
+    #[test]
+    fn exact_entangled_and_product_verdicts() {
+        let bell = bell_state();
+        let a = QReg::new("a", vec![0]);
+        let b = QReg::new("b", vec![1]);
+        let ent = BreakpointKind::Entangled {
+            a: a.clone(),
+            b: b.clone(),
+        };
+        let prod = BreakpointKind::Product { a, b };
+        assert_eq!(exact_verdict(&ent, &bell, 1e-9), Verdict::Pass);
+        assert_eq!(exact_verdict(&prod, &bell, 1e-9), Verdict::Fail);
+
+        let mut product_state = State::zero(2);
+        product_state.apply_1q(0, &gates::h());
+        assert_eq!(exact_verdict(&ent, &product_state, 1e-9), Verdict::Fail);
+        assert_eq!(exact_verdict(&prod, &product_state, 1e-9), Verdict::Pass);
+    }
+}

@@ -1,0 +1,232 @@
+//! The top-level debugging façade: run a program, check every assertion,
+//! and summarize.
+
+use std::fmt;
+
+use qdb_circuit::Program;
+
+use crate::error::CoreError;
+use crate::report::AssertionReport;
+use crate::runner::{EnsembleConfig, EnsembleRunner};
+
+/// All assertion reports from one debugging session.
+#[derive(Debug, Clone)]
+pub struct DebugReport {
+    reports: Vec<AssertionReport>,
+}
+
+impl DebugReport {
+    /// Individual per-assertion reports, in program order.
+    #[must_use]
+    pub fn reports(&self) -> &[AssertionReport] {
+        &self.reports
+    }
+
+    /// `true` when every assertion passed.
+    #[must_use]
+    pub fn all_passed(&self) -> bool {
+        self.reports.iter().all(AssertionReport::passed)
+    }
+
+    /// The failing assertions, if any. The *first* failure is where the
+    /// paper's methodology says to start hunting for the bug.
+    #[must_use]
+    pub fn failures(&self) -> Vec<&AssertionReport> {
+        self.reports.iter().filter(|r| !r.passed()).collect()
+    }
+
+    /// The first failing assertion, if any.
+    #[must_use]
+    pub fn first_failure(&self) -> Option<&AssertionReport> {
+        self.reports.iter().find(|r| !r.passed())
+    }
+
+    /// Reports where the statistical verdict disagrees with the exact
+    /// amplitude-based verdict — i.e. the ensemble was too small.
+    #[must_use]
+    pub fn statistical_misses(&self) -> Vec<&AssertionReport> {
+        self.reports
+            .iter()
+            .filter(|r| r.disagrees_with_exact())
+            .collect()
+    }
+
+    /// Number of assertions checked.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.reports.len()
+    }
+
+    /// `true` when the program declared no assertions.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.reports.is_empty()
+    }
+}
+
+impl fmt::Display for DebugReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "QDB debug session: {}/{} assertions passed",
+            self.reports.iter().filter(|r| r.passed()).count(),
+            self.reports.len()
+        )?;
+        for report in &self.reports {
+            writeln!(f, "  {report}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Orchestrates ensemble runs and assertion checks over a whole program.
+///
+/// ```
+/// use qdb_circuit::{GateSink, Program};
+/// use qdb_core::{Debugger, EnsembleConfig};
+///
+/// let mut p = Program::new();
+/// let r = p.alloc_register("r", 3);
+/// p.prep_int(&r, 5);
+/// p.assert_classical(&r, 5);
+///
+/// let report = Debugger::new(EnsembleConfig::default()).run(&p)?;
+/// assert!(report.all_passed());
+/// # Ok::<(), qdb_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Debugger {
+    runner: EnsembleRunner,
+}
+
+impl Debugger {
+    /// A debugger with the given ensemble configuration.
+    #[must_use]
+    pub fn new(config: EnsembleConfig) -> Self {
+        Self {
+            runner: EnsembleRunner::new(config),
+        }
+    }
+
+    /// The underlying runner.
+    #[must_use]
+    pub fn runner(&self) -> &EnsembleRunner {
+        &self.runner
+    }
+
+    /// Check every assertion in `program`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration, simulation, and statistics errors (a
+    /// *failing assertion* is not an error — it is a [`DebugReport`]
+    /// entry).
+    pub fn run(&self, program: &Program) -> Result<DebugReport, CoreError> {
+        Ok(DebugReport {
+            reports: self.runner.check_program(program)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdb_circuit::{GateSink, QReg};
+
+    fn qft_like_program(correct: bool) -> Program {
+        // prep 5 → assert classical → H layer → assert superposition.
+        let mut p = Program::new();
+        let r = p.alloc_register("r", 3);
+        p.prep_int(&r, 5);
+        p.assert_classical(&r, 5);
+        if correct {
+            for i in 0..3 {
+                p.h(r.bit(i));
+            }
+        }
+        // (If `!correct`, the register is still classical here.)
+        p.assert_superposition(&r);
+        p
+    }
+
+    #[test]
+    fn all_pass_on_correct_program() {
+        let report = Debugger::new(EnsembleConfig::default())
+            .run(&qft_like_program(true))
+            .unwrap();
+        assert!(report.all_passed());
+        assert!(report.failures().is_empty());
+        assert!(report.first_failure().is_none());
+        assert_eq!(report.len(), 2);
+        assert!(!report.is_empty());
+        assert!(report.statistical_misses().is_empty());
+    }
+
+    #[test]
+    fn first_failure_localizes_bug() {
+        let report = Debugger::new(EnsembleConfig::default())
+            .run(&qft_like_program(false))
+            .unwrap();
+        assert!(!report.all_passed());
+        let first = report.first_failure().unwrap();
+        assert_eq!(first.index, 1, "precondition passes, postcondition fails");
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let report = Debugger::new(EnsembleConfig::default())
+            .run(&qft_like_program(true))
+            .unwrap();
+        let text = report.to_string();
+        assert!(text.contains("2/2 assertions passed"));
+        assert!(text.contains("PASS"));
+    }
+
+    #[test]
+    fn empty_program_yields_empty_report() {
+        let mut p = Program::new();
+        let _ = p.alloc_register("r", 1);
+        let report = Debugger::new(EnsembleConfig::default()).run(&p).unwrap();
+        assert!(report.is_empty());
+        assert!(report.all_passed());
+    }
+
+    #[test]
+    fn small_ensembles_can_miss_bugs_but_exact_check_flags_them() {
+        // A nearly-classical state: tiny rotation away from |0⟩. With few
+        // shots the classical assertion usually passes statistically, but
+        // the exact verdict knows better. (This is the paper's §4.1
+        // caveat about needing more measurements.)
+        let mut p = Program::new();
+        let r = p.alloc_register("r", 1);
+        p.ry(r.bit(0), 0.02); // P(1) ≈ 1e-4
+        p.assert_classical(&r, 0);
+        let report = Debugger::new(EnsembleConfig::default().with_shots(8).with_seed(1))
+            .run(&p)
+            .unwrap();
+        let rep = &report.reports()[0];
+        assert_eq!(rep.exact, Some(crate::Verdict::Fail));
+        // Statistically it almost surely passed with 8 shots:
+        if rep.passed() {
+            assert!(rep.disagrees_with_exact());
+            assert_eq!(report.statistical_misses().len(), 1);
+        }
+    }
+
+    #[test]
+    fn entangled_and_product_assertions_in_one_session() {
+        let mut p = Program::new();
+        let q = p.alloc_register("q", 2);
+        let anc = p.alloc_register("anc", 1);
+        let a = QReg::new("a", vec![q.bit(0)]);
+        let b = QReg::new("b", vec![q.bit(1)]);
+        p.h(q.bit(0));
+        p.cx(q.bit(0), q.bit(1));
+        p.assert_entangled(&a, &b);
+        // The ancilla stayed |0⟩, product with everything.
+        let anc_reg = QReg::new("anc_view", vec![anc.bit(0)]);
+        p.assert_product(&a, &anc_reg);
+        let report = Debugger::new(EnsembleConfig::default()).run(&p).unwrap();
+        assert!(report.all_passed(), "{report}");
+    }
+}

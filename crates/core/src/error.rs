@@ -1,0 +1,74 @@
+use std::error::Error;
+use std::fmt;
+
+use qdb_circuit::CircuitError;
+use qdb_sim::SimError;
+use qdb_stats::StatsError;
+
+/// Errors surfaced by the assertion engine.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// Statistical machinery failed (degenerate tables are handled
+    /// internally; this is for genuine misuse such as empty ensembles).
+    Stats(StatsError),
+    /// Simulator failure.
+    Sim(SimError),
+    /// Circuit/IR failure.
+    Circuit(CircuitError),
+    /// A register is too wide for the requested test.
+    RegisterTooWide {
+        /// Register name.
+        name: String,
+        /// Its width in qubits.
+        width: usize,
+        /// Maximum supported width for this test.
+        max: usize,
+    },
+    /// The ensemble configuration is invalid (e.g. zero shots).
+    BadConfig(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Stats(e) => write!(f, "statistics error: {e}"),
+            CoreError::Sim(e) => write!(f, "simulator error: {e}"),
+            CoreError::Circuit(e) => write!(f, "circuit error: {e}"),
+            CoreError::RegisterTooWide { name, width, max } => write!(
+                f,
+                "register `{name}` is {width} qubits wide; this test supports at most {max}"
+            ),
+            CoreError::BadConfig(msg) => write!(f, "bad configuration: {msg}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Stats(e) => Some(e),
+            CoreError::Sim(e) => Some(e),
+            CoreError::Circuit(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StatsError> for CoreError {
+    fn from(e: StatsError) -> Self {
+        CoreError::Stats(e)
+    }
+}
+
+impl From<SimError> for CoreError {
+    fn from(e: SimError) -> Self {
+        CoreError::Sim(e)
+    }
+}
+
+impl From<CircuitError> for CoreError {
+    fn from(e: CircuitError) -> Self {
+        CoreError::Circuit(e)
+    }
+}

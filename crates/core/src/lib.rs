@@ -1,0 +1,50 @@
+//! # qdb-core — statistical quantum program assertions
+//!
+//! The primary contribution of the ISCA 2019 paper, reimplemented as a
+//! library: given an assertion-annotated [`Program`](qdb_circuit::Program),
+//! QDB
+//!
+//! 1. **splits** the program at each breakpoint into a prefix circuit
+//!    (what ScaffCC did by emitting one OpenQASM file per assertion),
+//! 2. **simulates** each prefix and draws an *ensemble* of early
+//!    measurements (what the QX cluster runs did), and
+//! 3. **decides** each assertion with a chi-square statistical test
+//!    (point-mass test for `assert_classical`, uniformity test for
+//!    `assert_superposition`, contingency-table independence test for
+//!    `assert_entangled` / `assert_product`).
+//!
+//! Every statistical verdict can be cross-checked against an *exact*
+//! verdict computed from the simulator amplitudes
+//! ([`checker::exact_verdict`]), replacing the paper's cross-validation
+//! against LIQUi|>, ProjectQ, and Q#.
+//!
+//! ```
+//! use qdb_circuit::{GateSink, Program, QReg};
+//! use qdb_core::{Debugger, EnsembleConfig};
+//!
+//! // Figure 1: Bell pair with an entanglement assertion.
+//! let mut p = Program::new();
+//! let q = p.alloc_register("q", 2);
+//! p.h(q.bit(0));
+//! p.cx(q.bit(0), q.bit(1));
+//! let m0 = QReg::new("m0", vec![q.bit(0)]);
+//! let m1 = QReg::new("m1", vec![q.bit(1)]);
+//! p.assert_entangled(&m0, &m1);
+//!
+//! let report = Debugger::new(EnsembleConfig::default()).run(&p)?;
+//! assert!(report.all_passed());
+//! # Ok::<(), qdb_core::CoreError>(())
+//! ```
+
+pub mod checker;
+pub mod debugger;
+pub mod report;
+pub mod runner;
+
+mod error;
+
+pub use checker::{check_breakpoint, check_breakpoint_with, exact_verdict, IndependenceMethod};
+pub use debugger::{DebugReport, Debugger};
+pub use error::CoreError;
+pub use report::{AssertionReport, TestKind, Verdict};
+pub use runner::{EnsembleConfig, EnsembleRunner, MeasuredEnsemble};

@@ -1,0 +1,188 @@
+//! Assertion verdicts and human-readable reports.
+
+use qdb_circuit::BreakpointKind;
+use qdb_stats::Histogram;
+use std::fmt;
+
+/// Which statistical test decided an assertion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TestKind {
+    /// Chi-square goodness of fit against a point mass
+    /// (`assert_classical`).
+    PointMassChi2,
+    /// Chi-square goodness of fit against the uniform distribution
+    /// (`assert_superposition`).
+    UniformChi2,
+    /// Contingency-table independence test, asserting *dependence*
+    /// (`assert_entangled`).
+    ContingencyDependent,
+    /// Contingency-table independence test, asserting *independence*
+    /// (`assert_product`).
+    ContingencyIndependent,
+}
+
+impl fmt::Display for TestKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            TestKind::PointMassChi2 => "chi-square (point mass)",
+            TestKind::UniformChi2 => "chi-square (uniform)",
+            TestKind::ContingencyDependent => "contingency (expect dependent)",
+            TestKind::ContingencyIndependent => "contingency (expect independent)",
+        };
+        f.write_str(name)
+    }
+}
+
+/// The decision an assertion check reached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Observations consistent with the asserted state class.
+    Pass,
+    /// Observations reject the asserted state class — there is a bug (or
+    /// the assertion itself is wrong, as the paper notes).
+    Fail,
+}
+
+impl Verdict {
+    /// `true` for [`Verdict::Pass`].
+    #[must_use]
+    pub fn passed(self) -> bool {
+        self == Verdict::Pass
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Verdict::Pass => "PASS",
+            Verdict::Fail => "FAIL",
+        })
+    }
+}
+
+/// Full record of one checked assertion.
+#[derive(Debug, Clone)]
+pub struct AssertionReport {
+    /// Index of the breakpoint within the program.
+    pub index: usize,
+    /// The breakpoint's label.
+    pub label: String,
+    /// What was asserted.
+    pub kind: BreakpointKind,
+    /// The statistical test used.
+    pub test: TestKind,
+    /// Number of measurement shots in the ensemble.
+    pub shots: usize,
+    /// Test statistic (χ²). `INFINITY` when an impossible outcome was
+    /// observed; `NAN` when the test degenerated (e.g. constant register
+    /// in a contingency test).
+    pub statistic: f64,
+    /// Degrees of freedom (0 when degenerate).
+    pub dof: usize,
+    /// The p-value the verdict was based on.
+    pub p_value: f64,
+    /// The verdict.
+    pub verdict: Verdict,
+    /// Outcome histogram of the (first) register under test.
+    pub histogram: Histogram,
+    /// Exact amplitude-based verdict, when cross-checking was enabled.
+    pub exact: Option<Verdict>,
+}
+
+impl AssertionReport {
+    /// `true` when the assertion passed.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.verdict.passed()
+    }
+
+    /// `true` when the statistical and exact verdicts disagree — a sign
+    /// that the ensemble is too small for the statistical test to see the
+    /// truth (the paper's "more measurements" caveat in §4.1).
+    #[must_use]
+    pub fn disagrees_with_exact(&self) -> bool {
+        matches!(self.exact, Some(e) if e != self.verdict)
+    }
+}
+
+impl fmt::Display for AssertionReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "#{} {} [{}] p={:.4} χ²={:.3} dof={} shots={} → {}",
+            self.index,
+            self.label,
+            self.test,
+            self.p_value,
+            self.statistic,
+            self.dof,
+            self.shots,
+            self.verdict
+        )?;
+        if let Some(exact) = self.exact {
+            write!(f, " (exact: {exact})")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdb_circuit::QReg;
+
+    fn sample_report(verdict: Verdict, exact: Option<Verdict>) -> AssertionReport {
+        AssertionReport {
+            index: 0,
+            label: "test".into(),
+            kind: BreakpointKind::Superposition {
+                register: QReg::contiguous("r", 0, 2),
+            },
+            test: TestKind::UniformChi2,
+            shots: 16,
+            statistic: 1.5,
+            dof: 3,
+            p_value: 0.68,
+            verdict,
+            histogram: Histogram::new(),
+            exact,
+        }
+    }
+
+    #[test]
+    fn verdict_passed() {
+        assert!(Verdict::Pass.passed());
+        assert!(!Verdict::Fail.passed());
+    }
+
+    #[test]
+    fn disagreement_detection() {
+        assert!(!sample_report(Verdict::Pass, None).disagrees_with_exact());
+        assert!(!sample_report(Verdict::Pass, Some(Verdict::Pass)).disagrees_with_exact());
+        assert!(sample_report(Verdict::Pass, Some(Verdict::Fail)).disagrees_with_exact());
+    }
+
+    #[test]
+    fn display_contains_key_fields() {
+        let text = sample_report(Verdict::Fail, Some(Verdict::Fail)).to_string();
+        assert!(text.contains("FAIL"));
+        assert!(text.contains("p=0.68"));
+        assert!(text.contains("exact"));
+    }
+
+    #[test]
+    fn test_kind_display_distinct() {
+        let names: Vec<String> = [
+            TestKind::PointMassChi2,
+            TestKind::UniformChi2,
+            TestKind::ContingencyDependent,
+            TestKind::ContingencyIndependent,
+        ]
+        .iter()
+        .map(ToString::to_string)
+        .collect();
+        let mut dedup = names.clone();
+        dedup.dedup();
+        assert_eq!(names.len(), dedup.len());
+    }
+}

@@ -1,0 +1,417 @@
+//! Ensemble execution of breakpoint-split programs.
+//!
+//! For each breakpoint the runner simulates the program prefix once,
+//! then draws the configured ensemble of early measurements from the
+//! resulting state (each shot of the paper's cluster runs is an
+//! independent execution-plus-measurement; since the prefix is
+//! deterministic, one simulation plus Born-rule sampling is
+//! distributionally identical and vastly cheaper).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use qdb_circuit::Program;
+use qdb_sim::{NoiseModel, Sampler, State};
+use qdb_stats::Histogram;
+
+use crate::checker::{check_breakpoint_with, exact_verdict, IndependenceMethod};
+use crate::error::CoreError;
+use crate::report::AssertionReport;
+
+/// Configuration for ensemble runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnsembleConfig {
+    /// Measurement shots per breakpoint. The paper demonstrates
+    /// ensembles as small as 16; the default gives comfortable
+    /// statistical power for all benchmarks.
+    pub shots: usize,
+    /// Significance level for rejecting null hypotheses (paper: 0.05).
+    pub alpha: f64,
+    /// RNG seed; breakpoint `i` uses `seed + i` so reports are
+    /// reproducible and breakpoints are independent.
+    pub seed: u64,
+    /// Also compute the exact amplitude-based verdict for each assertion.
+    pub exact_cross_check: bool,
+    /// Tolerance for exact verdicts.
+    pub exact_tol: f64,
+    /// Which independence test decides entanglement/product assertions.
+    pub independence: IndependenceMethod,
+    /// Optional hardware noise: when set, every shot is simulated as an
+    /// independent noisy trajectory (much slower than ideal sampling,
+    /// but faithful to how real ensembles behave). The exact
+    /// cross-check still evaluates the *ideal* state — a disagreement
+    /// between the two then indicates noise, not a program bug.
+    pub noise: Option<NoiseModel>,
+}
+
+impl Default for EnsembleConfig {
+    fn default() -> Self {
+        Self {
+            shots: 1024,
+            alpha: qdb_stats::DEFAULT_ALPHA,
+            seed: 0x51_D8_EC,
+            exact_cross_check: true,
+            exact_tol: 1e-9,
+            independence: IndependenceMethod::default(),
+            noise: None,
+        }
+    }
+}
+
+impl EnsembleConfig {
+    /// The paper's smallest reported ensemble size (16 shots), e.g. for
+    /// the Listing 4 p-values.
+    #[must_use]
+    pub fn paper_small() -> Self {
+        Self {
+            shots: 16,
+            ..Self::default()
+        }
+    }
+
+    /// Builder-style shot count override.
+    #[must_use]
+    pub fn with_shots(mut self, shots: usize) -> Self {
+        self.shots = shots;
+        self
+    }
+
+    /// Builder-style seed override.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style significance level override.
+    #[must_use]
+    pub fn with_alpha(mut self, alpha: f64) -> Self {
+        self.alpha = alpha;
+        self
+    }
+
+    /// Builder-style independence-test method override.
+    #[must_use]
+    pub fn with_independence(mut self, method: IndependenceMethod) -> Self {
+        self.independence = method;
+        self
+    }
+
+    /// Builder-style noise model override (see
+    /// [`EnsembleConfig::noise`]).
+    #[must_use]
+    pub fn with_noise(mut self, noise: NoiseModel) -> Self {
+        self.noise = if noise.is_noiseless() {
+            None
+        } else {
+            Some(noise)
+        };
+        self
+    }
+
+    fn validate(&self) -> Result<(), CoreError> {
+        if self.shots == 0 {
+            return Err(CoreError::BadConfig("shots must be positive".into()));
+        }
+        if !(0.0..1.0).contains(&self.alpha) || self.alpha <= 0.0 {
+            return Err(CoreError::BadConfig(format!(
+                "alpha {} outside (0, 1)",
+                self.alpha
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// The measured ensemble at one breakpoint, plus the exact state for
+/// cross-checking.
+#[derive(Debug, Clone)]
+pub struct MeasuredEnsemble {
+    /// Full-register outcomes, one per shot.
+    pub outcomes: Vec<u64>,
+    /// The *ideal* (noiseless) simulated state at the breakpoint; the
+    /// basis of the exact cross-check even when noise is enabled.
+    pub state: State,
+}
+
+/// Executes programs breakpoint by breakpoint.
+#[derive(Debug, Clone, Default)]
+pub struct EnsembleRunner {
+    config: EnsembleConfig,
+}
+
+impl EnsembleRunner {
+    /// Create a runner with the given configuration.
+    #[must_use]
+    pub fn new(config: EnsembleConfig) -> Self {
+        Self { config }
+    }
+
+    /// The active configuration.
+    #[must_use]
+    pub fn config(&self) -> &EnsembleConfig {
+        &self.config
+    }
+
+    /// Simulate the prefix for breakpoint `index` and draw the ensemble.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::BadConfig`] for invalid configurations;
+    /// * simulator errors for malformed programs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range for the program's breakpoints.
+    pub fn run_breakpoint(
+        &self,
+        program: &Program,
+        index: usize,
+    ) -> Result<MeasuredEnsemble, CoreError> {
+        self.config.validate()?;
+        let prefix = program.prefix_for(index);
+        let ideal_state = prefix.run_on_basis(0)?;
+        let mut rng = StdRng::seed_from_u64(self.config.seed.wrapping_add(index as u64));
+        let outcomes = match self.config.noise {
+            None => {
+                let sampler = Sampler::new(&ideal_state);
+                sampler.sample_many(&mut rng, self.config.shots)
+            }
+            Some(noise) => {
+                // One independent trajectory per shot.
+                let n = program.num_qubits().max(1);
+                (0..self.config.shots)
+                    .map(|_| {
+                        let mut state = State::zero(n);
+                        prefix.apply_to_noisy(&mut state, &noise, &mut rng);
+                        let raw = Sampler::new(&state).sample(&mut rng);
+                        noise.corrupt_readout(raw, n, &mut rng)
+                    })
+                    .collect()
+            }
+        };
+        Ok(MeasuredEnsemble {
+            outcomes,
+            state: ideal_state,
+        })
+    }
+
+    /// Run and check every breakpoint in the program, producing one
+    /// report per assertion.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration, simulation, and statistics errors.
+    pub fn check_program(&self, program: &Program) -> Result<Vec<AssertionReport>, CoreError> {
+        self.config.validate()?;
+        let mut reports = Vec::with_capacity(program.breakpoints().len());
+        for (index, bp) in program.breakpoints().iter().enumerate() {
+            let ensemble = self.run_breakpoint(program, index)?;
+            let outcome = check_breakpoint_with(
+                &bp.kind,
+                &ensemble.outcomes,
+                self.config.alpha,
+                self.config.independence,
+            )?;
+            let exact = self
+                .config
+                .exact_cross_check
+                .then(|| exact_verdict(&bp.kind, &ensemble.state, self.config.exact_tol));
+            let histogram = first_register_histogram(&bp.kind, &ensemble.outcomes);
+            reports.push(AssertionReport {
+                index,
+                label: bp.label.clone(),
+                kind: bp.kind.clone(),
+                test: outcome.test,
+                shots: self.config.shots,
+                statistic: outcome.statistic,
+                dof: outcome.dof,
+                p_value: outcome.p_value,
+                verdict: outcome.verdict,
+                histogram,
+                exact,
+            });
+        }
+        Ok(reports)
+    }
+}
+
+fn first_register_histogram(
+    kind: &qdb_circuit::BreakpointKind,
+    outcomes: &[u64],
+) -> Histogram {
+    use qdb_circuit::BreakpointKind as K;
+    let reg = match kind {
+        K::Classical { register, .. } | K::Superposition { register } => register,
+        K::Entangled { a, .. } | K::Product { a, .. } => a,
+    };
+    outcomes.iter().map(|&o| reg.value_of(o)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::Verdict;
+    use qdb_circuit::{GateSink, QReg};
+
+    fn bell_program() -> (Program, QReg, QReg) {
+        let mut p = Program::new();
+        let q = p.alloc_register("q", 2);
+        p.h(q.bit(0));
+        p.cx(q.bit(0), q.bit(1));
+        let m0 = QReg::new("m0", vec![q.bit(0)]);
+        let m1 = QReg::new("m1", vec![q.bit(1)]);
+        (p, m0, m1)
+    }
+
+    #[test]
+    fn config_validation() {
+        let bad_shots = EnsembleConfig::default().with_shots(0);
+        assert!(bad_shots.validate().is_err());
+        let bad_alpha = EnsembleConfig::default().with_alpha(0.0);
+        assert!(bad_alpha.validate().is_err());
+        let bad_alpha2 = EnsembleConfig::default().with_alpha(1.5);
+        assert!(bad_alpha2.validate().is_err());
+        assert!(EnsembleConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn run_breakpoint_draws_requested_shots() {
+        let (mut p, m0, m1) = bell_program();
+        p.assert_entangled(&m0, &m1);
+        let runner = EnsembleRunner::new(EnsembleConfig::default().with_shots(64));
+        let ens = runner.run_breakpoint(&p, 0).unwrap();
+        assert_eq!(ens.outcomes.len(), 64);
+        // Bell state: only 0b00 and 0b11 occur.
+        assert!(ens.outcomes.iter().all(|&o| o == 0 || o == 3));
+    }
+
+    #[test]
+    fn check_program_bell_entangled_passes() {
+        let (mut p, m0, m1) = bell_program();
+        p.assert_entangled(&m0, &m1);
+        let reports = EnsembleRunner::new(EnsembleConfig::default())
+            .check_program(&p)
+            .unwrap();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].verdict, Verdict::Pass);
+        assert_eq!(reports[0].exact, Some(Verdict::Pass));
+        assert!(!reports[0].disagrees_with_exact());
+    }
+
+    #[test]
+    fn check_program_is_reproducible() {
+        let (mut p, m0, m1) = bell_program();
+        p.assert_entangled(&m0, &m1);
+        let runner = EnsembleRunner::new(EnsembleConfig::default().with_seed(7));
+        let a = runner.check_program(&p).unwrap();
+        let b = runner.check_program(&p).unwrap();
+        assert_eq!(a[0].p_value.to_bits(), b[0].p_value.to_bits());
+    }
+
+    #[test]
+    fn sixteen_shot_bell_matches_paper_p_value() {
+        // With a perfect Bell state every 16-shot ensemble splits k / 16−k
+        // between 00 and 11; the paper's table (8/8) gives p ≈ 0.0005.
+        let (mut p, m0, m1) = bell_program();
+        p.assert_entangled(&m0, &m1);
+        let runner = EnsembleRunner::new(EnsembleConfig::paper_small().with_seed(3));
+        let reports = runner.check_program(&p).unwrap();
+        assert_eq!(reports[0].verdict, Verdict::Pass);
+        assert!(reports[0].p_value < 0.05);
+    }
+
+    #[test]
+    fn histogram_tracks_first_register() {
+        let (mut p, m0, m1) = bell_program();
+        p.assert_entangled(&m0, &m1);
+        let reports = EnsembleRunner::new(EnsembleConfig::default().with_shots(100))
+            .check_program(&p)
+            .unwrap();
+        let h = &reports[0].histogram;
+        assert_eq!(h.total(), 100);
+        assert_eq!(h.count(0) + h.count(1), 100);
+    }
+
+    #[test]
+    fn multiple_breakpoints_reported_in_order() {
+        let mut p = Program::new();
+        let r = p.alloc_register("r", 2);
+        p.prep_int(&r, 2);
+        p.assert_classical(&r, 2);
+        p.h(r.bit(0));
+        p.h(r.bit(1));
+        p.assert_superposition(&r);
+        let reports = EnsembleRunner::new(EnsembleConfig::default())
+            .check_program(&p)
+            .unwrap();
+        assert_eq!(reports.len(), 2);
+        assert!(reports[0].passed());
+        assert!(reports[1].passed());
+        assert_eq!(reports[0].index, 0);
+        assert_eq!(reports[1].index, 1);
+    }
+
+    #[test]
+    fn noiseless_noise_model_is_normalized_away() {
+        let config = EnsembleConfig::default().with_noise(qdb_sim::NoiseModel::noiseless());
+        assert!(config.noise.is_none());
+    }
+
+    #[test]
+    fn noisy_ensembles_still_pass_robust_assertions_at_low_noise() {
+        let (mut p, m0, m1) = bell_program();
+        p.assert_entangled(&m0, &m1);
+        let config = EnsembleConfig::default()
+            .with_shots(256)
+            .with_seed(3)
+            .with_noise(qdb_sim::NoiseModel::depolarizing(0.005));
+        let reports = EnsembleRunner::new(config).check_program(&p).unwrap();
+        assert_eq!(reports[0].verdict, Verdict::Pass, "{}", reports[0]);
+    }
+
+    #[test]
+    fn heavy_readout_noise_breaks_classical_assertion() {
+        let mut p = Program::new();
+        let r = p.alloc_register("r", 3);
+        p.prep_int(&r, 5);
+        p.assert_classical(&r, 5);
+        let config = EnsembleConfig::default()
+            .with_shots(256)
+            .with_seed(4)
+            .with_noise(qdb_sim::NoiseModel::readout_only(0.25));
+        let reports = EnsembleRunner::new(config).check_program(&p).unwrap();
+        assert_eq!(reports[0].verdict, Verdict::Fail);
+        // The exact verdict (ideal state) still says PASS: the
+        // disagreement localizes the problem to hardware, not code.
+        assert_eq!(reports[0].exact, Some(Verdict::Pass));
+        assert!(reports[0].disagrees_with_exact());
+    }
+
+    #[test]
+    fn noisy_runs_are_reproducible() {
+        let (mut p, m0, m1) = bell_program();
+        p.assert_entangled(&m0, &m1);
+        let config = EnsembleConfig::default()
+            .with_shots(64)
+            .with_seed(5)
+            .with_noise(qdb_sim::NoiseModel::depolarizing(0.05));
+        let a = EnsembleRunner::new(config).run_breakpoint(&p, 0).unwrap();
+        let b = EnsembleRunner::new(config).run_breakpoint(&p, 0).unwrap();
+        assert_eq!(a.outcomes, b.outcomes);
+    }
+
+    #[test]
+    fn wrong_classical_assertion_fails() {
+        let mut p = Program::new();
+        let r = p.alloc_register("r", 3);
+        p.prep_int(&r, 5);
+        p.assert_classical(&r, 6); // wrong expectation
+        let reports = EnsembleRunner::new(EnsembleConfig::default())
+            .check_program(&p)
+            .unwrap();
+        assert_eq!(reports[0].verdict, Verdict::Fail);
+        assert_eq!(reports[0].exact, Some(Verdict::Fail));
+        assert!(reports[0].p_value < 1e-10);
+    }
+}

@@ -1,0 +1,412 @@
+//! Small dense complex linear algebra: a cyclic-Jacobi eigensolver for
+//! Hermitian matrices.
+//!
+//! Two consumers inside QDB need exact spectra of small Hermitian
+//! matrices: the von Neumann entropy of reduced density matrices (the
+//! exact entanglement oracle in [`crate::density`]) and the quantum
+//! chemistry benchmark's exact diagonalization of the 16×16 H₂
+//! Hamiltonian. Matrix sizes never exceed a few dozen, so the classic
+//! Jacobi rotation method is both adequate and easy to verify.
+
+use crate::complex::Complex;
+use crate::error::SimError;
+
+/// A dense complex matrix as rows of columns (`m[row][col]`).
+pub type CMatrix = Vec<Vec<Complex>>;
+
+/// Allocate a `dim × dim` zero matrix.
+#[must_use]
+pub fn zeros(dim: usize) -> CMatrix {
+    vec![vec![Complex::ZERO; dim]; dim]
+}
+
+/// Allocate a `dim × dim` identity matrix.
+#[must_use]
+pub fn identity(dim: usize) -> CMatrix {
+    let mut m = zeros(dim);
+    for (i, row) in m.iter_mut().enumerate() {
+        row[i] = Complex::ONE;
+    }
+    m
+}
+
+/// Matrix product `a · b`.
+///
+/// # Panics
+///
+/// Panics if dimensions are incompatible.
+#[must_use]
+pub fn matmul(a: &CMatrix, b: &CMatrix) -> CMatrix {
+    let n = a.len();
+    let inner = b.len();
+    assert!(a.iter().all(|r| r.len() == inner), "a width != b height");
+    let cols = if inner == 0 { 0 } else { b[0].len() };
+    let mut out = vec![vec![Complex::ZERO; cols]; n];
+    for (i, out_row) in out.iter_mut().enumerate() {
+        for k in 0..inner {
+            let aik = a[i][k];
+            if aik == Complex::ZERO {
+                continue;
+            }
+            for (j, cell) in out_row.iter_mut().enumerate() {
+                *cell += aik * b[k][j];
+            }
+        }
+    }
+    out
+}
+
+/// Conjugate transpose.
+#[must_use]
+pub fn dagger(a: &CMatrix) -> CMatrix {
+    let rows = a.len();
+    let cols = if rows == 0 { 0 } else { a[0].len() };
+    let mut out = vec![vec![Complex::ZERO; rows]; cols];
+    for (i, row) in a.iter().enumerate() {
+        for (j, &v) in row.iter().enumerate() {
+            out[j][i] = v.conj();
+        }
+    }
+    out
+}
+
+/// `true` if `a` is Hermitian within `tol`.
+#[must_use]
+pub fn is_hermitian(a: &CMatrix, tol: f64) -> bool {
+    let n = a.len();
+    if a.iter().any(|r| r.len() != n) {
+        return false;
+    }
+    for i in 0..n {
+        for j in i..n {
+            if !a[i][j].approx_eq(a[j][i].conj(), tol) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// `true` if `a` is unitary within `tol`.
+#[must_use]
+pub fn is_unitary(a: &CMatrix, tol: f64) -> bool {
+    let n = a.len();
+    if a.iter().any(|r| r.len() != n) {
+        return false;
+    }
+    let p = matmul(&dagger(a), a);
+    for (i, row) in p.iter().enumerate() {
+        for (j, &v) in row.iter().enumerate() {
+            let want = if i == j { Complex::ONE } else { Complex::ZERO };
+            if !v.approx_eq(want, tol) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Result of a Hermitian eigendecomposition: `matrix = V · diag(λ) · V†`.
+#[derive(Debug, Clone)]
+pub struct EigenDecomposition {
+    /// Eigenvalues in ascending order.
+    pub values: Vec<f64>,
+    /// `vectors[k]` is the (unit-norm) eigenvector for `values[k]`.
+    pub vectors: Vec<Vec<Complex>>,
+}
+
+/// Eigendecompose a Hermitian matrix with the cyclic Jacobi method.
+///
+/// # Errors
+///
+/// Returns [`SimError::InvalidMatrix`] if the input is not square, or
+/// [`SimError::NotNormalized`] if it is not Hermitian within `1e-9`.
+///
+/// ```
+/// use qdb_sim::linalg::hermitian_eigen;
+/// use qdb_sim::Complex;
+/// // Pauli X: eigenvalues ∓1.
+/// let x = vec![
+///     vec![Complex::ZERO, Complex::ONE],
+///     vec![Complex::ONE, Complex::ZERO],
+/// ];
+/// let eig = hermitian_eigen(&x)?;
+/// assert!((eig.values[0] + 1.0).abs() < 1e-12);
+/// assert!((eig.values[1] - 1.0).abs() < 1e-12);
+/// # Ok::<(), qdb_sim::SimError>(())
+/// ```
+pub fn hermitian_eigen(matrix: &CMatrix) -> Result<EigenDecomposition, SimError> {
+    let n = matrix.len();
+    if matrix.iter().any(|r| r.len() != n) {
+        return Err(SimError::InvalidMatrix {
+            expected: n,
+            found: matrix.iter().map(Vec::len).max().unwrap_or(0),
+        });
+    }
+    if !is_hermitian(matrix, 1e-9) {
+        return Err(SimError::NotNormalized);
+    }
+    let mut a = matrix.clone();
+    let mut v = identity(n);
+
+    const MAX_SWEEPS: usize = 100;
+    const OFF_TOL: f64 = 1e-24;
+    for _ in 0..MAX_SWEEPS {
+        let mut off: f64 = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                off += a[i][j].norm_sqr();
+            }
+        }
+        if off < OFF_TOL {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = a[p][q];
+                let r = apq.abs();
+                if r < 1e-300 {
+                    continue;
+                }
+                let phi = apq.arg();
+                let app = a[p][p].re;
+                let aqq = a[q][q].re;
+                let tau = (aqq - app) / (2.0 * r);
+                let sign = if tau >= 0.0 { 1.0 } else { -1.0 };
+                let t = sign / (tau.abs() + (1.0 + tau * tau).sqrt());
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+                // G[p][p] = c, G[p][q] = s·e^{iφ},
+                // G[q][p] = −s·e^{−iφ}, G[q][q] = c; A ← G† A G.
+                let e_pos = Complex::cis(phi);
+                let e_neg = Complex::cis(-phi);
+                for k in 0..n {
+                    if k == p || k == q {
+                        continue;
+                    }
+                    let akp = a[k][p];
+                    let akq = a[k][q];
+                    a[k][p] = akp.scale(c) - e_neg * akq.scale(s);
+                    a[k][q] = e_pos * akp.scale(s) + akq.scale(c);
+                    a[p][k] = a[k][p].conj();
+                    a[q][k] = a[k][q].conj();
+                }
+                a[p][p] = Complex::real(app - t * r);
+                a[q][q] = Complex::real(aqq + t * r);
+                a[p][q] = Complex::ZERO;
+                a[q][p] = Complex::ZERO;
+                // Accumulate eigenvectors: V ← V G.
+                for row in v.iter_mut() {
+                    let vp = row[p];
+                    let vq = row[q];
+                    row[p] = vp.scale(c) - e_neg * vq.scale(s);
+                    row[q] = e_pos * vp.scale(s) + vq.scale(c);
+                }
+            }
+        }
+    }
+
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| a[i][i].re.partial_cmp(&a[j][j].re).expect("finite eigenvalues"));
+    let values = order.iter().map(|&i| a[i][i].re).collect();
+    let vectors = order
+        .iter()
+        .map(|&col| (0..n).map(|row| v[row][col]).collect())
+        .collect();
+    Ok(EigenDecomposition { values, vectors })
+}
+
+/// Apply `matrix` to `vec`.
+///
+/// # Panics
+///
+/// Panics on dimension mismatch.
+#[must_use]
+pub fn matvec(matrix: &CMatrix, vec: &[Complex]) -> Vec<Complex> {
+    matrix
+        .iter()
+        .map(|row| {
+            assert_eq!(row.len(), vec.len(), "matvec dimension mismatch");
+            row.iter().zip(vec).map(|(&m, &x)| m * x).sum()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(re: f64, im: f64) -> Complex {
+        Complex::new(re, im)
+    }
+
+    #[test]
+    fn identity_and_zeros_shapes() {
+        let i3 = identity(3);
+        assert_eq!(i3[1][1], Complex::ONE);
+        assert_eq!(i3[0][1], Complex::ZERO);
+        assert_eq!(zeros(2)[1][1], Complex::ZERO);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = vec![
+            vec![c(1.0, 2.0), c(0.0, -1.0)],
+            vec![c(3.0, 0.0), c(0.5, 0.5)],
+        ];
+        let prod = matmul(&a, &identity(2));
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!(prod[i][j].approx_eq(a[i][j], 1e-15));
+            }
+        }
+    }
+
+    #[test]
+    fn dagger_involution() {
+        let a = vec![
+            vec![c(1.0, 2.0), c(0.0, -1.0)],
+            vec![c(3.0, 0.0), c(0.5, 0.5)],
+        ];
+        let dd = dagger(&dagger(&a));
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!(dd[i][j].approx_eq(a[i][j], 1e-15));
+            }
+        }
+    }
+
+    #[test]
+    fn hermitian_and_unitary_predicates() {
+        let h = vec![vec![c(2.0, 0.0), c(1.0, 1.0)], vec![c(1.0, -1.0), c(3.0, 0.0)]];
+        assert!(is_hermitian(&h, 1e-12));
+        let not_h = vec![vec![c(2.0, 0.0), c(1.0, 1.0)], vec![c(1.0, 1.0), c(3.0, 0.0)]];
+        assert!(!is_hermitian(&not_h, 1e-12));
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        let had = vec![vec![c(s, 0.0), c(s, 0.0)], vec![c(s, 0.0), c(-s, 0.0)]];
+        assert!(is_unitary(&had, 1e-12));
+        assert!(!is_unitary(&h, 1e-12));
+    }
+
+    #[test]
+    fn eigen_pauli_y_complex_entries() {
+        let y = vec![vec![Complex::ZERO, -Complex::I], vec![Complex::I, Complex::ZERO]];
+        let eig = hermitian_eigen(&y).unwrap();
+        assert!((eig.values[0] + 1.0).abs() < 1e-12);
+        assert!((eig.values[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eigen_diagonal_matrix_sorted() {
+        let d = vec![
+            vec![c(5.0, 0.0), Complex::ZERO, Complex::ZERO],
+            vec![Complex::ZERO, c(-2.0, 0.0), Complex::ZERO],
+            vec![Complex::ZERO, Complex::ZERO, c(1.0, 0.0)],
+        ];
+        let eig = hermitian_eigen(&d).unwrap();
+        assert_eq!(eig.values.len(), 3);
+        assert!((eig.values[0] + 2.0).abs() < 1e-12);
+        assert!((eig.values[1] - 1.0).abs() < 1e-12);
+        assert!((eig.values[2] - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eigen_reconstructs_matrix() {
+        // Random-ish 4×4 Hermitian.
+        let a = vec![
+            vec![c(1.0, 0.0), c(0.5, 0.2), c(0.0, -0.3), c(0.1, 0.0)],
+            vec![c(0.5, -0.2), c(-2.0, 0.0), c(0.4, 0.1), c(0.0, 0.6)],
+            vec![c(0.0, 0.3), c(0.4, -0.1), c(0.7, 0.0), c(-0.2, 0.0)],
+            vec![c(0.1, 0.0), c(0.0, -0.6), c(-0.2, 0.0), c(3.0, 0.0)],
+        ];
+        let eig = hermitian_eigen(&a).unwrap();
+        // Rebuild A = Σ λ_k v_k v_k†.
+        let n = 4;
+        let mut rebuilt = zeros(n);
+        for k in 0..n {
+            for i in 0..n {
+                for j in 0..n {
+                    rebuilt[i][j] +=
+                        (eig.vectors[k][i] * eig.vectors[k][j].conj()).scale(eig.values[k]);
+                }
+            }
+        }
+        for i in 0..n {
+            for j in 0..n {
+                assert!(
+                    rebuilt[i][j].approx_eq(a[i][j], 1e-9),
+                    "mismatch at ({i},{j}): {} vs {}",
+                    rebuilt[i][j],
+                    a[i][j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn eigen_vectors_are_orthonormal() {
+        let a = vec![
+            vec![c(2.0, 0.0), c(1.0, 1.0), Complex::ZERO],
+            vec![c(1.0, -1.0), c(0.0, 0.0), c(0.0, 2.0)],
+            vec![Complex::ZERO, c(0.0, -2.0), c(-1.0, 0.0)],
+        ];
+        let eig = hermitian_eigen(&a).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                let ip: Complex = (0..3)
+                    .map(|k| eig.vectors[i][k].conj() * eig.vectors[j][k])
+                    .sum();
+                let want = if i == j { Complex::ONE } else { Complex::ZERO };
+                assert!(ip.approx_eq(want, 1e-9), "⟨v{i}|v{j}⟩ = {ip}");
+            }
+        }
+    }
+
+    #[test]
+    fn eigen_satisfies_eigen_equation() {
+        let a = vec![
+            vec![c(1.0, 0.0), c(0.0, 0.5)],
+            vec![c(0.0, -0.5), c(-1.0, 0.0)],
+        ];
+        let eig = hermitian_eigen(&a).unwrap();
+        for k in 0..2 {
+            let av = matvec(&a, &eig.vectors[k]);
+            for i in 0..2 {
+                assert!(
+                    av[i].approx_eq(eig.vectors[k][i].scale(eig.values[k]), 1e-10),
+                    "A v ≠ λ v at row {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn eigen_trace_preserved() {
+        let a = vec![
+            vec![c(1.5, 0.0), c(0.3, -0.7)],
+            vec![c(0.3, 0.7), c(-0.5, 0.0)],
+        ];
+        let eig = hermitian_eigen(&a).unwrap();
+        let trace: f64 = eig.values.iter().sum();
+        assert!((trace - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn eigen_rejects_bad_input() {
+        let ragged = vec![vec![Complex::ONE], vec![Complex::ONE, Complex::ZERO]];
+        assert!(hermitian_eigen(&ragged).is_err());
+        let not_h = vec![
+            vec![Complex::ONE, Complex::ONE],
+            vec![Complex::ZERO, Complex::ONE],
+        ];
+        assert!(hermitian_eigen(&not_h).is_err());
+    }
+
+    #[test]
+    fn matvec_applies_rows() {
+        let a = vec![vec![c(1.0, 0.0), c(0.0, 1.0)], vec![c(2.0, 0.0), Complex::ZERO]];
+        let out = matvec(&a, &[Complex::ONE, Complex::ONE]);
+        assert!(out[0].approx_eq(c(1.0, 1.0), 1e-15));
+        assert!(out[1].approx_eq(c(2.0, 0.0), 1e-15));
+    }
+}

@@ -1,0 +1,331 @@
+//! Measurement: ensemble sampling and collapsing mid-circuit measurement.
+//!
+//! The paper's assertion checks run an *ensemble* of complete program
+//! executions, measuring everything at a breakpoint. For that use case the
+//! state is computed once and sampled many times without collapse
+//! ([`Sampler`]). Iterative phase estimation (the chemistry benchmark)
+//! additionally needs true mid-circuit collapse
+//! ([`measure_qubit`](crate::State::measure_qubit)) with classical
+//! feed-forward.
+
+use rand::Rng;
+
+use crate::complex::Complex;
+use crate::state::State;
+
+/// Extract the bits of `outcome` at the given qubit positions, packing them
+/// so `qubits[0]` becomes bit 0 of the result.
+///
+/// This converts a full-register measurement outcome into the integer value
+/// of a named quantum variable (the paper's register-to-qubit bookkeeping,
+/// see its footnote 3).
+///
+/// ```
+/// use qdb_sim::measure::extract_bits;
+/// // outcome 0b1101, variable on qubits [2, 3] → bits 1, 1 → 3
+/// assert_eq!(extract_bits(0b1101, &[2, 3]), 0b11);
+/// // qubit order matters: [3, 2] packs bit 3 first
+/// assert_eq!(extract_bits(0b0100, &[3, 2]), 0b10);
+/// ```
+#[must_use]
+pub fn extract_bits(outcome: u64, qubits: &[usize]) -> u64 {
+    let mut value = 0u64;
+    for (pos, &q) in qubits.iter().enumerate() {
+        if outcome & (1 << q) != 0 {
+            value |= 1 << pos;
+        }
+    }
+    value
+}
+
+/// A reusable sampler over the Born-rule distribution of a [`State`].
+///
+/// Builds the cumulative distribution once (`O(2ⁿ)`) and then draws each
+/// shot in `O(n)` by binary search — the ensemble-of-16…4096 sampling
+/// pattern of the paper costs almost nothing beyond the state preparation.
+///
+/// ```
+/// use qdb_sim::{gates, Sampler, State};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut s = State::zero(1);
+/// s.apply_1q(0, &gates::h());
+/// let sampler = Sampler::new(&s);
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let shots: Vec<u64> = (0..100).map(|_| sampler.sample(&mut rng)).collect();
+/// assert!(shots.iter().any(|&x| x == 0) && shots.iter().any(|&x| x == 1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sampler {
+    /// cdf[i] = P(outcome ≤ i); last entry forced to 1.0.
+    cdf: Vec<f64>,
+}
+
+impl Sampler {
+    /// Build a sampler from the state's probability vector.
+    #[must_use]
+    pub fn new(state: &State) -> Self {
+        let mut cdf = Vec::with_capacity(state.dim());
+        let mut acc = 0.0;
+        for i in 0..state.dim() {
+            acc += state.probability(i);
+            cdf.push(acc);
+        }
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        Self { cdf }
+    }
+
+    /// Draw one full-register outcome (a basis index).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen();
+        // First index whose CDF value strictly exceeds u.
+        match self
+            .cdf
+            .binary_search_by(|probe| probe.partial_cmp(&u).expect("cdf is finite"))
+        {
+            Ok(mut i) => {
+                // Landed exactly on a CDF value: advance past zero-width bins.
+                while i + 1 < self.cdf.len() && self.cdf[i + 1] <= u {
+                    i += 1;
+                }
+                (i + 1).min(self.cdf.len() - 1) as u64
+            }
+            Err(i) => i as u64,
+        }
+    }
+
+    /// Draw `shots` outcomes.
+    pub fn sample_many<R: Rng + ?Sized>(&self, rng: &mut R, shots: usize) -> Vec<u64> {
+        (0..shots).map(|_| self.sample(rng)).collect()
+    }
+
+    /// Draw `shots` outcomes and project each onto a quantum variable's
+    /// qubits (see [`extract_bits`]).
+    pub fn sample_variable<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        qubits: &[usize],
+        shots: usize,
+    ) -> Vec<u64> {
+        (0..shots)
+            .map(|_| extract_bits(self.sample(rng), qubits))
+            .collect()
+    }
+}
+
+impl State {
+    /// Measure qubit `q` in the computational basis, collapsing the state.
+    ///
+    /// Returns the observed bit. The state is renormalized onto the
+    /// observed branch (projective measurement). This is the mid-circuit
+    /// measurement primitive required by iterative phase estimation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn measure_qubit<R: Rng + ?Sized>(&mut self, q: usize, rng: &mut R) -> u8 {
+        let p1 = self.prob_one(q);
+        let bit = u8::from(rng.gen::<f64>() < p1);
+        self.project_qubit(q, bit);
+        bit
+    }
+
+    /// Project qubit `q` onto `bit` and renormalize (post-selection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range or the branch has zero probability.
+    pub fn project_qubit(&mut self, q: usize, bit: u8) {
+        assert!(q < self.num_qubits(), "qubit {q} out of range");
+        let mask = 1usize << q;
+        let keep_set = bit == 1;
+        let mut norm_sqr = 0.0;
+        for i in 0..self.dim() {
+            if ((i & mask) != 0) == keep_set {
+                norm_sqr += self.probability(i);
+            }
+        }
+        assert!(
+            norm_sqr > 1e-12,
+            "projection onto zero-probability branch (qubit {q} = {bit})"
+        );
+        let scale = norm_sqr.sqrt().recip();
+        let amps = self.amps_mut();
+        for (i, a) in amps.iter_mut().enumerate() {
+            if ((i & mask) != 0) == keep_set {
+                *a = a.scale(scale);
+            } else {
+                *a = Complex::ZERO;
+            }
+        }
+    }
+
+    /// Measure qubit `q` and then reset it to `|0⟩` (measure-and-reset, as
+    /// used to recycle the ancilla in iterative phase estimation).
+    ///
+    /// Returns the pre-reset measurement outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn measure_and_reset_qubit<R: Rng + ?Sized>(&mut self, q: usize, rng: &mut R) -> u8 {
+        let bit = self.measure_qubit(q, rng);
+        if bit == 1 {
+            self.apply_1q(q, &crate::gates::x());
+        }
+        bit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gates;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn extract_bits_identity_order() {
+        assert_eq!(extract_bits(0b1011, &[0, 1, 2, 3]), 0b1011);
+        assert_eq!(extract_bits(0b1011, &[1, 3]), 0b11);
+        assert_eq!(extract_bits(0b1011, &[2]), 0);
+        assert_eq!(extract_bits(0, &[]), 0);
+    }
+
+    #[test]
+    fn sampler_on_basis_state_is_deterministic() {
+        let s = State::basis(3, 5).unwrap();
+        let sampler = Sampler::new(&s);
+        let mut r = rng(1);
+        for _ in 0..50 {
+            assert_eq!(sampler.sample(&mut r), 5);
+        }
+    }
+
+    #[test]
+    fn sampler_uniform_covers_all_outcomes() {
+        let mut s = State::zero(3);
+        for q in 0..3 {
+            s.apply_1q(q, &gates::h());
+        }
+        let sampler = Sampler::new(&s);
+        let mut r = rng(42);
+        let shots = sampler.sample_many(&mut r, 4000);
+        let mut counts = [0u32; 8];
+        for &x in &shots {
+            counts[x as usize] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64 - 500.0).abs() < 120.0,
+                "outcome {i} count {c} too far from 500"
+            );
+        }
+    }
+
+    #[test]
+    fn sampler_never_emits_zero_probability_outcome() {
+        let mut s = State::zero(2);
+        s.apply_1q(0, &gates::h());
+        s.apply_controlled_1q(&[0], 1, &gates::x());
+        let sampler = Sampler::new(&s);
+        let mut r = rng(9);
+        for _ in 0..2000 {
+            let x = sampler.sample(&mut r);
+            assert!(x == 0b00 || x == 0b11, "impossible outcome {x:#04b}");
+        }
+    }
+
+    #[test]
+    fn sample_variable_projects_register() {
+        // Bell pair: variable on qubit 1 must equal variable on qubit 0.
+        let mut s = State::zero(2);
+        s.apply_1q(0, &gates::h());
+        s.apply_controlled_1q(&[0], 1, &gates::x());
+        let sampler = Sampler::new(&s);
+        let mut r = rng(3);
+        for _ in 0..200 {
+            let full = sampler.sample(&mut r);
+            assert_eq!(
+                extract_bits(full, &[0]),
+                extract_bits(full, &[1]),
+                "Bell pair outcomes must agree"
+            );
+        }
+    }
+
+    #[test]
+    fn measure_qubit_collapses() {
+        let mut r = rng(11);
+        for _ in 0..20 {
+            let mut s = State::zero(2);
+            s.apply_1q(0, &gates::h());
+            s.apply_controlled_1q(&[0], 1, &gates::x());
+            let bit = s.measure_qubit(0, &mut r);
+            // After collapse, both qubits agree deterministically.
+            let expected = if bit == 1 { 0b11 } else { 0b00 };
+            assert!((s.probability(expected) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn measure_statistics_are_fair() {
+        let mut r = rng(5);
+        let mut ones = 0;
+        for _ in 0..1000 {
+            let mut s = State::zero(1);
+            s.apply_1q(0, &gates::h());
+            ones += u32::from(s.measure_qubit(0, &mut r));
+        }
+        assert!((ones as f64 - 500.0).abs() < 80.0, "ones = {ones}");
+    }
+
+    #[test]
+    fn project_qubit_post_selects() {
+        let mut s = State::zero(2);
+        s.apply_1q(0, &gates::h());
+        s.apply_controlled_1q(&[0], 1, &gates::x());
+        s.project_qubit(0, 1);
+        assert!((s.probability(0b11) - 1.0).abs() < 1e-12);
+        assert!((s.norm_sqr() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-probability")]
+    fn project_impossible_branch_panics() {
+        let mut s = State::zero(1);
+        s.project_qubit(0, 1);
+    }
+
+    #[test]
+    fn measure_and_reset_returns_outcome_and_clears() {
+        let mut r = rng(17);
+        for _ in 0..20 {
+            let mut s = State::zero(2);
+            s.apply_1q(0, &gates::h());
+            s.apply_controlled_1q(&[0], 1, &gates::x());
+            let bit = s.measure_and_reset_qubit(0, &mut r);
+            // Qubit 0 is reset; qubit 1 still carries the outcome.
+            assert!(s.prob_one(0) < 1e-12);
+            assert!((s.prob_one(1) - f64::from(bit)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn seeded_sampling_is_reproducible() {
+        let mut s = State::zero(4);
+        for q in 0..4 {
+            s.apply_1q(q, &gates::h());
+        }
+        let sampler = Sampler::new(&s);
+        let a = sampler.sample_many(&mut rng(123), 64);
+        let b = sampler.sample_many(&mut rng(123), 64);
+        assert_eq!(a, b);
+    }
+}

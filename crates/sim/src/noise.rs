@@ -1,0 +1,234 @@
+//! Stochastic noise channels (quantum-trajectory method).
+//!
+//! The paper's ensembles come from an ideal simulator; on real NISQ
+//! hardware every gate and measurement is noisy, and statistical
+//! assertions double as cheap noise detectors. This module provides
+//! Pauli noise channels applied stochastically per trajectory: each
+//! ensemble shot becomes one trajectory through the noisy circuit, so
+//! the ensemble's outcome distribution follows the corresponding
+//! density-matrix channel without ever representing mixed states.
+
+use rand::Rng;
+
+use crate::gates;
+use crate::state::State;
+
+/// A single-qubit Pauli noise channel, applied after each gate to every
+/// qubit the gate touched.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NoiseChannel {
+    /// Apply X with the given probability.
+    BitFlip(f64),
+    /// Apply Z with the given probability.
+    PhaseFlip(f64),
+    /// With the given probability, apply X, Y, or Z uniformly at random.
+    Depolarizing(f64),
+}
+
+impl NoiseChannel {
+    /// The channel's error probability parameter.
+    #[must_use]
+    pub fn probability(&self) -> f64 {
+        match *self {
+            NoiseChannel::BitFlip(p)
+            | NoiseChannel::PhaseFlip(p)
+            | NoiseChannel::Depolarizing(p) => p,
+        }
+    }
+
+    /// Sample the channel once on qubit `q` of `state`.
+    pub fn apply<R: Rng + ?Sized>(&self, state: &mut State, q: usize, rng: &mut R) {
+        let p = self.probability();
+        if p <= 0.0 || rng.gen::<f64>() >= p {
+            return;
+        }
+        match self {
+            NoiseChannel::BitFlip(_) => state.apply_1q(q, &gates::x()),
+            NoiseChannel::PhaseFlip(_) => state.apply_1q(q, &gates::z()),
+            NoiseChannel::Depolarizing(_) => match rng.gen_range(0..3) {
+                0 => state.apply_1q(q, &gates::x()),
+                1 => state.apply_1q(q, &gates::y()),
+                _ => state.apply_1q(q, &gates::z()),
+            },
+        }
+    }
+}
+
+/// A whole-circuit noise model: per-gate channel noise plus classical
+/// measurement readout error.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct NoiseModel {
+    /// Channel applied to each touched qubit after every gate, if any.
+    pub gate_noise: Option<NoiseChannel>,
+    /// Probability of flipping each measured bit classically.
+    pub readout_flip: f64,
+}
+
+impl NoiseModel {
+    /// The ideal, noiseless model.
+    #[must_use]
+    pub fn noiseless() -> Self {
+        Self::default()
+    }
+
+    /// Uniform depolarizing noise after every gate.
+    #[must_use]
+    pub fn depolarizing(p: f64) -> Self {
+        Self {
+            gate_noise: Some(NoiseChannel::Depolarizing(p)),
+            readout_flip: 0.0,
+        }
+    }
+
+    /// Pure readout error.
+    #[must_use]
+    pub fn readout_only(p: f64) -> Self {
+        Self {
+            gate_noise: None,
+            readout_flip: p,
+        }
+    }
+
+    /// Builder-style readout error.
+    #[must_use]
+    pub fn with_readout_flip(mut self, p: f64) -> Self {
+        self.readout_flip = p;
+        self
+    }
+
+    /// `true` when the model introduces no errors at all.
+    #[must_use]
+    pub fn is_noiseless(&self) -> bool {
+        self.gate_noise.map_or(true, |c| c.probability() <= 0.0) && self.readout_flip <= 0.0
+    }
+
+    /// Apply classical readout error to a measured outcome over
+    /// `num_bits` bits.
+    pub fn corrupt_readout<R: Rng + ?Sized>(
+        &self,
+        outcome: u64,
+        num_bits: usize,
+        rng: &mut R,
+    ) -> u64 {
+        if self.readout_flip <= 0.0 {
+            return outcome;
+        }
+        let mut corrupted = outcome;
+        for bit in 0..num_bits {
+            if rng.gen::<f64>() < self.readout_flip {
+                corrupted ^= 1 << bit;
+            }
+        }
+        corrupted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn zero_probability_channels_do_nothing() {
+        let mut r = rng(1);
+        for channel in [
+            NoiseChannel::BitFlip(0.0),
+            NoiseChannel::PhaseFlip(0.0),
+            NoiseChannel::Depolarizing(0.0),
+        ] {
+            let mut s = State::zero(2);
+            let reference = s.clone();
+            for _ in 0..100 {
+                channel.apply(&mut s, 0, &mut r);
+            }
+            assert!(s.approx_eq(&reference, 0.0), "{channel:?} mutated state");
+        }
+    }
+
+    #[test]
+    fn certain_bit_flip_always_flips() {
+        let mut r = rng(2);
+        let mut s = State::zero(1);
+        NoiseChannel::BitFlip(1.0).apply(&mut s, 0, &mut r);
+        assert!((s.probability(1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bit_flip_rate_matches_probability() {
+        let mut r = rng(3);
+        let p = 0.3;
+        let mut flips = 0u32;
+        for _ in 0..2000 {
+            let mut s = State::zero(1);
+            NoiseChannel::BitFlip(p).apply(&mut s, 0, &mut r);
+            if s.probability(1) > 0.5 {
+                flips += 1;
+            }
+        }
+        let rate = f64::from(flips) / 2000.0;
+        assert!((rate - p).abs() < 0.04, "rate = {rate}");
+    }
+
+    #[test]
+    fn phase_flip_invisible_on_basis_state_but_not_plus() {
+        let mut r = rng(4);
+        // On |0⟩ a Z does nothing observable.
+        let mut s = State::zero(1);
+        NoiseChannel::PhaseFlip(1.0).apply(&mut s, 0, &mut r);
+        assert!((s.probability(0) - 1.0).abs() < 1e-12);
+        // On |+⟩ it flips to |−⟩.
+        let mut s = State::zero(1);
+        s.apply_1q(0, &gates::h());
+        NoiseChannel::PhaseFlip(1.0).apply(&mut s, 0, &mut r);
+        s.apply_1q(0, &gates::h());
+        assert!((s.probability(1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn depolarizing_uses_all_three_paulis() {
+        // With p = 1 on |0⟩: X and Y both flip the bit (2/3), Z does
+        // not (1/3).
+        let mut r = rng(5);
+        let mut flipped = 0u32;
+        let n = 3000;
+        for _ in 0..n {
+            let mut s = State::zero(1);
+            NoiseChannel::Depolarizing(1.0).apply(&mut s, 0, &mut r);
+            if s.probability(1) > 0.5 {
+                flipped += 1;
+            }
+        }
+        let rate = f64::from(flipped) / f64::from(n);
+        assert!((rate - 2.0 / 3.0).abs() < 0.04, "rate = {rate}");
+    }
+
+    #[test]
+    fn noise_model_predicates() {
+        assert!(NoiseModel::noiseless().is_noiseless());
+        assert!(NoiseModel::depolarizing(0.0).is_noiseless());
+        assert!(!NoiseModel::depolarizing(0.01).is_noiseless());
+        assert!(!NoiseModel::readout_only(0.02).is_noiseless());
+        assert_eq!(NoiseChannel::Depolarizing(0.25).probability(), 0.25);
+    }
+
+    #[test]
+    fn readout_corruption_rate() {
+        let model = NoiseModel::readout_only(0.5);
+        let mut r = rng(6);
+        let mut flipped_bits = 0u32;
+        let trials = 2000;
+        for _ in 0..trials {
+            let out = model.corrupt_readout(0, 4, &mut r);
+            flipped_bits += out.count_ones();
+        }
+        let rate = f64::from(flipped_bits) / f64::from(trials * 4);
+        assert!((rate - 0.5).abs() < 0.03, "rate = {rate}");
+        // Zero flip probability is the identity.
+        assert_eq!(NoiseModel::noiseless().corrupt_readout(0b1010, 4, &mut r), 0b1010);
+    }
+}

@@ -1,0 +1,185 @@
+//! Property-based tests of the simulator's physical invariants.
+
+use proptest::prelude::*;
+use qdb_sim::density::{purity, reduced_density_matrix, von_neumann_entropy};
+use qdb_sim::linalg::{hermitian_eigen, is_unitary};
+use qdb_sim::{gates, Complex, Matrix2, State};
+
+const N: usize = 4;
+
+fn arb_gate() -> impl Strategy<Value = Matrix2> {
+    prop_oneof![
+        Just(gates::h()),
+        Just(gates::x()),
+        Just(gates::y()),
+        Just(gates::z()),
+        Just(gates::s()),
+        Just(gates::t()),
+        (-3.2f64..3.2).prop_map(gates::rx),
+        (-3.2f64..3.2).prop_map(gates::ry),
+        (-3.2f64..3.2).prop_map(gates::rz),
+        (-3.2f64..3.2).prop_map(gates::phase),
+        (0.0f64..3.2, -3.2f64..3.2, -3.2f64..3.2).prop_map(|(t, p, l)| gates::u3(t, p, l)),
+    ]
+}
+
+/// A random sequence of (target, gate, optional control) moves.
+fn arb_moves() -> impl Strategy<Value = Vec<(usize, Matrix2, Option<usize>)>> {
+    prop::collection::vec(
+        (0..N, arb_gate(), prop::option::of(0..N)),
+        1..20,
+    )
+}
+
+fn apply_moves(state: &mut State, moves: &[(usize, Matrix2, Option<usize>)]) {
+    for (target, gate, control) in moves {
+        match control {
+            Some(c) if c != target => state.apply_controlled_1q(&[*c], *target, gate),
+            _ => state.apply_1q(*target, gate),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_gate_sequences_preserve_norm(
+        input in 0..16u64,
+        moves in arb_moves(),
+    ) {
+        let mut s = State::basis(N, input).unwrap();
+        apply_moves(&mut s, &moves);
+        prop_assert!((s.norm_sqr() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_generated_gates_are_unitary(g in arb_gate()) {
+        prop_assert!(g.is_unitary(1e-10));
+        // And their dagger inverts them.
+        prop_assert!(g.mul(&g.dagger()).approx_eq(&Matrix2::identity(), 1e-10));
+    }
+
+    #[test]
+    fn reduced_density_matrices_are_valid(
+        input in 0..16u64,
+        moves in arb_moves(),
+        keep_mask in 1..15usize,
+    ) {
+        let mut s = State::basis(N, input).unwrap();
+        apply_moves(&mut s, &moves);
+        let keep: Vec<usize> = (0..N).filter(|q| keep_mask & (1 << q) != 0).collect();
+        let rho = reduced_density_matrix(&s, &keep).unwrap();
+        // Trace one.
+        let trace: f64 = (0..rho.len()).map(|i| rho[i][i].re).sum();
+        prop_assert!((trace - 1.0).abs() < 1e-9);
+        // Hermitian, PSD spectrum, purity in (0, 1].
+        let eig = hermitian_eigen(&rho).unwrap();
+        for &l in &eig.values {
+            prop_assert!(l > -1e-9, "negative eigenvalue {l}");
+            prop_assert!(l < 1.0 + 1e-9);
+        }
+        let p = purity(&rho);
+        prop_assert!(p > 1.0 / rho.len() as f64 - 1e-9 && p <= 1.0 + 1e-9);
+        // Entropy consistent with purity: zero entropy ⇔ purity one.
+        let entropy = von_neumann_entropy(&rho).unwrap();
+        prop_assert!(entropy >= -1e-9);
+        if (p - 1.0).abs() < 1e-12 {
+            prop_assert!(entropy < 1e-6);
+        }
+    }
+
+    #[test]
+    fn inner_product_is_conjugate_symmetric(
+        a_moves in arb_moves(),
+        b_moves in arb_moves(),
+    ) {
+        let mut a = State::zero(N);
+        apply_moves(&mut a, &a_moves);
+        let mut b = State::zero(N);
+        apply_moves(&mut b, &b_moves);
+        let ab = a.inner(&b);
+        let ba = b.inner(&a);
+        prop_assert!(ab.approx_eq(ba.conj(), 1e-10));
+        // Cauchy–Schwarz.
+        prop_assert!(ab.abs() <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn measurement_collapse_is_consistent(
+        input in 0..16u64,
+        moves in arb_moves(),
+        q in 0..N,
+        seed in 0..u64::MAX,
+    ) {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut s = State::basis(N, input).unwrap();
+        apply_moves(&mut s, &moves);
+        let p1 = s.prob_one(q);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let bit = s.measure_qubit(q, &mut rng);
+        // After collapse the measured qubit is deterministic…
+        prop_assert!((s.prob_one(q) - f64::from(bit)).abs() < 1e-9);
+        // …the state is normalized…
+        prop_assert!((s.norm_sqr() - 1.0).abs() < 1e-9);
+        // …and an impossible outcome never occurs.
+        if bit == 1 {
+            prop_assert!(p1 > 0.0);
+        } else {
+            prop_assert!(p1 < 1.0);
+        }
+    }
+
+    #[test]
+    fn sampler_only_emits_supported_outcomes(
+        input in 0..16u64,
+        moves in arb_moves(),
+        seed in 0..u64::MAX,
+    ) {
+        use qdb_sim::Sampler;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut s = State::basis(N, input).unwrap();
+        apply_moves(&mut s, &moves);
+        let sampler = Sampler::new(&s);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..32 {
+            let outcome = sampler.sample(&mut rng) as usize;
+            prop_assert!(outcome < s.dim());
+            prop_assert!(
+                s.probability(outcome) > 1e-12,
+                "sampled impossible outcome {outcome}"
+            );
+        }
+    }
+
+    #[test]
+    fn random_unitaries_recognized_by_linalg(g in arb_gate()) {
+        let m = vec![
+            vec![g.0[0][0], g.0[0][1]],
+            vec![g.0[1][0], g.0[1][1]],
+        ];
+        prop_assert!(is_unitary(&m, 1e-9));
+        // Hermitian eigendecomposition of g + g† has real spectrum
+        // bounded by 2.
+        let h = vec![
+            vec![g.0[0][0] + g.0[0][0].conj(), g.0[0][1] + g.0[1][0].conj()],
+            vec![g.0[1][0] + g.0[0][1].conj(), g.0[1][1] + g.0[1][1].conj()],
+        ];
+        let eig = hermitian_eigen(&h).unwrap();
+        for &l in &eig.values {
+            prop_assert!(l.abs() <= 2.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn tensor_product_factorizes_probabilities(a in 0..4u64, b in 0..4u64) {
+        let sa = State::basis(2, a).unwrap();
+        let sb = State::basis(2, b).unwrap();
+        let t = sa.tensor(&sb);
+        let idx = ((b << 2) | a) as usize;
+        prop_assert!((t.probability(idx) - 1.0).abs() < 1e-12);
+        let _ = Complex::ONE; // silence unused import on some cfgs
+    }
+}

@@ -1,0 +1,464 @@
+//! Chi-square distribution and the one-sample goodness-of-fit test.
+//!
+//! `assert_classical` and `assert_superposition` from the paper are both
+//! instances of a chi-square goodness-of-fit test:
+//!
+//! * **classical** — the hypothesized distribution is a point mass at the
+//!   expected integer value (modelled with a small smoothing mass `ε` spread
+//!   over the other bins so expected counts are never exactly zero);
+//! * **superposition** — the hypothesized distribution is uniform over all
+//!   `2ⁿ` outcomes.
+//!
+//! A small p-value (≤ 0.05 in the paper) rejects the null hypothesis and
+//! therefore *fires* the assertion.
+
+use crate::special::{gamma_p, gamma_q};
+use crate::StatsError;
+
+/// Outcome of a chi-square test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChiSquareResult {
+    /// The χ² statistic, `Σ (Oᵢ − Eᵢ)² / Eᵢ`.
+    pub statistic: f64,
+    /// Degrees of freedom of the reference distribution.
+    pub dof: usize,
+    /// Right-tail probability `P(X ≥ statistic)` under the null hypothesis.
+    pub p_value: f64,
+}
+
+impl ChiSquareResult {
+    /// `true` when the null hypothesis is rejected at significance `alpha`.
+    ///
+    /// ```
+    /// use qdb_stats::ChiSquareResult;
+    /// let r = ChiSquareResult { statistic: 16.0, dof: 1, p_value: 0.0005 };
+    /// assert!(r.rejects(0.05));
+    /// assert!(!r.rejects(0.0001));
+    /// ```
+    #[must_use]
+    pub fn rejects(&self, alpha: f64) -> bool {
+        self.p_value <= alpha
+    }
+}
+
+/// Survival function of the chi-square distribution with `dof` degrees of
+/// freedom: `P(X ≥ x) = Q(dof/2, x/2)`.
+///
+/// # Errors
+///
+/// Returns [`StatsError::ZeroDegreesOfFreedom`] for `dof == 0` and
+/// [`StatsError::DomainError`] for negative `x`.
+///
+/// ```
+/// use qdb_stats::chi2_sf;
+/// // χ²(1) at x = 3.841 is the classic 5% critical point.
+/// let p = chi2_sf(3.841459, 1)?;
+/// assert!((p - 0.05).abs() < 1e-6);
+/// # Ok::<(), qdb_stats::StatsError>(())
+/// ```
+pub fn chi2_sf(x: f64, dof: usize) -> Result<f64, StatsError> {
+    if dof == 0 {
+        return Err(StatsError::ZeroDegreesOfFreedom);
+    }
+    if x < 0.0 {
+        return Err(StatsError::DomainError("chi2_sf requires x >= 0"));
+    }
+    gamma_q(dof as f64 / 2.0, x / 2.0)
+}
+
+/// Cumulative distribution function of the chi-square distribution:
+/// `P(X ≤ x) = P(dof/2, x/2)`.
+///
+/// # Errors
+///
+/// Same domain requirements as [`chi2_sf`].
+pub fn chi2_cdf(x: f64, dof: usize) -> Result<f64, StatsError> {
+    if dof == 0 {
+        return Err(StatsError::ZeroDegreesOfFreedom);
+    }
+    if x < 0.0 {
+        return Err(StatsError::DomainError("chi2_cdf requires x >= 0"));
+    }
+    gamma_p(dof as f64 / 2.0, x / 2.0)
+}
+
+/// Default smoothing mass used by [`GoodnessOfFit::point_mass`]. The paper's
+/// classical assertion expects *all* probability at one value; a literal
+/// zero expected count makes the χ² statistic undefined, so a small ε is
+/// spread across the other bins (any observation off the peak then produces
+/// an enormous statistic and `p ≈ 0`, matching the paper's reported
+/// `p-value = 0.0`).
+pub const DEFAULT_POINT_MASS_EPSILON: f64 = 1e-6;
+
+/// A one-sample chi-square goodness-of-fit test against a fixed expected
+/// distribution.
+///
+/// Construct with [`GoodnessOfFit::uniform`], [`GoodnessOfFit::point_mass`],
+/// or [`GoodnessOfFit::new`] for an arbitrary hypothesis, then feed observed
+/// counts to [`GoodnessOfFit::test_counts`].
+///
+/// ```
+/// use qdb_stats::GoodnessOfFit;
+/// // 64 shots of a 2-qubit uniform superposition, perfectly flat:
+/// let gof = GoodnessOfFit::uniform(4)?;
+/// let result = gof.test_counts(&[16, 16, 16, 16])?;
+/// assert!(result.p_value > 0.99);
+/// # Ok::<(), qdb_stats::StatsError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct GoodnessOfFit {
+    expected: Vec<f64>,
+    pooling_threshold: f64,
+}
+
+impl GoodnessOfFit {
+    /// Test against an arbitrary expected probability vector. The vector is
+    /// normalized internally.
+    ///
+    /// # Errors
+    ///
+    /// [`StatsError::InvalidExpected`] if any entry is negative, not finite,
+    /// or all entries are zero; [`StatsError::EmptySample`] for an empty
+    /// vector.
+    pub fn new<I: IntoIterator<Item = f64>>(expected: I) -> Result<Self, StatsError> {
+        let expected: Vec<f64> = expected.into_iter().collect();
+        if expected.is_empty() {
+            return Err(StatsError::EmptySample);
+        }
+        if expected.iter().any(|&p| p < 0.0 || !p.is_finite()) {
+            return Err(StatsError::InvalidExpected);
+        }
+        let total: f64 = expected.iter().sum();
+        if total <= 0.0 {
+            return Err(StatsError::InvalidExpected);
+        }
+        Ok(Self {
+            expected: expected.into_iter().map(|p| p / total).collect(),
+            pooling_threshold: 0.0,
+        })
+    }
+
+    /// The uniform hypothesis over `bins` outcomes — the paper's
+    /// *superposition* assertion.
+    ///
+    /// # Errors
+    ///
+    /// [`StatsError::EmptySample`] if `bins == 0`.
+    pub fn uniform(bins: usize) -> Result<Self, StatsError> {
+        if bins == 0 {
+            return Err(StatsError::EmptySample);
+        }
+        Self::new(std::iter::repeat_n(1.0, bins))
+    }
+
+    /// A point-mass hypothesis at bin `index` — the paper's *classical*
+    /// assertion. Mass `1 − ε` sits on `index`; `ε` is spread across the
+    /// remaining bins ([`DEFAULT_POINT_MASS_EPSILON`] by default via
+    /// [`GoodnessOfFit::point_mass`]).
+    ///
+    /// # Errors
+    ///
+    /// [`StatsError::DomainError`] if `index ≥ bins` or `ε ∉ (0, 1)`;
+    /// [`StatsError::EmptySample`] if `bins == 0`.
+    pub fn point_mass_with_epsilon(
+        bins: usize,
+        index: usize,
+        epsilon: f64,
+    ) -> Result<Self, StatsError> {
+        if bins == 0 {
+            return Err(StatsError::EmptySample);
+        }
+        if index >= bins {
+            return Err(StatsError::DomainError("point mass index out of range"));
+        }
+        if !(0.0..1.0).contains(&epsilon) || (bins > 1 && epsilon == 0.0) {
+            return Err(StatsError::DomainError("epsilon must lie in (0, 1)"));
+        }
+        let mut expected = vec![
+            if bins > 1 {
+                epsilon / (bins as f64 - 1.0)
+            } else {
+                0.0
+            };
+            bins
+        ];
+        expected[index] = 1.0 - if bins > 1 { epsilon } else { 0.0 };
+        Self::new(expected)
+    }
+
+    /// [`GoodnessOfFit::point_mass_with_epsilon`] with the default ε.
+    ///
+    /// # Errors
+    ///
+    /// See [`GoodnessOfFit::point_mass_with_epsilon`].
+    pub fn point_mass(bins: usize, index: usize) -> Result<Self, StatsError> {
+        Self::point_mass_with_epsilon(bins, index, DEFAULT_POINT_MASS_EPSILON)
+    }
+
+    /// Pool bins whose expected *count* (probability × sample size) falls
+    /// below `min_expected` into a single bin before computing the
+    /// statistic. The textbook rule of thumb is `min_expected = 5`;
+    /// `0` (the default) disables pooling.
+    #[must_use]
+    pub fn with_pooling(mut self, min_expected: f64) -> Self {
+        self.pooling_threshold = min_expected.max(0.0);
+        self
+    }
+
+    /// Number of bins in the hypothesized distribution.
+    #[must_use]
+    pub fn bins(&self) -> usize {
+        self.expected.len()
+    }
+
+    /// The normalized expected probability vector.
+    #[must_use]
+    pub fn expected(&self) -> &[f64] {
+        &self.expected
+    }
+
+    /// Run the test on observed per-bin counts.
+    ///
+    /// # Errors
+    ///
+    /// * [`StatsError::LengthMismatch`] if `observed.len() != self.bins()`;
+    /// * [`StatsError::EmptySample`] if all observed counts are zero;
+    /// * [`StatsError::ZeroDegreesOfFreedom`] if pooling collapses the table
+    ///   to a single bin.
+    pub fn test_counts(&self, observed: &[u64]) -> Result<ChiSquareResult, StatsError> {
+        if observed.len() != self.expected.len() {
+            return Err(StatsError::LengthMismatch {
+                observed: observed.len(),
+                expected: self.expected.len(),
+            });
+        }
+        let n: u64 = observed.iter().sum();
+        if n == 0 {
+            return Err(StatsError::EmptySample);
+        }
+        let n_f = n as f64;
+
+        // Optional pooling of low-expectation bins.
+        let mut cells: Vec<(f64, f64)> = Vec::with_capacity(self.expected.len());
+        let mut pooled_obs = 0.0;
+        let mut pooled_exp = 0.0;
+        for (&obs, &p) in observed.iter().zip(&self.expected) {
+            let e = p * n_f;
+            if self.pooling_threshold > 0.0 && e < self.pooling_threshold {
+                pooled_obs += obs as f64;
+                pooled_exp += e;
+            } else {
+                cells.push((obs as f64, e));
+            }
+        }
+        if pooled_exp > 0.0 || pooled_obs > 0.0 {
+            cells.push((pooled_obs, pooled_exp));
+        }
+        if cells.len() < 2 {
+            return Err(StatsError::ZeroDegreesOfFreedom);
+        }
+
+        let mut statistic = 0.0;
+        for (obs, exp) in &cells {
+            if *exp <= 0.0 {
+                // A bin the hypothesis says is impossible: any observation
+                // there is infinite evidence against the null.
+                if *obs > 0.0 {
+                    return Ok(ChiSquareResult {
+                        statistic: f64::INFINITY,
+                        dof: cells.len() - 1,
+                        p_value: 0.0,
+                    });
+                }
+                continue;
+            }
+            let d = obs - exp;
+            statistic += d * d / exp;
+        }
+        let dof = cells.len() - 1;
+        let p_value = chi2_sf(statistic, dof)?;
+        Ok(ChiSquareResult {
+            statistic,
+            dof,
+            p_value,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sf_cdf_complementary() {
+        for dof in 1..=10usize {
+            for &x in &[0.1, 1.0, 5.0, 20.0] {
+                let s = chi2_sf(x, dof).unwrap();
+                let c = chi2_cdf(x, dof).unwrap();
+                assert!((s + c - 1.0).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn sf_reference_critical_points() {
+        // Textbook 5% critical values.
+        let crit = [
+            (1usize, 3.841),
+            (2, 5.991),
+            (3, 7.815),
+            (4, 9.488),
+            (10, 18.307),
+        ];
+        for (dof, x) in crit {
+            let p = chi2_sf(x, dof).unwrap();
+            assert!((p - 0.05).abs() < 5e-4, "dof {dof}: p = {p}");
+        }
+    }
+
+    #[test]
+    fn sf_monotone_decreasing_in_x() {
+        let mut prev = 1.0;
+        for i in 0..50 {
+            let p = chi2_sf(i as f64 * 0.5, 3).unwrap();
+            assert!(p <= prev + 1e-12);
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn sf_rejects_zero_dof_and_negative_x() {
+        assert_eq!(chi2_sf(1.0, 0), Err(StatsError::ZeroDegreesOfFreedom));
+        assert!(chi2_sf(-1.0, 2).is_err());
+        assert!(chi2_cdf(-1.0, 2).is_err());
+    }
+
+    #[test]
+    fn uniform_flat_counts_pass() {
+        let gof = GoodnessOfFit::uniform(8).unwrap();
+        let result = gof.test_counts(&[8; 8]).unwrap();
+        assert!(result.statistic.abs() < 1e-12);
+        assert!(result.p_value > 0.999);
+        assert_eq!(result.dof, 7);
+    }
+
+    #[test]
+    fn uniform_concentrated_counts_fail() {
+        let gof = GoodnessOfFit::uniform(8).unwrap();
+        let result = gof.test_counts(&[64, 0, 0, 0, 0, 0, 0, 0]).unwrap();
+        assert!(result.rejects(0.05));
+        assert!(result.p_value < 1e-10);
+    }
+
+    #[test]
+    fn point_mass_pass_and_fail() {
+        let gof = GoodnessOfFit::point_mass(16, 5).unwrap();
+        let mut counts = [0u64; 16];
+        counts[5] = 100;
+        let pass = gof.test_counts(&counts).unwrap();
+        assert!(pass.p_value > 0.99, "pass p = {}", pass.p_value);
+
+        counts[5] = 99;
+        counts[6] = 1;
+        let fail = gof.test_counts(&counts).unwrap();
+        assert!(fail.p_value < 1e-6, "fail p = {}", fail.p_value);
+    }
+
+    #[test]
+    fn point_mass_single_bin_is_degenerate() {
+        let gof = GoodnessOfFit::point_mass(1, 0).unwrap();
+        assert_eq!(
+            gof.test_counts(&[4]),
+            Err(StatsError::ZeroDegreesOfFreedom)
+        );
+    }
+
+    #[test]
+    fn point_mass_index_validation() {
+        assert!(GoodnessOfFit::point_mass(4, 4).is_err());
+        assert!(GoodnessOfFit::point_mass_with_epsilon(4, 0, 0.0).is_err());
+        assert!(GoodnessOfFit::point_mass_with_epsilon(4, 0, 1.0).is_err());
+    }
+
+    #[test]
+    fn new_normalizes() {
+        let gof = GoodnessOfFit::new([2.0, 2.0]).unwrap();
+        assert_eq!(gof.expected(), &[0.5, 0.5]);
+    }
+
+    #[test]
+    fn new_rejects_bad_input() {
+        assert_eq!(
+            GoodnessOfFit::new(std::iter::empty()),
+            Err(StatsError::EmptySample)
+        );
+        assert_eq!(
+            GoodnessOfFit::new([1.0, -0.5]),
+            Err(StatsError::InvalidExpected)
+        );
+        assert_eq!(
+            GoodnessOfFit::new([0.0, 0.0]),
+            Err(StatsError::InvalidExpected)
+        );
+        assert_eq!(
+            GoodnessOfFit::new([f64::NAN, 1.0]),
+            Err(StatsError::InvalidExpected)
+        );
+    }
+
+    #[test]
+    fn length_mismatch_detected() {
+        let gof = GoodnessOfFit::uniform(4).unwrap();
+        assert_eq!(
+            gof.test_counts(&[1, 2, 3]),
+            Err(StatsError::LengthMismatch {
+                observed: 3,
+                expected: 4
+            })
+        );
+    }
+
+    #[test]
+    fn empty_sample_detected() {
+        let gof = GoodnessOfFit::uniform(4).unwrap();
+        assert_eq!(gof.test_counts(&[0; 4]), Err(StatsError::EmptySample));
+    }
+
+    #[test]
+    fn pooling_merges_sparse_bins() {
+        // Uniform over 64 bins with only 16 shots: expected counts are 0.25
+        // per bin. With pooling at 5 everything pools into one bin →
+        // degenerate; combined with one heavy bin it should still work.
+        let mut expected = vec![1.0; 64];
+        expected[0] = 640.0; // heavily weighted bin keeps the table nondegenerate
+        let gof = GoodnessOfFit::new(expected).unwrap().with_pooling(5.0);
+        let mut counts = [0u64; 64];
+        counts[0] = 60;
+        counts[1] = 4;
+        let result = gof.test_counts(&counts).unwrap();
+        assert_eq!(result.dof, 1); // heavy bin + pooled remainder
+        assert!(result.p_value > 0.0);
+    }
+
+    #[test]
+    fn impossible_bin_observation_gives_zero_p() {
+        // Hypothesis assigns exactly zero to bin 1 (no smoothing).
+        let gof = GoodnessOfFit::new([1.0, 0.0, 1.0]).unwrap();
+        let result = gof.test_counts(&[5, 1, 5]).unwrap();
+        assert_eq!(result.p_value, 0.0);
+        assert!(result.statistic.is_infinite());
+    }
+
+    #[test]
+    fn paper_scale_classical_assertion_16_shots() {
+        // The paper's smallest ensembles are 16 shots; a clean classical
+        // state must pass with p ≈ 1.0 and a single stray count must fail.
+        let gof = GoodnessOfFit::point_mass(32, 25).unwrap();
+        let mut counts = [0u64; 32];
+        counts[25] = 16;
+        assert!(gof.test_counts(&counts).unwrap().p_value > 0.999);
+        counts[25] = 15;
+        counts[3] = 1;
+        assert!(gof.test_counts(&counts).unwrap().p_value < 1e-10);
+    }
+}

@@ -1,0 +1,451 @@
+//! Contingency-table analysis for entanglement and product-state assertions.
+//!
+//! The paper (§4.4–4.5) checks whether two quantum variables are entangled
+//! by building a contingency table from paired measurement outcomes and
+//! running a chi-square test of independence:
+//!
+//! * small p-value → outcomes are correlated → the variables were
+//!   **entangled** when measured (`assert_entangled` passes);
+//! * large p-value → outcomes look independent → consistent with a
+//!   **product state** (`assert_product` passes).
+//!
+//! For 2×2 tables we apply Yates' continuity correction by default; this is
+//! what reproduces the paper's `p = 0.0005` for the 16-shot Bell table
+//! (χ²_Yates = 12.25, p ≈ 4.7 × 10⁻⁴) rather than the uncorrected
+//! χ² = 16, p ≈ 6.3 × 10⁻⁵.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::chi2::{chi2_sf, ChiSquareResult};
+use crate::StatsError;
+
+/// How (and whether) to apply Yates' continuity correction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum YatesCorrection {
+    /// Apply the correction only to 2×2 tables (the textbook default and
+    /// what matches the paper's reported p-values).
+    #[default]
+    Auto,
+    /// Never apply the correction.
+    Never,
+    /// Apply the correction to every cell regardless of table shape.
+    Always,
+}
+
+/// Result of a chi-square independence test on a contingency table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ContingencyResult {
+    /// The (possibly Yates-corrected) χ² statistic.
+    pub statistic: f64,
+    /// Degrees of freedom, `(rows − 1)(cols − 1)` after dropping empty
+    /// rows/columns.
+    pub dof: usize,
+    /// Right-tail p-value. Small values indicate *dependence* (and hence
+    /// entanglement).
+    pub p_value: f64,
+    /// Cramér's V, a normalized effect size in `[0, 1]`.
+    pub cramers_v: f64,
+    /// Pearson's contingency coefficient `C = sqrt(χ² / (χ² + N))`.
+    pub contingency_coefficient: f64,
+    /// Whether Yates' correction was applied.
+    pub yates_applied: bool,
+}
+
+impl ContingencyResult {
+    /// `true` when the independence hypothesis is rejected at `alpha`,
+    /// i.e. the measured variables are correlated/entangled.
+    #[must_use]
+    pub fn dependent(&self, alpha: f64) -> bool {
+        self.p_value <= alpha
+    }
+}
+
+/// A two-dimensional table of outcome counts built from paired observations.
+///
+/// Row labels come from the first element of each pair and column labels
+/// from the second; labels are arbitrary `u64` outcomes (e.g. the integer
+/// value a quantum register collapsed to).
+///
+/// ```
+/// use qdb_stats::ContingencyTable;
+///
+/// // Perfectly anti-correlated single qubits.
+/// let pairs = (0..20).map(|i| (i % 2, 1 - i % 2));
+/// let table = ContingencyTable::from_pairs(pairs);
+/// assert_eq!(table.total(), 20);
+/// assert!(table.independence_test()?.dependent(0.05));
+/// # Ok::<(), qdb_stats::StatsError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ContingencyTable {
+    row_labels: Vec<u64>,
+    col_labels: Vec<u64>,
+    /// Dense row-major counts, `counts[r][c]`.
+    counts: Vec<Vec<u64>>,
+}
+
+impl ContingencyTable {
+    /// Build a table from paired outcomes.
+    pub fn from_pairs<I: IntoIterator<Item = (u64, u64)>>(pairs: I) -> Self {
+        let mut map: BTreeMap<(u64, u64), u64> = BTreeMap::new();
+        for pair in pairs {
+            *map.entry(pair).or_insert(0) += 1;
+        }
+        let mut row_labels: Vec<u64> = map.keys().map(|&(r, _)| r).collect();
+        row_labels.dedup();
+        row_labels.sort_unstable();
+        row_labels.dedup();
+        let mut col_labels: Vec<u64> = map.keys().map(|&(_, c)| c).collect();
+        col_labels.sort_unstable();
+        col_labels.dedup();
+        let mut counts = vec![vec![0u64; col_labels.len()]; row_labels.len()];
+        for ((r, c), n) in map {
+            let ri = row_labels.binary_search(&r).expect("label present");
+            let ci = col_labels.binary_search(&c).expect("label present");
+            counts[ri][ci] = n;
+        }
+        Self {
+            row_labels,
+            col_labels,
+            counts,
+        }
+    }
+
+    /// Build directly from a dense count matrix with implicit labels
+    /// `0..rows` and `0..cols`.
+    ///
+    /// # Errors
+    ///
+    /// [`StatsError::DegenerateTable`] if rows have inconsistent lengths or
+    /// the matrix is empty.
+    pub fn from_counts(counts: Vec<Vec<u64>>) -> Result<Self, StatsError> {
+        if counts.is_empty() || counts[0].is_empty() {
+            return Err(StatsError::DegenerateTable);
+        }
+        let cols = counts[0].len();
+        if counts.iter().any(|row| row.len() != cols) {
+            return Err(StatsError::DegenerateTable);
+        }
+        Ok(Self {
+            row_labels: (0..counts.len() as u64).collect(),
+            col_labels: (0..cols as u64).collect(),
+            counts,
+        })
+    }
+
+    /// Total number of observations in the table.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.iter().flatten().sum()
+    }
+
+    /// Distinct row outcome labels, sorted.
+    #[must_use]
+    pub fn row_labels(&self) -> &[u64] {
+        &self.row_labels
+    }
+
+    /// Distinct column outcome labels, sorted.
+    #[must_use]
+    pub fn col_labels(&self) -> &[u64] {
+        &self.col_labels
+    }
+
+    /// Count in the cell for `(row_label, col_label)`, or 0 if absent.
+    #[must_use]
+    pub fn count(&self, row_label: u64, col_label: u64) -> u64 {
+        let Ok(ri) = self.row_labels.binary_search(&row_label) else {
+            return 0;
+        };
+        let Ok(ci) = self.col_labels.binary_search(&col_label) else {
+            return 0;
+        };
+        self.counts[ri][ci]
+    }
+
+    /// Row marginal totals (one per row label).
+    #[must_use]
+    pub fn row_totals(&self) -> Vec<u64> {
+        self.counts.iter().map(|r| r.iter().sum()).collect()
+    }
+
+    /// Column marginal totals (one per column label).
+    #[must_use]
+    pub fn col_totals(&self) -> Vec<u64> {
+        let cols = self.col_labels.len();
+        let mut totals = vec![0u64; cols];
+        for row in &self.counts {
+            for (c, &n) in row.iter().enumerate() {
+                totals[c] += n;
+            }
+        }
+        totals
+    }
+
+    /// Chi-square test of independence with the default
+    /// [`YatesCorrection::Auto`] policy.
+    ///
+    /// # Errors
+    ///
+    /// See [`ContingencyTable::independence_test_with`].
+    pub fn independence_test(&self) -> Result<ContingencyResult, StatsError> {
+        self.independence_test_with(YatesCorrection::default())
+    }
+
+    /// Chi-square test of independence with an explicit correction policy.
+    ///
+    /// Empty rows/columns are dropped before computing degrees of freedom
+    /// (they carry no information about dependence).
+    ///
+    /// # Errors
+    ///
+    /// * [`StatsError::EmptySample`] when the table holds no observations;
+    /// * [`StatsError::DegenerateTable`] when fewer than two nonempty rows
+    ///   or columns remain — independence is untestable. Callers treating
+    ///   this as an assertion should interpret a degenerate table as *not
+    ///   entangled* (a constant variable cannot exhibit correlation).
+    pub fn independence_test_with(
+        &self,
+        yates: YatesCorrection,
+    ) -> Result<ContingencyResult, StatsError> {
+        let n = self.total();
+        if n == 0 {
+            return Err(StatsError::EmptySample);
+        }
+        let row_totals = self.row_totals();
+        let col_totals = self.col_totals();
+        let live_rows: Vec<usize> = (0..self.counts.len())
+            .filter(|&r| row_totals[r] > 0)
+            .collect();
+        let live_cols: Vec<usize> = (0..self.col_labels.len())
+            .filter(|&c| col_totals[c] > 0)
+            .collect();
+        if live_rows.len() < 2 || live_cols.len() < 2 {
+            return Err(StatsError::DegenerateTable);
+        }
+
+        let apply_yates = match yates {
+            YatesCorrection::Auto => live_rows.len() == 2 && live_cols.len() == 2,
+            YatesCorrection::Never => false,
+            YatesCorrection::Always => true,
+        };
+
+        let n_f = n as f64;
+        let mut statistic = 0.0;
+        for &r in &live_rows {
+            for &c in &live_cols {
+                let expected = row_totals[r] as f64 * col_totals[c] as f64 / n_f;
+                let observed = self.counts[r][c] as f64;
+                let mut d = (observed - expected).abs();
+                if apply_yates {
+                    d = (d - 0.5).max(0.0);
+                }
+                statistic += d * d / expected;
+            }
+        }
+        let dof = (live_rows.len() - 1) * (live_cols.len() - 1);
+        let p_value = chi2_sf(statistic, dof)?;
+        let min_dim = (live_rows.len().min(live_cols.len()) - 1) as f64;
+        let cramers_v = if statistic <= 0.0 {
+            0.0
+        } else {
+            (statistic / (n_f * min_dim)).sqrt().min(1.0)
+        };
+        let contingency_coefficient = (statistic / (statistic + n_f)).sqrt();
+        Ok(ContingencyResult {
+            statistic,
+            dof,
+            p_value,
+            cramers_v,
+            contingency_coefficient,
+            yates_applied: apply_yates,
+        })
+    }
+
+    /// Convenience wrapper exposing the same shape as a plain chi-square
+    /// result, for callers that do not need effect sizes.
+    ///
+    /// # Errors
+    ///
+    /// See [`ContingencyTable::independence_test_with`].
+    pub fn chi_square(&self) -> Result<ChiSquareResult, StatsError> {
+        let r = self.independence_test()?;
+        Ok(ChiSquareResult {
+            statistic: r.statistic,
+            dof: r.dof,
+            p_value: r.p_value,
+        })
+    }
+}
+
+impl fmt::Display for ContingencyTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:>10}", "")?;
+        for c in &self.col_labels {
+            write!(f, "{c:>10}")?;
+        }
+        writeln!(f)?;
+        for (r, row) in self.counts.iter().enumerate() {
+            write!(f, "{:>10}", self.row_labels[r])?;
+            for &n in row {
+                write!(f, "{n:>10}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Bell-state table from Figure 1: 16 shots, 8 on each diagonal.
+    fn bell_table() -> ContingencyTable {
+        ContingencyTable::from_counts(vec![vec![8, 0], vec![0, 8]]).unwrap()
+    }
+
+    #[test]
+    fn bell_table_yates_matches_paper() {
+        // Yates-corrected: χ² = 4 × 3.5²/4 = 12.25, p ≈ 4.7e-4 — the value
+        // the paper rounds to 0.0005.
+        let r = bell_table().independence_test().unwrap();
+        assert!(r.yates_applied);
+        assert!((r.statistic - 12.25).abs() < 1e-12);
+        assert!((r.p_value - 4.66e-4).abs() < 5e-6, "p = {}", r.p_value);
+        assert!(r.dependent(0.05));
+    }
+
+    #[test]
+    fn bell_table_uncorrected() {
+        let r = bell_table()
+            .independence_test_with(YatesCorrection::Never)
+            .unwrap();
+        assert!(!r.yates_applied);
+        assert!((r.statistic - 16.0).abs() < 1e-12);
+        assert!((r.p_value - 6.33e-5).abs() < 1e-6);
+        assert!((r.cramers_v - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn independent_table_passes() {
+        // Product state: counts proportional to the product of marginals.
+        let t = ContingencyTable::from_counts(vec![vec![25, 25], vec![25, 25]]).unwrap();
+        let r = t.independence_test().unwrap();
+        assert!(r.statistic.abs() < 1e-12);
+        assert!(r.p_value > 0.999);
+        assert!(!r.dependent(0.05));
+        assert_eq!(r.cramers_v, 0.0);
+    }
+
+    #[test]
+    fn from_pairs_builds_sorted_dense_table() {
+        let t = ContingencyTable::from_pairs([(3, 1), (3, 1), (7, 0), (3, 0)]);
+        assert_eq!(t.row_labels(), &[3, 7]);
+        assert_eq!(t.col_labels(), &[0, 1]);
+        assert_eq!(t.count(3, 1), 2);
+        assert_eq!(t.count(3, 0), 1);
+        assert_eq!(t.count(7, 0), 1);
+        assert_eq!(t.count(7, 1), 0);
+        assert_eq!(t.count(99, 99), 0);
+        assert_eq!(t.total(), 4);
+    }
+
+    #[test]
+    fn marginals_are_consistent() {
+        let t = ContingencyTable::from_pairs([(0, 0), (0, 1), (1, 0), (1, 0), (2, 1)]);
+        assert_eq!(t.row_totals().iter().sum::<u64>(), t.total());
+        assert_eq!(t.col_totals().iter().sum::<u64>(), t.total());
+    }
+
+    #[test]
+    fn degenerate_single_column_rejected() {
+        // Both variables constant in one dimension → cannot test.
+        let t = ContingencyTable::from_pairs([(0, 5), (1, 5), (0, 5)]);
+        assert_eq!(t.independence_test(), Err(StatsError::DegenerateTable));
+    }
+
+    #[test]
+    fn empty_table_rejected() {
+        let t = ContingencyTable::from_pairs(std::iter::empty());
+        assert_eq!(t.independence_test(), Err(StatsError::EmptySample));
+    }
+
+    #[test]
+    fn empty_rows_are_dropped_not_counted_in_dof() {
+        // 3 row labels but middle row empty: dof should be (2-1)(2-1) = 1.
+        let t =
+            ContingencyTable::from_counts(vec![vec![5, 0], vec![0, 0], vec![0, 5]]).unwrap();
+        let r = t.independence_test().unwrap();
+        assert_eq!(r.dof, 1);
+    }
+
+    #[test]
+    fn larger_tables_skip_yates_under_auto() {
+        let t = ContingencyTable::from_counts(vec![
+            vec![10, 0, 0],
+            vec![0, 10, 0],
+            vec![0, 0, 10],
+        ])
+        .unwrap();
+        let r = t.independence_test().unwrap();
+        assert!(!r.yates_applied);
+        assert_eq!(r.dof, 4);
+        assert!(r.p_value < 1e-9);
+    }
+
+    #[test]
+    fn yates_always_policy() {
+        let t = ContingencyTable::from_counts(vec![
+            vec![10, 0, 0],
+            vec![0, 10, 0],
+            vec![0, 0, 10],
+        ])
+        .unwrap();
+        let r = t
+            .independence_test_with(YatesCorrection::Always)
+            .unwrap();
+        assert!(r.yates_applied);
+        // Correction only shrinks the statistic.
+        let plain = t
+            .independence_test_with(YatesCorrection::Never)
+            .unwrap();
+        assert!(r.statistic < plain.statistic);
+    }
+
+    #[test]
+    fn contingency_coefficient_bounds() {
+        let r = bell_table()
+            .independence_test_with(YatesCorrection::Never)
+            .unwrap();
+        // C = sqrt(16/32) = 0.707… for the Bell table.
+        assert!((r.contingency_coefficient - (0.5f64).sqrt()).abs() < 1e-12);
+        assert!(r.contingency_coefficient >= 0.0 && r.contingency_coefficient < 1.0);
+    }
+
+    #[test]
+    fn from_counts_validation() {
+        assert!(ContingencyTable::from_counts(vec![]).is_err());
+        assert!(ContingencyTable::from_counts(vec![vec![]]).is_err());
+        assert!(ContingencyTable::from_counts(vec![vec![1, 2], vec![3]]).is_err());
+    }
+
+    #[test]
+    fn display_renders_all_cells() {
+        let t = bell_table();
+        let s = t.to_string();
+        assert!(s.contains('8'));
+        assert!(s.lines().count() >= 3);
+    }
+
+    #[test]
+    fn paper_buggy_routing_p_value_scale() {
+        // §4.4: with mis-routed control qubits the paper reports p = 0.121
+        // at 16 shots — a weakly dependent-looking table that must NOT be
+        // declared entangled. Emulate with a nearly independent 2×2 table.
+        let t = ContingencyTable::from_counts(vec![vec![6, 2], vec![3, 5]]).unwrap();
+        let r = t.independence_test().unwrap();
+        assert!(r.p_value > 0.05, "p = {}", r.p_value);
+    }
+}

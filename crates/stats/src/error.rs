@@ -1,0 +1,51 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by statistical routines in this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum StatsError {
+    /// The test was given no observations.
+    EmptySample,
+    /// Observed and expected vectors have different lengths.
+    LengthMismatch {
+        /// Number of observed bins supplied.
+        observed: usize,
+        /// Number of expected bins supplied.
+        expected: usize,
+    },
+    /// An expected probability/count was negative or all were zero.
+    InvalidExpected,
+    /// A contingency table needs at least two rows and two columns with
+    /// nonzero marginals to test for independence.
+    DegenerateTable,
+    /// The test statistic has zero degrees of freedom.
+    ZeroDegreesOfFreedom,
+    /// A function argument was outside its mathematical domain.
+    DomainError(&'static str),
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::EmptySample => write!(f, "no observations supplied"),
+            StatsError::LengthMismatch { observed, expected } => write!(
+                f,
+                "observed bins ({observed}) do not match expected bins ({expected})"
+            ),
+            StatsError::InvalidExpected => {
+                write!(f, "expected distribution is negative or identically zero")
+            }
+            StatsError::DegenerateTable => write!(
+                f,
+                "contingency table needs at least two nonempty rows and columns"
+            ),
+            StatsError::ZeroDegreesOfFreedom => {
+                write!(f, "test statistic has zero degrees of freedom")
+            }
+            StatsError::DomainError(what) => write!(f, "argument outside domain: {what}"),
+        }
+    }
+}
+
+impl Error for StatsError {}

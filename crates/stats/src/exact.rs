@@ -1,0 +1,370 @@
+//! Small-sample alternatives to the chi-square tests: Fisher's exact
+//! test and the G-test (log-likelihood ratio).
+//!
+//! The paper runs contingency tests on ensembles as small as 16 shots —
+//! exactly the regime where the chi-square approximation is weakest and
+//! statisticians reach for Fisher's exact test. QDB offers all three so
+//! the choice can be ablated (see the `stats_cost` bench and the
+//! `EntanglementTest` option in `qdb-core`).
+
+use crate::contingency::ContingencyTable;
+use crate::special::ln_factorial;
+use crate::{chi2_sf, ChiSquareResult, StatsError};
+
+/// Result of Fisher's exact test on a 2×2 table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FisherResult {
+    /// Two-sided p-value (sum of all table probabilities no larger than
+    /// the observed table's, at fixed margins).
+    pub p_value: f64,
+    /// The hypergeometric probability of the observed table itself.
+    pub p_observed: f64,
+}
+
+impl FisherResult {
+    /// `true` when independence is rejected at `alpha`.
+    #[must_use]
+    pub fn dependent(&self, alpha: f64) -> bool {
+        self.p_value <= alpha
+    }
+}
+
+/// Natural log of the hypergeometric probability of cell `a` in a 2×2
+/// table with row sums `r1, r2` and first-column sum `c1`.
+fn ln_hypergeometric(a: u64, r1: u64, r2: u64, c1: u64) -> f64 {
+    let n = r1 + r2;
+    let b = r1 - a;
+    let c = c1 - a;
+    let d = r2 - c;
+    ln_factorial(r1) + ln_factorial(r2) + ln_factorial(c1) + ln_factorial(n - c1)
+        - ln_factorial(n)
+        - ln_factorial(a)
+        - ln_factorial(b)
+        - ln_factorial(c)
+        - ln_factorial(d)
+}
+
+/// Fisher's exact test (two-sided) for a 2×2 contingency table given as
+/// `[[a, b], [c, d]]`.
+///
+/// # Errors
+///
+/// [`StatsError::EmptySample`] when all cells are zero;
+/// [`StatsError::DegenerateTable`] when a margin is zero.
+///
+/// ```
+/// use qdb_stats::exact::fisher_exact;
+/// // The paper's ideal 16-shot Bell table.
+/// let r = fisher_exact([[8, 0], [0, 8]])?;
+/// assert!(r.p_value < 0.001);
+/// # Ok::<(), qdb_stats::StatsError>(())
+/// ```
+pub fn fisher_exact(table: [[u64; 2]; 2]) -> Result<FisherResult, StatsError> {
+    let [[a, b], [c, d]] = table;
+    let r1 = a + b;
+    let r2 = c + d;
+    let c1 = a + c;
+    let n = r1 + r2;
+    if n == 0 {
+        return Err(StatsError::EmptySample);
+    }
+    if r1 == 0 || r2 == 0 || c1 == 0 || c1 == n {
+        return Err(StatsError::DegenerateTable);
+    }
+    let ln_p_obs = ln_hypergeometric(a, r1, r2, c1);
+    let a_min = c1.saturating_sub(r2);
+    let a_max = r1.min(c1);
+    let mut p_value = 0.0;
+    // Two-sided: include every table at least as extreme (probability no
+    // larger than the observed, with a small tolerance for float ties).
+    for k in a_min..=a_max {
+        let ln_p = ln_hypergeometric(k, r1, r2, c1);
+        if ln_p <= ln_p_obs + 1e-9 {
+            p_value += ln_p.exp();
+        }
+    }
+    Ok(FisherResult {
+        p_value: p_value.min(1.0),
+        p_observed: ln_p_obs.exp(),
+    })
+}
+
+/// Fisher's exact test on a [`ContingencyTable`], which must be 2×2
+/// after dropping empty rows/columns.
+///
+/// # Errors
+///
+/// [`StatsError::DegenerateTable`] if the live table is not 2×2;
+/// [`StatsError::EmptySample`] on an empty table.
+pub fn fisher_exact_table(table: &ContingencyTable) -> Result<FisherResult, StatsError> {
+    if table.total() == 0 {
+        return Err(StatsError::EmptySample);
+    }
+    let live_rows: Vec<u64> = table
+        .row_labels()
+        .iter()
+        .copied()
+        .filter(|&r| table.col_labels().iter().any(|&c| table.count(r, c) > 0))
+        .collect();
+    let live_cols: Vec<u64> = table
+        .col_labels()
+        .iter()
+        .copied()
+        .filter(|&c| table.row_labels().iter().any(|&r| table.count(r, c) > 0))
+        .collect();
+    if live_rows.len() != 2 || live_cols.len() != 2 {
+        return Err(StatsError::DegenerateTable);
+    }
+    fisher_exact([
+        [
+            table.count(live_rows[0], live_cols[0]),
+            table.count(live_rows[0], live_cols[1]),
+        ],
+        [
+            table.count(live_rows[1], live_cols[0]),
+            table.count(live_rows[1], live_cols[1]),
+        ],
+    ])
+}
+
+/// The G-test (log-likelihood ratio test) of independence on a
+/// contingency table: `G = 2 Σ O ln(O / E)`, asymptotically χ²
+/// distributed with the same degrees of freedom as the Pearson test.
+///
+/// # Errors
+///
+/// Same conditions as
+/// [`ContingencyTable::independence_test`](crate::ContingencyTable::independence_test).
+pub fn g_test(table: &ContingencyTable) -> Result<ChiSquareResult, StatsError> {
+    let n = table.total();
+    if n == 0 {
+        return Err(StatsError::EmptySample);
+    }
+    let row_totals = table.row_totals();
+    let col_totals = table.col_totals();
+    let live_rows: Vec<usize> = (0..row_totals.len()).filter(|&r| row_totals[r] > 0).collect();
+    let live_cols: Vec<usize> = (0..col_totals.len()).filter(|&c| col_totals[c] > 0).collect();
+    if live_rows.len() < 2 || live_cols.len() < 2 {
+        return Err(StatsError::DegenerateTable);
+    }
+    let n_f = n as f64;
+    let mut g = 0.0;
+    for &r in &live_rows {
+        for &c in &live_cols {
+            let observed =
+                table.count(table.row_labels()[r], table.col_labels()[c]) as f64;
+            if observed == 0.0 {
+                continue;
+            }
+            let expected = row_totals[r] as f64 * col_totals[c] as f64 / n_f;
+            g += observed * (observed / expected).ln();
+        }
+    }
+    g *= 2.0;
+    let dof = (live_rows.len() - 1) * (live_cols.len() - 1);
+    Ok(ChiSquareResult {
+        statistic: g,
+        dof,
+        p_value: chi2_sf(g.max(0.0), dof)?,
+    })
+}
+
+/// The G goodness-of-fit statistic against expected probabilities
+/// (companion to [`crate::GoodnessOfFit`]): `G = 2 Σ O ln(O / E)`.
+///
+/// # Errors
+///
+/// [`StatsError::LengthMismatch`], [`StatsError::EmptySample`],
+/// [`StatsError::InvalidExpected`], or
+/// [`StatsError::ZeroDegreesOfFreedom`] on malformed inputs.
+pub fn g_test_gof(observed: &[u64], expected_probs: &[f64]) -> Result<ChiSquareResult, StatsError> {
+    if observed.len() != expected_probs.len() {
+        return Err(StatsError::LengthMismatch {
+            observed: observed.len(),
+            expected: expected_probs.len(),
+        });
+    }
+    if observed.len() < 2 {
+        return Err(StatsError::ZeroDegreesOfFreedom);
+    }
+    let n: u64 = observed.iter().sum();
+    if n == 0 {
+        return Err(StatsError::EmptySample);
+    }
+    let total_p: f64 = expected_probs.iter().sum();
+    if expected_probs.iter().any(|&p| p < 0.0 || !p.is_finite()) || total_p <= 0.0 {
+        return Err(StatsError::InvalidExpected);
+    }
+    let mut g = 0.0;
+    for (&obs, &p) in observed.iter().zip(expected_probs) {
+        if obs == 0 {
+            continue;
+        }
+        let e = p / total_p * n as f64;
+        if e <= 0.0 {
+            // Observation where the hypothesis allows none: infinite
+            // evidence against the null.
+            return Ok(ChiSquareResult {
+                statistic: f64::INFINITY,
+                dof: observed.len() - 1,
+                p_value: 0.0,
+            });
+        }
+        g += obs as f64 * (obs as f64 / e).ln();
+    }
+    g *= 2.0;
+    let dof = observed.len() - 1;
+    Ok(ChiSquareResult {
+        statistic: g.max(0.0),
+        dof,
+        p_value: chi2_sf(g.max(0.0), dof)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fisher_reference_value_tea_tasting() {
+        // Fisher's original tea-tasting table [[3,1],[1,3]]: two-sided
+        // p ≈ 0.4857.
+        let r = fisher_exact([[3, 1], [1, 3]]).unwrap();
+        assert!((r.p_value - 0.485_714).abs() < 1e-5, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn fisher_bell_table_is_significant() {
+        let r = fisher_exact([[8, 0], [0, 8]]).unwrap();
+        // Exact p = 2 / C(16,8) = 2/12870 ≈ 1.554e-4.
+        assert!((r.p_value - 2.0 / 12870.0).abs() < 1e-9, "p = {}", r.p_value);
+        assert!(r.dependent(0.05));
+    }
+
+    #[test]
+    fn fisher_independent_table_not_significant() {
+        let r = fisher_exact([[4, 4], [4, 4]]).unwrap();
+        assert!(r.p_value > 0.99);
+        assert!(!r.dependent(0.05));
+    }
+
+    #[test]
+    fn fisher_probabilities_sum_to_one_over_support() {
+        // Sanity: Σ_k P(k) = 1 at fixed margins.
+        let (r1, r2, c1) = (6u64, 10u64, 7u64);
+        let a_min = c1.saturating_sub(r2);
+        let a_max = r1.min(c1);
+        let total: f64 = (a_min..=a_max)
+            .map(|k| ln_hypergeometric(k, r1, r2, c1).exp())
+            .sum();
+        assert!((total - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn fisher_rejects_degenerate_margins() {
+        assert_eq!(
+            fisher_exact([[0, 0], [3, 4]]),
+            Err(StatsError::DegenerateTable)
+        );
+        assert_eq!(
+            fisher_exact([[2, 0], [3, 0]]),
+            Err(StatsError::DegenerateTable)
+        );
+        assert_eq!(fisher_exact([[0, 0], [0, 0]]), Err(StatsError::EmptySample));
+    }
+
+    #[test]
+    fn fisher_on_contingency_table() {
+        let t = ContingencyTable::from_counts(vec![vec![8, 0], vec![0, 8]]).unwrap();
+        let r = fisher_exact_table(&t).unwrap();
+        assert!(r.p_value < 1e-3);
+        // 3×3 table is rejected.
+        let t3 = ContingencyTable::from_counts(vec![
+            vec![1, 2, 3],
+            vec![3, 2, 1],
+            vec![1, 1, 1],
+        ])
+        .unwrap();
+        assert_eq!(fisher_exact_table(&t3), Err(StatsError::DegenerateTable));
+    }
+
+    #[test]
+    fn fisher_table_drops_empty_rows() {
+        let t = ContingencyTable::from_counts(vec![
+            vec![8, 0],
+            vec![0, 0],
+            vec![0, 8],
+        ])
+        .unwrap();
+        let r = fisher_exact_table(&t).unwrap();
+        assert!(r.p_value < 1e-3);
+    }
+
+    #[test]
+    fn g_test_agrees_with_chi2_on_large_samples() {
+        // Asymptotically G ≈ χ²: compare on a big mildly-dependent table.
+        let pairs: Vec<(u64, u64)> = (0..10_000)
+            .map(|i| (i % 2, if i % 10 < 6 { i % 2 } else { (i + 1) % 2 }))
+            .collect();
+        let t = ContingencyTable::from_pairs(pairs);
+        let g = g_test(&t).unwrap();
+        let chi = t
+            .independence_test_with(crate::contingency::YatesCorrection::Never)
+            .unwrap();
+        let rel = (g.statistic - chi.statistic).abs() / chi.statistic;
+        assert!(rel < 0.02, "G = {}, χ² = {}", g.statistic, chi.statistic);
+    }
+
+    #[test]
+    fn g_test_independent_table() {
+        let t = ContingencyTable::from_counts(vec![vec![25, 25], vec![25, 25]]).unwrap();
+        let g = g_test(&t).unwrap();
+        assert!(g.statistic.abs() < 1e-9);
+        assert!(g.p_value > 0.999);
+    }
+
+    #[test]
+    fn g_test_degenerate_and_empty() {
+        let t = ContingencyTable::from_pairs([(0u64, 1u64), (0, 0)]);
+        assert_eq!(g_test(&t), Err(StatsError::DegenerateTable));
+        let empty = ContingencyTable::from_pairs(std::iter::empty());
+        assert_eq!(g_test(&empty), Err(StatsError::EmptySample));
+    }
+
+    #[test]
+    fn g_gof_flat_counts_pass() {
+        let r = g_test_gof(&[10, 10, 10, 10], &[0.25; 4]).unwrap();
+        assert!(r.statistic.abs() < 1e-12);
+        assert!(r.p_value > 0.999);
+    }
+
+    #[test]
+    fn g_gof_concentrated_counts_fail() {
+        let r = g_test_gof(&[40, 0, 0, 0], &[0.25; 4]).unwrap();
+        assert!(r.p_value < 1e-10);
+    }
+
+    #[test]
+    fn g_gof_impossible_bin() {
+        let r = g_test_gof(&[5, 1], &[1.0, 0.0]).unwrap();
+        assert_eq!(r.p_value, 0.0);
+        assert!(r.statistic.is_infinite());
+    }
+
+    #[test]
+    fn g_gof_validation() {
+        assert!(matches!(
+            g_test_gof(&[1, 2], &[0.5]),
+            Err(StatsError::LengthMismatch { .. })
+        ));
+        assert_eq!(g_test_gof(&[0, 0], &[0.5, 0.5]), Err(StatsError::EmptySample));
+        assert_eq!(
+            g_test_gof(&[1, 2], &[-0.5, 1.5]),
+            Err(StatsError::InvalidExpected)
+        );
+        assert_eq!(
+            g_test_gof(&[1], &[1.0]),
+            Err(StatsError::ZeroDegreesOfFreedom)
+        );
+    }
+}

@@ -1,0 +1,211 @@
+//! Outcome counting for measurement ensembles.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A histogram of integer measurement outcomes.
+///
+/// Quantum registers collapse to integers in `0..2ⁿ`; an ensemble of shots
+/// yields a multiset of such integers. `Histogram` counts them and converts
+/// to the dense count vectors the chi-square tests consume.
+///
+/// ```
+/// use qdb_stats::Histogram;
+/// let h: Histogram = [5u64, 5, 2, 5].into_iter().collect();
+/// assert_eq!(h.count(5), 3);
+/// assert_eq!(h.total(), 4);
+/// assert_eq!(h.mode(), Some(5));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Histogram {
+    counts: BTreeMap<u64, u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one observation of `outcome`.
+    pub fn record(&mut self, outcome: u64) {
+        *self.counts.entry(outcome).or_insert(0) += 1;
+        self.total += 1;
+    }
+
+    /// Record `n` observations of `outcome`.
+    pub fn record_n(&mut self, outcome: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        *self.counts.entry(outcome).or_insert(0) += n;
+        self.total += n;
+    }
+
+    /// Number of times `outcome` was observed.
+    #[must_use]
+    pub fn count(&self, outcome: u64) -> u64 {
+        self.counts.get(&outcome).copied().unwrap_or(0)
+    }
+
+    /// Total number of observations.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of distinct outcomes observed.
+    #[must_use]
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// The most frequent outcome, if any (ties broken toward the smaller
+    /// outcome).
+    #[must_use]
+    pub fn mode(&self) -> Option<u64> {
+        self.counts
+            .iter()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(a.0)))
+            .map(|(&k, _)| k)
+    }
+
+    /// Empirical probability of `outcome`.
+    #[must_use]
+    pub fn frequency(&self, outcome: u64) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.count(outcome) as f64 / self.total as f64
+        }
+    }
+
+    /// Dense count vector over the domain `0..domain_size`.
+    ///
+    /// Outcomes outside the domain are ignored (callers should validate the
+    /// register width instead of relying on truncation).
+    #[must_use]
+    pub fn dense_counts(&self, domain_size: usize) -> Vec<u64> {
+        let mut v = vec![0u64; domain_size];
+        for (&outcome, &n) in &self.counts {
+            if let Ok(i) = usize::try_from(outcome) {
+                if i < domain_size {
+                    v[i] = n;
+                }
+            }
+        }
+        v
+    }
+
+    /// Iterate over `(outcome, count)` pairs in ascending outcome order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts.iter().map(|(&k, &v)| (k, v))
+    }
+}
+
+impl FromIterator<u64> for Histogram {
+    fn from_iter<I: IntoIterator<Item = u64>>(iter: I) -> Self {
+        let mut h = Histogram::new();
+        for x in iter {
+            h.record(x);
+        }
+        h
+    }
+}
+
+impl Extend<u64> for Histogram {
+    fn extend<I: IntoIterator<Item = u64>>(&mut self, iter: I) {
+        for x in iter {
+            self.record(x);
+        }
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.counts.is_empty() {
+            return write!(f, "(empty histogram)");
+        }
+        for (outcome, count) in self.iter() {
+            writeln!(
+                f,
+                "{outcome:>8}: {count:>6}  ({:.4})",
+                count as f64 / self.total as f64
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_count() {
+        let mut h = Histogram::new();
+        h.record(3);
+        h.record(3);
+        h.record(1);
+        assert_eq!(h.count(3), 2);
+        assert_eq!(h.count(1), 1);
+        assert_eq!(h.count(0), 0);
+        assert_eq!(h.total(), 3);
+        assert_eq!(h.distinct(), 2);
+    }
+
+    #[test]
+    fn record_n_batches() {
+        let mut h = Histogram::new();
+        h.record_n(7, 5);
+        h.record_n(7, 0);
+        assert_eq!(h.count(7), 5);
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn mode_prefers_higher_count_then_smaller_outcome() {
+        let h: Histogram = [1u64, 2, 2, 3, 3].into_iter().collect();
+        assert_eq!(h.mode(), Some(2));
+        assert_eq!(Histogram::new().mode(), None);
+    }
+
+    #[test]
+    fn frequency_normalizes() {
+        let h: Histogram = [0u64, 0, 1, 1].into_iter().collect();
+        assert!((h.frequency(0) - 0.5).abs() < 1e-15);
+        assert_eq!(Histogram::new().frequency(0), 0.0);
+    }
+
+    #[test]
+    fn dense_counts_covers_domain() {
+        let h: Histogram = [0u64, 2, 2, 5].into_iter().collect();
+        assert_eq!(h.dense_counts(4), vec![1, 0, 2, 0]); // 5 out of domain
+        assert_eq!(h.dense_counts(8), vec![1, 0, 2, 0, 0, 1, 0, 0]);
+    }
+
+    #[test]
+    fn extend_and_collect() {
+        let mut h: Histogram = [1u64, 1].into_iter().collect();
+        h.extend([2u64, 2, 2]);
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.count(2), 3);
+    }
+
+    #[test]
+    fn display_contains_frequencies() {
+        let h: Histogram = [4u64, 4].into_iter().collect();
+        let s = h.to_string();
+        assert!(s.contains("1.0000"));
+        assert_eq!(Histogram::new().to_string(), "(empty histogram)");
+    }
+
+    #[test]
+    fn iter_is_sorted() {
+        let h: Histogram = [9u64, 1, 5].into_iter().collect();
+        let keys: Vec<u64> = h.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec![1, 5, 9]);
+    }
+}

@@ -1,0 +1,53 @@
+//! # qdb-stats — statistical machinery for quantum program assertions
+//!
+//! This crate implements, from scratch, the statistical tests that the ISCA
+//! 2019 paper *Statistical Assertions for Validating Patterns and Finding
+//! Bugs in Quantum Programs* (Huang & Martonosi) uses to decide whether an
+//! ensemble of quantum measurement outcomes is consistent with a
+//! *classical*, *superposition*, *entangled*, or *product* state:
+//!
+//! * [`special`] — log-gamma, regularized incomplete gamma, and error
+//!   functions (the numerical substrate, in the style of *Numerical
+//!   Recipes*, which the paper cites as reference \[42\]).
+//! * [`chi2`] — the chi-square distribution and the one-sample chi-square
+//!   goodness-of-fit test used by `assert_classical` and
+//!   `assert_superposition`.
+//! * [`contingency`] — contingency-table analysis (chi-square test of
+//!   independence, Yates continuity correction, Cramér's V and the
+//!   contingency coefficient) used by `assert_entangled` and
+//!   `assert_product`.
+//! * [`histogram`] — outcome counting for measurement ensembles.
+//!
+//! # Example
+//!
+//! Deciding whether two measured bit-strings are correlated (the Bell-state
+//! contingency table from Figure 1 of the paper):
+//!
+//! ```
+//! use qdb_stats::contingency::ContingencyTable;
+//!
+//! // 16 shots of a Bell pair: outcomes always agree.
+//! let pairs: Vec<(u64, u64)> = (0..16).map(|i| (i % 2, i % 2)).collect();
+//! let table = ContingencyTable::from_pairs(pairs.iter().copied());
+//! let result = table.independence_test()?;
+//! assert!(result.p_value < 0.05, "correlated outcomes must be detected");
+//! # Ok::<(), qdb_stats::StatsError>(())
+//! ```
+
+pub mod chi2;
+pub mod contingency;
+pub mod exact;
+pub mod histogram;
+pub mod special;
+
+mod error;
+
+pub use chi2::{chi2_cdf, chi2_sf, ChiSquareResult, GoodnessOfFit};
+pub use contingency::{ContingencyResult, ContingencyTable};
+pub use exact::{fisher_exact, fisher_exact_table, g_test, FisherResult};
+pub use error::StatsError;
+pub use histogram::Histogram;
+
+/// Conventional significance level used throughout the paper (p ≤ 0.05
+/// rejects the null hypothesis).
+pub const DEFAULT_ALPHA: f64 = 0.05;

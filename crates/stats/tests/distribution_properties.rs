@@ -1,0 +1,127 @@
+//! Property-based tests of the statistical machinery's mathematical
+//! invariants.
+
+use proptest::prelude::*;
+use qdb_stats::contingency::YatesCorrection;
+use qdb_stats::exact::{fisher_exact, g_test_gof};
+use qdb_stats::special::{gamma_p, gamma_q, ln_gamma};
+use qdb_stats::{chi2_cdf, chi2_sf, ContingencyTable, GoodnessOfFit};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn gamma_recurrence(x in 0.1f64..30.0) {
+        // ln Γ(x+1) = ln x + ln Γ(x)
+        let lhs = ln_gamma(x + 1.0);
+        let rhs = x.ln() + ln_gamma(x);
+        prop_assert!((lhs - rhs).abs() < 1e-8 * lhs.abs().max(1.0));
+    }
+
+    #[test]
+    fn incomplete_gamma_complementarity(a in 0.2f64..40.0, x in 0.0f64..80.0) {
+        let p = gamma_p(a, x).unwrap();
+        let q = gamma_q(a, x).unwrap();
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&p));
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&q));
+        prop_assert!((p + q - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn incomplete_gamma_monotone_in_x(a in 0.2f64..20.0, x in 0.0f64..40.0, dx in 0.0f64..10.0) {
+        prop_assert!(gamma_p(a, x + dx).unwrap() + 1e-12 >= gamma_p(a, x).unwrap());
+    }
+
+    #[test]
+    fn chi2_cdf_sf_are_proper(x in 0.0f64..100.0, dof in 1..30usize) {
+        let cdf = chi2_cdf(x, dof).unwrap();
+        let sf = chi2_sf(x, dof).unwrap();
+        prop_assert!((0.0..=1.0).contains(&cdf));
+        prop_assert!((0.0..=1.0).contains(&sf));
+        prop_assert!((cdf + sf - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chi2_sf_monotone_in_dof(x in 0.1f64..30.0, dof in 1..20usize) {
+        // At fixed x, more degrees of freedom ⇒ larger tail probability.
+        let p1 = chi2_sf(x, dof).unwrap();
+        let p2 = chi2_sf(x, dof + 1).unwrap();
+        prop_assert!(p2 + 1e-12 >= p1);
+    }
+
+    #[test]
+    fn gof_statistic_nonnegative_and_p_valid(
+        counts in prop::collection::vec(0u64..100, 2..10),
+    ) {
+        prop_assume!(counts.iter().sum::<u64>() > 0);
+        let gof = GoodnessOfFit::uniform(counts.len()).unwrap();
+        let r = gof.test_counts(&counts).unwrap();
+        prop_assert!(r.statistic >= 0.0);
+        prop_assert!((0.0..=1.0).contains(&r.p_value));
+        prop_assert_eq!(r.dof, counts.len() - 1);
+    }
+
+    #[test]
+    fn gof_scaling_counts_up_increases_significance(
+        weights in prop::collection::vec(1u64..20, 2..6),
+    ) {
+        // A fixed deviation pattern becomes more significant at 10×
+        // the sample size.
+        prop_assume!(weights.iter().any(|&w| w != weights[0]));
+        let gof = GoodnessOfFit::uniform(weights.len()).unwrap();
+        let small = gof.test_counts(&weights).unwrap();
+        let big: Vec<u64> = weights.iter().map(|&w| w * 10).collect();
+        let large = gof.test_counts(&big).unwrap();
+        prop_assert!(large.p_value <= small.p_value + 1e-12);
+    }
+
+    #[test]
+    fn g_and_pearson_gof_agree_in_the_large_sample_limit(
+        weights in prop::collection::vec(1u64..6, 3..6),
+    ) {
+        let bins = weights.len();
+        let counts: Vec<u64> = weights.iter().map(|&w| w * 500).collect();
+        let expected = vec![1.0 / bins as f64; bins];
+        let g = g_test_gof(&counts, &expected).unwrap();
+        let pearson = GoodnessOfFit::uniform(bins).unwrap().test_counts(&counts).unwrap();
+        // Both statistics grow together; compare on a log scale.
+        if pearson.statistic > 1.0 && g.statistic > 1.0 {
+            let ratio = g.statistic / pearson.statistic;
+            prop_assert!((0.5..2.0).contains(&ratio), "ratio = {ratio}");
+        }
+    }
+
+    #[test]
+    fn contingency_yates_never_increases_statistic(
+        pairs in prop::collection::vec((0..2u64, 0..2u64), 8..100),
+    ) {
+        let t = ContingencyTable::from_pairs(pairs.iter().copied());
+        let plain = t.independence_test_with(YatesCorrection::Never);
+        let corrected = t.independence_test_with(YatesCorrection::Always);
+        if let (Ok(p), Ok(c)) = (plain, corrected) {
+            prop_assert!(c.statistic <= p.statistic + 1e-12);
+            prop_assert!(c.p_value + 1e-12 >= p.p_value);
+        }
+    }
+
+    #[test]
+    fn fisher_p_value_is_a_probability(
+        a in 0u64..12, b in 0u64..12, c in 0u64..12, d in 0u64..12,
+    ) {
+        if let Ok(r) = fisher_exact([[a, b], [c, d]]) {
+            prop_assert!((0.0..=1.0).contains(&r.p_value));
+            prop_assert!(r.p_observed <= r.p_value + 1e-12);
+        }
+    }
+
+    #[test]
+    fn fisher_invariant_under_row_and_column_swaps(
+        a in 1u64..10, b in 1u64..10, c in 1u64..10, d in 1u64..10,
+    ) {
+        let base = fisher_exact([[a, b], [c, d]]).unwrap();
+        let rows = fisher_exact([[c, d], [a, b]]).unwrap();
+        let cols = fisher_exact([[b, a], [d, c]]).unwrap();
+        prop_assert!((base.p_value - rows.p_value).abs() < 1e-9);
+        prop_assert!((base.p_value - cols.p_value).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,229 @@
+//! The `qdb` command-line debugger: run statistical assertion checks on
+//! a Scaffold-like source file, mirroring the paper's tool flow
+//! (Scaffold source → per-breakpoint programs → ensembles → verdicts).
+//!
+//! ```text
+//! qdb check program.scaffold [--shots N] [--seed S] [--alpha A]
+//!                            [--noise P] [--readout P] [--method chi2|g|fisher]
+//! qdb qasm  program.scaffold            # emit OpenQASM 2.0 for the circuit
+//! qdb demo  <bell|shor|grover|h2|bugs>  # run a built-in benchmark session
+//! ```
+
+use std::process::ExitCode;
+
+use qdb::algos::gf2::Gf2m;
+use qdb::algos::grover::{grover_program, optimal_iterations, GroverStyle};
+use qdb::algos::harnesses::{listing4_modmul_harness, BugType, Listing4Params};
+use qdb::algos::modular::ControlRouting;
+use qdb::algos::shor::{shor_program, ShorConfig};
+use qdb::circuit::{parse_scaffold, to_qasm, GateSink, Program, QReg};
+use qdb::core::{Debugger, EnsembleConfig, IndependenceMethod};
+use qdb::sim::NoiseModel;
+
+fn usage() -> &'static str {
+    "qdb — statistical assertions for quantum programs (ISCA 2019 reproduction)
+
+USAGE:
+    qdb check <file.scaffold> [options]   parse and debug a Scaffold-like file
+    qdb qasm  <file.scaffold>             emit OpenQASM 2.0 for its circuit
+    qdb demo  <bell|shor|grover|h2|bugs>  run a built-in benchmark session
+
+OPTIONS (for `check` and `demo`):
+    --shots N       ensemble size per breakpoint      (default 1024)
+    --seed S        RNG seed                          (default fixed)
+    --alpha A       significance level                (default 0.05)
+    --noise P       per-gate depolarizing probability (default 0)
+    --readout P     readout bit-flip probability      (default 0)
+    --method M      chi2 | g | fisher                 (default chi2)
+"
+}
+
+struct Options {
+    config: EnsembleConfig,
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut config = EnsembleConfig::default();
+    let mut noise = NoiseModel::noiseless();
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            iter.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--shots" => {
+                config.shots = value("--shots")?
+                    .parse()
+                    .map_err(|_| "--shots expects an integer".to_string())?;
+            }
+            "--seed" => {
+                config.seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| "--seed expects an integer".to_string())?;
+            }
+            "--alpha" => {
+                config.alpha = value("--alpha")?
+                    .parse()
+                    .map_err(|_| "--alpha expects a number".to_string())?;
+            }
+            "--noise" => {
+                let p: f64 = value("--noise")?
+                    .parse()
+                    .map_err(|_| "--noise expects a probability".to_string())?;
+                noise = NoiseModel::depolarizing(p).with_readout_flip(noise.readout_flip);
+            }
+            "--readout" => {
+                let p: f64 = value("--readout")?
+                    .parse()
+                    .map_err(|_| "--readout expects a probability".to_string())?;
+                noise = noise.with_readout_flip(p);
+            }
+            "--method" => {
+                config.independence = match value("--method")?.as_str() {
+                    "chi2" => IndependenceMethod::PearsonChi2,
+                    "g" => IndependenceMethod::GTest,
+                    "fisher" => IndependenceMethod::FisherExact,
+                    other => return Err(format!("unknown method `{other}`")),
+                };
+            }
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    let config = config.with_noise(noise);
+    Ok(Options { config })
+}
+
+fn check_program(program: &Program, options: &Options) -> Result<bool, String> {
+    let report = Debugger::new(options.config)
+        .run(program)
+        .map_err(|e| e.to_string())?;
+    println!("{report}");
+    for miss in report.statistical_misses() {
+        println!(
+            "note: breakpoint #{} disagrees with the exact verdict — \
+             likely noise or too few shots",
+            miss.index
+        );
+    }
+    Ok(report.all_passed())
+}
+
+fn cmd_check(path: &str, options: &Options) -> Result<bool, String> {
+    let source = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let program = parse_scaffold(&source).map_err(|e| e.to_string())?;
+    println!(
+        "parsed {path}: {} instructions, {} registers, {} assertions\n",
+        program.circuit().len(),
+        program.registers().len(),
+        program.breakpoints().len()
+    );
+    check_program(&program, options)
+}
+
+fn cmd_qasm(path: &str) -> Result<(), String> {
+    let source = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let program = parse_scaffold(&source).map_err(|e| e.to_string())?;
+    let qasm = to_qasm(program.circuit()).map_err(|e| e.to_string())?;
+    print!("{qasm}");
+    Ok(())
+}
+
+fn demo_program(name: &str) -> Result<Program, String> {
+    match name {
+        "bell" => {
+            let mut p = Program::new();
+            let q = p.alloc_register("q", 2);
+            p.h(q.bit(0));
+            p.cx(q.bit(0), q.bit(1));
+            let m0 = QReg::new("m0", vec![q.bit(0)]);
+            let m1 = QReg::new("m1", vec![q.bit(1)]);
+            p.assert_entangled(&m0, &m1);
+            Ok(p)
+        }
+        "shor" => Ok(shor_program(
+            &ShorConfig::paper_n15(),
+            ControlRouting::Correct,
+            &Vec::new(),
+        )
+        .0),
+        "grover" => {
+            let field = Gf2m::standard(3);
+            Ok(grover_program(&field, 5, GroverStyle::Scoped, optimal_iterations(8)).0)
+        }
+        "h2" => Err("the chemistry benchmark is interactive: run \
+                     `cargo run --release --example h2_chemistry`"
+            .to_string()),
+        "bugs" => Ok(listing4_modmul_harness(Listing4Params::paper().with_wrong_inverse()).0),
+        other => Err(format!(
+            "unknown demo `{other}` (try bell, shor, grover, h2, bugs)"
+        )),
+    }
+}
+
+fn run() -> Result<bool, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.split_first() {
+        Some((cmd, rest)) => match cmd.as_str() {
+            "check" => {
+                let (path, opts) = rest
+                    .split_first()
+                    .ok_or_else(|| "check needs a file".to_string())?;
+                cmd_check(path, &parse_options(opts)?)
+            }
+            "qasm" => {
+                let (path, _) = rest
+                    .split_first()
+                    .ok_or_else(|| "qasm needs a file".to_string())?;
+                cmd_qasm(path)?;
+                Ok(true)
+            }
+            "demo" => {
+                let (name, opts) = rest
+                    .split_first()
+                    .ok_or_else(|| "demo needs a name".to_string())?;
+                if name == "bugs" {
+                    println!("bug-taxonomy sweep:\n");
+                    let options = parse_options(opts)?;
+                    for bug in BugType::all() {
+                        let (program, _) = bug.demonstration();
+                        let report = Debugger::new(options.config)
+                            .run(&program)
+                            .map_err(|e| e.to_string())?;
+                        println!(
+                            "{bug:?} → {}",
+                            report
+                                .first_failure()
+                                .map_or("NOT caught".to_string(), |f| format!(
+                                    "caught at #{} ({})",
+                                    f.index, f.label
+                                ))
+                        );
+                    }
+                    return Ok(true);
+                }
+                let program = demo_program(name)?;
+                check_program(&program, &parse_options(opts)?)
+            }
+            "--help" | "-h" | "help" => {
+                print!("{}", usage());
+                Ok(true)
+            }
+            other => Err(format!("unknown command `{other}`\n\n{}", usage())),
+        },
+        None => {
+            print!("{}", usage());
+            Ok(true)
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1), // assertions failed
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! # QDB — statistical assertions for quantum programs
+//!
+//! Umbrella crate re-exporting the full QDB toolchain, a Rust reproduction
+//! of *Statistical Assertions for Validating Patterns and Finding Bugs in
+//! Quantum Programs* (Huang & Martonosi, ISCA 2019):
+//!
+//! * [`stats`] — chi-square tests and contingency-table analysis;
+//! * [`sim`] — the dense state-vector simulator;
+//! * [`circuit`] — the quantum program IR, builder, and OpenQASM support;
+//! * [`core`] — assertions, breakpoints, ensemble runs, and the debugger;
+//! * [`algos`] — the Shor / Grover / quantum-chemistry benchmarks and the
+//!   paper's six injectable bug types.
+//!
+//! See `examples/quickstart.rs` for an end-to-end debugging session.
+
+pub use qdb_algos as algos;
+pub use qdb_circuit as circuit;
+pub use qdb_core as core;
+pub use qdb_sim as sim;
+pub use qdb_stats as stats;

@@ -1,0 +1,69 @@
+//! The paper's §4 contract, as one table-driven integration test: every
+//! bug type in the taxonomy is caught by its designated assertion at the
+//! expected breakpoint, and the statistical verdict agrees with the
+//! exact amplitude-level verdict.
+
+use qdb::algos::harnesses::BugType;
+use qdb::core::{Debugger, EnsembleConfig, Verdict};
+
+#[test]
+fn every_bug_type_is_caught_at_its_designated_breakpoint() {
+    let debugger = Debugger::new(EnsembleConfig::default().with_shots(512).with_seed(1));
+    for bug in BugType::all() {
+        let (program, expected_index) = bug.demonstration();
+        let report = debugger.run(&program).unwrap();
+        let failure = report
+            .first_failure()
+            .unwrap_or_else(|| panic!("{bug:?}: no assertion fired\n{report}"));
+        assert_eq!(
+            failure.index, expected_index,
+            "{bug:?} caught at wrong breakpoint:\n{report}"
+        );
+        assert_eq!(
+            failure.exact,
+            Some(Verdict::Fail),
+            "{bug:?}: exact verdict disagrees"
+        );
+    }
+}
+
+#[test]
+fn correct_counterparts_pass_everywhere() {
+    use qdb::algos::harnesses::{
+        listing1_qft_harness, listing3_cadd_harness, listing4_modmul_harness, Listing4Params,
+    };
+    use qdb::algos::AdderVariant;
+
+    let debugger = Debugger::new(EnsembleConfig::default().with_shots(512).with_seed(2));
+    let programs = vec![
+        listing1_qft_harness(4, 5, false),
+        listing3_cadd_harness(5, 12, 13, AdderVariant::Correct),
+        listing4_modmul_harness(Listing4Params::paper()).0,
+    ];
+    for (i, program) in programs.iter().enumerate() {
+        let report = debugger.run(program).unwrap();
+        assert!(report.all_passed(), "program {i}:\n{report}");
+    }
+}
+
+#[test]
+fn detection_power_grows_with_ensemble_size() {
+    // The paper's §3.1 point: with enough measurements a statistical
+    // test catches the bug; with too few it may not. Use the routing
+    // bug, whose signature is the *absence* of correlation (hard case).
+    let (program, _) = BugType::IncorrectRecursion.demonstration();
+    let mut caught_small = 0;
+    let mut caught_large = 0;
+    for seed in 0..10u64 {
+        let small = Debugger::new(EnsembleConfig::default().with_shots(8).with_seed(seed))
+            .run(&program)
+            .unwrap();
+        let large = Debugger::new(EnsembleConfig::default().with_shots(512).with_seed(seed))
+            .run(&program)
+            .unwrap();
+        caught_small += usize::from(!small.all_passed());
+        caught_large += usize::from(!large.all_passed());
+    }
+    assert_eq!(caught_large, 10, "512 shots must always catch the bug");
+    assert!(caught_small <= caught_large);
+}

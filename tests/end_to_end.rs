@@ -1,0 +1,211 @@
+//! End-to-end integration tests: full debugging sessions across all
+//! three benchmarks, exercising the whole stack (circuit IR → breakpoint
+//! splitting → simulation → ensemble sampling → statistical verdicts →
+//! exact cross-checks).
+
+use qdb::algos::chem::{
+    assignment_mask, iterative_phase_estimation, table5_assignments, Evolution, H2Molecule,
+};
+use qdb::algos::gf2::Gf2m;
+use qdb::algos::grover::{grover_program, optimal_iterations, GroverStyle};
+use qdb::algos::harnesses::{
+    listing1_qft_harness, listing3_cadd_harness, listing4_modmul_harness, Listing4Params,
+};
+use qdb::algos::modular::ControlRouting;
+use qdb::algos::shor::{classical, shor_program, ShorConfig};
+use qdb::algos::AdderVariant;
+use qdb::core::{Debugger, EnsembleConfig, Verdict};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn debugger(shots: usize, seed: u64) -> Debugger {
+    Debugger::new(EnsembleConfig::default().with_shots(shots).with_seed(seed))
+}
+
+#[test]
+fn listing1_qft_harness_full_session() {
+    let report = debugger(256, 1).run(&listing1_qft_harness(4, 5, false)).unwrap();
+    assert!(report.all_passed(), "{report}");
+    assert_eq!(report.len(), 3);
+    // No disagreement between statistical and exact verdicts.
+    assert!(report.statistical_misses().is_empty());
+}
+
+#[test]
+fn listing1_with_initial_value_bug_fails_at_precondition() {
+    let report = debugger(256, 2).run(&listing1_qft_harness(4, 5, true)).unwrap();
+    assert_eq!(report.first_failure().unwrap().index, 0);
+}
+
+#[test]
+fn listing3_cadd_full_session_and_both_bug_variants() {
+    let ok = debugger(128, 3)
+        .run(&listing3_cadd_harness(5, 12, 13, AdderVariant::Correct))
+        .unwrap();
+    assert!(ok.all_passed(), "{ok}");
+
+    for variant in [
+        AdderVariant::AnglesFlipped,
+        AdderVariant::AngleDenominatorOffByOne,
+    ] {
+        let report = debugger(128, 4)
+            .run(&listing3_cadd_harness(5, 12, 13, variant))
+            .unwrap();
+        let failure = report.first_failure().expect("bug must be caught");
+        assert_eq!(failure.index, 1, "postcondition catches {variant:?}");
+        assert!(failure.p_value < 1e-6);
+    }
+}
+
+#[test]
+fn listing4_paper_16_shot_ensemble_reproduces_reported_p_values() {
+    // The paper reports, for ensembles of 16: entangled p = 0.0005 and
+    // product p = 1.0 on the correct program.
+    let (program, _) = listing4_modmul_harness(Listing4Params::paper());
+    let report = Debugger::new(EnsembleConfig::paper_small().with_seed(5))
+        .run(&program)
+        .unwrap();
+    assert!(report.all_passed(), "{report}");
+    let entangled = &report.reports()[2];
+    // A 16-shot Bell-like table splits k/(16−k); for the typical 8/8
+    // split p ≈ 4.7e-4. Any split still rejects independence at 5%.
+    assert!(entangled.p_value < 0.05);
+    let product = &report.reports()[3];
+    assert!(product.p_value > 0.9);
+}
+
+#[test]
+fn listing4_routing_bug_defeats_entanglement_assertion() {
+    let (program, _) = listing4_modmul_harness(Listing4Params::paper().with_routing_bug());
+    let report = debugger(64, 6).run(&program).unwrap();
+    let failure = report.first_failure().unwrap();
+    assert_eq!(failure.index, 2);
+    assert_eq!(failure.exact, Some(Verdict::Fail));
+}
+
+#[test]
+fn listing4_wrong_inverse_defeats_product_assertion() {
+    let (program, _) = listing4_modmul_harness(Listing4Params::paper().with_wrong_inverse());
+    let report = debugger(64, 7).run(&program).unwrap();
+    // Entanglement assertion (index 2) still passes; product (3) fails.
+    assert!(report.reports()[2].passed());
+    let failure = report.first_failure().unwrap();
+    assert_eq!(failure.index, 3);
+}
+
+#[test]
+fn shor_integration_all_assertions_pass_and_factors_recovered() {
+    let config = ShorConfig::paper_n15();
+    let (program, layout) = shor_program(&config, ControlRouting::Correct, &Vec::new());
+    let dbg = debugger(128, 8);
+    let report = dbg.run(&program).unwrap();
+    assert!(report.all_passed(), "{report}");
+
+    // Classical post-processing on the final ensemble.
+    let last = program.breakpoints().len() - 1;
+    let ensemble = dbg.runner().run_breakpoint(&program, last).unwrap();
+    let mut recovered = None;
+    for &outcome in &ensemble.outcomes {
+        let y = layout.upper.value_of(outcome);
+        if let Some(r) = classical::order_from_measurement(y, 3, 7, 15) {
+            recovered = classical::factors_from_order(7, r, 15);
+            if recovered.is_some() {
+                break;
+            }
+        }
+    }
+    assert_eq!(recovered, Some((3, 5)));
+}
+
+#[test]
+fn shor_with_wrong_classical_inputs_fails_ancilla_postcondition() {
+    // Bug type 6: (7, 12) in iteration 0.
+    let overrides = vec![(7, 12), (4, 4), (1, 1)];
+    let (program, _) = shor_program(
+        &ShorConfig::paper_n15(),
+        ControlRouting::Correct,
+        &overrides,
+    );
+    let report = debugger(128, 9).run(&program).unwrap();
+    let failure = report.first_failure().expect("bug must be caught");
+    // The b-register classical postcondition is breakpoint 3.
+    assert_eq!(failure.index, 3);
+    assert!(failure.p_value < 1e-6);
+}
+
+#[test]
+fn grover_both_styles_full_sessions() {
+    let field = Gf2m::standard(3);
+    for style in [GroverStyle::Manual, GroverStyle::Scoped] {
+        let (program, layout) =
+            grover_program(&field, 6, style, optimal_iterations(field.order()));
+        let dbg = debugger(256, 10);
+        let report = dbg.run(&program).unwrap();
+        assert!(report.all_passed(), "{style:?}: {report}");
+
+        let last = program.breakpoints().len() - 1;
+        let ensemble = dbg.runner().run_breakpoint(&program, last).unwrap();
+        let answer = field.sqrt(6);
+        let hits = ensemble
+            .outcomes
+            .iter()
+            .filter(|&&o| layout.q.value_of(o) == answer)
+            .count();
+        assert!(
+            hits as f64 / ensemble.outcomes.len() as f64 > 0.85,
+            "{style:?}: only {hits} hits"
+        );
+    }
+}
+
+#[test]
+fn chemistry_table5_energies_have_the_paper_shape() {
+    let molecule = H2Molecule::sto3g();
+    let energies: Vec<f64> = table5_assignments()
+        .into_iter()
+        .map(|(_, occ)| molecule.determinant_energy(assignment_mask(occ)))
+        .collect();
+    // Six assignments, four distinct levels, ordering G < E1 < E2 < E3.
+    let (e3, e2a, e2b, e1a, e1b, g) = (
+        energies[0],
+        energies[1],
+        energies[2],
+        energies[3],
+        energies[4],
+        energies[5],
+    );
+    assert!((e2a - e2b).abs() < 1e-12);
+    assert!((e1a - e1b).abs() < 1e-12);
+    assert!(g < e1a && e1a < e2a && e2a < e3);
+}
+
+#[test]
+fn chemistry_ipe_recovers_ground_state_through_full_stack() {
+    let molecule = H2Molecule::sto3g();
+    let ground = molecule.exact_spectrum()[0];
+    let mut rng = StdRng::seed_from_u64(11);
+    let out = iterative_phase_estimation(
+        &molecule,
+        assignment_mask([1, 1, 0, 0]),
+        1.0,
+        9,
+        Evolution::Exact,
+        &mut rng,
+    );
+    assert!(
+        (out.energy - ground).abs() < 0.02,
+        "IPE {} vs FCI {ground}",
+        out.energy
+    );
+}
+
+#[test]
+fn ensembles_are_deterministic_given_seed() {
+    let (program, _) = listing4_modmul_harness(Listing4Params::paper());
+    let a = debugger(64, 42).run(&program).unwrap();
+    let b = debugger(64, 42).run(&program).unwrap();
+    for (ra, rb) in a.reports().iter().zip(b.reports()) {
+        assert_eq!(ra.p_value.to_bits(), rb.p_value.to_bits());
+        assert_eq!(ra.verdict, rb.verdict);
+    }
+}

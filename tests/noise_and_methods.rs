@@ -1,0 +1,119 @@
+//! Integration tests for the beyond-paper extensions: noisy ensembles
+//! and alternative independence-test backends, exercised through the
+//! public API end to end.
+
+use qdb::algos::harnesses::{listing4_modmul_harness, Listing4Params};
+use qdb::circuit::{parse_scaffold, GateSink, Program, QReg};
+use qdb::core::{Debugger, EnsembleConfig, IndependenceMethod, Verdict};
+use qdb::sim::NoiseModel;
+
+fn bell() -> Program {
+    let mut p = Program::new();
+    let q = p.alloc_register("q", 2);
+    p.h(q.bit(0));
+    p.cx(q.bit(0), q.bit(1));
+    let m0 = QReg::new("m0", vec![q.bit(0)]);
+    let m1 = QReg::new("m1", vec![q.bit(1)]);
+    p.assert_entangled(&m0, &m1);
+    p
+}
+
+#[test]
+fn every_method_passes_the_correct_listing4_session() {
+    let (program, _) = listing4_modmul_harness(Listing4Params::paper());
+    for method in [
+        IndependenceMethod::PearsonChi2,
+        IndependenceMethod::GTest,
+        IndependenceMethod::FisherExact,
+    ] {
+        let config = EnsembleConfig::default()
+            .with_shots(64)
+            .with_seed(1)
+            .with_independence(method);
+        let report = Debugger::new(config).run(&program).unwrap();
+        assert!(report.all_passed(), "{method:?}: {report}");
+    }
+}
+
+#[test]
+fn every_method_catches_the_wrong_inverse_bug() {
+    let (program, _) = listing4_modmul_harness(Listing4Params::paper().with_wrong_inverse());
+    for method in [
+        IndependenceMethod::PearsonChi2,
+        IndependenceMethod::GTest,
+        IndependenceMethod::FisherExact,
+    ] {
+        let config = EnsembleConfig::default()
+            .with_shots(64)
+            .with_seed(2)
+            .with_independence(method);
+        let report = Debugger::new(config).run(&program).unwrap();
+        let failure = report.first_failure().unwrap();
+        assert_eq!(failure.index, 3, "{method:?}");
+    }
+}
+
+#[test]
+fn mild_noise_preserves_bell_verdict_and_heavy_noise_flags_hardware() {
+    let program = bell();
+
+    // Mild gate noise: the entanglement assertion still passes.
+    let mild = EnsembleConfig::default()
+        .with_shots(256)
+        .with_seed(3)
+        .with_noise(NoiseModel::depolarizing(0.01));
+    let report = Debugger::new(mild).run(&program).unwrap();
+    assert!(report.all_passed(), "{report}");
+
+    // Heavy readout noise on a *classical* assertion: the statistical
+    // check fails deterministically (a 3-bit register with 25% per-bit
+    // flips lands off its expected value in ~58% of shots), while the
+    // exact (ideal-state) verdict still passes — the disagreement is
+    // the hardware-vs-code diagnostic.
+    let mut classical = Program::new();
+    let r = classical.alloc_register("r", 3);
+    classical.prep_int(&r, 5);
+    classical.assert_classical(&r, 5);
+    let heavy = EnsembleConfig::default()
+        .with_shots(256)
+        .with_seed(4)
+        .with_noise(NoiseModel::readout_only(0.25));
+    let report = Debugger::new(heavy).run(&classical).unwrap();
+    let rep = &report.reports()[0];
+    assert_eq!(rep.verdict, Verdict::Fail);
+    assert_eq!(rep.exact, Some(Verdict::Pass));
+    assert!(rep.disagrees_with_exact());
+}
+
+#[test]
+fn scaffold_source_with_noise_and_fisher_end_to_end() {
+    let src = r"
+        qbit a[1];
+        qbit b[1];
+        H(a[0]);
+        CNOT(a[0], b[0]);
+        assert_entangled(a, 1, b, 1);
+    ";
+    let program = parse_scaffold(src).unwrap();
+    let config = EnsembleConfig::default()
+        .with_shots(128)
+        .with_seed(5)
+        .with_independence(IndependenceMethod::FisherExact)
+        .with_noise(NoiseModel::depolarizing(0.005));
+    let report = Debugger::new(config).run(&program).unwrap();
+    assert!(report.all_passed(), "{report}");
+}
+
+#[test]
+fn noise_does_not_change_ideal_reference_state() {
+    // The MeasuredEnsemble's state field stays noiseless by contract.
+    let program = bell();
+    let config = EnsembleConfig::default()
+        .with_shots(32)
+        .with_seed(6)
+        .with_noise(NoiseModel::depolarizing(0.3));
+    let runner = qdb::core::EnsembleRunner::new(config);
+    let ensemble = runner.run_breakpoint(&program, 0).unwrap();
+    assert!((ensemble.state.probability(0b00) - 0.5).abs() < 1e-12);
+    assert!((ensemble.state.probability(0b11) - 0.5).abs() < 1e-12);
+}

@@ -1,0 +1,240 @@
+//! Property-based tests (proptest) over the core invariants of the
+//! whole stack: simulator unitarity, circuit adjoint/control algebra,
+//! arithmetic correctness over random operands, statistics sanity, and
+//! QASM round-trips of random circuits.
+
+use proptest::prelude::*;
+
+use qdb::algos::arith::{add_const, AdderVariant};
+use qdb::algos::shor::classical;
+use qdb::circuit::{from_qasm, to_qasm, Circuit, GateKind, GateSink, Instruction, QReg};
+use qdb::sim::measure::extract_bits;
+use qdb::sim::{gates, State};
+use qdb::stats::{chi2_sf, ContingencyTable, GoodnessOfFit, Histogram};
+
+const N_QUBITS: usize = 4;
+
+/// Strategy: a random instruction on `N_QUBITS` qubits.
+fn arb_instruction() -> impl Strategy<Value = Instruction> {
+    let qubit = 0..N_QUBITS;
+    let angle = -3.2f64..3.2f64;
+    prop_oneof![
+        (qubit.clone(), 0..8usize).prop_map(|(q, g)| {
+            let kind = match g {
+                0 => GateKind::H,
+                1 => GateKind::X,
+                2 => GateKind::Y,
+                3 => GateKind::Z,
+                4 => GateKind::S,
+                5 => GateKind::Sdg,
+                6 => GateKind::T,
+                _ => GateKind::Tdg,
+            };
+            Instruction::gate(kind, q)
+        }),
+        (qubit.clone(), angle.clone(), 0..4usize).prop_map(|(q, a, g)| {
+            let kind = match g {
+                0 => GateKind::Rx(a),
+                1 => GateKind::Ry(a),
+                2 => GateKind::Rz(a),
+                _ => GateKind::Phase(a),
+            };
+            Instruction::gate(kind, q)
+        }),
+        (qubit.clone(), qubit.clone()).prop_filter_map("distinct", |(c, t)| {
+            (c != t).then(|| Instruction::controlled_gate(vec![c], GateKind::X, t))
+        }),
+        (qubit.clone(), qubit.clone(), angle).prop_filter_map("distinct", |(c, t, a)| {
+            (c != t).then(|| Instruction::controlled_gate(vec![c], GateKind::Phase(a), t))
+        }),
+        (qubit.clone(), qubit).prop_filter_map("distinct", |(a, b)| {
+            (a != b).then_some(Instruction::Swap {
+                controls: vec![],
+                a,
+                b,
+            })
+        }),
+    ]
+}
+
+fn arb_circuit(max_len: usize) -> impl Strategy<Value = Circuit> {
+    prop::collection::vec(arb_instruction(), 0..max_len).prop_map(|instructions| {
+        let mut c = Circuit::new(N_QUBITS);
+        c.extend(instructions);
+        c
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_circuits_preserve_norm(circuit in arb_circuit(24), input in 0..16u64) {
+        let s = circuit.run_on_basis(input).unwrap();
+        prop_assert!((s.norm_sqr() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn adjoint_reverses_any_circuit(circuit in arb_circuit(16), input in 0..16u64) {
+        let mut s = State::basis(N_QUBITS, input).unwrap();
+        circuit.apply_to(&mut s);
+        circuit.adjoint().apply_to(&mut s);
+        prop_assert!((s.probability(input as usize) - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn double_adjoint_is_identity(circuit in arb_circuit(16)) {
+        prop_assert_eq!(circuit.adjoint().adjoint(), circuit);
+    }
+
+    #[test]
+    fn controlled_circuit_is_identity_when_control_clear(
+        circuit in arb_circuit(12),
+        input in 0..16u64,
+    ) {
+        // Add a 5th qubit as control, leave it |0⟩.
+        let mut wide = Circuit::new(N_QUBITS + 1);
+        wide.append(&circuit);
+        let controlled = wide.controlled(&[N_QUBITS]);
+        let s = controlled.run_on_basis(input).unwrap();
+        prop_assert!((s.probability(input as usize) - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn qasm_round_trip_any_random_circuit(circuit in arb_circuit(20)) {
+        // Exclude controlled S/T (emitted as cu1, structurally different).
+        let exportable = circuit.instructions().iter().all(|inst| {
+            !matches!(
+                inst,
+                Instruction::Gate { controls, kind, .. }
+                if !controls.is_empty()
+                    && matches!(kind, GateKind::S | GateKind::Sdg | GateKind::T | GateKind::Tdg)
+            )
+        });
+        prop_assume!(exportable);
+        let text = to_qasm(&circuit).unwrap();
+        let parsed = from_qasm(&text).unwrap();
+        prop_assert_eq!(parsed.circuit, circuit);
+    }
+
+    #[test]
+    fn adder_is_correct_for_all_operands(a in 0..32u64, b in 0..32u64) {
+        let width = 5;
+        let reg = QReg::contiguous("r", 0, width);
+        let mut c = Circuit::new(width);
+        add_const(&mut c, &[], &reg, a, AdderVariant::Correct);
+        let s = c.run_on_basis(b).unwrap();
+        let want = ((a + b) % 32) as usize;
+        prop_assert!((s.probability(want) - 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn mod_pow_matches_naive(base in 1..50u64, exp in 0..12u64, modulus in 2..60u64) {
+        let mut naive = 1u64;
+        for _ in 0..exp {
+            naive = naive * base % modulus;
+        }
+        prop_assert_eq!(classical::mod_pow(base, exp, modulus), naive);
+    }
+
+    #[test]
+    fn mod_inv_is_two_sided(a in 1..100u64, modulus in 2..100u64) {
+        if let Some(inv) = classical::mod_inv(a, modulus) {
+            prop_assert_eq!(a % modulus * inv % modulus, 1 % modulus);
+            prop_assert_eq!(inv * (a % modulus) % modulus, 1 % modulus);
+        } else {
+            prop_assert!(classical::gcd(a, modulus) > 1);
+        }
+    }
+
+    #[test]
+    fn chi2_sf_is_monotone_in_statistic(
+        x1 in 0.0f64..50.0,
+        dx in 0.0f64..20.0,
+        dof in 1..12usize,
+    ) {
+        let p1 = chi2_sf(x1, dof).unwrap();
+        let p2 = chi2_sf(x1 + dx, dof).unwrap();
+        prop_assert!(p2 <= p1 + 1e-12);
+    }
+
+    #[test]
+    fn goodness_of_fit_accepts_its_own_expectation(
+        weights in prop::collection::vec(1u64..50, 2..8),
+    ) {
+        // Observed counts exactly proportional to expected → χ² = 0.
+        let expected: Vec<f64> = weights.iter().map(|&w| w as f64).collect();
+        let gof = GoodnessOfFit::new(expected).unwrap();
+        let total: u64 = weights.iter().sum();
+        // Scale counts so observed_i = expected_i · k exactly.
+        let counts: Vec<u64> = weights.iter().map(|&w| w * 8).collect();
+        let result = gof.test_counts(&counts).unwrap();
+        let _ = total;
+        prop_assert!(result.statistic < 1e-9);
+        prop_assert!(result.p_value > 0.999);
+    }
+
+    #[test]
+    fn contingency_marginals_always_sum_to_total(
+        pairs in prop::collection::vec((0..4u64, 0..4u64), 1..64),
+    ) {
+        let table = ContingencyTable::from_pairs(pairs.iter().copied());
+        prop_assert_eq!(table.total(), pairs.len() as u64);
+        prop_assert_eq!(table.row_totals().iter().sum::<u64>(), table.total());
+        prop_assert_eq!(table.col_totals().iter().sum::<u64>(), table.total());
+    }
+
+    #[test]
+    fn contingency_p_value_is_symmetric_under_transpose(
+        pairs in prop::collection::vec((0..3u64, 0..3u64), 8..64),
+    ) {
+        let t1 = ContingencyTable::from_pairs(pairs.iter().copied());
+        let t2 = ContingencyTable::from_pairs(pairs.iter().map(|&(a, b)| (b, a)));
+        match (t1.independence_test(), t2.independence_test()) {
+            (Ok(r1), Ok(r2)) => {
+                prop_assert!((r1.statistic - r2.statistic).abs() < 1e-9);
+                prop_assert!((r1.p_value - r2.p_value).abs() < 1e-9);
+            }
+            (Err(e1), Err(e2)) => prop_assert_eq!(e1, e2),
+            other => prop_assert!(false, "asymmetric outcome {:?}", other),
+        }
+    }
+
+    #[test]
+    fn histogram_totals_match_input(values in prop::collection::vec(0..32u64, 0..200)) {
+        let h: Histogram = values.iter().copied().collect();
+        prop_assert_eq!(h.total(), values.len() as u64);
+        let dense = h.dense_counts(32);
+        prop_assert_eq!(dense.iter().sum::<u64>(), values.len() as u64);
+    }
+
+    #[test]
+    fn extract_bits_then_scatter_is_identity(outcome in 0..256u64) {
+        let qubits = [1usize, 3, 5, 7];
+        let value = extract_bits(outcome, &qubits);
+        // Scatter back and re-extract.
+        let mut rebuilt = 0u64;
+        for (pos, &q) in qubits.iter().enumerate() {
+            if value & (1 << pos) != 0 {
+                rebuilt |= 1 << q;
+            }
+        }
+        prop_assert_eq!(extract_bits(rebuilt, &qubits), value);
+    }
+
+    #[test]
+    fn swap_is_its_own_inverse_on_states(input in 0..16u64, a in 0..4usize, b in 0..4usize) {
+        let mut s = State::basis(N_QUBITS, input).unwrap();
+        s.swap(a, b);
+        s.swap(a, b);
+        prop_assert!((s.probability(input as usize) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hadamard_twice_is_identity_statewise(input in 0..16u64, q in 0..4usize) {
+        let mut s = State::basis(N_QUBITS, input).unwrap();
+        s.apply_1q(q, &gates::h());
+        s.apply_1q(q, &gates::h());
+        prop_assert!((s.probability(input as usize) - 1.0).abs() < 1e-12);
+    }
+}
