@@ -118,9 +118,7 @@ pub fn add_const_fourier<S: GateSink + ?Sized>(
             if (a >> a_indx) & 1 == 1 {
                 let angle = match variant {
                     AdderVariant::Correct => PI / f64::from(1u32 << (b_indx - a_indx)),
-                    AdderVariant::AnglesFlipped => {
-                        -PI / f64::from(1u32 << (b_indx - a_indx))
-                    }
+                    AdderVariant::AnglesFlipped => -PI / f64::from(1u32 << (b_indx - a_indx)),
                     AdderVariant::AngleDenominatorOffByOne => {
                         PI / f64::from(1u32 << (b_indx - a_indx + 1))
                     }
@@ -431,7 +429,13 @@ mod tests {
         // The decomposition (with D on the control) equals a controlled
         // phase rotation up to global phase.
         let mut decomposed = Circuit::new(2);
-        crz_decomposed(&mut decomposed, 0, 1, 0.7, RotationDecomposition::CorrectDropA);
+        crz_decomposed(
+            &mut decomposed,
+            0,
+            1,
+            0.7,
+            RotationDecomposition::CorrectDropA,
+        );
         let mut reference = Circuit::new(2);
         reference.cphase(0, 1, 0.7);
         assert!(decomposed
@@ -442,7 +446,13 @@ mod tests {
     #[test]
     fn table1_incorrect_decomposition_differs() {
         let mut buggy = Circuit::new(2);
-        crz_decomposed(&mut buggy, 0, 1, 0.7, RotationDecomposition::IncorrectFlipped);
+        crz_decomposed(
+            &mut buggy,
+            0,
+            1,
+            0.7,
+            RotationDecomposition::IncorrectFlipped,
+        );
         let mut reference = Circuit::new(2);
         reference.cphase(0, 1, 0.7);
         assert!(!buggy.equivalent_up_to_phase(&reference, 1e-10).unwrap());

@@ -10,6 +10,10 @@
 //! electron assignments collapsing onto **four** distinct levels with
 //! (1, 2, 2, 1) degeneracy, ordered G < E1 < E2 < E3 — is preserved.
 
+// Index-based loops mirror the textbook matrix formulas here;
+// iterator rewrites obscure the i/j/k symmetry the math relies on.
+#![allow(clippy::needless_range_loop)]
+
 use rand::Rng;
 
 use qdb_circuit::{Circuit, GateSink, QReg};
@@ -132,8 +136,7 @@ impl H2Molecule {
                         }
                         for sigma in 0..2 {
                             for tau in 0..2 {
-                                let (op_p, op_q) =
-                                    (spin_orbital(p, sigma), spin_orbital(q, sigma));
+                                let (op_p, op_q) = (spin_orbital(p, sigma), spin_orbital(q, sigma));
                                 let (op_r, op_s) = (spin_orbital(r, tau), spin_orbital(s, tau));
                                 // a†_P a†_R a_S a_Q with coefficient g/2;
                                 // same-index creations/annihilations
@@ -499,7 +502,12 @@ mod tests {
         let m = h2();
         let mut energies: Vec<(String, f64)> = table5_assignments()
             .into_iter()
-            .map(|(label, occ)| (label.to_string(), m.determinant_energy(assignment_mask(occ))))
+            .map(|(label, occ)| {
+                (
+                    label.to_string(),
+                    m.determinant_energy(assignment_mask(occ)),
+                )
+            })
             .collect();
         energies.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
         // Distinct levels with tolerance.
@@ -513,7 +521,12 @@ mod tests {
         // Degeneracy pattern 1, 2, 2, 1 (sorted ascending).
         let degeneracy: Vec<usize> = levels
             .iter()
-            .map(|&l| energies.iter().filter(|&&(_, e)| (e - l).abs() < 1e-9).count())
+            .map(|&l| {
+                energies
+                    .iter()
+                    .filter(|&&(_, e)| (e - l).abs() < 1e-9)
+                    .count()
+            })
             .collect();
         assert_eq!(degeneracy, vec![1, 2, 2, 1]);
         // Ground is the doubly-occupied bonding assignment.
@@ -566,11 +579,12 @@ mod tests {
             let mut trotter_state = State::basis(4, 0b0011).unwrap();
             circuit.apply_to(&mut trotter_state);
             let mut exact_state = State::basis(4, 0b0011).unwrap();
-            exact_state
-                .apply_unitary(&[0, 1, 2, 3], &exact_u)
-                .unwrap();
+            exact_state.apply_unitary(&[0, 1, 2, 3], &exact_u).unwrap();
             let err = 1.0 - exact_state.fidelity(&trotter_state);
-            assert!(err < prev_err + 1e-12, "error must shrink: {err} vs {prev_err}");
+            assert!(
+                err < prev_err + 1e-12,
+                "error must shrink: {err} vs {prev_err}"
+            );
             prev_err = err;
         }
         assert!(prev_err < 1e-3, "16-step Trotter error = {prev_err}");
@@ -600,14 +614,7 @@ mod tests {
         let mut hits = 0;
         for seed in 0..10u64 {
             let mut rng = StdRng::seed_from_u64(seed);
-            let out = iterative_phase_estimation(
-                &m,
-                0b0011,
-                1.0,
-                8,
-                Evolution::Exact,
-                &mut rng,
-            );
+            let out = iterative_phase_estimation(&m, 0b0011, 1.0, 8, Evolution::Exact, &mut rng);
             if (out.energy - ground).abs() < 0.05 {
                 hits += 1;
             }
@@ -622,10 +629,8 @@ mod tests {
         let m = h2();
         let mask = assignment_mask([1, 0, 1, 0]); // exact eigenstate
         let mut rng = StdRng::seed_from_u64(5);
-        let coarse =
-            iterative_phase_estimation(&m, mask, 1.0, 4, Evolution::Exact, &mut rng);
-        let fine =
-            iterative_phase_estimation(&m, mask, 1.0, 9, Evolution::Exact, &mut rng);
+        let coarse = iterative_phase_estimation(&m, mask, 1.0, 4, Evolution::Exact, &mut rng);
+        let fine = iterative_phase_estimation(&m, mask, 1.0, 9, Evolution::Exact, &mut rng);
         let rounded = (fine.phase * 16.0).round() / 16.0;
         assert!(
             (rounded - coarse.phase).abs() < 1.0 / 16.0 + 1e-12,
@@ -646,9 +651,7 @@ mod tests {
             mask,
             1.0,
             6,
-            Evolution::Trotter {
-                steps_per_unit: 32,
-            },
+            Evolution::Trotter { steps_per_unit: 32 },
             &mut rng,
         );
         assert!(

@@ -11,6 +11,10 @@
 //! get wrong — exactly the class of classical-input bug (§5.2.1) the
 //! paper warns about.
 
+// Index-based loops mirror the textbook matrix formulas here;
+// iterator rewrites obscure the i/j/k symmetry the math relies on.
+#![allow(clippy::needless_range_loop)]
+
 use qdb_sim::linalg::CMatrix;
 use qdb_sim::state::Pauli;
 use qdb_sim::Complex;
@@ -80,14 +84,20 @@ pub fn build_hamiltonian(
     two_body: &[TwoBody],
     shift: f64,
 ) -> CMatrix {
-    assert!(num_orbitals <= 10, "dense fermionic matrix limited to 10 orbitals");
+    assert!(
+        num_orbitals <= 10,
+        "dense fermionic matrix limited to 10 orbitals"
+    );
     let dim = 1usize << num_orbitals;
     let mut h = vec![vec![Complex::ZERO; dim]; dim];
     for (i, row) in h.iter_mut().enumerate() {
         row[i] += Complex::real(shift);
     }
     for term in one_body {
-        assert!(term.p < num_orbitals && term.q < num_orbitals, "orbital out of range");
+        assert!(
+            term.p < num_orbitals && term.q < num_orbitals,
+            "orbital out of range"
+        );
         for col in 0..dim as u64 {
             let Some((mid, s1)) = annihilate(col, term.q) else {
                 continue;
@@ -274,12 +284,10 @@ mod tests {
                         continue;
                     }
                     // a_p a†_q + a†_q a_p must annihilate-or-cancel.
-                    let path1 = create(occ, q).and_then(|(s, g1)| {
-                        annihilate(s, p).map(|(s2, g2)| (s2, g1 * g2))
-                    });
-                    let path2 = annihilate(occ, p).and_then(|(s, g1)| {
-                        create(s, q).map(|(s2, g2)| (s2, g1 * g2))
-                    });
+                    let path1 = create(occ, q)
+                        .and_then(|(s, g1)| annihilate(s, p).map(|(s2, g2)| (s2, g1 * g2)));
+                    let path2 = annihilate(occ, p)
+                        .and_then(|(s, g1)| create(s, q).map(|(s2, g2)| (s2, g1 * g2)));
                     match (path1, path2) {
                         (Some((s1, g1)), Some((s2, g2))) => {
                             assert_eq!(s1, s2);

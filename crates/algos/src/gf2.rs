@@ -26,7 +26,10 @@ impl Gf2m {
     /// or over 16.
     #[must_use]
     pub fn new(m: u32, poly: u64) -> Self {
-        assert!(m >= 1 && m <= 16, "supported field sizes: GF(2)..GF(2^16)");
+        assert!(
+            (1..=16).contains(&m),
+            "supported field sizes: GF(2)..GF(2^16)"
+        );
         assert_eq!(
             64 - poly.leading_zeros() - 1,
             m,
@@ -88,7 +91,10 @@ impl Gf2m {
     /// Panics if an operand is not a field element.
     #[must_use]
     pub fn mul(&self, a: u64, b: u64) -> u64 {
-        assert!(a < self.order() && b < self.order(), "operands not in field");
+        assert!(
+            a < self.order() && b < self.order(),
+            "operands not in field"
+        );
         let mut product = 0u64;
         for i in 0..self.m {
             if b & (1 << i) != 0 {

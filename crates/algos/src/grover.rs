@@ -281,7 +281,10 @@ mod tests {
             for x in 0..(1u64 << n) {
                 let a = manual.run_on_basis(x).unwrap();
                 let b = scoped.run_on_basis(x).unwrap();
-                assert!(a.approx_eq(&b, 1e-10), "styles disagree at n = {n}, x = {x}");
+                assert!(
+                    a.approx_eq(&b, 1e-10),
+                    "styles disagree at n = {n}, x = {x}"
+                );
             }
         }
     }

@@ -249,8 +249,7 @@ impl BugType {
                 (p, 2) // the entanglement assertion
             }
             BugType::IncorrectMirroring | BugType::IncorrectClassicalInputs => {
-                let (p, _) =
-                    listing4_modmul_harness(Listing4Params::paper().with_wrong_inverse());
+                let (p, _) = listing4_modmul_harness(Listing4Params::paper().with_wrong_inverse());
                 (p, 3) // the product assertion
             }
         }
@@ -318,10 +317,7 @@ mod tests {
             let pr = s.probability(i);
             if pr > 1e-12 {
                 *joint
-                    .entry((
-                        layout.ctrl.value_of(i as u64),
-                        layout.b.value_of(i as u64),
-                    ))
+                    .entry((layout.ctrl.value_of(i as u64), layout.b.value_of(i as u64)))
                     .or_insert(0.0) += pr;
             }
         }
@@ -331,8 +327,7 @@ mod tests {
 
     #[test]
     fn listing4_wrong_inverse_leaves_correlation() {
-        let (p, layout) =
-            listing4_modmul_harness(Listing4Params::paper().with_wrong_inverse());
+        let (p, layout) = listing4_modmul_harness(Listing4Params::paper().with_wrong_inverse());
         let s = p.circuit().run_on_basis(0).unwrap();
         // ctrl=0: b = 7; ctrl=1: b = (4 + 12·6) mod 15 = 76 mod 15 = 1.
         let mut joint = std::collections::HashMap::new();
@@ -340,10 +335,7 @@ mod tests {
             let pr = s.probability(i);
             if pr > 1e-12 {
                 *joint
-                    .entry((
-                        layout.ctrl.value_of(i as u64),
-                        layout.b.value_of(i as u64),
-                    ))
+                    .entry((layout.ctrl.value_of(i as u64), layout.b.value_of(i as u64)))
                     .or_insert(0.0) += pr;
             }
         }

@@ -254,15 +254,7 @@ pub fn shor_circuit(
     }
     iqft(&mut c, &upper);
 
-    (
-        c,
-        ShorLayout {
-            upper,
-            x,
-            b,
-            anc,
-        },
-    )
+    (c, ShorLayout { upper, x, b, anc })
 }
 
 /// Build the assertion-annotated Shor *program* following the paper's

@@ -30,16 +30,8 @@ fn bench_modmul(c: &mut Criterion) {
     let width = 4;
     let x = QReg::contiguous("x", 1, width);
     let b = QReg::contiguous("b", 1 + width, width + 1);
-    let circuit = c_mod_mul_inplace_circuit(
-        0,
-        &x,
-        &b,
-        2 * width + 2,
-        7,
-        13,
-        15,
-        ControlRouting::Correct,
-    );
+    let circuit =
+        c_mod_mul_inplace_circuit(0, &x, &b, 2 * width + 2, 7, 13, 15, ControlRouting::Correct);
     group.bench_function("n15_a7", |bch| {
         bch.iter(|| circuit.run_on_basis(0b10 | 1).expect("run"));
     });
@@ -66,13 +58,9 @@ fn bench_grover(c: &mut Criterion) {
         let field = Gf2m::standard(m);
         for style in [GroverStyle::Manual, GroverStyle::Scoped] {
             let (circuit, _) = grover_circuit(&field, 2, style, 2);
-            group.bench_with_input(
-                BenchmarkId::new(format!("{style:?}"), m),
-                &m,
-                |b, _| {
-                    b.iter(|| circuit.run_on_basis(0).expect("run"));
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(format!("{style:?}"), m), &m, |b, _| {
+                b.iter(|| circuit.run_on_basis(0).expect("run"));
+            });
         }
     }
     group.finish();

@@ -65,14 +65,10 @@ fn bench_sampler(c: &mut Criterion) {
     });
     let sampler = Sampler::new(&state);
     for shots in [16usize, 256, 4096] {
-        group.bench_with_input(
-            BenchmarkId::new("draw", shots),
-            &shots,
-            |b, &shots| {
-                let mut rng = StdRng::seed_from_u64(1);
-                b.iter(|| sampler.sample_many(&mut rng, shots));
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("draw", shots), &shots, |b, &shots| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| sampler.sample_many(&mut rng, shots));
+        });
     }
     group.finish();
 }

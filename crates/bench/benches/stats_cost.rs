@@ -31,9 +31,16 @@ fn bench_gof_bins(c: &mut Criterion) {
 fn bench_gof_pooling_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("pooling_ablation");
     let bins = 4096;
-    let counts: Vec<u64> = (0..bins).map(|i| u64::from(i % 97 == 0)).collect();
-    let plain = GoodnessOfFit::uniform(bins).unwrap();
-    let pooled = GoodnessOfFit::uniform(bins).unwrap().with_pooling(5.0);
+    // A skewed hypothesis: 64 heavy head bins stay above the pooling
+    // threshold, the 4032-bin tail pools. (A *uniform* hypothesis would
+    // pool either nothing or everything — the latter is the documented
+    // ZeroDegreesOfFreedom degenerate case, not a benchmarkable one.)
+    let expected: Vec<f64> = (0..bins).map(|i| if i < 64 { 64.0 } else { 1.0 }).collect();
+    let counts: Vec<u64> = (0..bins)
+        .map(|i| if i < 64 { 64 } else { u64::from(i % 4 == 0) })
+        .collect();
+    let plain = GoodnessOfFit::new(expected.clone()).unwrap();
+    let pooled = GoodnessOfFit::new(expected).unwrap().with_pooling(5.0);
     group.bench_function("no_pooling", |b| {
         b.iter(|| plain.test_counts(&counts).unwrap())
     });

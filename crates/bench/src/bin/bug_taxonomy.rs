@@ -7,7 +7,10 @@ use qdb_bench::banner;
 use qdb_core::{Debugger, EnsembleConfig};
 
 fn main() {
-    println!("{}", banner("Bug taxonomy: detection rate vs ensemble size"));
+    println!(
+        "{}",
+        banner("Bug taxonomy: detection rate vs ensemble size")
+    );
     let shot_counts = [8usize, 16, 32, 64, 128, 512];
     print!("{:<30}", "bug type");
     for &s in &shot_counts {

@@ -19,7 +19,10 @@ fn main() {
     let m1 = QReg::new("m1", vec![q.bit(1)]);
     program.assert_entangled(&m0, &m1);
 
-    println!("{:>8} {:>10} {:>8} {:>12} {:>10}", "shots", "chi2", "dof", "p-value", "verdict");
+    println!(
+        "{:>8} {:>10} {:>8} {:>12} {:>10}",
+        "shots", "chi2", "dof", "p-value", "verdict"
+    );
     for shots in [16usize, 64, 256, 1024, 4096] {
         let runner = EnsembleRunner::new(EnsembleConfig::default().with_shots(shots).with_seed(3));
         let ensemble = runner.run_breakpoint(&program, 0).expect("run");
@@ -35,7 +38,11 @@ fn main() {
             r.statistic,
             r.dof,
             r.p_value,
-            if r.dependent(0.05) { "entangled" } else { "product" }
+            if r.dependent(0.05) {
+                "entangled"
+            } else {
+                "product"
+            }
         );
         if shots == 16 {
             println!("\n16-shot contingency table (paper: 1/2, 0 / 0, 1/2):");

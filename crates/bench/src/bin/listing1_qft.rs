@@ -7,7 +7,10 @@ use qdb_bench::banner;
 use qdb_core::{Debugger, EnsembleConfig};
 
 fn main() {
-    println!("{}", banner("Listing 1: QFT test harness (width 4, value 5)"));
+    println!(
+        "{}",
+        banner("Listing 1: QFT test harness (width 4, value 5)")
+    );
     let debugger = Debugger::new(EnsembleConfig::default().with_shots(1024).with_seed(1));
 
     let report = debugger
@@ -19,7 +22,5 @@ fn main() {
         .run(&listing1_qft_harness(4, 5, true))
         .expect("session");
     println!("with the PrepZ parity bug (bug type 1):\n{report}");
-    println!(
-        "paper: precondition assert_classical(reg, 5) fires on the wrong initial state"
-    );
+    println!("paper: precondition assert_classical(reg, 5) fires on the wrong initial state");
 }

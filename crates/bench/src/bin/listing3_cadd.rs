@@ -8,7 +8,10 @@ use qdb_circuit::{Circuit, QReg};
 use qdb_core::{Debugger, EnsembleConfig};
 
 fn main() {
-    println!("{}", banner("Listing 3: controlled adder harness (12 + 13 = 25)"));
+    println!(
+        "{}",
+        banner("Listing 3: controlled adder harness (12 + 13 = 25)")
+    );
     let debugger = Debugger::new(EnsembleConfig::default().with_shots(512).with_seed(9));
     for (name, variant) in [
         ("correct", AdderVariant::Correct),
@@ -28,7 +31,10 @@ fn main() {
         );
     }
 
-    println!("{}", banner("Adder with 0 / 1 / 2 controls (the Listing 2 switch)"));
+    println!(
+        "{}",
+        banner("Adder with 0 / 1 / 2 controls (the Listing 2 switch)")
+    );
     let width = 4;
     for n_controls in 0..=2usize {
         let reg = QReg::contiguous("b", 0, width);

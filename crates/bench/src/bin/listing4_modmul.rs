@@ -21,7 +21,10 @@ fn run_case(name: &str, params: Listing4Params, shots: usize) {
 }
 
 fn main() {
-    println!("{}", banner("Listing 4: cMODMUL harness (N=15, a=7, x=6, b=7)"));
+    println!(
+        "{}",
+        banner("Listing 4: cMODMUL harness (N=15, a=7, x=6, b=7)")
+    );
     for shots in [16usize, 256] {
         run_case("correct program", Listing4Params::paper(), shots);
     }

@@ -17,7 +17,10 @@ const METHODS: [IndependenceMethod; 3] = [
 ];
 
 fn main() {
-    println!("{}", banner("Bell-pair entanglement p-values by method and ensemble size"));
+    println!(
+        "{}",
+        banner("Bell-pair entanglement p-values by method and ensemble size")
+    );
     let mut program = Program::new();
     let q = program.alloc_register("q", 2);
     program.h(q.bit(0));
@@ -26,7 +29,10 @@ fn main() {
     let m1 = QReg::new("m1", vec![q.bit(1)]);
     program.assert_entangled(&m0, &m1);
 
-    println!("{:>8} {:>16} {:>16} {:>16}", "shots", "PearsonChi2", "GTest", "FisherExact");
+    println!(
+        "{:>8} {:>16} {:>16} {:>16}",
+        "shots", "PearsonChi2", "GTest", "FisherExact"
+    );
     for shots in [8usize, 16, 32, 64, 128] {
         print!("{shots:>8}");
         for method in METHODS {
@@ -42,9 +48,15 @@ fn main() {
         println!();
     }
 
-    println!("{}", banner("Detection power: Listing 4 wrong-inverse bug (20 seeds)"));
+    println!(
+        "{}",
+        banner("Detection power: Listing 4 wrong-inverse bug (20 seeds)")
+    );
     let (buggy, _) = listing4_modmul_harness(Listing4Params::paper().with_wrong_inverse());
-    println!("{:>8} {:>16} {:>16} {:>16}", "shots", "PearsonChi2", "GTest", "FisherExact");
+    println!(
+        "{:>8} {:>16} {:>16} {:>16}",
+        "shots", "PearsonChi2", "GTest", "FisherExact"
+    );
     for shots in [8usize, 12, 16, 24, 48] {
         print!("{shots:>8}");
         for method in METHODS {

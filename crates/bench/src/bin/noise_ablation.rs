@@ -43,7 +43,10 @@ fn main() {
     let shots = 128;
     let runs = 10;
 
-    println!("{}", banner("Bell entanglement assertion vs depolarizing noise"));
+    println!(
+        "{}",
+        banner("Bell entanglement assertion vs depolarizing noise")
+    );
     println!("{:>12} {:>12}", "gate noise", "pass rate");
     for p in [0.0, 0.01, 0.05, 0.1, 0.2, 0.4] {
         let rate = pass_rate(&bell_program(), NoiseModel::depolarizing(p), shots, runs);
@@ -58,7 +61,10 @@ fn main() {
         println!("{p:>12.3} {rate:>12.2}");
     }
 
-    println!("{}", banner("Listing 4 session (classical + entangled + product) vs noise"));
+    println!(
+        "{}",
+        banner("Listing 4 session (classical + entangled + product) vs noise")
+    );
     println!("{:>12} {:>12}", "gate noise", "pass rate");
     let (program, _) = listing4_modmul_harness(Listing4Params::paper());
     for p in [0.0, 0.0005, 0.002, 0.01] {

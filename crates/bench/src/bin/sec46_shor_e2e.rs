@@ -11,7 +11,10 @@ use qdb_stats::Histogram;
 
 fn main() {
     let config = ShorConfig::paper_n15();
-    println!("{}", banner("Shor end-to-end: N = 15, a = 7, 3 output bits"));
+    println!(
+        "{}",
+        banner("Shor end-to-end: N = 15, a = 7, 3 output bits")
+    );
 
     let (program, layout) = shor_program(&config, ControlRouting::Correct, &Vec::new());
     let debugger = Debugger::new(EnsembleConfig::default().with_shots(1024).with_seed(15));

@@ -3,9 +3,7 @@
 //! refined, and (2) consistency of phase-estimation outputs across
 //! precisions. A failure of either indicates a Hamiltonian or IPE bug.
 
-use qdb_algos::chem::{
-    assignment_mask, iterative_phase_estimation, Evolution, H2Molecule,
-};
+use qdb_algos::chem::{assignment_mask, iterative_phase_estimation, Evolution, H2Molecule};
 use qdb_bench::banner;
 use qdb_circuit::QReg;
 use qdb_sim::State;
@@ -19,12 +17,14 @@ fn main() {
     let mask = assignment_mask([0, 1, 0, 1]); // exact E1 eigenstate
     let exact_energy = molecule.determinant_energy(mask);
 
-    println!("{}", banner("Check 1: Trotter convergence (deterministic fidelity)"));
+    println!(
+        "{}",
+        banner("Check 1: Trotter convergence (deterministic fidelity)")
+    );
     let exact_u = molecule.exact_evolution(t);
     println!("{:>8} {:>16}", "steps", "1 - fidelity");
     for steps in [1usize, 2, 4, 8, 16, 32, 64] {
-        let circuit =
-            qdb_algos::chem::trotter_step_circuit(molecule.pauli_terms(), &reg, t, steps);
+        let circuit = qdb_algos::chem::trotter_step_circuit(molecule.pauli_terms(), &reg, t, steps);
         let mut trotter_state = State::basis(4, 0b0011).expect("basis");
         circuit.apply_to(&mut trotter_state);
         let mut exact_state = State::basis(4, 0b0011).expect("basis");
@@ -38,7 +38,10 @@ fn main() {
     }
     println!("(error falls monotonically → Hamiltonian subroutine behaves; paper §5.2.3)");
 
-    println!("{}", banner("Check 1b: IPE energy vs Trotter steps (stochastic)"));
+    println!(
+        "{}",
+        banner("Check 1b: IPE energy vs Trotter steps (stochastic)")
+    );
     let mut rng = StdRng::seed_from_u64(17);
     println!("{:>8} {:>14} {:>12}", "steps", "IPE E (Ha)", "error");
     for steps in [1usize, 2, 4, 8, 16, 32] {
@@ -64,8 +67,7 @@ fn main() {
     let mut four_bit_phase = None;
     for bits in [4usize, 6, 8, 10] {
         let mut rng = StdRng::seed_from_u64(99);
-        let out =
-            iterative_phase_estimation(&molecule, mask, t, bits, Evolution::Exact, &mut rng);
+        let out = iterative_phase_estimation(&molecule, mask, t, bits, Evolution::Exact, &mut rng);
         let rounded = (out.phase * 16.0).round() / 16.0;
         if bits == 4 {
             four_bit_phase = Some(out.phase);

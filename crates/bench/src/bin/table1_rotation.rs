@@ -20,9 +20,18 @@ fn main() {
     reference.cphase(0, 1, angle);
 
     for (name, d) in [
-        ("correct, operation A unneeded", RotationDecomposition::CorrectDropA),
-        ("correct, operation C unneeded", RotationDecomposition::CorrectDropC),
-        ("incorrect, angles flipped", RotationDecomposition::IncorrectFlipped),
+        (
+            "correct, operation A unneeded",
+            RotationDecomposition::CorrectDropA,
+        ),
+        (
+            "correct, operation C unneeded",
+            RotationDecomposition::CorrectDropC,
+        ),
+        (
+            "incorrect, angles flipped",
+            RotationDecomposition::IncorrectFlipped,
+        ),
     ] {
         let mut circuit = Circuit::new(2);
         crz_decomposed(&mut circuit, 0, 1, angle, d);
@@ -35,11 +44,17 @@ fn main() {
         );
     }
 
-    println!("{}", banner("Catching the bug via the Listing 3 adder harness"));
+    println!(
+        "{}",
+        banner("Catching the bug via the Listing 3 adder harness")
+    );
     let debugger = Debugger::new(EnsembleConfig::default().with_shots(256).with_seed(1));
     for (name, variant) in [
         ("correct adder", AdderVariant::Correct),
-        ("flipped-angle adder (Table 1 bug)", AdderVariant::AnglesFlipped),
+        (
+            "flipped-angle adder (Table 1 bug)",
+            AdderVariant::AnglesFlipped,
+        ),
     ] {
         let report = debugger
             .run(&listing3_cadd_harness(5, 12, 13, variant))

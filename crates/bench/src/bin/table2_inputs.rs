@@ -7,7 +7,10 @@ use qdb_algos::shor::classical;
 use qdb_bench::banner;
 
 fn main() {
-    println!("{}", banner("Table 2: classical inputs for factoring 15 with a = 7"));
+    println!(
+        "{}",
+        banner("Table 2: classical inputs for factoring 15 with a = 7")
+    );
     let inputs = classical::iteration_inputs(7, 15, 6);
     print!("{:<28}", "k, the algorithm iteration");
     for k in 0..inputs.len() {

@@ -13,7 +13,10 @@ use qdb_bench::{banner, joint_distribution, render_joint_table};
 fn main() {
     let config = ShorConfig::paper_n15();
 
-    println!("{}", banner("Correct Shor run: output × scratch joint distribution"));
+    println!(
+        "{}",
+        banner("Correct Shor run: output × scratch joint distribution")
+    );
     let (circuit, layout) = shor_circuit(&config, ControlRouting::Correct, &Vec::new());
     let state = circuit.run_on_basis(0).expect("simulate");
     let joint = joint_distribution(&state, &layout.b, &layout.upper);
@@ -22,7 +25,10 @@ fn main() {
         render_joint_table("P(scratch b, output):", "b", "out", &joint)
     );
 
-    println!("{}", banner("Table 3: buggy run with a^-1 = 12 on iteration 0"));
+    println!(
+        "{}",
+        banner("Table 3: buggy run with a^-1 = 12 on iteration 0")
+    );
     let overrides = vec![(7, 12), (4, 4), (1, 1)];
     let (circuit, layout) = shor_circuit(&config, ControlRouting::Correct, &overrides);
     let state = circuit.run_on_basis(0).expect("simulate");

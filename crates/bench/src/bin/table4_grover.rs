@@ -13,10 +13,16 @@ use qdb_circuit::{Circuit, GateSink, QReg};
 use qdb_core::{Debugger, EnsembleConfig};
 
 fn main() {
-    println!("{}", banner("Table 4: manual vs scoped amplitude amplification"));
+    println!(
+        "{}",
+        banner("Table 4: manual vs scoped amplitude amplification")
+    );
 
     // Structural comparison of the diffusion subroutine.
-    println!("{:>4} {:>16} {:>16} {:>22}", "n", "manual gates", "scoped gates", "same unitary (anc=0)");
+    println!(
+        "{:>4} {:>16} {:>16} {:>22}",
+        "n", "manual gates", "scoped gates", "same unitary (anc=0)"
+    );
     for n in [2usize, 3, 4, 5] {
         let q = QReg::contiguous("q", 0, n);
         let anc = QReg::contiguous("anc", n, (n - 1).max(1));
@@ -42,12 +48,14 @@ fn main() {
     }
 
     // Full algorithm with the auto-placed assertions (§5.1.1/§5.1.3).
-    println!("{}", banner("Assertion sessions for both styles (GF(2^3), x² = 5)"));
+    println!(
+        "{}",
+        banner("Assertion sessions for both styles (GF(2^3), x² = 5)")
+    );
     let field = Gf2m::standard(3);
     let debugger = Debugger::new(EnsembleConfig::default().with_shots(512).with_seed(4));
     for style in [GroverStyle::Manual, GroverStyle::Scoped] {
-        let (program, _) =
-            grover_program(&field, 5, style, optimal_iterations(field.order()));
+        let (program, _) = grover_program(&field, 5, style, optimal_iterations(field.order()));
         let report = debugger.run(&program).expect("session");
         println!("{style:?}:\n{report}");
     }

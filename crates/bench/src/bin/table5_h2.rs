@@ -26,8 +26,7 @@ fn main() {
     for (label, occ) in table5_assignments() {
         let mask = assignment_mask(occ);
         let diag = molecule.determinant_energy(mask);
-        let ipe =
-            iterative_phase_estimation(&molecule, mask, 1.0, 9, Evolution::Exact, &mut rng);
+        let ipe = iterative_phase_estimation(&molecule, mask, 1.0, 9, Evolution::Exact, &mut rng);
         println!(
             "{label:<28} {:>5}{:>4}{:>4}{:>4} {diag:>14.6} {:>14.6}",
             occ[0], occ[1], occ[2], occ[3], ipe.energy

@@ -71,7 +71,10 @@ pub fn joint_distribution(
 /// A fixed-width banner separating experiment sections.
 #[must_use]
 pub fn banner(text: &str) -> String {
-    format!("\n=== {text} {}\n", "=".repeat(72usize.saturating_sub(text.len())))
+    format!(
+        "\n=== {text} {}\n",
+        "=".repeat(72usize.saturating_sub(text.len()))
+    )
 }
 
 #[cfg(test)]

@@ -240,7 +240,12 @@ impl Circuit {
     pub fn adjoint(&self) -> Circuit {
         Circuit {
             num_qubits: self.num_qubits,
-            instructions: self.instructions.iter().rev().map(Instruction::inverse).collect(),
+            instructions: self
+                .instructions
+                .iter()
+                .rev()
+                .map(Instruction::inverse)
+                .collect(),
         }
     }
 
@@ -612,7 +617,10 @@ mod tests {
             p_mismatch += s.probability(0b01) + s.probability(0b10);
         }
         p_mismatch /= f64::from(trials);
-        assert!(p_mismatch > 0.2, "noise should break correlation: {p_mismatch}");
+        assert!(
+            p_mismatch > 0.2,
+            "noise should break correlation: {p_mismatch}"
+        );
     }
 
     #[test]

@@ -34,7 +34,9 @@ impl fmt::Display for CircuitError {
             CircuitError::UnsupportedExport(what) => {
                 write!(f, "cannot express in OpenQASM 2.0 subset: {what}")
             }
-            CircuitError::Parse { line, msg } => write!(f, "QASM parse error at line {line}: {msg}"),
+            CircuitError::Parse { line, msg } => {
+                write!(f, "QASM parse error at line {line}: {msg}")
+            }
             CircuitError::BadRegister(msg) => write!(f, "bad register: {msg}"),
         }
     }

@@ -213,7 +213,7 @@ fn parse_statement(
         return Ok(());
     }
     if let Some(rest) = stmt.strip_prefix("qreg ") {
-        let (name, width) = parse_decl(rest).map_err(|m| err(m))?;
+        let (name, width) = parse_decl(rest).map_err(err)?;
         if registers.iter().any(|r| r.name() == name) {
             return Err(CircuitError::BadRegister(format!(
                 "register `{name}` declared twice"
@@ -393,11 +393,7 @@ fn parse_decl(rest: &str) -> Result<(String, usize), String> {
 }
 
 /// Resolve `reg[idx]` to a flat qubit index.
-fn resolve_qubit(
-    text: &str,
-    registers: &[QReg],
-    line: usize,
-) -> Result<usize, CircuitError> {
+fn resolve_qubit(text: &str, registers: &[QReg], line: usize) -> Result<usize, CircuitError> {
     let err = |msg: String| CircuitError::Parse { line, msg };
     let open = text
         .find('[')
@@ -438,29 +434,30 @@ pub(crate) fn eval_expr(text: &str) -> Result<f64, String> {
     let mut token = String::new();
     let mut first = true;
 
-    let flush = |value: &mut f64, pending_op: char, token: &str, first: &mut bool| -> Result<(), String> {
-        if token.is_empty() {
-            return Err("dangling operator".to_string());
-        }
-        let factor = if token == "pi" {
-            std::f64::consts::PI
-        } else {
-            token
-                .parse::<f64>()
-                .map_err(|_| format!("bad number `{token}`"))?
-        };
-        if *first {
-            *value = factor;
-            *first = false;
-        } else {
-            match pending_op {
-                '*' => *value *= factor,
-                '/' => *value /= factor,
-                _ => return Err(format!("bad operator `{pending_op}`")),
+    let flush =
+        |value: &mut f64, pending_op: char, token: &str, first: &mut bool| -> Result<(), String> {
+            if token.is_empty() {
+                return Err("dangling operator".to_string());
             }
-        }
-        Ok(())
-    };
+            let factor = if token == "pi" {
+                std::f64::consts::PI
+            } else {
+                token
+                    .parse::<f64>()
+                    .map_err(|_| format!("bad number `{token}`"))?
+            };
+            if *first {
+                *value = factor;
+                *first = false;
+            } else {
+                match pending_op {
+                    '*' => *value *= factor,
+                    '/' => *value /= factor,
+                    _ => return Err(format!("bad operator `{pending_op}`")),
+                }
+            }
+            Ok(())
+        };
 
     for ch in rest.chars() {
         match ch {
@@ -592,28 +589,19 @@ mod tests {
     #[test]
     fn parse_rejects_undeclared_register() {
         let text = "qreg q[1];\nx r[0];\n";
-        assert!(matches!(
-            from_qasm(text),
-            Err(CircuitError::BadRegister(_))
-        ));
+        assert!(matches!(from_qasm(text), Err(CircuitError::BadRegister(_))));
     }
 
     #[test]
     fn parse_rejects_out_of_range_index() {
         let text = "qreg q[1];\nx q[3];\n";
-        assert!(matches!(
-            from_qasm(text),
-            Err(CircuitError::BadRegister(_))
-        ));
+        assert!(matches!(from_qasm(text), Err(CircuitError::BadRegister(_))));
     }
 
     #[test]
     fn parse_rejects_duplicate_register() {
         let text = "qreg q[1];\nqreg q[2];\n";
-        assert!(matches!(
-            from_qasm(text),
-            Err(CircuitError::BadRegister(_))
-        ));
+        assert!(matches!(from_qasm(text), Err(CircuitError::BadRegister(_))));
     }
 
     #[test]

@@ -167,9 +167,9 @@ fn parse_args(text: &str, line: usize) -> Result<Vec<Arg>, CircuitError> {
 fn qubit(arg: &Arg, program: &Program, line: usize) -> Result<usize, CircuitError> {
     match arg {
         Arg::Qubit(name, idx) => {
-            let reg = program
-                .register(name)
-                .ok_or_else(|| CircuitError::BadRegister(format!("undeclared register `{name}`")))?;
+            let reg = program.register(name).ok_or_else(|| {
+                CircuitError::BadRegister(format!("undeclared register `{name}`"))
+            })?;
             if *idx >= reg.width() {
                 return Err(CircuitError::BadRegister(format!(
                     "index {idx} out of range for {reg}"
@@ -178,9 +178,9 @@ fn qubit(arg: &Arg, program: &Program, line: usize) -> Result<usize, CircuitErro
             Ok(reg.bit(*idx))
         }
         Arg::Reg(name) => {
-            let reg = program
-                .register(name)
-                .ok_or_else(|| CircuitError::BadRegister(format!("undeclared register `{name}`")))?;
+            let reg = program.register(name).ok_or_else(|| {
+                CircuitError::BadRegister(format!("undeclared register `{name}`"))
+            })?;
             if reg.width() != 1 {
                 return Err(err(
                     line,
@@ -195,15 +195,14 @@ fn qubit(arg: &Arg, program: &Program, line: usize) -> Result<usize, CircuitErro
 
 /// Resolve a register argument, optionally validating a width argument
 /// that follows it (the paper's `(reg, width, …)` signatures).
-fn register(
-    arg: &Arg,
-    program: &Program,
-    line: usize,
-) -> Result<QReg, CircuitError> {
+fn register(arg: &Arg, program: &Program, line: usize) -> Result<QReg, CircuitError> {
     match arg {
         Arg::Reg(name) | Arg::Qubit(name, _) => {
             if matches!(arg, Arg::Qubit(..)) {
-                return Err(err(line, "expected a whole register, found an indexed qubit"));
+                return Err(err(
+                    line,
+                    "expected a whole register, found an indexed qubit",
+                ));
             }
             program
                 .register(name)
@@ -224,7 +223,10 @@ fn number(arg: &Arg, line: usize) -> Result<f64, CircuitError> {
 fn integer(arg: &Arg, line: usize) -> Result<u64, CircuitError> {
     let x = number(arg, line)?;
     if x < 0.0 || x.fract() != 0.0 {
-        return Err(err(line, format!("expected a non-negative integer, got {x}")));
+        return Err(err(
+            line,
+            format!("expected a non-negative integer, got {x}"),
+        ));
     }
     Ok(x as u64)
 }
@@ -359,16 +361,18 @@ fn dispatch(
         "assert_classical" => {
             // (reg, value) or the paper's (reg, width, value).
             let (reg, value) = match args.len() {
-                2 => (
-                    register(&args[0], program, line)?,
-                    integer(&args[1], line)?,
-                ),
+                2 => (register(&args[0], program, line)?, integer(&args[1], line)?),
                 3 => {
                     let reg = register(&args[0], program, line)?;
                     check_width(&reg, integer(&args[1], line)?, line)?;
                     (reg, integer(&args[2], line)?)
                 }
-                n => return Err(err(line, format!("assert_classical takes 2 or 3 args, got {n}"))),
+                n => {
+                    return Err(err(
+                        line,
+                        format!("assert_classical takes 2 or 3 args, got {n}"),
+                    ))
+                }
             };
             program.assert_classical(&reg, value);
         }
@@ -463,7 +467,7 @@ mod tests {
         ";
         let p = parse_scaffold(src).unwrap();
         assert_eq!(p.circuit().len(), 12); // MeasZ contributes nothing
-        // Scaffold Rz maps to phase rotation.
+                                           // Scaffold Rz maps to phase rotation.
         assert!(matches!(
             p.circuit().instructions()[4],
             Instruction::Gate {
@@ -529,12 +533,12 @@ mod tests {
     fn arity_and_argument_type_errors() {
         let cases = [
             "qbit q[2];\nCNOT(q[0]);",
-            "qbit q[2];\nH(q);",                  // register where qubit expected
-            "qbit q[2];\nPrepZ(q[0], 2);",        // bit must be 0/1
-            "qbit q[2];\nPrepInt(q, 4);",         // 4 doesn't fit 2 qubits
-            "qbit q[2];\nfrobnicate(q[0]);",      // unknown statement
-            "qbit q[2];\nRz(q[0], banana);",      // bad number
-            "qbit q[2];\nassert_classical(q);",   // bad arity
+            "qbit q[2];\nH(q);",                // register where qubit expected
+            "qbit q[2];\nPrepZ(q[0], 2);",      // bit must be 0/1
+            "qbit q[2];\nPrepInt(q, 4);",       // 4 doesn't fit 2 qubits
+            "qbit q[2];\nfrobnicate(q[0]);",    // unknown statement
+            "qbit q[2];\nRz(q[0], banana);",    // bad number
+            "qbit q[2];\nassert_classical(q);", // bad arity
         ];
         for src in cases {
             assert!(parse_scaffold(src).is_err(), "accepted: {src}");

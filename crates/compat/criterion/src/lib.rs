@@ -1,0 +1,361 @@
+//! Offline stand-in for the `criterion` crate (API subset).
+//!
+//! The build environment is hermetic, so this crate supplies the
+//! benchmarking surface the `qdb-bench` benches use: `Criterion`,
+//! benchmark groups, `BenchmarkId`, `Throughput`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement is deliberately simple: calibrate an iteration count to
+//! a target window, take `sample_size` timed samples, and report the
+//! median with min/max spread. Two execution modes, matching how cargo
+//! invokes `harness = false` bench targets:
+//!
+//! * `cargo bench` passes `--bench` → full measurement;
+//! * `cargo test` passes nothing → each benchmark runs once as a smoke
+//!   test, so benches stay compile- and run-verified in tier-1 CI.
+
+use std::time::{Duration, Instant};
+
+/// Measurement configuration plus the chosen execution mode.
+pub struct Criterion {
+    /// Run each routine exactly once (smoke mode) instead of sampling.
+    quick: bool,
+    /// Timed samples per benchmark in full mode.
+    sample_size: usize,
+    /// Optional substring filter from the command line.
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let quick = !args.iter().any(|a| a == "--bench");
+        let filter = args
+            .iter()
+            .filter(|a| !a.starts_with("--"))
+            .map(String::to_owned)
+            .next();
+        Self {
+            quick,
+            sample_size: 10,
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Benchmark a single routine under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one(self, id, f);
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Record the per-iteration workload (reported but not used to
+    /// normalize timings in this stand-in).
+    pub fn throughput(&mut self, _throughput: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Benchmark `f` with `input`, labelled by `id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        let sample_size = self.sample_size;
+        run_scoped(self.criterion, sample_size, &label, |b| f(b, input));
+        self
+    }
+
+    /// Benchmark a routine, labelled by `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into().label);
+        let sample_size = self.sample_size;
+        run_scoped(self.criterion, sample_size, &label, f);
+        self
+    }
+
+    /// Finish the group (no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// A benchmark label, optionally parameterized.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            label: format!("{}/{parameter}", name.into()),
+        }
+    }
+
+    /// Just the parameter as the label.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(label: &str) -> Self {
+        Self {
+            label: label.to_owned(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        Self { label }
+    }
+}
+
+/// Per-iteration workload descriptor (reported only).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Passed to each benchmark closure to time the routine.
+pub struct Bencher {
+    quick: bool,
+    sample_size: usize,
+    /// Filled in by [`Bencher::iter`]; consumed by the reporter.
+    result: Option<Samples>,
+}
+
+struct Samples {
+    iters_per_sample: u64,
+    durations: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `routine`, auto-calibrating the iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.quick {
+            std::hint::black_box(routine());
+            return;
+        }
+        // Calibrate: grow the batch until it takes ≥ ~5 ms.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(5) || iters >= 1 << 24 {
+                break;
+            }
+            iters = if elapsed < Duration::from_micros(50) {
+                iters * 16
+            } else {
+                iters * 2
+            };
+        }
+        let durations = (0..self.sample_size)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    std::hint::black_box(routine());
+                }
+                start.elapsed()
+            })
+            .collect();
+        self.result = Some(Samples {
+            iters_per_sample: iters,
+            durations,
+        });
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(criterion: &mut Criterion, label: &str, f: F) {
+    let sample_size = criterion.sample_size;
+    run_scoped(criterion, Some(sample_size), label, f);
+}
+
+fn run_scoped<F: FnMut(&mut Bencher)>(
+    criterion: &Criterion,
+    sample_size: Option<usize>,
+    label: &str,
+    mut f: F,
+) {
+    if let Some(filter) = &criterion.filter {
+        if !label.contains(filter.as_str()) {
+            return;
+        }
+    }
+    let mut bencher = Bencher {
+        quick: criterion.quick,
+        sample_size: sample_size.unwrap_or(criterion.sample_size),
+        result: None,
+    };
+    f(&mut bencher);
+    if bencher.quick {
+        println!("{label:<50} ok (smoke)");
+        return;
+    }
+    let Some(samples) = bencher.result else {
+        println!("{label:<50} no measurement (routine never called iter)");
+        return;
+    };
+    let mut per_iter: Vec<f64> = samples
+        .durations
+        .iter()
+        .map(|d| d.as_secs_f64() / samples.iters_per_sample as f64)
+        .collect();
+    per_iter.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let median = per_iter[per_iter.len() / 2];
+    let min = per_iter[0];
+    let max = per_iter[per_iter.len() - 1];
+    println!(
+        "{label:<50} time: [{} {} {}]",
+        format_time(min),
+        format_time(median),
+        format_time(max),
+    );
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds < 1e-6 {
+        format!("{:.2} ns", seconds * 1e9)
+    } else if seconds < 1e-3 {
+        format!("{:.2} µs", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.2} ms", seconds * 1e3)
+    } else {
+        format!("{seconds:.2} s")
+    }
+}
+
+/// Group benchmark functions under one callable, mirroring criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups, mirroring criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smoke_criterion() -> Criterion {
+        Criterion {
+            quick: true,
+            sample_size: 10,
+            filter: None,
+        }
+    }
+
+    #[test]
+    fn quick_mode_runs_routine_once() {
+        let mut criterion = smoke_criterion();
+        let mut calls = 0u32;
+        criterion.bench_function("counting", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn groups_run_all_benchmarks() {
+        let mut criterion = smoke_criterion();
+        let mut calls = 0u32;
+        {
+            let mut group = criterion.benchmark_group("g");
+            group.sample_size(10);
+            group.throughput(Throughput::Elements(4));
+            group.bench_with_input(BenchmarkId::from_parameter(3), &3, |b, &n| {
+                b.iter(|| calls += n)
+            });
+            group.bench_function("plain", |b| b.iter(|| calls += 1));
+            group.finish();
+        }
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn measured_mode_collects_samples() {
+        let mut criterion = Criterion {
+            quick: false,
+            sample_size: 3,
+            filter: None,
+        };
+        let mut calls = 0u64;
+        criterion.bench_function("spin", |b| b.iter(|| calls = calls.wrapping_add(1)));
+        assert!(calls > 3, "calibration + samples must iterate: {calls}");
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut criterion = Criterion {
+            quick: true,
+            sample_size: 10,
+            filter: Some("match_me".into()),
+        };
+        let mut calls = 0u32;
+        criterion.bench_function("other", |b| b.iter(|| calls += 1));
+        criterion.bench_function("match_me_exactly", |b| b.iter(|| calls += 10));
+        assert_eq!(calls, 10);
+    }
+
+    #[test]
+    fn benchmark_id_labels() {
+        assert_eq!(BenchmarkId::new("draw", 16).label, "draw/16");
+        assert_eq!(BenchmarkId::from_parameter(8).label, "8");
+        assert_eq!(format_time(2.5e-9), "2.50 ns");
+        assert_eq!(format_time(2.5e-3), "2.50 ms");
+    }
+}

@@ -1,0 +1,621 @@
+//! Offline stand-in for the `proptest` crate (API subset).
+//!
+//! The build environment is hermetic, so this crate reimplements the
+//! slice of proptest this workspace uses: the [`proptest!`] macro,
+//! range/tuple/`Just`/`prop_oneof!`/collection/option strategies with
+//! `prop_map` / `prop_filter` / `prop_filter_map`, and the
+//! `prop_assert*` / `prop_assume!` macros.
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! * **No shrinking** — a failing case reports its inputs (and the
+//!   deterministic per-test seed) but is not minimized.
+//! * **Deterministic seeding** — case seeds derive from the test's full
+//!   module path, so runs are reproducible without a persistence file.
+
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::{Rng, UniformSampled};
+    use std::ops::Range;
+
+    /// A generator of random values of type `Value`.
+    ///
+    /// Unlike real proptest there is no value tree: `generate` draws a
+    /// fresh value and failing cases are not shrunk.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draw one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { base: self, f }
+        }
+
+        /// Keep only values satisfying `f`, retrying otherwise.
+        fn prop_filter<F>(self, whence: &'static str, f: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter {
+                base: self,
+                whence,
+                f,
+            }
+        }
+
+        /// Map-and-filter in one step, retrying on `None`.
+        fn prop_filter_map<O, F>(self, whence: &'static str, f: F) -> FilterMap<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> Option<O>,
+        {
+            FilterMap {
+                base: self,
+                whence,
+                f,
+            }
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for Box<S> {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    impl<T: UniformSampled> Strategy for Range<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    #[allow(non_snake_case)]
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        base: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn generate(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.base.generate(rng))
+        }
+    }
+
+    /// How many consecutive rejections a filter tolerates before giving
+    /// up on the whole test (mirrors proptest's global rejection cap).
+    const MAX_FILTER_RETRIES: usize = 4096;
+
+    /// See [`Strategy::prop_filter`].
+    pub struct Filter<S, F> {
+        base: S,
+        whence: &'static str,
+        f: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut StdRng) -> S::Value {
+            for _ in 0..MAX_FILTER_RETRIES {
+                let value = self.base.generate(rng);
+                if (self.f)(&value) {
+                    return value;
+                }
+            }
+            panic!(
+                "prop_filter({:?}): rejected {} consecutive candidates",
+                self.whence, MAX_FILTER_RETRIES
+            );
+        }
+    }
+
+    /// See [`Strategy::prop_filter_map`].
+    pub struct FilterMap<S, F> {
+        base: S,
+        whence: &'static str,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> Option<O>> Strategy for FilterMap<S, F> {
+        type Value = O;
+
+        fn generate(&self, rng: &mut StdRng) -> O {
+            for _ in 0..MAX_FILTER_RETRIES {
+                if let Some(value) = (self.f)(self.base.generate(rng)) {
+                    return value;
+                }
+            }
+            panic!(
+                "prop_filter_map({:?}): rejected {} consecutive candidates",
+                self.whence, MAX_FILTER_RETRIES
+            );
+        }
+    }
+
+    /// Uniform choice between boxed alternatives (see [`prop_oneof!`]).
+    ///
+    /// [`prop_oneof!`]: crate::prop_oneof
+    pub struct Union<T> {
+        arms: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            let idx = rng.gen_range(0..self.arms.len());
+            self.arms[idx].generate(rng)
+        }
+    }
+
+    /// Build a [`Union`]; used by the [`prop_oneof!`] macro expansion.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `arms` is empty.
+    ///
+    /// [`prop_oneof!`]: crate::prop_oneof
+    #[must_use]
+    pub fn union<T>(arms: Vec<Box<dyn Strategy<Value = T>>>) -> Union<T> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// An inclusive-exclusive size window for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(exact: usize) -> Self {
+            Self {
+                lo: exact,
+                hi: exact + 1,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            Self {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a size drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `proptest::collection::vec`: vectors of `element` values.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.lo..self.size.hi);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Strategy for `Option<S::Value>`.
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `proptest::option::of`: `None` a quarter of the time, like
+    /// proptest's default `Some` weight of 3:1.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Option<S::Value> {
+            if rng.gen_range(0..4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Per-test configuration (only the knobs this workspace touches).
+    #[derive(Debug, Clone, Copy)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required before the test passes.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` successful cases.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    /// Why a single test case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` was not satisfied; draw another case.
+        Reject(String),
+        /// A `prop_assert*!` failed; the whole test fails.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// A failing case.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            Self::Fail(msg.into())
+        }
+
+        /// A rejected (assume-violating) case.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            Self::Reject(msg.into())
+        }
+    }
+
+    /// Drives the generate → run → classify loop for one `proptest!`
+    /// test function.
+    pub struct TestRunner {
+        config: ProptestConfig,
+        base_seed: u64,
+        passed: u32,
+        drawn: u64,
+        rejected: u32,
+    }
+
+    impl TestRunner {
+        /// A runner whose case seeds derive deterministically from
+        /// `name` (use the test's full module path).
+        #[must_use]
+        pub fn new(config: ProptestConfig, name: &str) -> Self {
+            // FNV-1a over the test name: stable across runs and builds.
+            let mut hash = 0xcbf2_9ce4_8422_2325u64;
+            for byte in name.bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            Self {
+                config,
+                base_seed: hash,
+                passed: 0,
+                drawn: 0,
+                rejected: 0,
+            }
+        }
+
+        /// `true` while more successful cases are still needed.
+        #[must_use]
+        pub fn more_cases(&self) -> bool {
+            self.passed < self.config.cases
+        }
+
+        /// The RNG for the next case (deterministic per test + case).
+        pub fn case_rng(&mut self) -> StdRng {
+            let seed = self
+                .base_seed
+                .wrapping_add(self.drawn.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            self.drawn += 1;
+            StdRng::seed_from_u64(seed)
+        }
+
+        /// Record a passing case.
+        pub fn pass(&mut self) {
+            self.passed += 1;
+        }
+
+        /// Record a rejected case (`prop_assume!`).
+        ///
+        /// # Panics
+        ///
+        /// Panics when the rejection budget (16× the case count, plus
+        /// slack) is exhausted, mirroring proptest's global cap.
+        pub fn reject(&mut self, reason: &str) {
+            self.rejected += 1;
+            assert!(
+                self.rejected <= self.config.cases.saturating_mul(16).saturating_add(1024),
+                "too many prop_assume! rejections (last: {reason})"
+            );
+        }
+    }
+}
+
+/// The glob-importable prelude, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// Qualified access to the rest of the API (`prop::collection::vec`
+    /// and friends), mirroring `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::{collection, option, strategy};
+    }
+}
+
+/// Define property tests. Each case draws fresh inputs from the given
+/// strategies; see [`test_runner::ProptestConfig`] for the case count.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $(
+          $(#[$meta:meta])*
+          fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut runner = $crate::test_runner::TestRunner::new(
+                    config,
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                while runner.more_cases() {
+                    let mut case_rng = runner.case_rng();
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(
+                            &($strat),
+                            &mut case_rng,
+                        );
+                    )+
+                    let inputs = format!(
+                        concat!($(stringify!($arg), " = {:?}; "),+),
+                        $(&$arg),+
+                    );
+                    #[allow(clippy::redundant_closure_call)]
+                    let outcome = (|| -> ::core::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                    match outcome {
+                        ::core::result::Result::Ok(()) => runner.pass(),
+                        ::core::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Reject(reason),
+                        ) => runner.reject(&reason),
+                        ::core::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Fail(message),
+                        ) => panic!(
+                            "proptest case failed: {message}\n  inputs: {inputs}"
+                        ),
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Assert a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *lhs == *rhs,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            lhs,
+            rhs
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(*lhs == *rhs, $($fmt)+);
+    }};
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *lhs != *rhs,
+            "assertion failed: `(left != right)`\n  both: `{:?}`",
+            lhs
+        );
+    }};
+}
+
+/// Discard the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assume failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::union(vec![
+            $(::std::boxed::Box::new($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn union_draws_every_arm() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let s = prop_oneof![Just(1u8), Just(2u8), Just(3u8)];
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut seen = [false; 4];
+        for _ in 0..100 {
+            seen[s.generate(&mut rng) as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3] && !seen[0]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 3..17u64, y in -2.5f64..2.5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.5..2.5).contains(&y));
+        }
+
+        #[test]
+        fn vec_strategy_respects_size(v in prop::collection::vec(0..10u64, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 10));
+        }
+
+        #[test]
+        fn filters_and_assume_work(
+            pair in (0..5usize, 0..5usize).prop_filter_map("distinct", |(a, b)| {
+                (a != b).then_some((a, b))
+            }),
+            opt in prop::option::of(0..3u32),
+        ) {
+            prop_assume!(opt.is_none() || opt < Some(3));
+            prop_assert_ne!(pair.0, pair.1);
+            let doubled = (0..2u8).prop_map(|x| x * 2);
+            let _ = &doubled;
+            prop_assert!(true);
+        }
+
+        #[test]
+        fn maps_compose(v in prop::collection::vec((0..4usize).prop_map(|x| x * 3), 1..4)) {
+            prop_assert!(v.iter().all(|&x| x % 3 == 0 && x < 12));
+            prop_assert_eq!(v.len().min(3), v.len());
+        }
+    }
+}

@@ -1,0 +1,288 @@
+//! Offline stand-in for `rayon` (API subset).
+//!
+//! The build environment is hermetic, so this crate supplies the
+//! parallel-iterator surface `qdb-core` uses: `into_par_iter()` /
+//! `par_iter()` over ranges and slices, `map`, `for_each`, and
+//! `collect` into `Vec<T>` or `Result<Vec<T>, E>`.
+//!
+//! Work is divided into contiguous index blocks executed on
+//! `std::thread::scope` threads — no work stealing, which is fine for
+//! the embarrassingly parallel, uniform-cost loops this workspace has.
+//! `RAYON_NUM_THREADS` is honored (re-read on every call, so tests can
+//! toggle it at runtime). Results are always assembled in input order,
+//! so any `collect` is deterministic regardless of thread count.
+
+use std::ops::Range;
+
+/// Number of worker threads: `RAYON_NUM_THREADS` if set and positive,
+/// else the number of available CPUs.
+#[must_use]
+pub fn current_num_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+/// A random-access description of a parallel computation: `len` items,
+/// item `i` computed independently by `item(i)`.
+pub trait IndexedTask: Sync {
+    /// The per-item output type.
+    type Output: Send;
+
+    /// Total number of items.
+    fn len(&self) -> usize;
+
+    /// `true` when there are no items.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Compute item `i`. May be called concurrently from many threads.
+    fn item(&self, i: usize) -> Self::Output;
+}
+
+/// Evaluate every item of `task`, in parallel, preserving input order.
+fn drive<T: IndexedTask>(task: &T) -> Vec<T::Output> {
+    let n = task.len();
+    let threads = current_num_threads().min(n);
+    if threads <= 1 {
+        return (0..n).map(|i| task.item(i)).collect();
+    }
+    let mut out: Vec<Option<T::Output>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (t, slots) in out.chunks_mut(chunk).enumerate() {
+            scope.spawn(move || {
+                let base = t * chunk;
+                for (j, slot) in slots.iter_mut().enumerate() {
+                    *slot = Some(task.item(base + j));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|slot| slot.expect("all slots filled by scope"))
+        .collect()
+}
+
+/// The subset of rayon's `ParallelIterator` used by this workspace.
+pub trait ParallelIterator: IndexedTask + Sized {
+    /// Apply `f` to every item in parallel.
+    fn map<U: Send, F: Fn(Self::Output) -> U + Sync>(self, f: F) -> Map<Self, F> {
+        Map { base: self, f }
+    }
+
+    /// Run `f` on every item in parallel (for side effects).
+    fn for_each<F: Fn(Self::Output) + Sync>(self, f: F) {
+        drive(&self.map(f));
+    }
+
+    /// Evaluate everything and collect, preserving input order.
+    fn collect<C: FromParallelIterator<Self::Output>>(self) -> C {
+        C::from_ordered(drive(&self))
+    }
+
+    /// Sum the items.
+    fn sum<S: std::iter::Sum<Self::Output>>(self) -> S {
+        drive(&self).into_iter().sum()
+    }
+}
+
+impl<T: IndexedTask + Sized> ParallelIterator for T {}
+
+/// `map` adapter.
+pub struct Map<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B: IndexedTask, U: Send, F: Fn(B::Output) -> U + Sync> IndexedTask for Map<B, F> {
+    type Output = U;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn item(&self, i: usize) -> U {
+        (self.f)(self.base.item(i))
+    }
+}
+
+/// Parallel iterator over a `usize` range.
+pub struct RangeIter {
+    range: Range<usize>,
+}
+
+impl IndexedTask for RangeIter {
+    type Output = usize;
+
+    fn len(&self) -> usize {
+        self.range.end.saturating_sub(self.range.start)
+    }
+
+    fn item(&self, i: usize) -> usize {
+        self.range.start + i
+    }
+}
+
+/// Parallel iterator over shared slice elements.
+pub struct SliceIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> IndexedTask for SliceIter<'a, T> {
+    type Output = &'a T;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn item(&self, i: usize) -> &'a T {
+        &self.slice[i]
+    }
+}
+
+/// Conversion into a parallel iterator (rayon's entry point).
+pub trait IntoParallelIterator {
+    /// The resulting iterator type.
+    type Iter: ParallelIterator<Output = Self::Item>;
+    /// The element type.
+    type Item: Send;
+
+    /// Convert `self`.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Iter = RangeIter;
+    type Item = usize;
+
+    fn into_par_iter(self) -> RangeIter {
+        RangeIter { range: self }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Iter = SliceIter<'a, T>;
+    type Item = &'a T;
+
+    fn into_par_iter(self) -> SliceIter<'a, T> {
+        SliceIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
+    type Iter = SliceIter<'a, T>;
+    type Item = &'a T;
+
+    fn into_par_iter(self) -> SliceIter<'a, T> {
+        SliceIter { slice: self }
+    }
+}
+
+/// `par_iter()` on references, mirroring `rayon::iter::IntoParallelRefIterator`.
+pub trait IntoParallelRefIterator<'a> {
+    /// The resulting iterator type.
+    type Iter: ParallelIterator<Output = Self::Item>;
+    /// The element type.
+    type Item: Send;
+
+    /// Parallel iterator over `&self`'s elements.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, C: ?Sized + 'a> IntoParallelRefIterator<'a> for C
+where
+    &'a C: IntoParallelIterator,
+{
+    type Iter = <&'a C as IntoParallelIterator>::Iter;
+    type Item = <&'a C as IntoParallelIterator>::Item;
+
+    fn par_iter(&'a self) -> Self::Iter {
+        self.into_par_iter()
+    }
+}
+
+/// Collection targets for [`ParallelIterator::collect`].
+pub trait FromParallelIterator<T> {
+    /// Build the collection from items already in input order.
+    fn from_ordered(items: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_ordered(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+impl<T, E> FromParallelIterator<Result<T, E>> for Result<Vec<T>, E> {
+    fn from_ordered(items: Vec<Result<T, E>>) -> Self {
+        items.into_iter().collect()
+    }
+}
+
+/// Commonly imported items, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use super::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParallelIterator,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn range_map_collect_preserves_order() {
+        let squares: Vec<usize> = (0..1000).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares.len(), 1000);
+        assert!(squares.iter().enumerate().all(|(i, &s)| s == i * i));
+    }
+
+    #[test]
+    fn slice_par_iter_reads_all_elements() {
+        let data: Vec<u64> = (0..257).collect();
+        let doubled: Vec<u64> = data.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..257).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn collect_into_result_short_circuits_value() {
+        let ok: Result<Vec<usize>, String> = (0..10).into_par_iter().map(Ok).collect();
+        assert_eq!(ok.unwrap().len(), 10);
+        let err: Result<Vec<usize>, String> = (0..10)
+            .into_par_iter()
+            .map(|i| {
+                if i == 7 {
+                    Err("boom".to_string())
+                } else {
+                    Ok(i)
+                }
+            })
+            .collect();
+        assert_eq!(err.unwrap_err(), "boom");
+    }
+
+    #[test]
+    fn empty_range_is_fine() {
+        let out: Vec<usize> = (5..5).into_par_iter().map(|i| i + 1).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn thread_count_env_var_is_honored() {
+        // Serial fallback path (threads == 1) must agree with parallel.
+        std::env::set_var("RAYON_NUM_THREADS", "1");
+        let serial: Vec<usize> = (0..100).into_par_iter().map(|i| i + 1).collect();
+        std::env::remove_var("RAYON_NUM_THREADS");
+        let parallel: Vec<usize> = (0..100).into_par_iter().map(|i| i + 1).collect();
+        assert_eq!(serial, parallel);
+        assert!(super::current_num_threads() >= 1);
+    }
+}

@@ -61,7 +61,11 @@ pub struct CheckOutcome {
 ///
 /// [`CoreError::Stats`]`(`[`StatsError::EmptySample`]`)` on an empty
 /// ensemble.
-pub fn check_classical(values: &[u64], expected: u64, alpha: f64) -> Result<CheckOutcome, CoreError> {
+pub fn check_classical(
+    values: &[u64],
+    expected: u64,
+    alpha: f64,
+) -> Result<CheckOutcome, CoreError> {
     if values.is_empty() {
         return Err(StatsError::EmptySample.into());
     }
@@ -524,8 +528,7 @@ mod tests {
         // correction over-corrects at this sample size).
         let pairs: Vec<(u64, u64)> = (0..16).map(|i| (i % 2, i % 2)).collect();
         let chi2 = check_entangled_with(&pairs, ALPHA, IndependenceMethod::PearsonChi2).unwrap();
-        let fisher =
-            check_entangled_with(&pairs, ALPHA, IndependenceMethod::FisherExact).unwrap();
+        let fisher = check_entangled_with(&pairs, ALPHA, IndependenceMethod::FisherExact).unwrap();
         assert!(fisher.p_value < chi2.p_value);
         assert!(fisher.statistic.is_nan(), "exact test reports no χ²");
     }

@@ -6,9 +6,19 @@
 //! independent execution-plus-measurement; since the prefix is
 //! deterministic, one simulation plus Born-rule sampling is
 //! distributionally identical and vastly cheaper).
+//!
+//! Both hot loops are embarrassingly parallel; rayon drives exactly
+//! one of them at a time (never nested). Noiseless sessions check
+//! breakpoints concurrently (each one owns seed `seed + index`, like
+//! the paper's per-assertion QX cluster jobs); noisy sessions instead
+//! parallelize the dominant per-shot trajectory loop, with each shot's
+//! RNG seeded from `(seed, breakpoint, shot)` alone — so reports are
+//! bit-for-bit identical across thread counts and across the
+//! serial/parallel paths.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rayon::prelude::*;
 
 use qdb_circuit::Program;
 use qdb_sim::{NoiseModel, Sampler, State};
@@ -42,6 +52,11 @@ pub struct EnsembleConfig {
     /// cross-check still evaluates the *ideal* state — a disagreement
     /// between the two then indicates noise, not a program bug.
     pub noise: Option<NoiseModel>,
+    /// Run breakpoints (and noisy trajectories) on all cores. Verdicts
+    /// and reports are identical either way; `false` keeps everything
+    /// on the calling thread (useful for benchmarking the speedup and
+    /// for embedding in an outer parallel scheduler).
+    pub parallel: bool,
 }
 
 impl Default for EnsembleConfig {
@@ -54,6 +69,7 @@ impl Default for EnsembleConfig {
             exact_tol: 1e-9,
             independence: IndependenceMethod::default(),
             noise: None,
+            parallel: true,
         }
     }
 }
@@ -94,6 +110,14 @@ impl EnsembleConfig {
     #[must_use]
     pub fn with_independence(mut self, method: IndependenceMethod) -> Self {
         self.independence = method;
+        self
+    }
+
+    /// Builder-style parallelism override (see
+    /// [`EnsembleConfig::parallel`]).
+    #[must_use]
+    pub fn with_parallel(mut self, parallel: bool) -> Self {
+        self.parallel = parallel;
         self
     }
 
@@ -171,23 +195,39 @@ impl EnsembleRunner {
         self.config.validate()?;
         let prefix = program.prefix_for(index);
         let ideal_state = prefix.run_on_basis(0)?;
-        let mut rng = StdRng::seed_from_u64(self.config.seed.wrapping_add(index as u64));
         let outcomes = match self.config.noise {
             None => {
+                // The ideal prefix is deterministic, so sampling is a
+                // cheap serial scan of one shared CDF.
+                let mut rng = StdRng::seed_from_u64(self.config.seed.wrapping_add(index as u64));
                 let sampler = Sampler::new(&ideal_state);
                 sampler.sample_many(&mut rng, self.config.shots)
             }
             Some(noise) => {
-                // One independent trajectory per shot.
+                // One independent trajectory per shot. Each shot seeds
+                // its own RNG from (seed, breakpoint, shot), so the
+                // ensemble is identical no matter how shots are
+                // scheduled across threads.
                 let n = program.num_qubits().max(1);
-                (0..self.config.shots)
-                    .map(|_| {
-                        let mut state = State::zero(n);
-                        prefix.apply_to_noisy(&mut state, &noise, &mut rng);
-                        let raw = Sampler::new(&state).sample(&mut rng);
-                        noise.corrupt_readout(raw, n, &mut rng)
-                    })
-                    .collect()
+                let trajectory = |shot: usize| {
+                    let mut rng = StdRng::seed_from_u64(shot_seed(
+                        self.config.seed,
+                        index as u64,
+                        shot as u64,
+                    ));
+                    let mut state = State::zero(n);
+                    prefix.apply_to_noisy(&mut state, &noise, &mut rng);
+                    let raw = Sampler::new(&state).sample(&mut rng);
+                    noise.corrupt_readout(raw, n, &mut rng)
+                };
+                if self.config.parallel {
+                    (0..self.config.shots)
+                        .into_par_iter()
+                        .map(trajectory)
+                        .collect()
+                } else {
+                    (0..self.config.shots).map(trajectory).collect()
+                }
             }
         };
         Ok(MeasuredEnsemble {
@@ -204,8 +244,9 @@ impl EnsembleRunner {
     /// Propagates configuration, simulation, and statistics errors.
     pub fn check_program(&self, program: &Program) -> Result<Vec<AssertionReport>, CoreError> {
         self.config.validate()?;
-        let mut reports = Vec::with_capacity(program.breakpoints().len());
-        for (index, bp) in program.breakpoints().iter().enumerate() {
+        let count = program.breakpoints().len();
+        let check_one = |index: usize| -> Result<AssertionReport, CoreError> {
+            let bp = &program.breakpoints()[index];
             let ensemble = self.run_breakpoint(program, index)?;
             let outcome = check_breakpoint_with(
                 &bp.kind,
@@ -218,7 +259,7 @@ impl EnsembleRunner {
                 .exact_cross_check
                 .then(|| exact_verdict(&bp.kind, &ensemble.state, self.config.exact_tol));
             let histogram = first_register_histogram(&bp.kind, &ensemble.outcomes);
-            reports.push(AssertionReport {
+            Ok(AssertionReport {
                 index,
                 label: bp.label.clone(),
                 kind: bp.kind.clone(),
@@ -230,16 +271,38 @@ impl EnsembleRunner {
                 verdict: outcome.verdict,
                 histogram,
                 exact,
-            });
+            })
+        };
+        // Pick ONE parallel axis so work never nests (nested fan-out
+        // would spawn ~cores² threads on big hosts). With noise, the
+        // shot loop inside `run_breakpoint` dominates (shots ≫
+        // breakpoints) and parallelizes there; without it, each
+        // breakpoint is a single prefix simulation, so fan out here.
+        if self.config.parallel && self.config.noise.is_none() {
+            (0..count).into_par_iter().map(check_one).collect()
+        } else {
+            (0..count).map(check_one).collect()
         }
-        Ok(reports)
     }
 }
 
-fn first_register_histogram(
-    kind: &qdb_circuit::BreakpointKind,
-    outcomes: &[u64],
-) -> Histogram {
+/// Derive the RNG seed for one noisy-trajectory shot.
+///
+/// SplitMix64-style finalization over `(seed, breakpoint, shot)`: shot
+/// streams are decorrelated from each other and from the noiseless
+/// sampling stream, and — because the seed is a pure function of the
+/// three indices — the resulting ensemble is independent of thread
+/// count, scheduling order, and the serial/parallel switch.
+fn shot_seed(seed: u64, breakpoint: u64, shot: u64) -> u64 {
+    let mut z = seed
+        ^ breakpoint.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ shot.wrapping_mul(0xD134_2543_DE82_EF95);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn first_register_histogram(kind: &qdb_circuit::BreakpointKind, outcomes: &[u64]) -> Histogram {
     use qdb_circuit::BreakpointKind as K;
     let reg = match kind {
         K::Classical { register, .. } | K::Superposition { register } => register,
@@ -399,6 +462,61 @@ mod tests {
         let a = EnsembleRunner::new(config).run_breakpoint(&p, 0).unwrap();
         let b = EnsembleRunner::new(config).run_breakpoint(&p, 0).unwrap();
         assert_eq!(a.outcomes, b.outcomes);
+    }
+
+    #[test]
+    fn serial_and_parallel_noisy_ensembles_are_identical() {
+        let (mut p, m0, m1) = bell_program();
+        p.assert_entangled(&m0, &m1);
+        let base = EnsembleConfig::default()
+            .with_shots(128)
+            .with_seed(11)
+            .with_noise(qdb_sim::NoiseModel::depolarizing(0.02).with_readout_flip(0.01));
+        let serial = EnsembleRunner::new(base.with_parallel(false))
+            .run_breakpoint(&p, 0)
+            .unwrap();
+        let parallel = EnsembleRunner::new(base.with_parallel(true))
+            .run_breakpoint(&p, 0)
+            .unwrap();
+        assert_eq!(serial.outcomes, parallel.outcomes);
+    }
+
+    #[test]
+    fn serial_and_parallel_sessions_agree_bit_for_bit() {
+        let mut p = Program::new();
+        let r = p.alloc_register("r", 2);
+        p.prep_int(&r, 2);
+        p.assert_classical(&r, 2);
+        p.h(r.bit(0));
+        p.h(r.bit(1));
+        p.assert_superposition(&r);
+        let base = EnsembleConfig::default()
+            .with_shots(96)
+            .with_seed(21)
+            .with_noise(qdb_sim::NoiseModel::depolarizing(0.01));
+        let serial = EnsembleRunner::new(base.with_parallel(false))
+            .check_program(&p)
+            .unwrap();
+        let parallel = EnsembleRunner::new(base.with_parallel(true))
+            .check_program(&p)
+            .unwrap();
+        assert_eq!(serial.len(), parallel.len());
+        for (s, q) in serial.iter().zip(&parallel) {
+            assert_eq!(s.verdict, q.verdict);
+            assert_eq!(s.p_value.to_bits(), q.p_value.to_bits());
+            assert_eq!(s.statistic.to_bits(), q.statistic.to_bits());
+        }
+    }
+
+    #[test]
+    fn shot_seeds_are_decorrelated() {
+        // No collisions across neighbouring (breakpoint, shot) pairs.
+        let mut seen = std::collections::HashSet::new();
+        for bp in 0..8u64 {
+            for shot in 0..1024u64 {
+                assert!(seen.insert(shot_seed(42, bp, shot)));
+            }
+        }
     }
 
     #[test]

@@ -182,6 +182,8 @@ impl Mul<Complex> for f64 {
 
 impl Div for Complex {
     type Output = Complex;
+    // z / w computed as z * w⁻¹: multiplication is the correct operator.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn div(self, rhs: Complex) -> Complex {
         self * rhs.recip()
     }

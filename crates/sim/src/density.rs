@@ -9,6 +9,10 @@
 //! cross-validate every statistical verdict, playing the role the paper's
 //! cross-language validation (LIQUi|>, ProjectQ, Q#) played.
 
+// Index-based loops mirror the textbook matrix formulas here;
+// iterator rewrites obscure the i/j/k symmetry the math relies on.
+#![allow(clippy::needless_range_loop)]
+
 use crate::complex::Complex;
 use crate::error::SimError;
 use crate::linalg::{hermitian_eigen, CMatrix};

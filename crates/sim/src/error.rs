@@ -41,7 +41,10 @@ impl fmt::Display for SimError {
                 write!(f, "amplitude vector length {d} is not a power of two")
             }
             SimError::InvalidMatrix { expected, found } => {
-                write!(f, "matrix dimension {found} does not match expected {expected}")
+                write!(
+                    f,
+                    "matrix dimension {found} does not match expected {expected}"
+                )
             }
             SimError::NotNormalized => write!(f, "state vector is not normalized"),
             SimError::TooManyQubits(n) => {

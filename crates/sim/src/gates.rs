@@ -27,10 +27,7 @@ impl Matrix2 {
     /// The identity matrix.
     #[must_use]
     pub fn identity() -> Self {
-        Matrix2([
-            [Complex::ONE, Complex::ZERO],
-            [Complex::ZERO, Complex::ONE],
-        ])
+        Matrix2([[Complex::ONE, Complex::ZERO], [Complex::ZERO, Complex::ONE]])
     }
 
     /// Matrix product `self · rhs`.
@@ -121,19 +118,13 @@ pub fn h() -> Matrix2 {
 /// Pauli-X (NOT) gate.
 #[must_use]
 pub fn x() -> Matrix2 {
-    Matrix2([
-        [Complex::ZERO, Complex::ONE],
-        [Complex::ONE, Complex::ZERO],
-    ])
+    Matrix2([[Complex::ZERO, Complex::ONE], [Complex::ONE, Complex::ZERO]])
 }
 
 /// Pauli-Y gate.
 #[must_use]
 pub fn y() -> Matrix2 {
-    Matrix2([
-        [Complex::ZERO, -Complex::I],
-        [Complex::I, Complex::ZERO],
-    ])
+    Matrix2([[Complex::ZERO, -Complex::I], [Complex::I, Complex::ZERO]])
 }
 
 /// Pauli-Z gate.

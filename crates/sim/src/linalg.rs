@@ -8,6 +8,10 @@
 //! Hamiltonian. Matrix sizes never exceed a few dozen, so the classic
 //! Jacobi rotation method is both adequate and easy to verify.
 
+// Index-based loops mirror the textbook matrix formulas here;
+// iterator rewrites obscure the i/j/k symmetry the math relies on.
+#![allow(clippy::needless_range_loop)]
+
 use crate::complex::Complex;
 use crate::error::SimError;
 
@@ -207,7 +211,12 @@ pub fn hermitian_eigen(matrix: &CMatrix) -> Result<EigenDecomposition, SimError>
     }
 
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&i, &j| a[i][i].re.partial_cmp(&a[j][j].re).expect("finite eigenvalues"));
+    order.sort_by(|&i, &j| {
+        a[i][i]
+            .re
+            .partial_cmp(&a[j][j].re)
+            .expect("finite eigenvalues")
+    });
     let values = order.iter().map(|&i| a[i][i].re).collect();
     let vectors = order
         .iter()
@@ -278,9 +287,15 @@ mod tests {
 
     #[test]
     fn hermitian_and_unitary_predicates() {
-        let h = vec![vec![c(2.0, 0.0), c(1.0, 1.0)], vec![c(1.0, -1.0), c(3.0, 0.0)]];
+        let h = vec![
+            vec![c(2.0, 0.0), c(1.0, 1.0)],
+            vec![c(1.0, -1.0), c(3.0, 0.0)],
+        ];
         assert!(is_hermitian(&h, 1e-12));
-        let not_h = vec![vec![c(2.0, 0.0), c(1.0, 1.0)], vec![c(1.0, 1.0), c(3.0, 0.0)]];
+        let not_h = vec![
+            vec![c(2.0, 0.0), c(1.0, 1.0)],
+            vec![c(1.0, 1.0), c(3.0, 0.0)],
+        ];
         assert!(!is_hermitian(&not_h, 1e-12));
         let s = std::f64::consts::FRAC_1_SQRT_2;
         let had = vec![vec![c(s, 0.0), c(s, 0.0)], vec![c(s, 0.0), c(-s, 0.0)]];
@@ -290,7 +305,10 @@ mod tests {
 
     #[test]
     fn eigen_pauli_y_complex_entries() {
-        let y = vec![vec![Complex::ZERO, -Complex::I], vec![Complex::I, Complex::ZERO]];
+        let y = vec![
+            vec![Complex::ZERO, -Complex::I],
+            vec![Complex::I, Complex::ZERO],
+        ];
         let eig = hermitian_eigen(&y).unwrap();
         assert!((eig.values[0] + 1.0).abs() < 1e-12);
         assert!((eig.values[1] - 1.0).abs() < 1e-12);
@@ -404,7 +422,10 @@ mod tests {
 
     #[test]
     fn matvec_applies_rows() {
-        let a = vec![vec![c(1.0, 0.0), c(0.0, 1.0)], vec![c(2.0, 0.0), Complex::ZERO]];
+        let a = vec![
+            vec![c(1.0, 0.0), c(0.0, 1.0)],
+            vec![c(2.0, 0.0), Complex::ZERO],
+        ];
         let out = matvec(&a, &[Complex::ONE, Complex::ONE]);
         assert!(out[0].approx_eq(c(1.0, 1.0), 1e-15));
         assert!(out[1].approx_eq(c(2.0, 0.0), 1e-15));

@@ -99,7 +99,7 @@ impl NoiseModel {
     /// `true` when the model introduces no errors at all.
     #[must_use]
     pub fn is_noiseless(&self) -> bool {
-        self.gate_noise.map_or(true, |c| c.probability() <= 0.0) && self.readout_flip <= 0.0
+        self.gate_noise.is_none_or(|c| c.probability() <= 0.0) && self.readout_flip <= 0.0
     }
 
     /// Apply classical readout error to a measured outcome over
@@ -229,6 +229,9 @@ mod tests {
         let rate = f64::from(flipped_bits) / f64::from(trials * 4);
         assert!((rate - 0.5).abs() < 0.03, "rate = {rate}");
         // Zero flip probability is the identity.
-        assert_eq!(NoiseModel::noiseless().corrupt_readout(0b1010, 4, &mut r), 0b1010);
+        assert_eq!(
+            NoiseModel::noiseless().corrupt_readout(0b1010, 4, &mut r),
+            0b1010
+        );
     }
 }

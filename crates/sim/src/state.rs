@@ -364,8 +364,9 @@ impl State {
         // Iterate over every index whose `qubits` bits are all zero by
         // spreading a counter across the non-participating bit positions.
         let rest_bits = self.num_qubits - k;
-        let free_positions: Vec<usize> =
-            (0..self.num_qubits).filter(|q| seen & (1 << q) == 0).collect();
+        let free_positions: Vec<usize> = (0..self.num_qubits)
+            .filter(|q| seen & (1 << q) == 0)
+            .collect();
         let mut gathered = vec![Complex::ZERO; sub_dim];
         for r in 0..(1usize << rest_bits) {
             let mut base = 0usize;
@@ -567,8 +568,12 @@ mod tests {
     #[test]
     fn cnot_truth_table() {
         // |c t⟩ with qubit 0 = control, qubit 1 = target.
-        for (input, expected) in [(0b00u64, 0b00usize), (0b01, 0b11), (0b10, 0b10), (0b11, 0b01)]
-        {
+        for (input, expected) in [
+            (0b00u64, 0b00usize),
+            (0b01, 0b11),
+            (0b10, 0b10),
+            (0b11, 0b01),
+        ] {
             let mut s = State::basis(2, input).unwrap();
             s.apply_controlled_1q(&[0], 1, &gates::x());
             assert!(
@@ -639,10 +644,7 @@ mod tests {
         let mut a = State::zero(3);
         a.apply_1q(1, &gates::h());
         let h = gates::h().0;
-        let matrix = vec![
-            vec![h[0][0], h[0][1]],
-            vec![h[1][0], h[1][1]],
-        ];
+        let matrix = vec![vec![h[0][0], h[0][1]], vec![h[1][0], h[1][1]]];
         let mut b = State::zero(3);
         b.apply_unitary(&[1], &matrix).unwrap();
         assert!(a.approx_eq(&b, 1e-12));
@@ -765,7 +767,7 @@ mod tests {
         // rz imparts global phase on each branch differently; use a literal
         // global phase instead.
         for amp_index in 0..b.dim() {
-            b.amps[amp_index] = b.amps[amp_index] * Complex::cis(0.7);
+            b.amps[amp_index] *= Complex::cis(0.7);
         }
         assert!(!a.approx_eq(&b, 1e-12));
         assert!(a.approx_eq_up_to_phase(&b, 1e-12));

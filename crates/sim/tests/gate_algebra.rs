@@ -1,0 +1,207 @@
+//! Property tests of the gate algebra: involutions, group identities,
+//! norm preservation under every public gate and noise channel, and the
+//! rz-vs-phase distinction that only shows up under controlled
+//! application.
+
+use proptest::prelude::*;
+use qdb_sim::{gates, Matrix2, NoiseChannel, NoiseModel, Sampler, State};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The whole public single-qubit gate surface, fixed gates first.
+fn all_gates(angle: f64) -> Vec<(&'static str, Matrix2)> {
+    vec![
+        ("h", gates::h()),
+        ("x", gates::x()),
+        ("y", gates::y()),
+        ("z", gates::z()),
+        ("s", gates::s()),
+        ("sdg", gates::sdg()),
+        ("t", gates::t()),
+        ("tdg", gates::tdg()),
+        ("rx", gates::rx(angle)),
+        ("ry", gates::ry(angle)),
+        ("rz", gates::rz(angle)),
+        ("phase", gates::phase(angle)),
+        ("u3", gates::u3(angle, angle * 0.7, angle * 0.3)),
+    ]
+}
+
+#[test]
+fn sim_types_are_send_and_sync() {
+    // The ensemble engine shares these across rayon workers; keep the
+    // auto traits load-bearing and explicit.
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<State>();
+    assert_send_sync::<NoiseModel>();
+    assert_send_sync::<NoiseChannel>();
+    assert_send_sync::<Sampler>();
+    assert_send_sync::<Matrix2>();
+}
+
+#[test]
+fn fixed_gate_involutions_and_roots() {
+    let id = Matrix2::identity();
+    // H, X, Y, Z are involutions.
+    for (name, g) in [
+        ("h", gates::h()),
+        ("x", gates::x()),
+        ("y", gates::y()),
+        ("z", gates::z()),
+    ] {
+        assert!(g.mul(&g).approx_eq(&id, 1e-12), "{name}² ≠ I");
+    }
+    // S² = Z, T² = S, and the daggers invert them.
+    assert!(gates::s().mul(&gates::s()).approx_eq(&gates::z(), 1e-12));
+    assert!(gates::t().mul(&gates::t()).approx_eq(&gates::s(), 1e-12));
+    assert!(gates::s().mul(&gates::sdg()).approx_eq(&id, 1e-12));
+    assert!(gates::t().mul(&gates::tdg()).approx_eq(&id, 1e-12));
+}
+
+#[test]
+fn cx_is_an_involution_on_states() {
+    for input in 0..4u64 {
+        let mut s = State::basis(2, input).unwrap();
+        // Entangle first so CX·CX = I is tested off the basis too.
+        s.apply_1q(0, &gates::h());
+        let reference = s.clone();
+        s.apply_controlled_1q(&[0], 1, &gates::x());
+        s.apply_controlled_1q(&[0], 1, &gates::x());
+        assert!(s.approx_eq(&reference, 1e-12), "CX² ≠ I on |{input}⟩");
+    }
+}
+
+#[test]
+fn rz_and_phase_agree_only_up_to_global_phase() {
+    let theta = 1.234_567;
+    // Uncontrolled: rz(θ) = e^{−iθ/2}·phase(θ), so the *states* agree
+    // up to global phase…
+    let mut via_rz = State::zero(1);
+    via_rz.apply_1q(0, &gates::h());
+    let mut via_phase = via_rz.clone();
+    via_rz.apply_1q(0, &gates::rz(theta));
+    via_phase.apply_1q(0, &gates::phase(theta));
+    assert!(via_rz.approx_eq_up_to_phase(&via_phase, 1e-12));
+    assert!(!via_rz.approx_eq(&via_phase, 1e-12), "global phase is real");
+
+    // …but under controlled application the former global phase becomes
+    // a *relative* phase on the control, and the states genuinely
+    // differ (the Table 1 rotation-decomposition bug class).
+    let mut c_rz = State::zero(2);
+    c_rz.apply_1q(0, &gates::h());
+    c_rz.apply_1q(1, &gates::h());
+    let mut c_phase = c_rz.clone();
+    c_rz.apply_controlled_1q(&[0], 1, &gates::rz(theta));
+    c_phase.apply_controlled_1q(&[0], 1, &gates::phase(theta));
+    assert!(
+        !c_rz.approx_eq_up_to_phase(&c_phase, 1e-9),
+        "controlled-rz must differ from controlled-phase even up to global phase"
+    );
+    let overlap = c_rz.inner(&c_phase).abs();
+    assert!(overlap < 1.0 - 1e-6, "overlap {overlap} too close to 1");
+}
+
+#[test]
+fn controlled_rz_equals_controlled_phase_after_compensation() {
+    // cphase(θ) = crz(θ) followed by phase(θ/2) on the control — the
+    // correct decomposition from the paper's Table 1.
+    let theta = 0.918_273;
+    let mut lhs = State::zero(2);
+    lhs.apply_1q(0, &gates::h());
+    lhs.apply_1q(1, &gates::h());
+    let mut rhs = lhs.clone();
+    lhs.apply_controlled_1q(&[0], 1, &gates::phase(theta));
+    rhs.apply_controlled_1q(&[0], 1, &gates::rz(theta));
+    rhs.apply_1q(0, &gates::phase(theta / 2.0));
+    assert!(lhs.approx_eq(&rhs, 1e-12));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_public_gate_is_unitary_and_norm_preserving(
+        angle in -6.4f64..6.4,
+        input in 0..8u64,
+        target in 0..3usize,
+    ) {
+        for (name, gate) in all_gates(angle) {
+            prop_assert!(gate.is_unitary(1e-10), "{} not unitary", name);
+            let mut s = State::basis(3, input).unwrap();
+            s.apply_1q(target, &gates::h());
+            s.apply_1q(target, &gate);
+            prop_assert!(
+                (s.norm_sqr() - 1.0).abs() < 1e-10,
+                "{} broke normalization: {}", name, s.norm_sqr()
+            );
+        }
+    }
+
+    #[test]
+    fn every_gate_dagger_inverts_statewise(
+        angle in -6.4f64..6.4,
+        input in 0..8u64,
+        target in 0..3usize,
+    ) {
+        for (name, gate) in all_gates(angle) {
+            let mut s = State::basis(3, input).unwrap();
+            s.apply_1q(target, &gates::h());
+            let reference = s.clone();
+            s.apply_1q(target, &gate);
+            s.apply_1q(target, &gate.dagger());
+            prop_assert!(s.approx_eq(&reference, 1e-9), "{}†·{} ≠ I", name, name);
+        }
+    }
+
+    #[test]
+    fn hadamard_squared_is_identity_everywhere(
+        input in 0..16u64,
+        q in 0..4usize,
+        angle in -3.2f64..3.2,
+    ) {
+        // Start from an arbitrary (rotated) state, not just the basis.
+        let mut s = State::basis(4, input).unwrap();
+        s.apply_1q((q + 1) % 4, &gates::ry(angle));
+        let reference = s.clone();
+        s.apply_1q(q, &gates::h());
+        s.apply_1q(q, &gates::h());
+        prop_assert!(s.approx_eq(&reference, 1e-10));
+    }
+
+    #[test]
+    fn noise_channels_preserve_norm(
+        p in 0.0f64..1.0,
+        seed in 0..u64::MAX,
+        input in 0..8u64,
+        q in 0..3usize,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for channel in [
+            NoiseChannel::BitFlip(p),
+            NoiseChannel::PhaseFlip(p),
+            NoiseChannel::Depolarizing(p),
+        ] {
+            let mut s = State::basis(3, input).unwrap();
+            s.apply_1q(q, &gates::h());
+            for _ in 0..16 {
+                channel.apply(&mut s, q, &mut rng);
+            }
+            prop_assert!(
+                (s.norm_sqr() - 1.0).abs() < 1e-10,
+                "{:?} broke normalization", channel
+            );
+        }
+    }
+
+    #[test]
+    fn readout_corruption_stays_in_register_range(
+        outcome in 0..256u64,
+        flip in 0.0f64..1.0,
+        seed in 0..u64::MAX,
+    ) {
+        let model = NoiseModel::noiseless().with_readout_flip(flip);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let corrupted = model.corrupt_readout(outcome, 8, &mut rng);
+        prop_assert!(corrupted < 256, "corruption escaped the register");
+    }
+}

@@ -25,10 +25,7 @@ fn arb_gate() -> impl Strategy<Value = Matrix2> {
 
 /// A random sequence of (target, gate, optional control) moves.
 fn arb_moves() -> impl Strategy<Value = Vec<(usize, Matrix2, Option<usize>)>> {
-    prop::collection::vec(
-        (0..N, arb_gate(), prop::option::of(0..N)),
-        1..20,
-    )
+    prop::collection::vec((0..N, arb_gate(), prop::option::of(0..N)), 1..20)
 }
 
 fn apply_moves(state: &mut State, moves: &[(usize, Matrix2, Option<usize>)]) {

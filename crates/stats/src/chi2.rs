@@ -367,10 +367,7 @@ mod tests {
     #[test]
     fn point_mass_single_bin_is_degenerate() {
         let gof = GoodnessOfFit::point_mass(1, 0).unwrap();
-        assert_eq!(
-            gof.test_counts(&[4]),
-            Err(StatsError::ZeroDegreesOfFreedom)
-        );
+        assert_eq!(gof.test_counts(&[4]), Err(StatsError::ZeroDegreesOfFreedom));
     }
 
     #[test]

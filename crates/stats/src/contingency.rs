@@ -375,20 +375,15 @@ mod tests {
     #[test]
     fn empty_rows_are_dropped_not_counted_in_dof() {
         // 3 row labels but middle row empty: dof should be (2-1)(2-1) = 1.
-        let t =
-            ContingencyTable::from_counts(vec![vec![5, 0], vec![0, 0], vec![0, 5]]).unwrap();
+        let t = ContingencyTable::from_counts(vec![vec![5, 0], vec![0, 0], vec![0, 5]]).unwrap();
         let r = t.independence_test().unwrap();
         assert_eq!(r.dof, 1);
     }
 
     #[test]
     fn larger_tables_skip_yates_under_auto() {
-        let t = ContingencyTable::from_counts(vec![
-            vec![10, 0, 0],
-            vec![0, 10, 0],
-            vec![0, 0, 10],
-        ])
-        .unwrap();
+        let t = ContingencyTable::from_counts(vec![vec![10, 0, 0], vec![0, 10, 0], vec![0, 0, 10]])
+            .unwrap();
         let r = t.independence_test().unwrap();
         assert!(!r.yates_applied);
         assert_eq!(r.dof, 4);
@@ -397,20 +392,12 @@ mod tests {
 
     #[test]
     fn yates_always_policy() {
-        let t = ContingencyTable::from_counts(vec![
-            vec![10, 0, 0],
-            vec![0, 10, 0],
-            vec![0, 0, 10],
-        ])
-        .unwrap();
-        let r = t
-            .independence_test_with(YatesCorrection::Always)
+        let t = ContingencyTable::from_counts(vec![vec![10, 0, 0], vec![0, 10, 0], vec![0, 0, 10]])
             .unwrap();
+        let r = t.independence_test_with(YatesCorrection::Always).unwrap();
         assert!(r.yates_applied);
         // Correction only shrinks the statistic.
-        let plain = t
-            .independence_test_with(YatesCorrection::Never)
-            .unwrap();
+        let plain = t.independence_test_with(YatesCorrection::Never).unwrap();
         assert!(r.statistic < plain.statistic);
     }
 

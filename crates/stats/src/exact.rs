@@ -142,8 +142,12 @@ pub fn g_test(table: &ContingencyTable) -> Result<ChiSquareResult, StatsError> {
     }
     let row_totals = table.row_totals();
     let col_totals = table.col_totals();
-    let live_rows: Vec<usize> = (0..row_totals.len()).filter(|&r| row_totals[r] > 0).collect();
-    let live_cols: Vec<usize> = (0..col_totals.len()).filter(|&c| col_totals[c] > 0).collect();
+    let live_rows: Vec<usize> = (0..row_totals.len())
+        .filter(|&r| row_totals[r] > 0)
+        .collect();
+    let live_cols: Vec<usize> = (0..col_totals.len())
+        .filter(|&c| col_totals[c] > 0)
+        .collect();
     if live_rows.len() < 2 || live_cols.len() < 2 {
         return Err(StatsError::DegenerateTable);
     }
@@ -151,8 +155,7 @@ pub fn g_test(table: &ContingencyTable) -> Result<ChiSquareResult, StatsError> {
     let mut g = 0.0;
     for &r in &live_rows {
         for &c in &live_cols {
-            let observed =
-                table.count(table.row_labels()[r], table.col_labels()[c]) as f64;
+            let observed = table.count(table.row_labels()[r], table.col_labels()[c]) as f64;
             if observed == 0.0 {
                 continue;
             }
@@ -237,7 +240,11 @@ mod tests {
     fn fisher_bell_table_is_significant() {
         let r = fisher_exact([[8, 0], [0, 8]]).unwrap();
         // Exact p = 2 / C(16,8) = 2/12870 ≈ 1.554e-4.
-        assert!((r.p_value - 2.0 / 12870.0).abs() < 1e-9, "p = {}", r.p_value);
+        assert!(
+            (r.p_value - 2.0 / 12870.0).abs() < 1e-9,
+            "p = {}",
+            r.p_value
+        );
         assert!(r.dependent(0.05));
     }
 
@@ -279,23 +286,14 @@ mod tests {
         let r = fisher_exact_table(&t).unwrap();
         assert!(r.p_value < 1e-3);
         // 3×3 table is rejected.
-        let t3 = ContingencyTable::from_counts(vec![
-            vec![1, 2, 3],
-            vec![3, 2, 1],
-            vec![1, 1, 1],
-        ])
-        .unwrap();
+        let t3 = ContingencyTable::from_counts(vec![vec![1, 2, 3], vec![3, 2, 1], vec![1, 1, 1]])
+            .unwrap();
         assert_eq!(fisher_exact_table(&t3), Err(StatsError::DegenerateTable));
     }
 
     #[test]
     fn fisher_table_drops_empty_rows() {
-        let t = ContingencyTable::from_counts(vec![
-            vec![8, 0],
-            vec![0, 0],
-            vec![0, 8],
-        ])
-        .unwrap();
+        let t = ContingencyTable::from_counts(vec![vec![8, 0], vec![0, 0], vec![0, 8]]).unwrap();
         let r = fisher_exact_table(&t).unwrap();
         assert!(r.p_value < 1e-3);
     }
@@ -357,7 +355,10 @@ mod tests {
             g_test_gof(&[1, 2], &[0.5]),
             Err(StatsError::LengthMismatch { .. })
         ));
-        assert_eq!(g_test_gof(&[0, 0], &[0.5, 0.5]), Err(StatsError::EmptySample));
+        assert_eq!(
+            g_test_gof(&[0, 0], &[0.5, 0.5]),
+            Err(StatsError::EmptySample)
+        );
         assert_eq!(
             g_test_gof(&[1, 2], &[-0.5, 1.5]),
             Err(StatsError::InvalidExpected)

@@ -44,8 +44,8 @@ mod error;
 
 pub use chi2::{chi2_cdf, chi2_sf, ChiSquareResult, GoodnessOfFit};
 pub use contingency::{ContingencyResult, ContingencyTable};
-pub use exact::{fisher_exact, fisher_exact_table, g_test, FisherResult};
 pub use error::StatsError;
+pub use exact::{fisher_exact, fisher_exact_table, g_test, FisherResult};
 pub use histogram::Histogram;
 
 /// Conventional significance level used throughout the paper (p ≤ 0.05

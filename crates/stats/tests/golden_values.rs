@@ -1,0 +1,126 @@
+//! Golden-value tests: every number here was computed *outside* this
+//! crate, so these tests pin the statistical machinery to external
+//! references rather than to itself.
+//!
+//! Provenance: chi-square survival values come from the closed forms
+//! `sf(x, 2k) = e^{-x/2} Σ_{j<k} (x/2)^j / j!` and
+//! `sf(x, 1) = erfc(√(x/2))` (plus the two-step dof recurrence),
+//! evaluated with Python 3 `math` (`erfc`/`exp`/`factorial`) at double
+//! precision; Fisher values are exact hypergeometric tail sums over
+//! `math.comb` integers. Critical points (3.841…, 5.991…, 7.814…) are
+//! the standard χ² α = 0.05 table entries.
+
+use qdb_stats::contingency::YatesCorrection;
+use qdb_stats::exact::fisher_exact;
+use qdb_stats::{chi2_cdf, chi2_sf, ContingencyTable, GoodnessOfFit};
+
+fn assert_close(actual: f64, expected: f64, tol: f64, what: &str) {
+    assert!(
+        (actual - expected).abs() <= tol,
+        "{what}: got {actual:.16e}, want {expected:.16e}"
+    );
+}
+
+#[test]
+fn chi2_survival_function_matches_references() {
+    // (x, dof, sf) — Python: closed forms above.
+    let cases = [
+        (1.0, 1, 0.317_310_507_862_914),
+        (4.0, 1, 0.045_500_263_896_358_4),
+        (9.0, 1, 0.002_699_796_063_260_191),
+        (20.0, 1, 7.744_216_431_044_074e-6),
+        (2.0, 2, 0.367_879_441_171_442_3),
+        (14.0, 2, 9.118_819_655_545_162e-4),
+        (10.0, 4, 0.040_427_681_994_512_8),
+    ];
+    for (x, dof, want) in cases {
+        let got = chi2_sf(x, dof).unwrap();
+        assert_close(got, want, 1e-12, &format!("chi2_sf({x}, {dof})"));
+        let cdf = chi2_cdf(x, dof).unwrap();
+        assert_close(cdf, 1.0 - want, 1e-12, &format!("chi2_cdf({x}, {dof})"));
+    }
+}
+
+#[test]
+fn chi2_critical_points_sit_at_alpha_05() {
+    // Standard χ² upper-5% critical values, dof 1..3.
+    let critical = [
+        (3.841_458_820_694_124, 1),
+        (5.991_464_547_107_979, 2),
+        (7.814_727_903_251_179, 3),
+    ];
+    for (x, dof) in critical {
+        let p = chi2_sf(x, dof).unwrap();
+        assert_close(p, 0.05, 1e-9, &format!("critical point dof={dof}"));
+    }
+}
+
+#[test]
+fn goodness_of_fit_against_hand_computed_statistic() {
+    // Observed [50, 30, 20] against uniform over 3 bins: expected
+    // 100/3 each, χ² = Σ(O−E)²/E = 14.0 exactly, p = sf(14, 2) = e⁻⁷.
+    let gof = GoodnessOfFit::uniform(3).unwrap();
+    let result = gof.test_counts(&[50, 30, 20]).unwrap();
+    assert_close(result.statistic, 14.0, 1e-9, "gof statistic");
+    assert_eq!(result.dof, 2);
+    assert_close(result.p_value, 9.118_819_655_545_162e-4, 1e-12, "gof p");
+    assert!(result.rejects(0.05));
+    assert!(!result.rejects(0.0001));
+}
+
+#[test]
+fn contingency_independence_against_closed_form() {
+    // 2×2 table [[30, 10], [10, 30]]: the closed form
+    // χ² = n(ad − bc)²/(r₁r₂c₁c₂) gives exactly 20.0 uncorrected and
+    // 18.05 with the Yates continuity correction.
+    let mut pairs = Vec::new();
+    pairs.extend(std::iter::repeat_n((0u64, 0u64), 30));
+    pairs.extend(std::iter::repeat_n((0u64, 1u64), 10));
+    pairs.extend(std::iter::repeat_n((1u64, 0u64), 10));
+    pairs.extend(std::iter::repeat_n((1u64, 1u64), 30));
+    let table = ContingencyTable::from_pairs(pairs);
+
+    let plain = table
+        .independence_test_with(YatesCorrection::Never)
+        .unwrap();
+    assert_close(plain.statistic, 20.0, 1e-9, "plain statistic");
+    assert_eq!(plain.dof, 1);
+    assert_close(plain.p_value, 7.744_216_431_044_074e-6, 1e-15, "plain p");
+    assert!(plain.dependent(0.05), "strongly correlated table");
+
+    let yates = table
+        .independence_test_with(YatesCorrection::Always)
+        .unwrap();
+    assert_close(yates.statistic, 18.05, 1e-9, "yates statistic");
+    assert_close(yates.p_value, 2.151_786_437_812_016e-5, 1e-15, "yates p");
+
+    // The default policy applies Yates to live 2×2 tables.
+    let auto = table.independence_test().unwrap();
+    assert_close(auto.statistic, yates.statistic, 1e-12, "auto = yates");
+}
+
+#[test]
+fn contingency_verdicts_on_independent_table() {
+    // [[25, 25], [25, 25]] is exactly independent: χ² = 0, p = 1.
+    let table = ContingencyTable::from_counts(vec![vec![25, 25], vec![25, 25]]).unwrap();
+    let result = table
+        .independence_test_with(YatesCorrection::Never)
+        .unwrap();
+    assert_close(result.statistic, 0.0, 1e-12, "independent statistic");
+    assert_close(result.p_value, 1.0, 1e-12, "independent p");
+    assert!(!result.dependent(0.05));
+}
+
+#[test]
+fn fisher_exact_against_hypergeometric_sums() {
+    // [[1, 9], [11, 3]] — the classic tea-tasting-style example;
+    // two-sided p sums all tables with point probability ≤ observed.
+    let r = fisher_exact([[1, 9], [11, 3]]).unwrap();
+    assert_close(r.p_observed, 1.346_076_187_912_236e-3, 1e-12, "p_obs");
+    assert_close(r.p_value, 2.759_456_185_220_083e-3, 1e-12, "fisher p");
+    assert!(r.dependent(0.05));
+
+    let r2 = fisher_exact([[8, 2], [1, 5]]).unwrap();
+    assert_close(r2.p_observed, 0.023_601_398_601_398_6, 1e-12, "p_obs 2");
+    assert_close(r2.p_value, 0.034_965_034_965_034_96, 1e-12, "fisher p 2");
+}

@@ -10,7 +10,10 @@ use qdb::core::{Debugger, EnsembleConfig};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let debugger = Debugger::new(EnsembleConfig::default().with_shots(512).with_seed(46));
 
-    println!("{:<32} {:<40} {:<10} {}", "bug type", "catching assertion", "caught?", "p-value");
+    println!(
+        "{:<32} {:<40} {:<10} p-value",
+        "bug type", "catching assertion", "caught?"
+    );
     println!("{}", "-".repeat(100));
     for bug in BugType::all() {
         let (program, expected_index) = bug.demonstration();

@@ -14,9 +14,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let field = Gf2m::standard(3);
     let target = 5u64;
     let answer = field.sqrt(target);
-    println!(
-        "Searching GF(2^3) for x with x² = {target}; unique answer is x = {answer}.\n"
-    );
+    println!("Searching GF(2^3) for x with x² = {target}; unique answer is x = {answer}.\n");
 
     let iterations = optimal_iterations(field.order());
     let debugger = Debugger::new(EnsembleConfig::default().with_shots(512).with_seed(51));

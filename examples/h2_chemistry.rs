@@ -22,7 +22,10 @@ fn main() {
     );
 
     // --- Table 5: energies per electron assignment. ---------------------
-    println!("{:<28} {:>12} {:>14} {:>14}", "assignment", "occupation", "<n|H|n> (Ha)", "IPE (Ha)");
+    println!(
+        "{:<28} {:>12} {:>14} {:>14}",
+        "assignment", "occupation", "<n|H|n> (Ha)", "IPE (Ha)"
+    );
     for (label, occ) in table5_assignments() {
         let mask = assignment_mask(occ);
         let diag = molecule.determinant_energy(mask);

@@ -56,8 +56,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         program.breakpoints().len()
     );
 
-    let report = Debugger::new(EnsembleConfig::default().with_shots(1024).with_seed(1))
-        .run(&program)?;
+    let report =
+        Debugger::new(EnsembleConfig::default().with_shots(1024).with_seed(1)).run(&program)?;
     println!("{report}");
     assert!(report.all_passed(), "Listing 1 must pass end to end");
     println!("Listing 1 passes: QFT → superposition → iQFT → classical 5 again.");

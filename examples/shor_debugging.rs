@@ -68,17 +68,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut order = None;
     for &outcome in &ensemble.outcomes {
         let y = layout.upper.value_of(outcome);
-        if let Some(r) =
-            classical::order_from_measurement(y, config.upper_bits as u32, config.base, config.modulus)
-        {
+        if let Some(r) = classical::order_from_measurement(
+            y,
+            config.upper_bits as u32,
+            config.base,
+            config.modulus,
+        ) {
             order = Some(r);
             break;
         }
     }
     let r = order.expect("some shot reveals the order");
-    let (f1, f2) = classical::factors_from_order(config.base, r, config.modulus)
-        .expect("order 4 splits 15");
-    println!("measured order r = {r}  →  {} = {f1} × {f2}", config.modulus);
+    let (f1, f2) =
+        classical::factors_from_order(config.base, r, config.modulus).expect("order 4 splits 15");
+    println!(
+        "measured order r = {r}  →  {} = {f1} × {f2}",
+        config.modulus
+    );
     assert_eq!((f1, f2), (3, 5));
     Ok(())
 }

@@ -163,53 +163,53 @@ fn demo_program(name: &str) -> Result<Program, String> {
 fn run() -> Result<bool, String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.split_first() {
-        Some((cmd, rest)) => match cmd.as_str() {
-            "check" => {
-                let (path, opts) = rest
-                    .split_first()
-                    .ok_or_else(|| "check needs a file".to_string())?;
-                cmd_check(path, &parse_options(opts)?)
-            }
-            "qasm" => {
-                let (path, _) = rest
-                    .split_first()
-                    .ok_or_else(|| "qasm needs a file".to_string())?;
-                cmd_qasm(path)?;
-                Ok(true)
-            }
-            "demo" => {
-                let (name, opts) = rest
-                    .split_first()
-                    .ok_or_else(|| "demo needs a name".to_string())?;
-                if name == "bugs" {
-                    println!("bug-taxonomy sweep:\n");
-                    let options = parse_options(opts)?;
-                    for bug in BugType::all() {
-                        let (program, _) = bug.demonstration();
-                        let report = Debugger::new(options.config)
-                            .run(&program)
-                            .map_err(|e| e.to_string())?;
-                        println!(
-                            "{bug:?} → {}",
-                            report
-                                .first_failure()
-                                .map_or("NOT caught".to_string(), |f| format!(
-                                    "caught at #{} ({})",
-                                    f.index, f.label
-                                ))
-                        );
-                    }
-                    return Ok(true);
+        Some((cmd, rest)) => {
+            match cmd.as_str() {
+                "check" => {
+                    let (path, opts) = rest
+                        .split_first()
+                        .ok_or_else(|| "check needs a file".to_string())?;
+                    cmd_check(path, &parse_options(opts)?)
                 }
-                let program = demo_program(name)?;
-                check_program(&program, &parse_options(opts)?)
+                "qasm" => {
+                    let (path, _) = rest
+                        .split_first()
+                        .ok_or_else(|| "qasm needs a file".to_string())?;
+                    cmd_qasm(path)?;
+                    Ok(true)
+                }
+                "demo" => {
+                    let (name, opts) = rest
+                        .split_first()
+                        .ok_or_else(|| "demo needs a name".to_string())?;
+                    if name == "bugs" {
+                        println!("bug-taxonomy sweep:\n");
+                        let options = parse_options(opts)?;
+                        for bug in BugType::all() {
+                            let (program, _) = bug.demonstration();
+                            let report = Debugger::new(options.config)
+                                .run(&program)
+                                .map_err(|e| e.to_string())?;
+                            println!(
+                                "{bug:?} → {}",
+                                report.first_failure().map_or(
+                                    "NOT caught".to_string(),
+                                    |f| format!("caught at #{} ({})", f.index, f.label)
+                                )
+                            );
+                        }
+                        return Ok(true);
+                    }
+                    let program = demo_program(name)?;
+                    check_program(&program, &parse_options(opts)?)
+                }
+                "--help" | "-h" | "help" => {
+                    print!("{}", usage());
+                    Ok(true)
+                }
+                other => Err(format!("unknown command `{other}`\n\n{}", usage())),
             }
-            "--help" | "-h" | "help" => {
-                print!("{}", usage());
-                Ok(true)
-            }
-            other => Err(format!("unknown command `{other}`\n\n{}", usage())),
-        },
+        }
         None => {
             print!("{}", usage());
             Ok(true)

@@ -35,7 +35,7 @@ fn correct_counterparts_pass_everywhere() {
     use qdb::algos::AdderVariant;
 
     let debugger = Debugger::new(EnsembleConfig::default().with_shots(512).with_seed(2));
-    let programs = vec![
+    let programs = [
         listing1_qft_harness(4, 5, false),
         listing3_cadd_harness(5, 12, 13, AdderVariant::Correct),
         listing4_modmul_harness(Listing4Params::paper()).0,

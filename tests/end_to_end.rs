@@ -24,7 +24,9 @@ fn debugger(shots: usize, seed: u64) -> Debugger {
 
 #[test]
 fn listing1_qft_harness_full_session() {
-    let report = debugger(256, 1).run(&listing1_qft_harness(4, 5, false)).unwrap();
+    let report = debugger(256, 1)
+        .run(&listing1_qft_harness(4, 5, false))
+        .unwrap();
     assert!(report.all_passed(), "{report}");
     assert_eq!(report.len(), 3);
     // No disagreement between statistical and exact verdicts.
@@ -33,7 +35,9 @@ fn listing1_qft_harness_full_session() {
 
 #[test]
 fn listing1_with_initial_value_bug_fails_at_precondition() {
-    let report = debugger(256, 2).run(&listing1_qft_harness(4, 5, true)).unwrap();
+    let report = debugger(256, 2)
+        .run(&listing1_qft_harness(4, 5, true))
+        .unwrap();
     assert_eq!(report.first_failure().unwrap().index, 0);
 }
 
@@ -137,8 +141,7 @@ fn shor_with_wrong_classical_inputs_fails_ancilla_postcondition() {
 fn grover_both_styles_full_sessions() {
     let field = Gf2m::standard(3);
     for style in [GroverStyle::Manual, GroverStyle::Scoped] {
-        let (program, layout) =
-            grover_program(&field, 6, style, optimal_iterations(field.order()));
+        let (program, layout) = grover_program(&field, 6, style, optimal_iterations(field.order()));
         let dbg = debugger(256, 10);
         let report = dbg.run(&program).unwrap();
         assert!(report.all_passed(), "{style:?}: {report}");

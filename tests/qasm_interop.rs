@@ -27,7 +27,13 @@ fn controlled_adder_with_two_controls_round_trips() {
     let width = 4;
     let reg = QReg::contiguous("b", 0, width);
     let mut circuit = Circuit::new(width + 2);
-    add_const(&mut circuit, &[width, width + 1], &reg, 5, AdderVariant::Correct);
+    add_const(
+        &mut circuit,
+        &[width, width + 1],
+        &reg,
+        5,
+        AdderVariant::Correct,
+    );
     let parsed = from_qasm(&to_qasm(&circuit).unwrap()).unwrap();
     assert_eq!(parsed.circuit, circuit);
 }
