@@ -24,6 +24,8 @@
 //! * [`harnesses`] — Listings 1/3/4 as ready-made assertion-annotated
 //!   programs and the §4 bug-type catalogue.
 
+#![warn(missing_docs)]
+
 pub mod arith;
 pub mod chem;
 pub mod fermion;

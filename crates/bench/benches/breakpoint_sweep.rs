@@ -1,0 +1,129 @@
+//! Checkpointed sweep vs per-prefix replay as instrumentation grows.
+//!
+//! A program with `G` gates and `B` breakpoints costs the per-prefix
+//! reference path `O(Σᵢ|prefixᵢ|) ≈ O(B·G/2)` ideal-mode gate
+//! applications, while the sweep engine pays `O(G)` no matter how many
+//! breakpoints are placed — so the win grows linearly with breakpoint
+//! count. This bench pins a fixed random circuit, sweeps `B`, and
+//! times both strategies; before any timing it asserts that the two
+//! paths produce bit-identical reports and that the simulator's
+//! gate-application counters show exactly the predicted totals.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qdb_circuit::{GateSink, Program};
+use qdb_core::{EnsembleConfig, EnsembleRunner, ExecutionStrategy};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const NUM_QUBITS: usize = 10;
+const NUM_GATES: usize = 400;
+const BREAKPOINT_COUNTS: [usize; 4] = [1, 4, 16, 64];
+
+/// A deterministic pseudo-random circuit with `breakpoints` evenly
+/// spaced `assert_superposition` checks over the full register.
+fn instrumented_program(breakpoints: usize) -> Program {
+    let mut rng = StdRng::seed_from_u64(0xB1E55);
+    let mut p = Program::new();
+    let r = p.alloc_register("r", NUM_QUBITS);
+    let mut placed = 0usize;
+    for g in 0..NUM_GATES {
+        if g < NUM_QUBITS {
+            p.h(r.bit(g));
+        } else {
+            let a = rng.gen_range(0..NUM_QUBITS);
+            let b = (a + rng.gen_range(1..NUM_QUBITS)) % NUM_QUBITS;
+            match rng.gen_range(0..5u8) {
+                0 => p.h(r.bit(a)),
+                1 => p.t(r.bit(a)),
+                2 => p.rz(r.bit(a), rng.gen_range(-3.0..3.0)),
+                3 => p.cx(r.bit(a), r.bit(b)),
+                _ => p.cphase(r.bit(a), r.bit(b), rng.gen_range(-3.0..3.0)),
+            }
+        }
+        while placed < breakpoints && (g + 1) >= ((placed + 1) * NUM_GATES) / breakpoints {
+            p.assert_superposition(&r);
+            placed += 1;
+        }
+    }
+    p
+}
+
+fn config(strategy: ExecutionStrategy) -> EnsembleConfig {
+    EnsembleConfig::default()
+        .with_shots(64)
+        .with_seed(11)
+        .with_strategy(strategy)
+}
+
+fn bench_sweep_vs_per_prefix(c: &mut Criterion) {
+    // Respect criterion's positional filter: a `cargo bench foo` run
+    // aimed at some other bench must not pay for our cross-checks.
+    let filter: Option<String> = std::env::args().skip(1).find(|arg| !arg.starts_with("--"));
+    if let Some(f) = &filter {
+        if !"breakpoint_sweep".contains(f.as_str()) {
+            return;
+        }
+    }
+
+    let mut group = c.benchmark_group("breakpoint_sweep");
+    group.sample_size(10);
+    for breakpoints in BREAKPOINT_COUNTS {
+        let program = instrumented_program(breakpoints);
+        assert_eq!(program.breakpoints().len(), breakpoints);
+
+        // The speedup claim is only honest if both paths agree exactly.
+        let sweep_runner = EnsembleRunner::new(config(ExecutionStrategy::Sweep));
+        let prefix_runner = EnsembleRunner::new(config(ExecutionStrategy::PerPrefix));
+        let sweep_reports = sweep_runner.check_program(&program).expect("sweep session");
+        let prefix_reports = prefix_runner
+            .check_program(&program)
+            .expect("per-prefix session");
+        assert_eq!(sweep_reports.len(), prefix_reports.len());
+        for (s, p) in sweep_reports.iter().zip(&prefix_reports) {
+            assert_eq!(
+                s.verdict, p.verdict,
+                "strategies disagree at B={breakpoints}"
+            );
+            assert_eq!(s.p_value.to_bits(), p.p_value.to_bits());
+            assert_eq!(s.statistic.to_bits(), p.statistic.to_bits());
+        }
+
+        // And the asymptotic claim is checked, not assumed: the
+        // per-state gate counters prove O(G) vs O(Σ|prefix|).
+        let sweep_work = sweep_runner
+            .run_all(&program)
+            .expect("sweep ensembles")
+            .last()
+            .expect("at least one breakpoint")
+            .state
+            .gate_ops();
+        let prefix_work: u64 = prefix_runner
+            .run_all(&program)
+            .expect("per-prefix ensembles")
+            .iter()
+            .map(|e| e.state.gate_ops())
+            .sum();
+        let positions: Vec<u64> = program
+            .breakpoints()
+            .iter()
+            .map(|b| b.position as u64)
+            .collect();
+        assert_eq!(sweep_work, *positions.last().expect("non-empty"));
+        assert_eq!(prefix_work, positions.iter().sum::<u64>());
+        println!(
+            "breakpoint_sweep B={breakpoints:>2}: gate applies {sweep_work:>6} (sweep) \
+             vs {prefix_work:>6} (per-prefix), {:.1}x less work",
+            prefix_work as f64 / sweep_work as f64
+        );
+
+        for (label, runner) in [("per_prefix", &prefix_runner), ("sweep", &sweep_runner)] {
+            group.bench_with_input(BenchmarkId::new(label, breakpoints), &(), |bencher, ()| {
+                bencher.iter(|| runner.check_program(&program).expect("session"));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep_vs_per_prefix);
+criterion_main!(benches);

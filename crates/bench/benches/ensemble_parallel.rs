@@ -7,6 +7,12 @@
 //! of `EnsembleConfig::parallel = true` over the serial path, and
 //! asserts on every run that the two paths produce identical verdicts
 //! for identical seeds.
+//!
+//! The speedup expectation itself is asserted, not just documented:
+//! with ≥ 4 effective workers the parallel path must beat serial by
+//! ≥ 2×, and with 2–3 workers by ≥ 1.2×. On single-core hosts (or
+//! with `RAYON_NUM_THREADS=1`) no speedup is possible, so the check is
+//! skipped with a notice instead of silently passing.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use qdb_algos::chem::{trotter_step_circuit, H2Molecule};
@@ -60,10 +66,81 @@ fn noisy_config(shots: usize) -> EnsembleConfig {
         .with_noise(NoiseModel::depolarizing(0.002).with_readout_flip(0.01))
 }
 
+/// Assert the parallel trajectory loop actually outruns the serial
+/// path, scaled to the parallelism this host can deliver (the rayon
+/// shim honors `RAYON_NUM_THREADS`, so that override is respected
+/// here too). Single-core hosts skip the assertion — there is nothing
+/// to win — but say so instead of silently documenting an unmet
+/// expectation.
+fn assert_parallel_speedup(program: &Program, shots: usize) {
+    // Worker threads beyond the physical core count add no speedup, so
+    // the expectation is set by whichever is smaller.
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    let workers = rayon::current_num_threads().min(cores);
+    if workers < 2 {
+        println!(
+            "ensemble_parallel speedup check: SKIPPED (1 effective worker; \
+             run on a multi-core host to exercise the \u{2265}2x expectation)"
+        );
+        return;
+    }
+    let time_one = |parallel: bool| {
+        let runner = EnsembleRunner::new(noisy_config(shots).with_parallel(parallel));
+        runner.check_program(program).expect("warm-up session");
+        let iters = 3;
+        let start = std::time::Instant::now();
+        for _ in 0..iters {
+            runner.check_program(program).expect("timed session");
+        }
+        start.elapsed().as_secs_f64() / f64::from(iters)
+    };
+    let required = if workers >= 4 { 2.0 } else { 1.2 };
+    // Timing on shared hosts is noisy; take the best of two rounds
+    // before declaring the engine too slow.
+    let mut speedup = 0.0f64;
+    for round in 0..2 {
+        let serial = time_one(false);
+        let parallel = time_one(true);
+        speedup = speedup.max(serial / parallel);
+        if speedup >= required {
+            break;
+        }
+        if round == 0 {
+            println!("ensemble_parallel speedup check: {speedup:.2}x below target, re-measuring");
+        }
+    }
+    println!(
+        "ensemble_parallel speedup check: {speedup:.2}x with {workers} workers \
+         (required \u{2265} {required:.1}x)"
+    );
+    assert!(
+        speedup >= required,
+        "parallel ensemble engine underperforms: {speedup:.2}x < {required:.1}x \
+         with {workers} workers"
+    );
+}
+
 fn bench_serial_vs_parallel(c: &mut Criterion) {
     // Respect criterion's positional filter: a `cargo bench foo` run
     // aimed at some other bench must not pay for our sessions here.
     let filter: Option<String> = std::env::args().skip(1).find(|arg| !arg.starts_with("--"));
+    // The headline speedup expectation, checked once per run on the
+    // Grover case (the cheapest of the three) — but only in full
+    // `cargo bench` mode. Under `cargo test` the benches smoke-run on
+    // shared CI hosts where wall-clock timing assertions would be both
+    // load-sensitive and a tax on every test run.
+    let bench_mode = std::env::args().any(|arg| arg == "--bench");
+    if !bench_mode {
+        println!(
+            "ensemble_parallel speedup check: smoke mode, timing assertion deferred \
+             to `cargo bench`"
+        );
+    } else if filter
+        .as_deref()
+        .is_none_or(|f| "noisy_ensemble_grover".contains(f))
+    {
+        assert_parallel_speedup(&grover_benchmark(), 64);
+    }
     let cases: [(&str, Program, usize); 3] = [
         ("grover", grover_benchmark(), 64),
         ("shor_n15", shor_benchmark(), 16),

@@ -5,6 +5,8 @@
 //! for paper-vs-measured records). These helpers render the same
 //! row/column layouts the paper uses.
 
+#![warn(missing_docs)]
+
 use std::collections::BTreeMap;
 
 /// Render a probability table (rows × columns) like the paper's

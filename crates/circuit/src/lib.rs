@@ -36,6 +36,8 @@
 //! assert_eq!(program.breakpoints().len(), 1);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod circuit;
 pub mod instruction;
 pub mod program;
@@ -49,7 +51,7 @@ mod error;
 pub use circuit::{Circuit, GateSink};
 pub use error::CircuitError;
 pub use instruction::{GateKind, Instruction};
-pub use program::{Breakpoint, BreakpointKind, Program};
+pub use program::{Breakpoint, BreakpointKind, Program, Segment};
 pub use qasm::{from_qasm, to_qasm, ParsedQasm};
 pub use register::QReg;
 pub use scaffold::parse_scaffold;

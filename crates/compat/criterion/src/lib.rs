@@ -14,6 +14,8 @@
 //! * `cargo test` passes nothing → each benchmark runs once as a smoke
 //!   test, so benches stay compile- and run-verified in tier-1 CI.
 
+#![warn(missing_docs)]
+
 use std::time::{Duration, Instant};
 
 /// Measurement configuration plus the chosen execution mode.

@@ -13,6 +13,9 @@
 //! * **Deterministic seeding** — case seeds derive from the test's full
 //!   module path, so runs are reproducible without a persistence file.
 
+#![warn(missing_docs)]
+
+/// Value-generation strategies, mirroring `proptest::strategy`.
 pub mod strategy {
     use rand::rngs::StdRng;
     use rand::{Rng, UniformSampled};
@@ -217,6 +220,7 @@ pub mod strategy {
     }
 }
 
+/// Collection strategies, mirroring `proptest::collection`.
 pub mod collection {
     use super::strategy::Strategy;
     use rand::rngs::StdRng;
@@ -273,6 +277,7 @@ pub mod collection {
     }
 }
 
+/// `Option` strategies, mirroring `proptest::option`.
 pub mod option {
     use super::strategy::Strategy;
     use rand::rngs::StdRng;
@@ -302,6 +307,7 @@ pub mod option {
     }
 }
 
+/// Test-case driving machinery, mirroring `proptest::test_runner`.
 pub mod test_runner {
     use rand::rngs::StdRng;
     use rand::SeedableRng;

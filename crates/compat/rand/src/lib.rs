@@ -10,6 +10,8 @@
 //! crates-io `StdRng` (ChaCha12) — all seeds in this workspace were
 //! chosen against this generator.
 
+#![warn(missing_docs)]
+
 /// The core of a random number generator: a source of `u32`/`u64` words.
 pub trait RngCore {
     /// The next 64 random bits.
@@ -153,6 +155,7 @@ pub trait Rng: RngCore {
 
 impl<R: RngCore + ?Sized> Rng for R {}
 
+/// Concrete generators, mirroring `rand::rngs`.
 pub mod rngs {
     use super::{RngCore, SeedableRng};
 

@@ -12,6 +12,8 @@
 //! toggle it at runtime). Results are always assembled in input order,
 //! so any `collect` is deterministic regardless of thread count.
 
+#![warn(missing_docs)]
+
 use std::ops::Range;
 
 /// Number of worker threads: `RAYON_NUM_THREADS` if set and positive,

@@ -36,10 +36,13 @@
 //! # Ok::<(), qdb_core::CoreError>(())
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod checker;
 pub mod debugger;
 pub mod report;
 pub mod runner;
+pub mod sweep;
 
 mod error;
 
@@ -47,4 +50,5 @@ pub use checker::{check_breakpoint, check_breakpoint_with, exact_verdict, Indepe
 pub use debugger::{DebugReport, Debugger};
 pub use error::CoreError;
 pub use report::{AssertionReport, TestKind, Verdict};
-pub use runner::{EnsembleConfig, EnsembleRunner, MeasuredEnsemble};
+pub use runner::{EnsembleConfig, EnsembleRunner, ExecutionStrategy, MeasuredEnsemble};
+pub use sweep::SweepRunner;

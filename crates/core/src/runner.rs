@@ -1,20 +1,31 @@
 //! Ensemble execution of breakpoint-split programs.
 //!
-//! For each breakpoint the runner simulates the program prefix once,
-//! then draws the configured ensemble of early measurements from the
-//! resulting state (each shot of the paper's cluster runs is an
+//! For each breakpoint the runner obtains the ideal state at the
+//! assertion point, then draws the configured ensemble of early
+//! measurements from it (each shot of the paper's cluster runs is an
 //! independent execution-plus-measurement; since the prefix is
 //! deterministic, one simulation plus Born-rule sampling is
-//! distributionally identical and vastly cheaper).
+//! distributionally identical and vastly cheaper). Two
+//! [`ExecutionStrategy`] values decide *how* the state is obtained:
 //!
-//! Both hot loops are embarrassingly parallel; rayon drives exactly
-//! one of them at a time (never nested). Noiseless sessions check
-//! breakpoints concurrently (each one owns seed `seed + index`, like
-//! the paper's per-assertion QX cluster jobs); noisy sessions instead
-//! parallelize the dominant per-shot trajectory loop, with each shot's
-//! RNG seeded from `(seed, breakpoint, shot)` alone — so reports are
-//! bit-for-bit identical across thread counts and across the
-//! serial/parallel paths.
+//! * [`ExecutionStrategy::Sweep`] (default) — one checkpointed pass
+//!   over the whole program, `O(G)` gate applications total (see
+//!   [`crate::sweep`]);
+//! * [`ExecutionStrategy::PerPrefix`] — re-simulate each breakpoint's
+//!   prefix from `|0…0⟩`, `O(Σᵢ|prefixᵢ|)`; the paper-faithful
+//!   reference implementation and benchmark baseline.
+//!
+//! Reports are bit-for-bit identical across the two strategies.
+//!
+//! All hot loops are embarrassingly parallel; rayon drives exactly
+//! one of them at a time (never nested). Noiseless per-prefix sessions
+//! check breakpoints concurrently (each one owns seed `seed + index`,
+//! like the paper's per-assertion QX cluster jobs); sweep sessions
+//! parallelize per-shot CDF inversion; noisy sessions parallelize the
+//! dominant per-shot trajectory loop, with each shot's RNG seeded from
+//! `(seed, breakpoint, shot)` alone — so reports are bit-for-bit
+//! identical across thread counts and across the serial/parallel
+//! paths.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -27,6 +38,28 @@ use qdb_stats::Histogram;
 use crate::checker::{check_breakpoint_with, exact_verdict, IndependenceMethod};
 use crate::error::CoreError;
 use crate::report::AssertionReport;
+use crate::sweep::SweepRunner;
+
+/// How ideal (noiseless) ensembles are produced.
+///
+/// Both strategies yield bit-for-bit identical [`AssertionReport`]s —
+/// the choice is purely about cost and scheduling. Noisy sessions
+/// ignore the strategy: every shot is an independent trajectory from
+/// `|0…0⟩` by definition, so there is no prefix work to share.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecutionStrategy {
+    /// Re-simulate the program prefix from `|0…0⟩` for every
+    /// breakpoint, exactly as the paper's ScaffCC-emitted per-assertion
+    /// programs did: `O(Σᵢ|prefixᵢ|)` gate applications. Kept as the
+    /// reference implementation and benchmark baseline; breakpoints
+    /// fan out across cores.
+    PerPrefix,
+    /// Evolve the state through the program once, checkpointing at
+    /// each breakpoint: `O(G)` gate applications total (see
+    /// [`crate::sweep`]). The default.
+    #[default]
+    Sweep,
+}
 
 /// Configuration for ensemble runs.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -57,6 +90,12 @@ pub struct EnsembleConfig {
     /// on the calling thread (useful for benchmarking the speedup and
     /// for embedding in an outer parallel scheduler).
     pub parallel: bool,
+    /// How ideal-mode ensembles are produced (ignored when `noise` is
+    /// set). The default [`ExecutionStrategy::Sweep`] does `O(G)` total
+    /// gate applications; [`ExecutionStrategy::PerPrefix`] is the
+    /// paper-faithful `O(Σᵢ|prefixᵢ|)` reference path. Reports are
+    /// bit-for-bit identical either way.
+    pub strategy: ExecutionStrategy,
 }
 
 impl Default for EnsembleConfig {
@@ -70,6 +109,7 @@ impl Default for EnsembleConfig {
             independence: IndependenceMethod::default(),
             noise: None,
             parallel: true,
+            strategy: ExecutionStrategy::default(),
         }
     }
 }
@@ -121,6 +161,14 @@ impl EnsembleConfig {
         self
     }
 
+    /// Builder-style execution-strategy override (see
+    /// [`EnsembleConfig::strategy`]).
+    #[must_use]
+    pub fn with_strategy(mut self, strategy: ExecutionStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
     /// Builder-style noise model override (see
     /// [`EnsembleConfig::noise`]).
     #[must_use]
@@ -133,7 +181,7 @@ impl EnsembleConfig {
         self
     }
 
-    fn validate(&self) -> Result<(), CoreError> {
+    pub(crate) fn validate(&self) -> Result<(), CoreError> {
         if self.shots == 0 {
             return Err(CoreError::BadConfig("shots must be positive".into()));
         }
@@ -178,6 +226,12 @@ impl EnsembleRunner {
     }
 
     /// Simulate the prefix for breakpoint `index` and draw the ensemble.
+    ///
+    /// This is the per-prefix *reference* path: it always re-simulates
+    /// the prefix from `|0…0⟩` regardless of
+    /// [`EnsembleConfig::strategy`]. Use
+    /// [`run_all`](EnsembleRunner::run_all) to get every breakpoint's
+    /// ensemble at sweep cost.
     ///
     /// # Errors
     ///
@@ -236,6 +290,66 @@ impl EnsembleRunner {
         })
     }
 
+    /// Produce every breakpoint's measured ensemble (plus the ideal
+    /// state for cross-checking), honoring
+    /// [`EnsembleConfig::strategy`]: the default sweep does one
+    /// checkpointed pass; per-prefix (and any noisy session) runs
+    /// [`run_breakpoint`](EnsembleRunner::run_breakpoint) per index.
+    /// Results are bit-for-bit identical across strategies.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration and simulation errors.
+    pub fn run_all(&self, program: &Program) -> Result<Vec<MeasuredEnsemble>, CoreError> {
+        self.config.validate()?;
+        if self.config.noise.is_none() && self.config.strategy == ExecutionStrategy::Sweep {
+            return SweepRunner::new(self.config).run_all(program);
+        }
+        let count = program.breakpoints().len();
+        let run_one = |index: usize| self.run_breakpoint(program, index);
+        if self.config.parallel && self.config.noise.is_none() {
+            (0..count).into_par_iter().map(run_one).collect()
+        } else {
+            (0..count).map(run_one).collect()
+        }
+    }
+
+    /// Build one assertion report from a breakpoint's measured
+    /// outcomes and ideal state — the check stage shared by every
+    /// execution path.
+    fn report_for(
+        &self,
+        index: usize,
+        bp: &qdb_circuit::Breakpoint,
+        outcomes: &[u64],
+        ideal_state: &State,
+    ) -> Result<AssertionReport, CoreError> {
+        let outcome = check_breakpoint_with(
+            &bp.kind,
+            outcomes,
+            self.config.alpha,
+            self.config.independence,
+        )?;
+        let exact = self
+            .config
+            .exact_cross_check
+            .then(|| exact_verdict(&bp.kind, ideal_state, self.config.exact_tol));
+        let histogram = first_register_histogram(&bp.kind, outcomes);
+        Ok(AssertionReport {
+            index,
+            label: bp.label.clone(),
+            kind: bp.kind.clone(),
+            test: outcome.test,
+            shots: self.config.shots,
+            statistic: outcome.statistic,
+            dof: outcome.dof,
+            p_value: outcome.p_value,
+            verdict: outcome.verdict,
+            histogram,
+            exact,
+        })
+    }
+
     /// Run and check every breakpoint in the program, producing one
     /// report per assertion.
     ///
@@ -244,34 +358,22 @@ impl EnsembleRunner {
     /// Propagates configuration, simulation, and statistics errors.
     pub fn check_program(&self, program: &Program) -> Result<Vec<AssertionReport>, CoreError> {
         self.config.validate()?;
+        if self.config.noise.is_none() && self.config.strategy == ExecutionStrategy::Sweep {
+            // Single checkpointed pass: sample and check each
+            // breakpoint in place from the live state — no prefix
+            // replay, no state clones. Per-shot sampling is the one
+            // rayon axis in here (see `crate::sweep`).
+            let sweep = SweepRunner::new(self.config);
+            return sweep.walk(program, |index, bp, state| {
+                let outcomes = sweep.draw_ensemble(index, state);
+                self.report_for(index, bp, &outcomes, state)
+            });
+        }
         let count = program.breakpoints().len();
         let check_one = |index: usize| -> Result<AssertionReport, CoreError> {
             let bp = &program.breakpoints()[index];
             let ensemble = self.run_breakpoint(program, index)?;
-            let outcome = check_breakpoint_with(
-                &bp.kind,
-                &ensemble.outcomes,
-                self.config.alpha,
-                self.config.independence,
-            )?;
-            let exact = self
-                .config
-                .exact_cross_check
-                .then(|| exact_verdict(&bp.kind, &ensemble.state, self.config.exact_tol));
-            let histogram = first_register_histogram(&bp.kind, &ensemble.outcomes);
-            Ok(AssertionReport {
-                index,
-                label: bp.label.clone(),
-                kind: bp.kind.clone(),
-                test: outcome.test,
-                shots: self.config.shots,
-                statistic: outcome.statistic,
-                dof: outcome.dof,
-                p_value: outcome.p_value,
-                verdict: outcome.verdict,
-                histogram,
-                exact,
-            })
+            self.report_for(index, bp, &ensemble.outcomes, &ensemble.state)
         };
         // Pick ONE parallel axis so work never nests (nested fan-out
         // would spawn ~cores² threads on big hosts). With noise, the
@@ -517,6 +619,83 @@ mod tests {
                 assert!(seen.insert(shot_seed(42, bp, shot)));
             }
         }
+    }
+
+    fn assert_reports_bit_identical(a: &[AssertionReport], b: &[AssertionReport]) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.index, y.index);
+            assert_eq!(x.label, y.label);
+            assert_eq!(x.kind, y.kind);
+            assert_eq!(x.test, y.test);
+            assert_eq!(x.shots, y.shots);
+            assert_eq!(x.statistic.to_bits(), y.statistic.to_bits());
+            assert_eq!(x.dof, y.dof);
+            assert_eq!(x.p_value.to_bits(), y.p_value.to_bits());
+            assert_eq!(x.verdict, y.verdict);
+            assert_eq!(x.exact, y.exact);
+        }
+    }
+
+    #[test]
+    fn sweep_and_per_prefix_reports_are_bit_identical() {
+        let mut p = Program::new();
+        let r = p.alloc_register("r", 3);
+        p.prep_int(&r, 5);
+        p.assert_classical(&r, 5);
+        for i in 0..3 {
+            p.h(r.bit(i));
+        }
+        p.assert_superposition(&r);
+        p.cx(r.bit(0), r.bit(1));
+        let a = QReg::new("a", vec![r.bit(0)]);
+        let b = QReg::new("b", vec![r.bit(1)]);
+        p.assert_entangled(&a, &b);
+        for parallel in [false, true] {
+            let base = EnsembleConfig::default()
+                .with_shots(200)
+                .with_seed(13)
+                .with_parallel(parallel);
+            let sweep = EnsembleRunner::new(base.with_strategy(ExecutionStrategy::Sweep))
+                .check_program(&p)
+                .unwrap();
+            let prefix = EnsembleRunner::new(base.with_strategy(ExecutionStrategy::PerPrefix))
+                .check_program(&p)
+                .unwrap();
+            assert_reports_bit_identical(&sweep, &prefix);
+        }
+    }
+
+    #[test]
+    fn run_all_matches_per_breakpoint_runs() {
+        let (mut p, m0, m1) = bell_program();
+        p.assert_entangled(&m0, &m1);
+        let config = EnsembleConfig::default().with_shots(64).with_seed(2);
+        for strategy in [ExecutionStrategy::Sweep, ExecutionStrategy::PerPrefix] {
+            let runner = EnsembleRunner::new(config.with_strategy(strategy));
+            let all = runner.run_all(&p).unwrap();
+            assert_eq!(all.len(), 1);
+            let single = runner.run_breakpoint(&p, 0).unwrap();
+            assert_eq!(all[0].outcomes, single.outcomes);
+            assert_eq!(all[0].state, single.state);
+        }
+    }
+
+    #[test]
+    fn noisy_sessions_ignore_strategy() {
+        let (mut p, m0, m1) = bell_program();
+        p.assert_entangled(&m0, &m1);
+        let base = EnsembleConfig::default()
+            .with_shots(64)
+            .with_seed(5)
+            .with_noise(qdb_sim::NoiseModel::depolarizing(0.02));
+        let sweep = EnsembleRunner::new(base.with_strategy(ExecutionStrategy::Sweep))
+            .check_program(&p)
+            .unwrap();
+        let prefix = EnsembleRunner::new(base.with_strategy(ExecutionStrategy::PerPrefix))
+            .check_program(&p)
+            .unwrap();
+        assert_reports_bit_identical(&sweep, &prefix);
     }
 
     #[test]

@@ -1,0 +1,257 @@
+//! Checkpointed single-pass ensemble execution.
+//!
+//! The paper's QX-cluster workflow (and this crate's per-prefix
+//! reference path, [`EnsembleRunner::run_breakpoint`]) re-simulates the
+//! program prefix from `|0…0⟩` for every breakpoint: a program with `B`
+//! breakpoints and `G` gates pays `O(Σᵢ|prefixᵢ|) = O(B·G)` gate
+//! applications in ideal mode. The [`SweepRunner`] instead evolves the
+//! ideal state through the program **exactly once**, pausing at each
+//! breakpoint to draw that breakpoint's ensemble from the live state —
+//! `O(G)` gate applications total, verified by
+//! [`State::gate_ops`](qdb_sim::State::gate_ops).
+//!
+//! The sweep is bit-for-bit equivalent to the per-prefix path:
+//!
+//! * applying the inter-breakpoint *segments* in order touches the same
+//!   amplitudes in the same order as replaying each prefix, so the
+//!   state at breakpoint `i` is bit-identical
+//!   ([`Circuit::apply_range_to`](qdb_circuit::Circuit::apply_range_to));
+//! * each breakpoint samples with its own `StdRng` seeded
+//!   `seed + index` — the same stream the per-prefix path uses — so the
+//!   outcomes, histograms, p-values, and verdicts are identical.
+//!
+//! Within the sweep the only parallel axis is per-shot sampling: the
+//! uniform variates are drawn serially (they *are* the determinism
+//! contract) and the CDF inversions fan out over rayon
+//! ([`Sampler::sample_at`](qdb_sim::Sampler::sample_at)). Gate
+//! evolution is inherently serial here; programs wanting breakpoint
+//! fan-out instead can keep [`ExecutionStrategy::PerPrefix`].
+//!
+//! Noisy ensembles never sweep: every shot is an independent
+//! trajectory from `|0…0⟩` by definition, so there is no prefix work to
+//! share and [`EnsembleRunner`] routes noisy sessions to the
+//! (unchanged) per-shot trajectory path regardless of strategy.
+//!
+//! [`EnsembleRunner`]: crate::runner::EnsembleRunner
+//! [`EnsembleRunner::run_breakpoint`]: crate::runner::EnsembleRunner::run_breakpoint
+//! [`ExecutionStrategy::PerPrefix`]: crate::runner::ExecutionStrategy::PerPrefix
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+
+use qdb_circuit::{Breakpoint, GateSink, Program};
+use qdb_sim::{Sampler, State};
+
+use crate::error::CoreError;
+use crate::runner::{EnsembleConfig, MeasuredEnsemble};
+
+/// Single-pass checkpointed executor for ideal (noiseless) ensembles.
+///
+/// Usually reached through
+/// [`EnsembleRunner`](crate::runner::EnsembleRunner) with the default
+/// [`ExecutionStrategy::Sweep`](crate::runner::ExecutionStrategy::Sweep);
+/// constructing one directly is useful when the caller wants the
+/// snapshot states themselves ([`SweepRunner::run_all`]).
+#[derive(Debug, Clone, Default)]
+pub struct SweepRunner {
+    config: EnsembleConfig,
+}
+
+impl SweepRunner {
+    /// Create a sweep runner with the given configuration (the `noise`
+    /// field is ignored — see the module docs).
+    #[must_use]
+    pub fn new(config: EnsembleConfig) -> Self {
+        Self { config }
+    }
+
+    /// The active configuration.
+    #[must_use]
+    pub fn config(&self) -> &EnsembleConfig {
+        &self.config
+    }
+
+    /// Evolve the ideal state through the program once, invoking
+    /// `visit` with the live (borrowed) state at each breakpoint.
+    ///
+    /// This is the engine under both [`SweepRunner::run_all`] (which
+    /// snapshots) and the report path (which checks in place and never
+    /// clones the state).
+    pub(crate) fn walk<T>(
+        &self,
+        program: &Program,
+        mut visit: impl FnMut(usize, &Breakpoint, &State) -> Result<T, CoreError>,
+    ) -> Result<Vec<T>, CoreError> {
+        self.config.validate()?;
+        let breakpoints = program.breakpoints();
+        let mut out = Vec::with_capacity(breakpoints.len());
+        if breakpoints.is_empty() {
+            return Ok(out);
+        }
+        let circuit = program.circuit();
+        // Matches the per-prefix path's `prefix.run_on_basis(0)` start
+        // state (and its error for zero-qubit programs).
+        let mut state = State::basis(circuit.num_qubits(), 0)
+            .map_err(|e| CoreError::Circuit(qdb_circuit::CircuitError::Sim(e)))?;
+        for segment in program.segments() {
+            circuit.apply_range_to(&mut state, segment.range());
+            out.push(visit(segment.index, &breakpoints[segment.index], &state)?);
+        }
+        Ok(out)
+    }
+
+    /// Below this many shots the per-shot CDF inversions (one binary
+    /// search each) are cheaper than fanning work out to threads, so
+    /// sampling stays on the calling thread even with `parallel` on.
+    /// The choice never affects results — see
+    /// [`draw_ensemble`](SweepRunner::draw_ensemble).
+    const PARALLEL_SAMPLING_MIN_SHOTS: usize = 4096;
+
+    /// Draw breakpoint `index`'s ideal ensemble from `state`.
+    ///
+    /// The RNG stream is `StdRng::seed_from_u64(seed + index)` exactly
+    /// as in the per-prefix path. With `parallel` enabled (and enough
+    /// shots to amortize the fan-out) the uniforms are still drawn
+    /// serially from that stream; only the CDF inversion fans out, so
+    /// the ensemble is identical either way.
+    pub(crate) fn draw_ensemble(&self, index: usize, state: &State) -> Vec<u64> {
+        let mut rng = StdRng::seed_from_u64(self.config.seed.wrapping_add(index as u64));
+        let sampler = Sampler::new(state);
+        if self.config.parallel && self.config.shots >= Self::PARALLEL_SAMPLING_MIN_SHOTS {
+            let uniforms: Vec<f64> = (0..self.config.shots).map(|_| rng.gen::<f64>()).collect();
+            (0..self.config.shots)
+                .into_par_iter()
+                .map(|shot| sampler.sample_at(uniforms[shot]))
+                .collect()
+        } else {
+            sampler.sample_many(&mut rng, self.config.shots)
+        }
+    }
+
+    /// Run every breakpoint in one sweep, returning each breakpoint's
+    /// measured ensemble plus a checkpoint of the ideal state.
+    ///
+    /// Equivalent to calling
+    /// [`run_breakpoint`](crate::runner::EnsembleRunner::run_breakpoint)
+    /// for every index (same outcomes, same states, bit for bit) at
+    /// `O(G)` instead of `O(Σᵢ|prefixᵢ|)` total gate applications. Each
+    /// returned checkpoint inherits the sweep's cumulative
+    /// [`State::gate_ops`] counter, so
+    /// `ensembles.last().state.gate_ops()` is the total simulation work
+    /// of the whole run.
+    ///
+    /// [`State::gate_ops`]: qdb_sim::State::gate_ops
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::BadConfig`] for invalid configurations;
+    /// * simulator errors for malformed programs.
+    pub fn run_all(&self, program: &Program) -> Result<Vec<MeasuredEnsemble>, CoreError> {
+        self.walk(program, |index, _bp, state| {
+            Ok(MeasuredEnsemble {
+                outcomes: self.draw_ensemble(index, state),
+                state: state.clone(),
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{EnsembleRunner, ExecutionStrategy};
+    use qdb_circuit::GateSink;
+
+    /// prep 5 → assert classical → H layer → assert superposition →
+    /// more gates → assert superposition.
+    fn staircase_program() -> Program {
+        let mut p = Program::new();
+        let r = p.alloc_register("r", 3);
+        p.prep_int(&r, 5);
+        p.assert_classical(&r, 5);
+        for i in 0..3 {
+            p.h(r.bit(i));
+        }
+        p.assert_superposition(&r);
+        p.t(r.bit(0));
+        p.cx(r.bit(0), r.bit(1));
+        p.assert_superposition(&r);
+        p
+    }
+
+    #[test]
+    fn sweep_ensembles_match_per_prefix_bit_for_bit() {
+        let p = staircase_program();
+        let config = EnsembleConfig::default().with_shots(128).with_seed(9);
+        let sweep = SweepRunner::new(config).run_all(&p).unwrap();
+        let reference = EnsembleRunner::new(config.with_strategy(ExecutionStrategy::PerPrefix));
+        assert_eq!(sweep.len(), p.breakpoints().len());
+        for (index, ensemble) in sweep.iter().enumerate() {
+            let legacy = reference.run_breakpoint(&p, index).unwrap();
+            assert_eq!(ensemble.outcomes, legacy.outcomes);
+            assert_eq!(ensemble.state, legacy.state);
+        }
+    }
+
+    #[test]
+    fn sweep_does_linear_work_while_per_prefix_replays() {
+        let p = staircase_program();
+        let positions: Vec<u64> = p.breakpoints().iter().map(|b| b.position as u64).collect();
+        let config = EnsembleConfig::default().with_shots(16);
+
+        let sweep = SweepRunner::new(config).run_all(&p).unwrap();
+        for (ensemble, &position) in sweep.iter().zip(&positions) {
+            // Checkpoint i has undergone exactly prefix-i's gates once.
+            assert_eq!(ensemble.state.gate_ops(), position);
+        }
+        let sweep_work = sweep.last().unwrap().state.gate_ops();
+        assert_eq!(sweep_work, *positions.last().unwrap(), "O(G) total");
+
+        let reference = EnsembleRunner::new(config.with_strategy(ExecutionStrategy::PerPrefix));
+        let per_prefix_work: u64 = (0..positions.len())
+            .map(|i| reference.run_breakpoint(&p, i).unwrap().state.gate_ops())
+            .sum();
+        assert_eq!(
+            per_prefix_work,
+            positions.iter().sum::<u64>(),
+            "O(Σ|prefix|)"
+        );
+        assert!(per_prefix_work > sweep_work);
+    }
+
+    #[test]
+    fn serial_and_parallel_sweep_sampling_agree() {
+        let p = staircase_program();
+        // Past the fan-out threshold, so the parallel arm really runs.
+        let base = EnsembleConfig::default()
+            .with_shots(SweepRunner::PARALLEL_SAMPLING_MIN_SHOTS + 1)
+            .with_seed(31);
+        let serial = SweepRunner::new(base.with_parallel(false))
+            .run_all(&p)
+            .unwrap();
+        let parallel = SweepRunner::new(base.with_parallel(true))
+            .run_all(&p)
+            .unwrap();
+        for (s, q) in serial.iter().zip(&parallel) {
+            assert_eq!(s.outcomes, q.outcomes);
+        }
+    }
+
+    #[test]
+    fn empty_program_sweeps_to_nothing() {
+        let mut p = Program::new();
+        let _ = p.alloc_register("r", 2);
+        let ensembles = SweepRunner::new(EnsembleConfig::default())
+            .run_all(&p)
+            .unwrap();
+        assert!(ensembles.is_empty());
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let p = staircase_program();
+        let bad = EnsembleConfig::default().with_shots(0);
+        assert!(SweepRunner::new(bad).run_all(&p).is_err());
+    }
+}

@@ -1,0 +1,167 @@
+//! Property tests pinning the sweep/per-prefix equivalence contract:
+//! over random programs, breakpoint placements, seeds, and the
+//! serial/parallel switch, the two execution strategies must produce
+//! bit-identical `AssertionReport`s, while the simulator's
+//! gate-application counters must show `O(G)` total work for the sweep
+//! against `O(Σᵢ|prefixᵢ|)` for the per-prefix reference path.
+
+use proptest::prelude::*;
+use qdb_circuit::{GateSink, Program, QReg};
+use qdb_core::{EnsembleConfig, EnsembleRunner, ExecutionStrategy, SweepRunner};
+
+/// Append one generated gate, mapping the raw indices into range.
+fn push_gate(p: &mut Program, r: &QReg, op: u8, a: usize, b: usize, theta: f64) {
+    let n = r.width();
+    let q1 = a % n;
+    match op % 6 {
+        0 => p.h(r.bit(q1)),
+        1 => p.x(r.bit(q1)),
+        2 => p.t(r.bit(q1)),
+        3 => p.rz(r.bit(q1), theta),
+        other => {
+            if n == 1 {
+                p.phase(r.bit(q1), theta);
+            } else {
+                let q2 = (q1 + 1 + b % (n - 1)) % n;
+                if other == 4 {
+                    p.cx(r.bit(q1), r.bit(q2));
+                } else {
+                    p.swap(r.bit(q1), r.bit(q2));
+                }
+            }
+        }
+    }
+}
+
+/// Append one generated breakpoint. Entangled/product assertions need
+/// two disjoint registers, so the register is split in half; one-qubit
+/// programs fall back to a superposition assertion.
+fn place_breakpoint(p: &mut Program, r: &QReg, kind: u8) {
+    let n = r.width();
+    match kind % 4 {
+        0 => p.assert_classical(r, 0),
+        1 => p.assert_superposition(r),
+        other => {
+            if n < 2 {
+                p.assert_superposition(r);
+            } else {
+                let lo = QReg::new("lo", (0..n / 2).map(|i| r.bit(i)).collect::<Vec<_>>());
+                let hi = QReg::new("hi", (n / 2..n).map(|i| r.bit(i)).collect::<Vec<_>>());
+                if other == 2 {
+                    p.assert_entangled(&lo, &hi);
+                } else {
+                    p.assert_product(&lo, &hi);
+                }
+            }
+        }
+    }
+}
+
+/// Interleave generated gates and breakpoints into a program:
+/// breakpoint `(pos, kind)` lands before gate `pos` (clamped to the
+/// program end), so placements cover the start, the middle, repeated
+/// positions, and the end.
+fn build_program(
+    num_qubits: usize,
+    gates: &[(u8, usize, usize, f64)],
+    breakpoints: &[(usize, u8)],
+) -> Program {
+    let mut p = Program::new();
+    let r = p.alloc_register("r", num_qubits);
+    let mut sorted = breakpoints.to_vec();
+    sorted.sort_unstable();
+    let mut next = 0usize;
+    for (g, &(op, a, b, theta)) in gates.iter().enumerate() {
+        while next < sorted.len() && sorted[next].0 <= g {
+            place_breakpoint(&mut p, &r, sorted[next].1);
+            next += 1;
+        }
+        push_gate(&mut p, &r, op, a, b, theta);
+    }
+    while next < sorted.len() {
+        place_breakpoint(&mut p, &r, sorted[next].1);
+        next += 1;
+    }
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn sweep_reports_are_bit_identical_to_per_prefix(
+        num_qubits in 1..5usize,
+        gates in prop::collection::vec(
+            (0..6u8, 0..16usize, 0..16usize, -3.0..3.0f64),
+            0..40,
+        ),
+        breakpoints in prop::collection::vec((0..41usize, 0..4u8), 1..6),
+        seed in 0..1_000_000u64,
+        parallel in prop_oneof![Just(false), Just(true)],
+    ) {
+        let program = build_program(num_qubits, &gates, &breakpoints);
+        let base = EnsembleConfig::default()
+            .with_shots(48)
+            .with_seed(seed)
+            .with_parallel(parallel);
+
+        let sweep = EnsembleRunner::new(base.with_strategy(ExecutionStrategy::Sweep))
+            .check_program(&program);
+        let prefix = EnsembleRunner::new(base.with_strategy(ExecutionStrategy::PerPrefix))
+            .check_program(&program);
+        prop_assert!(sweep.is_ok(), "sweep failed: {sweep:?}");
+        prop_assert!(prefix.is_ok(), "per-prefix failed: {prefix:?}");
+        let (sweep, prefix) = (sweep.unwrap(), prefix.unwrap());
+
+        prop_assert_eq!(sweep.len(), prefix.len());
+        prop_assert_eq!(sweep.len(), program.breakpoints().len());
+        for (s, p) in sweep.iter().zip(&prefix) {
+            prop_assert_eq!(s.index, p.index);
+            prop_assert_eq!(&s.label, &p.label);
+            prop_assert_eq!(&s.kind, &p.kind);
+            prop_assert_eq!(s.test, p.test);
+            prop_assert_eq!(s.shots, p.shots);
+            prop_assert_eq!(s.statistic.to_bits(), p.statistic.to_bits());
+            prop_assert_eq!(s.dof, p.dof);
+            prop_assert_eq!(s.p_value.to_bits(), p.p_value.to_bits());
+            prop_assert_eq!(s.verdict, p.verdict);
+            prop_assert_eq!(s.exact, p.exact);
+        }
+    }
+
+    #[test]
+    fn gate_counters_prove_sweep_is_single_pass(
+        num_qubits in 1..4usize,
+        gates in prop::collection::vec(
+            (0..6u8, 0..16usize, 0..16usize, -3.0..3.0f64),
+            1..30,
+        ),
+        breakpoints in prop::collection::vec((0..31usize, 0..4u8), 1..5),
+        parallel in prop_oneof![Just(false), Just(true)],
+    ) {
+        let program = build_program(num_qubits, &gates, &breakpoints);
+        let positions: Vec<u64> = program
+            .breakpoints()
+            .iter()
+            .map(|b| b.position as u64)
+            .collect();
+        let base = EnsembleConfig::default().with_shots(16).with_parallel(parallel);
+
+        // Sweep: checkpoint `i` has undergone exactly prefix `i` once,
+        // and the final checkpoint's counter is the whole run's work.
+        let swept = SweepRunner::new(base).run_all(&program).unwrap();
+        for (ensemble, &position) in swept.iter().zip(&positions) {
+            prop_assert_eq!(ensemble.state.gate_ops(), position);
+        }
+        let sweep_work = swept.last().unwrap().state.gate_ops();
+        prop_assert_eq!(sweep_work, *positions.last().unwrap());
+
+        // Per-prefix reference: every breakpoint replays its prefix.
+        let replayed = EnsembleRunner::new(base.with_strategy(ExecutionStrategy::PerPrefix))
+            .run_all(&program)
+            .unwrap();
+        let prefix_work: u64 = replayed.iter().map(|e| e.state.gate_ops()).sum();
+        prop_assert_eq!(prefix_work, positions.iter().sum::<u64>());
+        prop_assert!(prefix_work >= sweep_work);
+    }
+}

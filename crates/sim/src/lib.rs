@@ -41,6 +41,8 @@
 //! assert!(state.probability(0b01) < 1e-12);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod complex;
 pub mod density;
 pub mod gates;

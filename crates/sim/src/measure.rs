@@ -80,6 +80,20 @@ impl Sampler {
     /// Draw one full-register outcome (a basis index).
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
         let u: f64 = rng.gen();
+        self.sample_at(u)
+    }
+
+    /// The outcome the inverse-CDF transform assigns to the uniform
+    /// variate `u ∈ [0, 1)`.
+    ///
+    /// [`sample`](Sampler::sample) is exactly `sample_at(rng.gen())`,
+    /// so a caller that pre-draws its uniforms serially can map them
+    /// through `sample_at` in any order — including in parallel — and
+    /// still reproduce the serial sampling stream bit for bit. The
+    /// sweep engine in `qdb-core` uses this to parallelize per-shot
+    /// sampling without changing any ensemble.
+    #[must_use]
+    pub fn sample_at(&self, u: f64) -> u64 {
         // First index whose CDF value strictly exceeds u.
         match self
             .cdf
@@ -315,6 +329,21 @@ mod tests {
             assert!(s.prob_one(0) < 1e-12);
             assert!((s.prob_one(1) - f64::from(bit)).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn sample_at_reproduces_sample_stream() {
+        let mut s = State::zero(4);
+        for q in 0..4 {
+            s.apply_1q(q, &gates::h());
+        }
+        let sampler = Sampler::new(&s);
+        let direct = sampler.sample_many(&mut rng(77), 128);
+        // Pre-draw the uniforms, then map them through sample_at.
+        let mut r = rng(77);
+        let us: Vec<f64> = (0..128).map(|_| r.gen::<f64>()).collect();
+        let replayed: Vec<u64> = us.into_iter().map(|u| sampler.sample_at(u)).collect();
+        assert_eq!(direct, replayed);
     }
 
     #[test]

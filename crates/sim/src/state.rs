@@ -46,10 +46,20 @@ impl Pauli {
 /// psi.apply_1q(0, &gates::h());
 /// assert!((psi.probability(0) - 0.5).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct State {
     num_qubits: usize,
     amps: Vec<Complex>,
+    gate_ops: u64,
+}
+
+/// Equality compares qubit count and amplitudes only; the
+/// [`gate_ops`](State::gate_ops) instrumentation counter is ignored, so
+/// a freshly simulated state equals a checkpointed copy of itself.
+impl PartialEq for State {
+    fn eq(&self, other: &Self) -> bool {
+        self.num_qubits == other.num_qubits && self.amps == other.amps
+    }
 }
 
 impl State {
@@ -86,7 +96,11 @@ impl State {
         }
         let mut amps = vec![Complex::ZERO; dim];
         amps[index as usize] = Complex::ONE;
-        Ok(Self { num_qubits, amps })
+        Ok(Self {
+            num_qubits,
+            amps,
+            gate_ops: 0,
+        })
     }
 
     /// Build a state from raw amplitudes, normalizing them.
@@ -112,7 +126,11 @@ impl State {
         }
         let scale = norm_sqr.sqrt().recip();
         let amps = amps.into_iter().map(|a| a.scale(scale)).collect();
-        Ok(Self { num_qubits, amps })
+        Ok(Self {
+            num_qubits,
+            amps,
+            gate_ops: 0,
+        })
     }
 
     /// Number of qubits.
@@ -173,6 +191,29 @@ impl State {
         }
     }
 
+    /// Number of gate applications this state has undergone: every
+    /// [`apply_1q`](State::apply_1q) /
+    /// [`apply_controlled_1q`](State::apply_controlled_1q) /
+    /// [`swap`](State::swap) /
+    /// [`apply_controlled_swap`](State::apply_controlled_swap) /
+    /// [`apply_unitary`](State::apply_unitary) call counts as one.
+    ///
+    /// The counter is the instrumentation behind the sweep-vs-prefix
+    /// complexity proofs: applying a circuit prefix of length `p` to a
+    /// fresh state leaves `gate_ops() == p`, so a runner that never
+    /// replays a prefix can demonstrate `O(G)` total work. A `clone()`
+    /// checkpoint inherits the count (it has undergone the same
+    /// operations); equality comparisons ignore it.
+    #[must_use]
+    pub fn gate_ops(&self) -> u64 {
+        self.gate_ops
+    }
+
+    /// Reset the [`gate_ops`](State::gate_ops) counter to zero.
+    pub fn reset_gate_ops(&mut self) {
+        self.gate_ops = 0;
+    }
+
     /// Mutable access to the raw amplitudes for in-crate measurement code.
     pub(crate) fn amps_mut(&mut self) -> &mut [Complex] {
         &mut self.amps
@@ -194,6 +235,7 @@ impl State {
     /// Panics if `target` is out of range.
     pub fn apply_1q(&mut self, target: usize, m: &Matrix2) {
         self.check_qubit(target);
+        self.gate_ops += 1;
         let mask = 1usize << target;
         let dim = self.amps.len();
         let m = m.0;
@@ -234,6 +276,7 @@ impl State {
         if cmask == 0 {
             return self.apply_1q(target, m);
         }
+        self.gate_ops += 1;
         let tmask = 1usize << target;
         let dim = self.amps.len();
         let m = m.0;
@@ -261,6 +304,7 @@ impl State {
     pub fn swap(&mut self, a: usize, b: usize) {
         self.check_qubit(a);
         self.check_qubit(b);
+        self.gate_ops += 1;
         if a == b {
             return;
         }
@@ -293,6 +337,7 @@ impl State {
             assert!(c != a && c != b, "control {c} overlaps swap target");
             cmask |= 1 << c;
         }
+        self.gate_ops += 1;
         let (lo, hi) = (a.min(b), a.max(b));
         let lo_mask = 1usize << lo;
         let hi_mask = 1usize << hi;
@@ -348,6 +393,7 @@ impl State {
             }
             seen |= 1 << q;
         }
+        self.gate_ops += 1;
 
         // offsets[s]: the full-index bits contributed by sub-index s.
         let mut offsets = vec![0usize; sub_dim];
@@ -420,6 +466,10 @@ impl State {
     /// Tensor product `other ⊗ self`: `self`'s qubits occupy the low-order
     /// bit positions of the result, `other`'s the high-order positions.
     ///
+    /// The result is a newly constructed state, so its
+    /// [`gate_ops`](State::gate_ops) counter starts at zero (unlike
+    /// `clone()`, which inherits the count).
+    ///
     /// # Panics
     ///
     /// Panics if the combined size exceeds [`MAX_QUBITS`].
@@ -436,6 +486,7 @@ impl State {
         State {
             num_qubits: n,
             amps,
+            gate_ops: 0,
         }
     }
 
@@ -771,6 +822,36 @@ mod tests {
         }
         assert!(!a.approx_eq(&b, 1e-12));
         assert!(a.approx_eq_up_to_phase(&b, 1e-12));
+    }
+
+    #[test]
+    fn gate_ops_counts_every_application_once() {
+        let mut s = State::zero(3);
+        assert_eq!(s.gate_ops(), 0);
+        s.apply_1q(0, &gates::h());
+        s.apply_controlled_1q(&[0], 1, &gates::x());
+        s.apply_controlled_1q(&[], 2, &gates::t()); // delegates to apply_1q
+        s.swap(0, 2);
+        s.apply_controlled_swap(&[2], 0, 1);
+        let id = vec![
+            vec![Complex::ONE, Complex::ZERO],
+            vec![Complex::ZERO, Complex::ONE],
+        ];
+        s.apply_unitary(&[1], &id).unwrap();
+        assert_eq!(s.gate_ops(), 6);
+        // Failed applications don't count.
+        assert!(s.apply_unitary(&[9], &id).is_err());
+        assert_eq!(s.gate_ops(), 6);
+        // Checkpoints inherit the count; equality ignores it.
+        let snapshot = s.clone();
+        assert_eq!(snapshot.gate_ops(), 6);
+        let mut fresh = State::zero(3);
+        fresh.apply_1q(0, &gates::h());
+        let mut same_amps = State::zero(3);
+        same_amps.apply_1q(0, &gates::h());
+        same_amps.reset_gate_ops();
+        assert_eq!(same_amps.gate_ops(), 0);
+        assert_eq!(fresh, same_amps);
     }
 
     #[test]

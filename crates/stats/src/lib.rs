@@ -34,6 +34,8 @@
 //! # Ok::<(), qdb_stats::StatsError>(())
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod chi2;
 pub mod contingency;
 pub mod exact;

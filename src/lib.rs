@@ -11,7 +11,42 @@
 //! * [`algos`] — the Shor / Grover / quantum-chemistry benchmarks and the
 //!   paper's six injectable bug types.
 //!
-//! See `examples/quickstart.rs` for an end-to-end debugging session.
+//! # Quickstart
+//!
+//! The paper's Figure 1 session — build a Bell pair, assert the two
+//! measured qubits are entangled, and let the debugger decide — runs
+//! (not just compiles) as a doctest, so this front-page example cannot
+//! rot:
+//!
+//! ```
+//! use qdb::circuit::{GateSink, Program, QReg};
+//! use qdb::core::{Debugger, EnsembleConfig};
+//!
+//! // Write the program: H then CNOT make the Bell pair.
+//! let mut program = Program::new();
+//! let q = program.alloc_register("q", 2);
+//! program.h(q.bit(0));
+//! program.cx(q.bit(0), q.bit(1));
+//!
+//! // Quantum breakpoint: assert the halves will measure correlated.
+//! let m0 = QReg::new("m0", vec![q.bit(0)]);
+//! let m1 = QReg::new("m1", vec![q.bit(1)]);
+//! program.assert_entangled(&m0, &m1);
+//!
+//! // Debug it: 64 shots per assertion, fixed seed, default checkpointed
+//! // sweep execution.
+//! let config = EnsembleConfig::default().with_shots(64).with_seed(2019);
+//! let report = Debugger::new(config).run(&program)?;
+//! assert!(report.all_passed(), "the Bell pair must test as entangled");
+//! println!("{report}");
+//! # Ok::<(), qdb::core::CoreError>(())
+//! ```
+//!
+//! `examples/quickstart.rs` extends this session with a look at the
+//! underlying contingency table; the `examples/` directory covers the
+//! other workloads (see the README's runnable-examples table).
+
+#![warn(missing_docs)]
 
 pub use qdb_algos as algos;
 pub use qdb_circuit as circuit;
