@@ -57,10 +57,16 @@ fn config(strategy: ExecutionStrategy) -> EnsembleConfig {
 
 fn bench_sweep_vs_per_prefix(c: &mut Criterion) {
     // Respect criterion's positional filter: a `cargo bench foo` run
-    // aimed at some other bench must not pay for our cross-checks.
+    // aimed at some other bench must not pay for our cross-checks. The
+    // filter is matched against the labels we would run (as the
+    // harness itself would), not just the group name.
     let filter: Option<String> = std::env::args().skip(1).find(|arg| !arg.starts_with("--"));
     if let Some(f) = &filter {
-        if !"breakpoint_sweep".contains(f.as_str()) {
+        let would_run = BREAKPOINT_COUNTS.iter().any(|b| {
+            format!("breakpoint_sweep/per_prefix/{b}").contains(f.as_str())
+                || format!("breakpoint_sweep/sweep/{b}").contains(f.as_str())
+        });
+        if !would_run {
             return;
         }
     }
@@ -114,6 +120,16 @@ fn bench_sweep_vs_per_prefix(c: &mut Criterion) {
             "breakpoint_sweep B={breakpoints:>2}: gate applies {sweep_work:>6} (sweep) \
              vs {prefix_work:>6} (per-prefix), {:.1}x less work",
             prefix_work as f64 / sweep_work as f64
+        );
+        criterion::record_metric(
+            &format!("breakpoint_sweep/sweep/{breakpoints}"),
+            "gate_ops",
+            sweep_work as f64,
+        );
+        criterion::record_metric(
+            &format!("breakpoint_sweep/per_prefix/{breakpoints}"),
+            "gate_ops",
+            prefix_work as f64,
         );
 
         for (label, runner) in [("per_prefix", &prefix_runner), ("sweep", &sweep_runner)] {

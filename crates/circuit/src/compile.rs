@@ -1,0 +1,662 @@
+//! Lowering: compile a [`Circuit`] into specialized gate kernels.
+//!
+//! The interpreted path ([`Circuit::apply_to`]) rebuilds every gate's
+//! 2×2 matrix on every application — including the `sin`/`cos` calls
+//! behind each rotation — and routes everything through the generic
+//! mask-filtering kernels of `qdb-sim`. That is the paper-faithful
+//! *reference* semantics, but the ensemble engine applies the same
+//! program across thousands of breakpoints, shots, and trajectories, so
+//! re-deriving per-gate constants every time is pure waste.
+//!
+//! [`CompiledCircuit::compile`] lowers a circuit **once**:
+//!
+//! 1. each instruction's matrix is precomputed exactly once;
+//! 2. each instruction is classified into a specialized kernel
+//!    ([`qdb_sim::kernels`]) — diagonal, anti-diagonal, general 2×2, or
+//!    swap — with controlled variants that enumerate only the
+//!    control-satisfying subspace;
+//! 3. optionally ([`OptLevel::Fuse`]) runs of adjacent uncontrolled
+//!    single-qubit gates on the same target are fused into one matrix.
+//!
+//! The result is reused across every application: the ensemble sweep,
+//! per-prefix replays, and noisy trajectories all walk the same plan.
+//!
+//! ## Equivalence contract
+//!
+//! At the default [`OptLevel::Specialize`], compiled ops are 1:1 with
+//! source instructions, touch the same amplitude pairs in the same
+//! order, and perform the same arithmetic — results are value-identical
+//! to the interpreted path (every amplitude compares `==`; every
+//! probability, sample, and report is bit-for-bit identical; see
+//! [`qdb_sim::kernels`] for the one sign-of-zero caveat), and
+//! [`State::gate_ops`] advances exactly as if the source instructions
+//! had been interpreted. [`OptLevel::Fuse`] genuinely reassociates
+//! floating-point products, so it guarantees only approximate equality
+//! (to simulation precision) and is **opt-in**; fused plans refuse the
+//! noisy-trajectory entry points, whose per-instruction noise insertion
+//! points fusion would erase.
+//!
+//! [`State::gate_ops`]: qdb_sim::State::gate_ops
+
+use crate::circuit::{Circuit, GateSink};
+use crate::instruction::Instruction;
+use qdb_sim::kernels::{classify, MatrixClass};
+use qdb_sim::{Complex, Matrix2, State};
+
+/// How aggressively [`CompiledCircuit::compile`] lowers a circuit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OptLevel {
+    /// Precompute matrices and specialize kernels, keeping compiled ops
+    /// 1:1 with source instructions. Results are value-identical to the
+    /// interpreted path and all derived reports are bit-for-bit
+    /// identical. The default.
+    #[default]
+    Specialize,
+    /// Additionally fuse runs of adjacent uncontrolled single-qubit
+    /// gates on the same target into one matrix. Fusion reassociates
+    /// floating-point arithmetic, so results are only approximately
+    /// equal — drift grows with depth, roughly 1e-12 per fused gate
+    /// (the repo's 600-gate kernel bench stays within 1e-9); opt in
+    /// explicitly where that trade is acceptable. Fused plans cannot
+    /// replay noisy trajectories.
+    Fuse,
+}
+
+/// Which specialized kernel a [`CompiledOp`] dispatches to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelClass {
+    /// `diag(d0, d1)` — two scalar multiplies per pair.
+    Diagonal,
+    /// Anti-diagonal — amplitude permutation with per-branch phases.
+    AntiDiagonal,
+    /// Dense 2×2 on the control-satisfying subspace.
+    General,
+    /// (Controlled) swap enumerating exactly the exchanged pairs.
+    Swap,
+}
+
+#[derive(Debug, Clone)]
+enum Kernel {
+    Diagonal { d0: Complex, d1: Complex },
+    AntiDiagonal { a01: Complex, a10: Complex },
+    General(Matrix2),
+    Swap { other: usize },
+}
+
+/// One lowered instruction: a classified kernel plus its wiring and the
+/// source-instruction range it covers.
+#[derive(Debug, Clone)]
+pub struct CompiledOp {
+    /// Control qubits in source order (the order noise channels replay).
+    controls: Vec<usize>,
+    /// Target qubit (for swaps: the first swapped qubit).
+    target: usize,
+    kernel: Kernel,
+    /// Source instruction range `[start, end)` this op covers
+    /// (`end - start > 1` only for fused runs).
+    start: usize,
+    end: usize,
+}
+
+impl CompiledOp {
+    /// The kernel this op dispatches to.
+    #[must_use]
+    pub fn kernel_class(&self) -> KernelClass {
+        match self.kernel {
+            Kernel::Diagonal { .. } => KernelClass::Diagonal,
+            Kernel::AntiDiagonal { .. } => KernelClass::AntiDiagonal,
+            Kernel::General(_) => KernelClass::General,
+            Kernel::Swap { .. } => KernelClass::Swap,
+        }
+    }
+
+    /// The source-instruction range this op covers.
+    #[must_use]
+    pub fn source_range(&self) -> std::ops::Range<usize> {
+        self.start..self.end
+    }
+
+    /// Number of control qubits.
+    #[must_use]
+    pub fn num_controls(&self) -> usize {
+        self.controls.len()
+    }
+
+    /// Apply this op to a state (exactly one simulator gate
+    /// application).
+    fn apply(&self, state: &mut State) {
+        match &self.kernel {
+            Kernel::Diagonal { d0, d1 } => {
+                state.apply_diagonal(&self.controls, self.target, *d0, *d1);
+            }
+            Kernel::AntiDiagonal { a01, a10 } => {
+                state.apply_antidiagonal(&self.controls, self.target, *a01, *a10);
+            }
+            Kernel::General(m) => state.apply_1q_subspace(&self.controls, self.target, m),
+            Kernel::Swap { other } => {
+                state.apply_swap_subspace(&self.controls, self.target, *other);
+            }
+        }
+    }
+
+    /// Visit every qubit this op touches, in the source instruction's
+    /// order (controls first) — the qubit sequence noisy replay walks.
+    fn for_each_qubit(&self, mut f: impl FnMut(usize)) {
+        for &c in &self.controls {
+            f(c);
+        }
+        f(self.target);
+        if let Kernel::Swap { other } = &self.kernel {
+            f(*other);
+        }
+    }
+}
+
+/// A circuit lowered once and applied many times.
+///
+/// Build with [`CompiledCircuit::compile`] (or
+/// [`Program::compile`](crate::Program::compile), which keeps fusion
+/// from crossing breakpoints); apply with [`CompiledCircuit::apply_to`]
+/// / [`apply_range_to`](CompiledCircuit::apply_range_to) /
+/// [`apply_to_noisy`](CompiledCircuit::apply_to_noisy).
+///
+/// ```
+/// use qdb_circuit::{compile::{CompiledCircuit, OptLevel}, Circuit, GateSink};
+/// use qdb_sim::State;
+///
+/// let mut c = Circuit::new(3);
+/// c.h(0);
+/// c.rz(1, 0.4);
+/// c.ccx(0, 1, 2);
+/// let plan = CompiledCircuit::compile(&c, OptLevel::Specialize);
+/// let mut compiled = State::zero(3);
+/// plan.apply_to(&mut compiled);
+/// let mut reference = State::zero(3);
+/// c.apply_to(&mut reference);
+/// assert_eq!(compiled, reference);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CompiledCircuit {
+    num_qubits: usize,
+    source_len: usize,
+    opt: OptLevel,
+    ops: Vec<CompiledOp>,
+}
+
+impl CompiledCircuit {
+    /// Lower `circuit` at the given opt level.
+    ///
+    /// Equivalent to [`compile_with_cuts`](Self::compile_with_cuts)
+    /// with no cuts — appropriate when the whole circuit is always
+    /// applied end to end.
+    #[must_use]
+    pub fn compile(circuit: &Circuit, opt: OptLevel) -> Self {
+        Self::compile_with_cuts(circuit, opt, &[])
+    }
+
+    /// Lower `circuit`, guaranteeing that no fused op crosses any of
+    /// the source positions in `cuts` (sorted ascending).
+    ///
+    /// Cuts exist so segmented application stays possible after fusion:
+    /// a runner that pauses at breakpoint positions passes those
+    /// positions here, and [`apply_range_to`](Self::apply_range_to)
+    /// can then apply each inter-breakpoint segment of the fused plan.
+    /// At [`OptLevel::Specialize`] cuts are irrelevant (ops are 1:1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cuts` is not sorted ascending.
+    #[must_use]
+    pub fn compile_with_cuts(circuit: &Circuit, opt: OptLevel, cuts: &[usize]) -> Self {
+        assert!(cuts.windows(2).all(|w| w[0] <= w[1]), "cuts must be sorted");
+        let instructions = circuit.instructions();
+        let mut ops: Vec<CompiledOp> = Vec::with_capacity(instructions.len());
+        // The pending fusible run: (start, target, accumulated matrix).
+        let mut run: Option<(usize, usize, Matrix2)> = None;
+        let mut next_cut = 0usize;
+
+        let flush =
+            |ops: &mut Vec<CompiledOp>, run: &mut Option<(usize, usize, Matrix2)>, end: usize| {
+                if let Some((start, target, m)) = run.take() {
+                    ops.push(lower_matrix(Vec::new(), target, &m, start, end));
+                }
+            };
+
+        for (pos, inst) in instructions.iter().enumerate() {
+            while next_cut < cuts.len() && cuts[next_cut] <= pos {
+                if cuts[next_cut] == pos {
+                    flush(&mut ops, &mut run, pos);
+                }
+                next_cut += 1;
+            }
+            match inst {
+                Instruction::Gate {
+                    controls,
+                    target,
+                    kind,
+                } if controls.is_empty() && opt == OptLevel::Fuse => {
+                    let m = kind.matrix();
+                    match &mut run {
+                        Some((_, t, acc)) if *t == *target => {
+                            // Later gate composes on the left: applying
+                            // g then h is the matrix h·g.
+                            *acc = m.mul(acc);
+                        }
+                        _ => {
+                            flush(&mut ops, &mut run, pos);
+                            run = Some((pos, *target, m));
+                        }
+                    }
+                }
+                Instruction::Gate {
+                    controls,
+                    target,
+                    kind,
+                } => {
+                    flush(&mut ops, &mut run, pos);
+                    ops.push(lower_matrix(
+                        controls.clone(),
+                        *target,
+                        &kind.matrix(),
+                        pos,
+                        pos + 1,
+                    ));
+                }
+                Instruction::Swap { controls, a, b } => {
+                    flush(&mut ops, &mut run, pos);
+                    ops.push(CompiledOp {
+                        controls: controls.clone(),
+                        target: *a,
+                        kernel: Kernel::Swap { other: *b },
+                        start: pos,
+                        end: pos + 1,
+                    });
+                }
+            }
+        }
+        flush(&mut ops, &mut run, instructions.len());
+
+        Self {
+            num_qubits: circuit.num_qubits(),
+            source_len: instructions.len(),
+            opt,
+            ops,
+        }
+    }
+
+    /// Number of qubits the compiled circuit operates on.
+    #[must_use]
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Number of source instructions this plan was compiled from.
+    #[must_use]
+    pub fn source_len(&self) -> usize {
+        self.source_len
+    }
+
+    /// The opt level the plan was compiled at.
+    #[must_use]
+    pub fn opt(&self) -> OptLevel {
+        self.opt
+    }
+
+    /// The lowered ops in application order.
+    #[must_use]
+    pub fn ops(&self) -> &[CompiledOp] {
+        &self.ops
+    }
+
+    /// Count ops per kernel class:
+    /// `(diagonal, anti-diagonal, general, swap)`.
+    #[must_use]
+    pub fn kernel_census(&self) -> (usize, usize, usize, usize) {
+        let mut census = (0, 0, 0, 0);
+        for op in &self.ops {
+            match op.kernel_class() {
+                KernelClass::Diagonal => census.0 += 1,
+                KernelClass::AntiDiagonal => census.1 += 1,
+                KernelClass::General => census.2 += 1,
+                KernelClass::Swap => census.3 += 1,
+            }
+        }
+        census
+    }
+
+    /// Run the whole compiled circuit on a state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state has fewer qubits than the circuit.
+    pub fn apply_to(&self, state: &mut State) {
+        self.apply_range_to(state, 0..self.source_len);
+    }
+
+    /// Run only the ops covering the **source-instruction** window
+    /// `range` — the compiled counterpart of
+    /// [`Circuit::apply_range_to`], sharing its coordinates so a
+    /// breakpoint sweep can switch plans without renumbering anything.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state is too small, the range is reversed or out
+    /// of bounds, or a boundary splits a fused op (impossible when the
+    /// boundary was passed as a cut at compile time, and at
+    /// [`OptLevel::Specialize`] in general).
+    pub fn apply_range_to(&self, state: &mut State, range: std::ops::Range<usize>) {
+        for op in self.ops_for_range(state, &range) {
+            op.apply(state);
+        }
+    }
+
+    /// Run the whole compiled circuit as one noisy trajectory,
+    /// bit-compatible with [`Circuit::apply_to_noisy`]: after each op
+    /// the noise channel is sampled on every qubit the source
+    /// instruction touched, in source order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state is too small, or if the plan was compiled
+    /// with [`OptLevel::Fuse`] (fusion erases the per-instruction
+    /// noise insertion points).
+    pub fn apply_to_noisy<R: rand::Rng + ?Sized>(
+        &self,
+        state: &mut State,
+        noise: &qdb_sim::NoiseModel,
+        rng: &mut R,
+    ) {
+        self.apply_range_to_noisy(state, 0..self.source_len, noise, rng);
+    }
+
+    /// Noisy-trajectory replay of a source-instruction window; see
+    /// [`apply_to_noisy`](Self::apply_to_noisy).
+    ///
+    /// # Panics
+    ///
+    /// As [`apply_to_noisy`](Self::apply_to_noisy), plus the range
+    /// conditions of [`apply_range_to`](Self::apply_range_to).
+    pub fn apply_range_to_noisy<R: rand::Rng + ?Sized>(
+        &self,
+        state: &mut State,
+        range: std::ops::Range<usize>,
+        noise: &qdb_sim::NoiseModel,
+        rng: &mut R,
+    ) {
+        assert!(
+            self.opt != OptLevel::Fuse,
+            "noisy replay requires an unfused plan (compile at OptLevel::Specialize)"
+        );
+        for op in self.ops_for_range(state, &range) {
+            op.apply(state);
+            if let Some(channel) = noise.gate_noise {
+                op.for_each_qubit(|q| channel.apply(state, q, rng));
+            }
+        }
+    }
+
+    /// Validate a source range and resolve it to the ops that tile it.
+    fn ops_for_range(&self, state: &State, range: &std::ops::Range<usize>) -> &[CompiledOp] {
+        assert!(
+            state.num_qubits() >= self.num_qubits,
+            "state has {} qubits, compiled circuit needs {}",
+            state.num_qubits(),
+            self.num_qubits
+        );
+        assert!(
+            range.start <= range.end && range.end <= self.source_len,
+            "invalid instruction range {range:?} for compiled circuit of source length {}",
+            self.source_len
+        );
+        let lo = self.ops.partition_point(|op| op.end <= range.start);
+        let hi = self.ops.partition_point(|op| op.end <= range.end);
+        if let Some(first) = self.ops.get(lo) {
+            assert!(
+                first.start >= range.start || lo >= hi,
+                "range {range:?} splits fused op covering {:?}; pass the boundary as a cut",
+                first.source_range()
+            );
+        }
+        if let Some(next) = self.ops.get(hi) {
+            assert!(
+                next.start >= range.end,
+                "range {range:?} splits fused op covering {:?}; pass the boundary as a cut",
+                next.source_range()
+            );
+        }
+        &self.ops[lo..hi]
+    }
+}
+
+/// Classify a (possibly fused) 2×2 matrix into its kernel.
+fn lower_matrix(
+    controls: Vec<usize>,
+    target: usize,
+    m: &Matrix2,
+    start: usize,
+    end: usize,
+) -> CompiledOp {
+    let kernel = match classify(m) {
+        MatrixClass::Diagonal => Kernel::Diagonal {
+            d0: m.0[0][0],
+            d1: m.0[1][1],
+        },
+        MatrixClass::AntiDiagonal => Kernel::AntiDiagonal {
+            a01: m.0[0][1],
+            a10: m.0[1][0],
+        },
+        MatrixClass::General => Kernel::General(*m),
+    };
+    CompiledOp {
+        controls,
+        target,
+        kernel,
+        start,
+        end,
+    }
+}
+
+impl Circuit {
+    /// Lower this circuit into a reusable [`CompiledCircuit`].
+    ///
+    /// Convenience for [`CompiledCircuit::compile`]; use
+    /// [`CompiledCircuit::compile_with_cuts`] (or
+    /// [`Program::compile`](crate::Program::compile)) when segmented
+    /// application must survive fusion.
+    #[must_use]
+    pub fn compile(&self, opt: OptLevel) -> CompiledCircuit {
+        CompiledCircuit::compile(self, opt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::GateSink;
+
+    /// A circuit exercising every kernel class and control arity.
+    fn mixed_circuit() -> Circuit {
+        let mut c = Circuit::new(4);
+        c.h(0);
+        c.rz(1, 0.7);
+        c.x(2);
+        c.y(3);
+        c.t(0);
+        c.cx(0, 1);
+        c.cphase(1, 2, -0.4);
+        c.ccx(0, 1, 3);
+        c.crz(2, 0, 1.1);
+        c.swap(1, 3);
+        c.cswap(0, 2, 3);
+        c.ry(2, -0.9);
+        c
+    }
+
+    #[test]
+    fn specialize_is_one_to_one_and_value_identical() {
+        let c = mixed_circuit();
+        let plan = c.compile(OptLevel::Specialize);
+        assert_eq!(plan.ops().len(), c.len());
+        for (pos, op) in plan.ops().iter().enumerate() {
+            assert_eq!(op.source_range(), pos..pos + 1);
+        }
+        let mut compiled = State::zero(4);
+        plan.apply_to(&mut compiled);
+        let mut reference = State::zero(4);
+        c.apply_to(&mut reference);
+        assert_eq!(compiled, reference);
+        // Same gate count, strictly less index work.
+        assert_eq!(compiled.gate_ops(), reference.gate_ops());
+        assert!(
+            compiled.index_ops() < reference.index_ops(),
+            "{} !< {}",
+            compiled.index_ops(),
+            reference.index_ops()
+        );
+    }
+
+    #[test]
+    fn census_reflects_gate_structure() {
+        let plan = mixed_circuit().compile(OptLevel::Specialize);
+        let (diag, anti, general, swap) = plan.kernel_census();
+        // rz, t, cphase, crz are diagonal; x, y, cx, ccx anti-diagonal;
+        // h, ry general; swap, cswap swaps.
+        assert_eq!(diag, 4);
+        assert_eq!(anti, 4);
+        assert_eq!(general, 2);
+        assert_eq!(swap, 2);
+    }
+
+    #[test]
+    fn compiled_probabilities_are_bit_identical() {
+        let c = mixed_circuit();
+        let plan = c.compile(OptLevel::Specialize);
+        let mut compiled = State::zero(4);
+        plan.apply_to(&mut compiled);
+        let mut reference = State::zero(4);
+        c.apply_to(&mut reference);
+        for (a, b) in compiled
+            .probabilities()
+            .iter()
+            .zip(&reference.probabilities())
+        {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn apply_range_matches_interpreted_segments() {
+        let c = mixed_circuit();
+        let plan = c.compile(OptLevel::Specialize);
+        let mut compiled = State::zero(4);
+        plan.apply_range_to(&mut compiled, 0..5);
+        plan.apply_range_to(&mut compiled, 5..5);
+        plan.apply_range_to(&mut compiled, 5..c.len());
+        let mut reference = State::zero(4);
+        c.apply_to(&mut reference);
+        assert_eq!(compiled, reference);
+        assert_eq!(compiled.gate_ops(), c.len() as u64);
+    }
+
+    #[test]
+    fn fuse_collapses_adjacent_same_target_runs() {
+        let mut c = Circuit::new(2);
+        c.rz(0, 0.3);
+        c.t(0);
+        c.phase(0, -0.2); // one diagonal run of 3
+        c.h(1); // different target: new run
+        c.h(1); // fuses with the previous H
+        c.cx(0, 1); // controlled: never fused
+        c.x(0);
+        let plan = c.compile(OptLevel::Fuse);
+        assert!(plan.ops().len() < c.len());
+        assert_eq!(plan.ops()[0].source_range(), 0..3);
+        // A fused all-diagonal run lowers to the diagonal kernel.
+        assert_eq!(plan.ops()[0].kernel_class(), KernelClass::Diagonal);
+        // Fusion is only approximately equal to the reference.
+        let mut fused = State::zero(2);
+        plan.apply_to(&mut fused);
+        let mut reference = State::zero(2);
+        c.apply_to(&mut reference);
+        assert!(fused.approx_eq(&reference, 1e-12));
+    }
+
+    #[test]
+    fn cuts_stop_fusion_at_boundaries() {
+        let mut c = Circuit::new(1);
+        c.rz(0, 0.3);
+        c.t(0);
+        c.rz(0, 0.5);
+        c.t(0);
+        // A cut at 2 splits what would otherwise be a single run of 4.
+        let plan = CompiledCircuit::compile_with_cuts(&c, OptLevel::Fuse, &[2]);
+        assert_eq!(plan.ops().len(), 2);
+        assert_eq!(plan.ops()[0].source_range(), 0..2);
+        assert_eq!(plan.ops()[1].source_range(), 2..4);
+        // Segmented application at the cut works and matches the whole.
+        let mut segmented = State::zero(1);
+        plan.apply_range_to(&mut segmented, 0..2);
+        plan.apply_range_to(&mut segmented, 2..4);
+        let mut whole = State::zero(1);
+        plan.apply_to(&mut whole);
+        assert_eq!(segmented, whole);
+    }
+
+    #[test]
+    #[should_panic(expected = "splits fused op")]
+    fn range_through_fused_op_panics() {
+        let mut c = Circuit::new(1);
+        c.rz(0, 0.3);
+        c.t(0);
+        let plan = c.compile(OptLevel::Fuse);
+        let mut s = State::zero(1);
+        plan.apply_range_to(&mut s, 0..1);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires an unfused plan")]
+    fn fused_noisy_replay_panics() {
+        let mut c = Circuit::new(1);
+        c.rz(0, 0.3);
+        c.t(0);
+        let plan = c.compile(OptLevel::Fuse);
+        let mut s = State::zero(1);
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(1);
+        plan.apply_to_noisy(&mut s, &qdb_sim::NoiseModel::depolarizing(0.1), &mut rng);
+    }
+
+    #[test]
+    fn noisy_replay_matches_interpreted_trajectory() {
+        use rand::SeedableRng;
+        let c = mixed_circuit();
+        let plan = c.compile(OptLevel::Specialize);
+        let noise = qdb_sim::NoiseModel::depolarizing(0.2);
+        for seed in 0..16 {
+            let mut compiled = State::zero(4);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            plan.apply_to_noisy(&mut compiled, &noise, &mut rng);
+            let mut reference = State::zero(4);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            c.apply_to_noisy(&mut reference, &noise, &mut rng);
+            assert_eq!(compiled, reference, "seed {seed}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid instruction range")]
+    fn out_of_bounds_range_panics() {
+        let plan = mixed_circuit().compile(OptLevel::Specialize);
+        let mut s = State::zero(4);
+        plan.apply_range_to(&mut s, 0..99);
+    }
+
+    #[test]
+    fn empty_circuit_compiles_to_empty_plan() {
+        let plan = Circuit::new(2).compile(OptLevel::Fuse);
+        assert_eq!(plan.ops().len(), 0);
+        assert_eq!(plan.source_len(), 0);
+        let mut s = State::zero(2);
+        plan.apply_to(&mut s);
+        assert_eq!(s.gate_ops(), 0);
+    }
+}

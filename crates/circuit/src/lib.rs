@@ -9,6 +9,12 @@
 //!   (the §4.5 *mirroring* pattern), [`Circuit::controlled`] (the §4.4
 //!   *recursion* pattern), simulation, and dense-unitary extraction for
 //!   cross-validation against closed forms.
+//! * [`compile`] — lowering: [`CompiledCircuit`] precomputes every
+//!   gate matrix once and classifies each instruction into a
+//!   specialized `qdb-sim` kernel, so the ensemble engine's hot path
+//!   stops rebuilding rotations and scanning control-unsatisfied
+//!   indices; optional same-target gate fusion behind
+//!   [`OptLevel::Fuse`].
 //! * [`register`] — named quantum variables mapped onto qubits (the
 //!   paper's footnote-3 bookkeeping).
 //! * [`program`] — assertion-annotated programs: circuits plus
@@ -39,6 +45,7 @@
 #![warn(missing_docs)]
 
 pub mod circuit;
+pub mod compile;
 pub mod instruction;
 pub mod program;
 pub mod qasm;
@@ -49,6 +56,7 @@ pub mod scopes;
 mod error;
 
 pub use circuit::{Circuit, GateSink};
+pub use compile::{CompiledCircuit, CompiledOp, KernelClass, OptLevel};
 pub use error::CircuitError;
 pub use instruction::{GateKind, Instruction};
 pub use program::{Breakpoint, BreakpointKind, Program, Segment};

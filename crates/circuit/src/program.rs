@@ -288,6 +288,22 @@ impl Program {
         })
     }
 
+    /// Lower the program's circuit into a reusable
+    /// [`CompiledCircuit`](crate::CompiledCircuit), passing every
+    /// breakpoint position as a fusion cut.
+    ///
+    /// The cuts guarantee that segmented execution along
+    /// [`Program::segments`] remains possible at every opt level: no
+    /// fused op ever straddles an assertion point, so a breakpoint
+    /// sweep can apply each inter-breakpoint window of the compiled
+    /// plan with
+    /// [`CompiledCircuit::apply_range_to`](crate::CompiledCircuit::apply_range_to).
+    #[must_use]
+    pub fn compile(&self, opt: crate::OptLevel) -> crate::CompiledCircuit {
+        let cuts: Vec<usize> = self.breakpoints.iter().map(|b| b.position).collect();
+        crate::CompiledCircuit::compile_with_cuts(&self.circuit, opt, &cuts)
+    }
+
     /// Total number of qubits allocated.
     #[must_use]
     pub fn num_qubits(&self) -> usize {

@@ -13,10 +13,35 @@
 //! * `cargo bench` passes `--bench` → full measurement;
 //! * `cargo test` passes nothing → each benchmark runs once as a smoke
 //!   test, so benches stay compile- and run-verified in tier-1 CI.
+//!
+//! Measured runs additionally record every benchmark into a
+//! machine-readable results file (see [`write_results_to`]): wall-clock
+//! stats per bench plus any work counters attached via
+//! [`record_metric`]. `criterion_main!` writes
+//! `<bench crate>/BENCH_results.json` (override with the
+//! `BENCH_RESULTS_PATH` environment variable) after all groups finish,
+//! merging by `(target, bench)` key so repeated `cargo bench` runs of
+//! different bench targets accumulate into one file — the perf
+//! trajectory across PRs lives in version control. Smoke runs write
+//! nothing (they have no timings and must not clobber measured data).
 
 #![warn(missing_docs)]
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// One measured benchmark, queued for [`write_results_to`].
+struct ResultEntry {
+    bench: String,
+    median_s: f64,
+    min_s: f64,
+    max_s: f64,
+    iters_per_sample: u64,
+    throughput_elements: Option<u64>,
+}
+
+static RESULTS: Mutex<Vec<ResultEntry>> = Mutex::new(Vec::new());
+static METRICS: Mutex<Vec<(String, String, f64)>> = Mutex::new(Vec::new());
 
 /// Measurement configuration plus the chosen execution mode.
 pub struct Criterion {
@@ -58,6 +83,7 @@ impl Criterion {
             criterion: self,
             name: name.into(),
             sample_size: None,
+            throughput: None,
         }
     }
 }
@@ -67,6 +93,7 @@ pub struct BenchmarkGroup<'c> {
     criterion: &'c mut Criterion,
     name: String,
     sample_size: Option<usize>,
+    throughput: Option<Throughput>,
 }
 
 impl BenchmarkGroup<'_> {
@@ -76,9 +103,11 @@ impl BenchmarkGroup<'_> {
         self
     }
 
-    /// Record the per-iteration workload (reported but not used to
-    /// normalize timings in this stand-in).
-    pub fn throughput(&mut self, _throughput: Throughput) -> &mut Self {
+    /// Record the per-iteration workload for subsequent benchmarks in
+    /// this group (attached to the results file; not used to normalize
+    /// timings in this stand-in).
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
         self
     }
 
@@ -94,7 +123,10 @@ impl BenchmarkGroup<'_> {
     {
         let label = format!("{}/{}", self.name, id.label);
         let sample_size = self.sample_size;
-        run_scoped(self.criterion, sample_size, &label, |b| f(b, input));
+        let throughput = self.throughput;
+        run_scoped(self.criterion, sample_size, throughput, &label, |b| {
+            f(b, input)
+        });
         self
     }
 
@@ -106,7 +138,8 @@ impl BenchmarkGroup<'_> {
     ) -> &mut Self {
         let label = format!("{}/{}", self.name, id.into().label);
         let sample_size = self.sample_size;
-        run_scoped(self.criterion, sample_size, &label, f);
+        let throughput = self.throughput;
+        run_scoped(self.criterion, sample_size, throughput, &label, f);
         self
     }
 
@@ -213,12 +246,13 @@ impl Bencher {
 
 fn run_one<F: FnMut(&mut Bencher)>(criterion: &mut Criterion, label: &str, f: F) {
     let sample_size = criterion.sample_size;
-    run_scoped(criterion, Some(sample_size), label, f);
+    run_scoped(criterion, Some(sample_size), None, label, f);
 }
 
 fn run_scoped<F: FnMut(&mut Bencher)>(
     criterion: &Criterion,
     sample_size: Option<usize>,
+    throughput: Option<Throughput>,
     label: &str,
     mut f: F,
 ) {
@@ -256,6 +290,192 @@ fn run_scoped<F: FnMut(&mut Bencher)>(
         format_time(median),
         format_time(max),
     );
+    RESULTS.lock().expect("results lock").push(ResultEntry {
+        bench: label.to_owned(),
+        median_s: median,
+        min_s: min,
+        max_s: max,
+        iters_per_sample: samples.iters_per_sample,
+        throughput_elements: throughput.map(|t| match t {
+            Throughput::Elements(n) | Throughput::Bytes(n) => n,
+        }),
+    });
+}
+
+/// Attach a named work counter (gate counts, index-work totals, speedup
+/// ratios, …) to the benchmark labelled `bench` in the results file.
+///
+/// Call from bench code next to the cross-checks that compute the
+/// counter; the value rides along with that bench's wall-clock entry on
+/// the next [`write_results_to`]. Metrics recorded for labels that
+/// never measure (e.g. in smoke mode) are dropped with the rest of the
+/// run.
+pub fn record_metric(bench: &str, name: &str, value: f64) {
+    METRICS
+        .lock()
+        .expect("metrics lock")
+        .push((bench.to_owned(), name.to_owned(), value));
+}
+
+/// Minimal JSON string escaping for bench labels and metric names.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render one results line. The whole-file format keeps exactly one
+/// entry per line so [`write_results_to`] can merge files it wrote
+/// earlier without a JSON parser.
+fn render_entry(target: &str, entry: &ResultEntry, metrics: &[(String, String, f64)]) -> String {
+    let mut line = format!(
+        "    {{\"target\":\"{}\",\"bench\":\"{}\",\"median_s\":{:e},\"min_s\":{:e},\"max_s\":{:e},\"iters_per_sample\":{}",
+        json_escape(target),
+        json_escape(&entry.bench),
+        entry.median_s,
+        entry.min_s,
+        entry.max_s,
+        entry.iters_per_sample,
+    );
+    if let Some(elements) = entry.throughput_elements {
+        line.push_str(&format!(",\"throughput\":{elements}"));
+    }
+    let attached: Vec<&(String, String, f64)> = metrics
+        .iter()
+        .filter(|(b, _, _)| *b == entry.bench)
+        .collect();
+    if !attached.is_empty() {
+        line.push_str(",\"metrics\":{");
+        for (i, (_, name, value)) in attached.iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            line.push_str(&format!("\"{}\":{:e}", json_escape(name), value));
+        }
+        line.push('}');
+    }
+    line.push('}');
+    line
+}
+
+/// Extract the `(target, bench)` key from a previously-rendered entry
+/// line, for merge-by-key.
+fn entry_key(line: &str) -> Option<(String, String)> {
+    Some((
+        extract_json_string_after(line, "\"target\":\"")?,
+        extract_json_string_after(line, "\"bench\":\"")?,
+    ))
+}
+
+/// Return the *still-escaped* JSON string value following `marker`,
+/// honoring backslash escapes so an escaped `\"` inside the value does
+/// not terminate it. Keys stay in escaped form on both sides of the
+/// merge comparison (see `merge_and_render`), so rendering
+/// deterministically is all that matters.
+fn extract_json_string_after(line: &str, marker: &str) -> Option<String> {
+    let rest = line.split(marker).nth(1)?;
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '\\' => {
+                out.push('\\');
+                out.push(chars.next()?);
+            }
+            '"' => return Some(out),
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+/// Merge this run's entries into the (possibly absent) previous file
+/// contents and render the whole results document: entries from other
+/// bench targets (and other benches of this target) are preserved;
+/// entries re-measured in this run replace their previous versions.
+fn merge_and_render(
+    existing: Option<&str>,
+    target: &str,
+    results: &[ResultEntry],
+    metrics: &[(String, String, f64)],
+) -> String {
+    // Keys are compared in *escaped* form: `entry_key` reads them back
+    // from rendered (escaped) lines, so the fresh side escapes too —
+    // otherwise any label containing `"` or `\` would never match its
+    // previous entry and would duplicate on every run.
+    let fresh_keys: Vec<(String, String)> = results
+        .iter()
+        .map(|e| (json_escape(target), json_escape(&e.bench)))
+        .collect();
+    let mut lines: Vec<String> = Vec::new();
+    for line in existing.unwrap_or_default().lines() {
+        let trimmed = line.trim().trim_end_matches(',');
+        if trimmed.starts_with("{\"target\":") {
+            if let Some(key) = entry_key(trimmed) {
+                if !fresh_keys.contains(&key) {
+                    lines.push(format!("    {trimmed}"));
+                }
+            }
+        }
+    }
+    for entry in results {
+        lines.push(render_entry(target, entry, metrics));
+    }
+    let mut out = String::from("{\n  \"schema\": \"qdb-bench-results/v1\",\n  \"results\": [\n");
+    out.push_str(&lines.join(",\n"));
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// Write every benchmark measured by this process to `path` as JSON,
+/// merged with whatever a previous run left there (see
+/// [`record_metric`] for attaching work counters). `target` names the
+/// bench binary. No-op when nothing was measured (smoke mode never
+/// clobbers measured data).
+pub fn write_results_to(path: &str, target: &str) {
+    let results = RESULTS.lock().expect("results lock");
+    if results.is_empty() {
+        return;
+    }
+    let metrics = METRICS.lock().expect("metrics lock");
+    let existing = std::fs::read_to_string(path).ok();
+    let out = merge_and_render(existing.as_deref(), target, &results, &metrics);
+    if let Err(e) = std::fs::write(path, out) {
+        eprintln!("warning: could not write bench results to {path}: {e}");
+    }
+}
+
+/// Resolve the results path (`BENCH_RESULTS_PATH` env override, else
+/// `BENCH_results.json` under `manifest_dir`) and the bench-target name
+/// (binary file stem minus cargo's trailing `-<hash>`), then write.
+/// Called by [`criterion_main!`]; separated for testability.
+pub fn write_default_results(manifest_dir: &str) {
+    let path = std::env::var("BENCH_RESULTS_PATH")
+        .unwrap_or_else(|_| format!("{manifest_dir}/BENCH_results.json"));
+    let target = std::env::args()
+        .next()
+        .and_then(|argv0| {
+            std::path::Path::new(&argv0)
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+        })
+        .map(|stem| match stem.rsplit_once('-') {
+            Some((name, hash))
+                if hash.len() == 16 && hash.chars().all(|c| c.is_ascii_hexdigit()) =>
+            {
+                name.to_owned()
+            }
+            _ => stem,
+        })
+        .unwrap_or_else(|| "unknown".to_owned());
+    write_results_to(&path, &target);
 }
 
 fn format_time(seconds: f64) -> String {
@@ -281,12 +501,15 @@ macro_rules! criterion_group {
     };
 }
 
-/// Emit `main` running the given groups, mirroring criterion.
+/// Emit `main` running the given groups, mirroring criterion; after all
+/// groups finish, measured results are written to the bench crate's
+/// `BENCH_results.json` (see [`write_default_results`]).
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::write_default_results(env!("CARGO_MANIFEST_DIR"));
         }
     };
 }
@@ -359,5 +582,98 @@ mod tests {
         assert_eq!(BenchmarkId::from_parameter(8).label, "8");
         assert_eq!(format_time(2.5e-9), "2.50 ns");
         assert_eq!(format_time(2.5e-3), "2.50 ms");
+    }
+
+    fn entry(bench: &str, median: f64) -> ResultEntry {
+        ResultEntry {
+            bench: bench.to_owned(),
+            median_s: median,
+            min_s: median / 2.0,
+            max_s: median * 2.0,
+            iters_per_sample: 8,
+            throughput_elements: Some(400),
+        }
+    }
+
+    #[test]
+    fn results_render_entries_with_metrics() {
+        let metrics = vec![
+            ("g/compiled".to_owned(), "index_ops".to_owned(), 1024.0),
+            ("g/other".to_owned(), "unrelated".to_owned(), 1.0),
+        ];
+        let doc = merge_and_render(None, "gate_kernels", &[entry("g/compiled", 1e-3)], &metrics);
+        assert!(doc.contains("\"schema\": \"qdb-bench-results/v1\""));
+        assert!(doc.contains("\"target\":\"gate_kernels\""));
+        assert!(doc.contains("\"bench\":\"g/compiled\""));
+        assert!(doc.contains("\"throughput\":400"));
+        assert!(doc.contains("\"metrics\":{\"index_ops\":1.024e3}"));
+        assert!(!doc.contains("unrelated"), "metric for other bench leaked");
+    }
+
+    #[test]
+    fn results_merge_replaces_same_key_and_keeps_others() {
+        let first = merge_and_render(
+            None,
+            "alpha",
+            &[entry("a/1", 1e-3), entry("a/2", 2e-3)],
+            &[],
+        );
+        // A later run of a different target keeps alpha's entries.
+        let second = merge_and_render(Some(&first), "beta", &[entry("b/1", 5e-4)], &[]);
+        assert!(second.contains("\"bench\":\"a/1\""));
+        assert!(second.contains("\"bench\":\"a/2\""));
+        assert!(second.contains("\"bench\":\"b/1\""));
+        // Re-measuring one alpha bench replaces only that entry.
+        let third = merge_and_render(Some(&second), "alpha", &[entry("a/1", 9e-3)], &[]);
+        assert!(third.contains("\"median_s\":9e-3"));
+        assert!(!third.contains("\"median_s\":1e-3"));
+        assert!(third.contains("\"bench\":\"a/2\""));
+        assert!(third.contains("\"bench\":\"b/1\""));
+        // Stable under a no-change rewrite.
+        let fourth = merge_and_render(Some(&third), "alpha", &[entry("a/1", 9e-3)], &[]);
+        assert_eq!(
+            third.matches("\"bench\"").count(),
+            fourth.matches("\"bench\"").count()
+        );
+    }
+
+    #[test]
+    fn entry_key_and_escaping() {
+        // Keys round-trip in escaped form, honoring embedded escapes.
+        let awkward = "odd \"label\"\\";
+        let rendered = render_entry("t", &entry(awkward, 1e-6), &[]);
+        assert_eq!(
+            entry_key(&rendered),
+            Some(("t".to_owned(), json_escape(awkward)))
+        );
+        let clean = render_entry("t", &entry("g/plain", 1e-6), &[]);
+        assert_eq!(
+            entry_key(&clean),
+            Some(("t".to_owned(), "g/plain".to_owned()))
+        );
+        assert_eq!(json_escape("a\"b\\c\n"), "a\\\"b\\\\c\\u000a");
+    }
+
+    #[test]
+    fn merge_replaces_entries_with_escaped_labels() {
+        // A label containing quotes/backslashes must still merge by
+        // key instead of duplicating on every re-measure.
+        let awkward = "odd \"label\"\\";
+        let first = merge_and_render(None, "alpha", &[entry(awkward, 1e-3)], &[]);
+        let second = merge_and_render(Some(&first), "alpha", &[entry(awkward, 2e-3)], &[]);
+        assert_eq!(second.matches("\"bench\"").count(), 1);
+        assert!(second.contains("\"median_s\":2e-3"));
+        assert!(!second.contains("\"median_s\":1e-3"));
+    }
+
+    #[test]
+    fn smoke_mode_records_nothing() {
+        let mut criterion = smoke_criterion();
+        criterion.bench_function("results_smoke_probe", |b| b.iter(|| 1 + 1));
+        let results = RESULTS.lock().expect("results lock");
+        assert!(
+            !results.iter().any(|e| e.bench == "results_smoke_probe"),
+            "smoke runs must not enqueue results"
+        );
     }
 }

@@ -52,3 +52,7 @@ pub use error::CoreError;
 pub use report::{AssertionReport, TestKind, Verdict};
 pub use runner::{EnsembleConfig, EnsembleRunner, ExecutionStrategy, MeasuredEnsemble};
 pub use sweep::SweepRunner;
+
+// The lowering opt level lives in `qdb-circuit` but is configured per
+// ensemble session, so re-export it beside `EnsembleConfig`.
+pub use qdb_circuit::OptLevel;

@@ -31,7 +31,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
 
-use qdb_circuit::Program;
+use qdb_circuit::{CompiledCircuit, OptLevel, Program};
 use qdb_sim::{NoiseModel, Sampler, State};
 use qdb_stats::Histogram;
 
@@ -96,6 +96,16 @@ pub struct EnsembleConfig {
     /// paper-faithful `O(Σᵢ|prefixᵢ|)` reference path. Reports are
     /// bit-for-bit identical either way.
     pub strategy: ExecutionStrategy,
+    /// How the sweep path lowers the program before executing it (see
+    /// [`OptLevel`]). The default [`OptLevel::Specialize`] keeps
+    /// reports bit-for-bit identical to the uncompiled reference;
+    /// [`OptLevel::Fuse`] additionally fuses same-target gate runs and
+    /// guarantees only approximate equality. The per-prefix strategy
+    /// ignores this field (it *is* the uncompiled reference), and noisy
+    /// trajectories always replay an unfused
+    /// ([`OptLevel::Specialize`]) plan — fusion would erase the
+    /// per-instruction noise insertion points.
+    pub opt: OptLevel,
 }
 
 impl Default for EnsembleConfig {
@@ -110,6 +120,7 @@ impl Default for EnsembleConfig {
             noise: None,
             parallel: true,
             strategy: ExecutionStrategy::default(),
+            opt: OptLevel::default(),
         }
     }
 }
@@ -166,6 +177,14 @@ impl EnsembleConfig {
     #[must_use]
     pub fn with_strategy(mut self, strategy: ExecutionStrategy) -> Self {
         self.strategy = strategy;
+        self
+    }
+
+    /// Builder-style lowering opt-level override (see
+    /// [`EnsembleConfig::opt`]).
+    #[must_use]
+    pub fn with_opt_level(mut self, opt: OptLevel) -> Self {
+        self.opt = opt;
         self
     }
 
@@ -246,6 +265,23 @@ impl EnsembleRunner {
         program: &Program,
         index: usize,
     ) -> Result<MeasuredEnsemble, CoreError> {
+        self.run_breakpoint_with_plan(program, index, None)
+    }
+
+    /// [`run_breakpoint`](EnsembleRunner::run_breakpoint) with an
+    /// optional pre-compiled plan of the **whole** program circuit for
+    /// the noisy-trajectory engine. `run_all` / `check_program` compile
+    /// once and pass it here so every breakpoint and every trajectory
+    /// share the same lowering; a bare `run_breakpoint` call compiles
+    /// its prefix locally (still shared across that breakpoint's
+    /// shots). Outcomes are identical either way: at
+    /// [`OptLevel::Specialize`] compiled ops are 1:1 with instructions.
+    fn run_breakpoint_with_plan(
+        &self,
+        program: &Program,
+        index: usize,
+        plan: Option<&CompiledCircuit>,
+    ) -> Result<MeasuredEnsemble, CoreError> {
         self.config.validate()?;
         let prefix = program.prefix_for(index);
         let ideal_state = prefix.run_on_basis(0)?;
@@ -261,8 +297,20 @@ impl EnsembleRunner {
                 // One independent trajectory per shot. Each shot seeds
                 // its own RNG from (seed, breakpoint, shot), so the
                 // ensemble is identical no matter how shots are
-                // scheduled across threads.
+                // scheduled across threads. Every trajectory replays
+                // the same compiled plan — gates are lowered once, not
+                // once per shot (and never fused: noise channels fire
+                // after every source instruction).
                 let n = program.num_qubits().max(1);
+                let upto = program.breakpoints()[index].position;
+                let local_plan;
+                let plan = match plan {
+                    Some(shared) => shared,
+                    None => {
+                        local_plan = CompiledCircuit::compile(&prefix, OptLevel::Specialize);
+                        &local_plan
+                    }
+                };
                 let trajectory = |shot: usize| {
                     let mut rng = StdRng::seed_from_u64(shot_seed(
                         self.config.seed,
@@ -270,8 +318,10 @@ impl EnsembleRunner {
                         shot as u64,
                     ));
                     let mut state = State::zero(n);
-                    prefix.apply_to_noisy(&mut state, &noise, &mut rng);
-                    let raw = Sampler::new(&state).sample(&mut rng);
+                    plan.apply_range_to_noisy(&mut state, 0..upto, &noise, &mut rng);
+                    // One shot per trajectory: draw directly, skipping
+                    // the 2ⁿ CDF allocation (bit-identical outcome).
+                    let raw = Sampler::sample_once(&state, &mut rng);
                     noise.corrupt_readout(raw, n, &mut rng)
                 };
                 if self.config.parallel {
@@ -306,8 +356,17 @@ impl EnsembleRunner {
             return SweepRunner::new(self.config).run_all(program);
         }
         let count = program.breakpoints().len();
+        if self.config.noise.is_some() {
+            // Lower the whole program once; every breakpoint's
+            // trajectories replay windows of the same plan. Shots are
+            // the parallel axis (inside `run_breakpoint_with_plan`).
+            let plan = CompiledCircuit::compile(program.circuit(), OptLevel::Specialize);
+            return (0..count)
+                .map(|index| self.run_breakpoint_with_plan(program, index, Some(&plan)))
+                .collect();
+        }
         let run_one = |index: usize| self.run_breakpoint(program, index);
-        if self.config.parallel && self.config.noise.is_none() {
+        if self.config.parallel {
             (0..count).into_par_iter().map(run_one).collect()
         } else {
             (0..count).map(run_one).collect()
@@ -362,25 +421,39 @@ impl EnsembleRunner {
             // Single checkpointed pass: sample and check each
             // breakpoint in place from the live state — no prefix
             // replay, no state clones. Per-shot sampling is the one
-            // rayon axis in here (see `crate::sweep`).
+            // rayon axis in here (see `crate::sweep`). One sampler
+            // buffer serves every breakpoint.
             let sweep = SweepRunner::new(self.config);
+            let mut sampler = Sampler::default();
             return sweep.walk(program, |index, bp, state| {
-                let outcomes = sweep.draw_ensemble(index, state);
+                let outcomes = sweep.draw_ensemble(index, state, &mut sampler);
                 self.report_for(index, bp, &outcomes, state)
             });
         }
         let count = program.breakpoints().len();
+        // Pick ONE parallel axis so work never nests (nested fan-out
+        // would spawn ~cores² threads on big hosts). With noise, the
+        // shot loop inside `run_breakpoint_with_plan` dominates (shots
+        // ≫ breakpoints) and parallelizes there — and the whole
+        // program is lowered once, shared by every trajectory; without
+        // noise, each breakpoint is a single prefix simulation, so fan
+        // out here.
+        if self.config.noise.is_some() {
+            let plan = CompiledCircuit::compile(program.circuit(), OptLevel::Specialize);
+            return (0..count)
+                .map(|index| -> Result<AssertionReport, CoreError> {
+                    let bp = &program.breakpoints()[index];
+                    let ensemble = self.run_breakpoint_with_plan(program, index, Some(&plan))?;
+                    self.report_for(index, bp, &ensemble.outcomes, &ensemble.state)
+                })
+                .collect();
+        }
         let check_one = |index: usize| -> Result<AssertionReport, CoreError> {
             let bp = &program.breakpoints()[index];
             let ensemble = self.run_breakpoint(program, index)?;
             self.report_for(index, bp, &ensemble.outcomes, &ensemble.state)
         };
-        // Pick ONE parallel axis so work never nests (nested fan-out
-        // would spawn ~cores² threads on big hosts). With noise, the
-        // shot loop inside `run_breakpoint` dominates (shots ≫
-        // breakpoints) and parallelizes there; without it, each
-        // breakpoint is a single prefix simulation, so fan out here.
-        if self.config.parallel && self.config.noise.is_none() {
+        if self.config.parallel {
             (0..count).into_par_iter().map(check_one).collect()
         } else {
             (0..count).map(check_one).collect()
@@ -696,6 +769,58 @@ mod tests {
             .check_program(&p)
             .unwrap();
         assert_reports_bit_identical(&sweep, &prefix);
+    }
+
+    #[test]
+    fn fused_sweep_reaches_the_same_verdicts() {
+        let mut p = Program::new();
+        let r = p.alloc_register("r", 3);
+        p.prep_int(&r, 5);
+        p.assert_classical(&r, 5);
+        for i in 0..3 {
+            p.h(r.bit(i));
+            p.t(r.bit(i));
+            p.rz(r.bit(i), 0.3);
+        }
+        p.assert_superposition(&r);
+        let base = EnsembleConfig::default().with_shots(128).with_seed(17);
+        let exact = EnsembleRunner::new(base).check_program(&p).unwrap();
+        let fused = EnsembleRunner::new(base.with_opt_level(qdb_circuit::OptLevel::Fuse))
+            .check_program(&p)
+            .unwrap();
+        assert_eq!(exact.len(), fused.len());
+        for (e, f) in exact.iter().zip(&fused) {
+            // Fusion reassociates floats, so only the decisions are
+            // guaranteed — not the bit patterns.
+            assert_eq!(e.verdict, f.verdict);
+            assert_eq!(e.exact, f.exact);
+        }
+    }
+
+    #[test]
+    fn compiled_sweep_does_less_index_work_than_reference() {
+        let mut p = Program::new();
+        let r = p.alloc_register("r", 4);
+        for i in 0..4 {
+            p.h(r.bit(i));
+        }
+        for _ in 0..8 {
+            p.ccx(r.bit(0), r.bit(1), r.bit(2));
+            p.cphase(r.bit(2), r.bit(3), 0.4);
+            p.cswap(r.bit(0), r.bit(1), r.bit(3));
+        }
+        p.assert_superposition(&r);
+        let config = EnsembleConfig::default().with_shots(16);
+        let swept = EnsembleRunner::new(config).run_all(&p).unwrap();
+        let replayed = EnsembleRunner::new(config.with_strategy(ExecutionStrategy::PerPrefix))
+            .run_all(&p)
+            .unwrap();
+        // Same ensembles and gate counts, strictly less index work: the
+        // sweep runs the compiled subspace kernels, the per-prefix
+        // reference runs the generic mask-filtering scans.
+        assert_eq!(swept[0].outcomes, replayed[0].outcomes);
+        assert_eq!(swept[0].state.gate_ops(), replayed[0].state.gate_ops());
+        assert!(swept[0].state.index_ops() < replayed[0].state.index_ops());
     }
 
     #[test]

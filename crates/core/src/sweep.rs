@@ -10,15 +10,24 @@
 //! `O(G)` gate applications total, verified by
 //! [`State::gate_ops`](qdb_sim::State::gate_ops).
 //!
-//! The sweep is bit-for-bit equivalent to the per-prefix path:
+//! The sweep runs the *compiled* program: the circuit is lowered once
+//! per walk ([`Program::compile`](qdb_circuit::Program::compile) at
+//! [`EnsembleConfig::opt`]) and each inter-breakpoint segment replays a
+//! window of that plan
+//! ([`CompiledCircuit::apply_range_to`](qdb_circuit::CompiledCircuit::apply_range_to)).
+//! At the default [`OptLevel::Specialize`](qdb_circuit::OptLevel) the
+//! sweep is report-equivalent to the per-prefix path, bit for bit:
 //!
-//! * applying the inter-breakpoint *segments* in order touches the same
-//!   amplitudes in the same order as replaying each prefix, so the
-//!   state at breakpoint `i` is bit-identical
-//!   ([`Circuit::apply_range_to`](qdb_circuit::Circuit::apply_range_to));
+//! * compiled ops are 1:1 with instructions and value-identical to
+//!   interpreting them (every probability bit-identical — see
+//!   `qdb_sim::kernels` for the contract), so the state at breakpoint
+//!   `i` samples exactly as the replayed prefix would;
 //! * each breakpoint samples with its own `StdRng` seeded
 //!   `seed + index` — the same stream the per-prefix path uses — so the
 //!   outcomes, histograms, p-values, and verdicts are identical.
+//!
+//! The opt-in `OptLevel::Fuse` trades that guarantee for fewer, fatter
+//! ops (approximate equality only).
 //!
 //! Within the sweep the only parallel axis is per-shot sampling: the
 //! uniform variates are drawn serially (they *are* the determinism
@@ -90,12 +99,19 @@ impl SweepRunner {
             return Ok(out);
         }
         let circuit = program.circuit();
+        // Lower the program once at the configured opt level; every
+        // segment below replays a window of this plan. `Program::compile`
+        // cuts fusion at breakpoint positions, so segment boundaries
+        // are always op boundaries. At the default
+        // `OptLevel::Specialize` the plan is 1:1 with instructions and
+        // the sweep's `gate_ops` accounting is unchanged.
+        let plan = program.compile(self.config.opt);
         // Matches the per-prefix path's `prefix.run_on_basis(0)` start
         // state (and its error for zero-qubit programs).
         let mut state = State::basis(circuit.num_qubits(), 0)
             .map_err(|e| CoreError::Circuit(qdb_circuit::CircuitError::Sim(e)))?;
         for segment in program.segments() {
-            circuit.apply_range_to(&mut state, segment.range());
+            plan.apply_range_to(&mut state, segment.range());
             out.push(visit(segment.index, &breakpoints[segment.index], &state)?);
         }
         Ok(out)
@@ -108,16 +124,24 @@ impl SweepRunner {
     /// [`draw_ensemble`](SweepRunner::draw_ensemble).
     const PARALLEL_SAMPLING_MIN_SHOTS: usize = 4096;
 
-    /// Draw breakpoint `index`'s ideal ensemble from `state`.
+    /// Draw breakpoint `index`'s ideal ensemble from `state`, rebuilding
+    /// the caller's `sampler` over the state's CDF (the caller owns the
+    /// buffer so one `2ⁿ` allocation serves the whole sweep instead of
+    /// one per breakpoint — see [`Sampler::rebuild`]).
     ///
     /// The RNG stream is `StdRng::seed_from_u64(seed + index)` exactly
     /// as in the per-prefix path. With `parallel` enabled (and enough
     /// shots to amortize the fan-out) the uniforms are still drawn
     /// serially from that stream; only the CDF inversion fans out, so
     /// the ensemble is identical either way.
-    pub(crate) fn draw_ensemble(&self, index: usize, state: &State) -> Vec<u64> {
+    pub(crate) fn draw_ensemble(
+        &self,
+        index: usize,
+        state: &State,
+        sampler: &mut Sampler,
+    ) -> Vec<u64> {
         let mut rng = StdRng::seed_from_u64(self.config.seed.wrapping_add(index as u64));
-        let sampler = Sampler::new(state);
+        sampler.rebuild(state);
         if self.config.parallel && self.config.shots >= Self::PARALLEL_SAMPLING_MIN_SHOTS {
             let uniforms: Vec<f64> = (0..self.config.shots).map(|_| rng.gen::<f64>()).collect();
             (0..self.config.shots)
@@ -148,9 +172,10 @@ impl SweepRunner {
     /// * [`CoreError::BadConfig`] for invalid configurations;
     /// * simulator errors for malformed programs.
     pub fn run_all(&self, program: &Program) -> Result<Vec<MeasuredEnsemble>, CoreError> {
+        let mut sampler = Sampler::default();
         self.walk(program, |index, _bp, state| {
             Ok(MeasuredEnsemble {
-                outcomes: self.draw_ensemble(index, state),
+                outcomes: self.draw_ensemble(index, state, &mut sampler),
                 state: state.clone(),
             })
         })

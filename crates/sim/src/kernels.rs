@@ -1,0 +1,472 @@
+//! Specialized gate kernels and control-subspace enumeration.
+//!
+//! The generic entry points on [`State`] treat every gate the same way:
+//! [`State::apply_controlled_1q`] scans half the basis indices and
+//! discards the ones whose control bits don't match, and
+//! [`State::swap`] / [`State::apply_controlled_swap`] scan all of them.
+//! That is the right *reference* semantics, but the hot path of the
+//! ensemble engine applies the same few gates millions of times, so this
+//! module provides kernels specialized by the 2×2 matrix's sparsity
+//! structure ([`classify`]) and by control count:
+//!
+//! * [`State::apply_diagonal`] — `diag(d₀, d₁)` gates (`z`, `s`, `t`,
+//!   `rz`, `phase`): two scalar multiplies per pair, no cross terms;
+//! * [`State::apply_antidiagonal`] — anti-diagonal gates (`x`, `y`):
+//!   a pure amplitude permutation with per-branch phases;
+//! * [`State::apply_1q_subspace`] — the dense 2×2 kernel, but touching
+//!   only the control-satisfying subspace;
+//! * [`State::apply_swap_subspace`] — (controlled) swap enumerating
+//!   exactly the index pairs it exchanges.
+//!
+//! Every kernel *enumerates* the `2ⁿ⁻¹⁻ᶜ` (or `2ⁿ⁻²⁻ᶜ` for swaps)
+//! indices it touches — three ALU ops per index via the carry trick
+//! (`base = ((base | fixed) + 1) & !fixed` steps over the fixed
+//! control/target bit positions) — instead of filtering the full index
+//! space by mask test: a Toffoli visits `2ⁿ⁻³` pairs instead of
+//! scanning `2ⁿ⁻¹` candidates. [`State::index_ops`] counts exactly
+//! this difference.
+//!
+//! ## Equivalence contract
+//!
+//! Each kernel touches the same amplitude pairs as its generic
+//! counterpart, in the same ascending order. The subspace kernels
+//! ([`State::apply_1q_subspace`], [`State::apply_swap_subspace`])
+//! perform the *identical* arithmetic on each pair, so their results are
+//! bit-for-bit identical to the generic path. The diagonal and
+//! anti-diagonal kernels skip the structurally-zero products the dense
+//! kernel still computes (`m₀₁·b` when `m₀₁ = 0`); adding such a term
+//! only ever normalizes the sign of an exactly-zero component
+//! (`-0.0 + 0.0 = +0.0`), so their results are **value-identical**
+//! (`==` on every component, hence [`State`] equality holds and every
+//! probability is bit-identical) but a zero amplitude component may
+//! carry the opposite sign. No downstream computation — probabilities,
+//! sampling, inner products, reports — can observe the difference.
+
+use crate::complex::Complex;
+use crate::gates::Matrix2;
+use crate::state::State;
+
+/// The sparsity structure of a 2×2 unitary, used by the lowering layer
+/// in `qdb-circuit` to pick a kernel once per compiled instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatrixClass {
+    /// Both off-diagonal entries are exactly zero (`z`, `s`, `t`, `rz`,
+    /// `phase`, and their adjoints).
+    Diagonal,
+    /// Both diagonal entries are exactly zero (`x`, `y`).
+    AntiDiagonal,
+    /// No exploitable structure (`h`, generic rotations, fused runs).
+    General,
+}
+
+/// Classify a 2×2 unitary by exact-zero structure.
+///
+/// The test is *exact* (`== 0.0`), which is what the named gate
+/// constructors in [`gates`](crate::gates) produce; a matrix that is
+/// merely numerically close to diagonal is classified [`General`] so
+/// specialization never changes results.
+///
+/// [`General`]: MatrixClass::General
+#[must_use]
+pub fn classify(m: &Matrix2) -> MatrixClass {
+    let m = &m.0;
+    if m[0][1] == Complex::ZERO && m[1][0] == Complex::ZERO {
+        MatrixClass::Diagonal
+    } else if m[0][0] == Complex::ZERO && m[1][1] == Complex::ZERO {
+        MatrixClass::AntiDiagonal
+    } else {
+        MatrixClass::General
+    }
+}
+
+/// The subspace-enumeration scaffolding: the OR of all fixed bit
+/// positions (controls + targets) plus the control mask.
+///
+/// Enumeration uses the carry trick: starting from `base = 0`,
+/// `base = ((base | fixed) + 1) & !fixed` steps through every basis
+/// index whose fixed positions are all zero, in ascending order — the
+/// `+ 1` carries straight over the fixed bits because they are
+/// pre-filled with ones. Three ALU ops per enumerated index, no
+/// per-index loop.
+struct Subspace {
+    /// All fixed bit positions (controls and targets).
+    fixed: usize,
+    /// The control bits, OR-ed into every enumerated index.
+    cmask: usize,
+}
+
+impl Subspace {
+    #[inline]
+    fn next(&self, base: usize) -> usize {
+        ((base | self.fixed) + 1) & !self.fixed
+    }
+}
+
+impl State {
+    /// Validate controls/target and build the enumeration scaffolding.
+    fn control_subspace(&self, controls: &[usize], target: usize) -> Subspace {
+        self.check_qubit(target);
+        let mut fixed = 1usize << target;
+        let mut cmask = 0usize;
+        for &c in controls {
+            self.check_qubit(c);
+            assert!(c != target, "control {c} equals target");
+            assert!(
+                fixed & (1 << c) == 0,
+                "qubit {c} used twice in one kernel call"
+            );
+            fixed |= 1 << c;
+            cmask |= 1 << c;
+        }
+        Subspace { fixed, cmask }
+    }
+
+    /// Apply `diag(d0, d1)` to `target`, conditioned on all `controls`
+    /// being `|1⟩`: `2ⁿ⁻¹⁻ᶜ` pairs of scalar multiplies, no cross
+    /// terms, no index filtering (see the
+    /// [module docs](crate::kernels) for the equivalence contract).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any qubit is out of range or repeats.
+    pub fn apply_diagonal(&mut self, controls: &[usize], target: usize, d0: Complex, d1: Complex) {
+        let sub = self.control_subspace(controls, target);
+        let tmask = 1usize << target;
+        let pairs = self.dim() >> (1 + controls.len());
+        self.record_gate_op();
+        self.record_index_ops(pairs as u64);
+        let amps = self.amps_mut();
+        let mut base = 0usize;
+        if d0 == Complex::ONE {
+            // Phase-type gates (`s`, `t`, `phase`, every `cphase` /
+            // `ccphase` of the QFT ladders): the |…0⟩ branch is
+            // untouched, so only the set branch is multiplied.
+            for _ in 0..pairs {
+                let i1 = base | sub.cmask | tmask;
+                amps[i1] = d1 * amps[i1];
+                base = sub.next(base);
+            }
+        } else {
+            for _ in 0..pairs {
+                let i0 = base | sub.cmask;
+                let i1 = i0 | tmask;
+                amps[i0] = d0 * amps[i0];
+                amps[i1] = d1 * amps[i1];
+                base = sub.next(base);
+            }
+        }
+    }
+
+    /// Apply the anti-diagonal gate `[[0, a01], [a10, 0]]` to `target`,
+    /// conditioned on all `controls` being `|1⟩`: a pure cross-swap of
+    /// each amplitude pair with per-branch phases (`x` is
+    /// `a01 = a10 = 1`, `y` is `a01 = −i, a10 = i`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any qubit is out of range or repeats.
+    pub fn apply_antidiagonal(
+        &mut self,
+        controls: &[usize],
+        target: usize,
+        a01: Complex,
+        a10: Complex,
+    ) {
+        let sub = self.control_subspace(controls, target);
+        let tmask = 1usize << target;
+        let pairs = self.dim() >> (1 + controls.len());
+        self.record_gate_op();
+        self.record_index_ops(pairs as u64);
+        let amps = self.amps_mut();
+        let mut base = 0usize;
+        if a01 == Complex::ONE && a10 == Complex::ONE {
+            // X-type gates (`x`, CNOT, Toffoli): a pure amplitude
+            // permutation, no arithmetic at all.
+            for _ in 0..pairs {
+                let i0 = base | sub.cmask;
+                amps.swap(i0, i0 | tmask);
+                base = sub.next(base);
+            }
+        } else {
+            for _ in 0..pairs {
+                let i0 = base | sub.cmask;
+                let i1 = i0 | tmask;
+                let a = amps[i0];
+                let b = amps[i1];
+                amps[i0] = a01 * b;
+                amps[i1] = a10 * a;
+                base = sub.next(base);
+            }
+        }
+    }
+
+    /// Apply a dense 2×2 unitary to `target`, conditioned on all
+    /// `controls` being `|1⟩`, visiting only the control-satisfying
+    /// subspace.
+    ///
+    /// Performs exactly the arithmetic of
+    /// [`State::apply_controlled_1q`] on exactly the pairs that path
+    /// touches (bit-for-bit identical results) while enumerating
+    /// `2ⁿ⁻¹⁻ᶜ` pairs instead of scanning `2ⁿ⁻¹` candidates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any qubit is out of range or repeats.
+    pub fn apply_1q_subspace(&mut self, controls: &[usize], target: usize, m: &Matrix2) {
+        let sub = self.control_subspace(controls, target);
+        let tmask = 1usize << target;
+        let pairs = self.dim() >> (1 + controls.len());
+        self.record_gate_op();
+        self.record_index_ops(pairs as u64);
+        let m = m.0;
+        let amps = self.amps_mut();
+        let mut base = 0usize;
+        for _ in 0..pairs {
+            let i0 = base | sub.cmask;
+            let i1 = i0 | tmask;
+            let a = amps[i0];
+            let b = amps[i1];
+            amps[i0] = m[0][0] * a + m[0][1] * b;
+            amps[i1] = m[1][0] * a + m[1][1] * b;
+            base = sub.next(base);
+        }
+    }
+
+    /// Swap qubits `a` and `b`, conditioned on all `controls` being
+    /// `|1⟩`, enumerating exactly the `2ⁿ⁻²⁻ᶜ` index pairs it
+    /// exchanges (the generic [`State::swap`] /
+    /// [`State::apply_controlled_swap`] scan all `2ⁿ` indices).
+    ///
+    /// Bit-for-bit identical to the generic path: the same disjoint
+    /// transpositions are applied (in ascending order of the
+    /// `bit_a = 1, bit_b = 0` representative).
+    ///
+    /// # Panics
+    ///
+    /// Panics if qubits are out of range, `a == b`, or a control
+    /// overlaps a swap target.
+    pub fn apply_swap_subspace(&mut self, controls: &[usize], a: usize, b: usize) {
+        self.check_qubit(a);
+        self.check_qubit(b);
+        assert!(a != b, "swap targets must differ");
+        let (lo, hi) = (a.min(b), a.max(b));
+        let lo_mask = 1usize << lo;
+        let hi_mask = 1usize << hi;
+        let mut fixed = lo_mask | hi_mask;
+        let mut cmask = 0usize;
+        for &c in controls {
+            self.check_qubit(c);
+            assert!(c != a && c != b, "control {c} overlaps swap target");
+            assert!(
+                fixed & (1 << c) == 0,
+                "qubit {c} used twice in one kernel call"
+            );
+            fixed |= 1 << c;
+            cmask |= 1 << c;
+        }
+        let sub = Subspace { fixed, cmask };
+        let count = self.dim() >> (2 + controls.len());
+        self.record_gate_op();
+        self.record_index_ops(count as u64);
+        let amps = self.amps_mut();
+        let mut base = 0usize;
+        for _ in 0..count {
+            // Representative: controls 1, low bit 1, high bit 0.
+            let i = base | cmask | lo_mask;
+            let j = (i & !lo_mask) | hi_mask;
+            amps.swap(i, j);
+            base = sub.next(base);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gates;
+    use crate::state::State;
+
+    /// A fixed non-trivial 4-qubit state with every amplitude nonzero.
+    fn dense_state() -> State {
+        let mut s = State::zero(4);
+        for q in 0..4 {
+            s.apply_1q(q, &gates::h());
+            s.apply_1q(q, &gates::t());
+        }
+        s.apply_controlled_1q(&[0], 2, &gates::ry(0.37));
+        s.apply_controlled_1q(&[3], 1, &gates::rx(-1.1));
+        s.reset_gate_ops();
+        s.reset_index_ops();
+        s
+    }
+
+    fn assert_bits_identical(a: &State, b: &State) {
+        for i in 0..a.dim() {
+            assert_eq!(
+                a.amplitude(i).re.to_bits(),
+                b.amplitude(i).re.to_bits(),
+                "re mismatch at {i}"
+            );
+            assert_eq!(
+                a.amplitude(i).im.to_bits(),
+                b.amplitude(i).im.to_bits(),
+                "im mismatch at {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn classify_named_gates() {
+        for g in [
+            gates::z(),
+            gates::s(),
+            gates::sdg(),
+            gates::t(),
+            gates::tdg(),
+            gates::rz(0.7),
+            gates::phase(-0.3),
+        ] {
+            assert_eq!(classify(&g), MatrixClass::Diagonal);
+        }
+        assert_eq!(classify(&gates::x()), MatrixClass::AntiDiagonal);
+        assert_eq!(classify(&gates::y()), MatrixClass::AntiDiagonal);
+        for g in [gates::h(), gates::rx(0.4), gates::ry(1.2)] {
+            assert_eq!(classify(&g), MatrixClass::General);
+        }
+        // rx(π) is anti-diagonal only up to numerically-exact zeros on
+        // the diagonal: cos(π/2) is not exactly 0.0 in f64, so it must
+        // stay General.
+        assert_eq!(
+            classify(&gates::rx(std::f64::consts::PI)),
+            MatrixClass::General
+        );
+    }
+
+    #[test]
+    fn diagonal_kernel_matches_generic_values() {
+        for controls in [vec![], vec![1], vec![1, 3]] {
+            let g = gates::rz(0.9);
+            let mut fast = dense_state();
+            fast.apply_diagonal(&controls, 2, g.0[0][0], g.0[1][1]);
+            let mut reference = dense_state();
+            reference.apply_controlled_1q(&controls, 2, &g);
+            assert_eq!(fast, reference, "controls {controls:?}");
+        }
+    }
+
+    #[test]
+    fn antidiagonal_kernel_matches_generic_values() {
+        for controls in [vec![], vec![0], vec![0, 3]] {
+            let g = gates::y();
+            let mut fast = dense_state();
+            fast.apply_antidiagonal(&controls, 1, g.0[0][1], g.0[1][0]);
+            let mut reference = dense_state();
+            reference.apply_controlled_1q(&controls, 1, &g);
+            assert_eq!(fast, reference, "controls {controls:?}");
+        }
+    }
+
+    #[test]
+    fn subspace_dense_kernel_is_bit_identical() {
+        for controls in [vec![], vec![0], vec![0, 1], vec![3, 0, 1]] {
+            let g = gates::u3(0.3, 1.1, -0.4);
+            let mut fast = dense_state();
+            fast.apply_1q_subspace(&controls, 2, &g);
+            let mut reference = dense_state();
+            reference.apply_controlled_1q(&controls, 2, &g);
+            assert_bits_identical(&fast, &reference);
+        }
+    }
+
+    #[test]
+    fn subspace_swap_is_bit_identical() {
+        for controls in [vec![], vec![2], vec![2, 3]] {
+            let mut fast = dense_state();
+            fast.apply_swap_subspace(&controls, 0, 1);
+            let mut reference = dense_state();
+            if controls.is_empty() {
+                reference.swap(0, 1);
+            } else {
+                reference.apply_controlled_swap(&controls, 0, 1);
+            }
+            assert_bits_identical(&fast, &reference);
+        }
+        // Reversed qubit order is the same operation.
+        let mut ab = dense_state();
+        ab.apply_swap_subspace(&[3], 0, 2);
+        let mut ba = dense_state();
+        ba.apply_swap_subspace(&[3], 2, 0);
+        assert_bits_identical(&ab, &ba);
+    }
+
+    #[test]
+    fn kernels_do_reduced_index_work() {
+        // n = 4 (dim = 16). Generic controlled scan: 8 candidates
+        // regardless of controls; subspace kernels shrink with each
+        // control. Generic swap scans 16; subspace swap visits 4.
+        let mut s = dense_state();
+        s.apply_1q_subspace(&[], 0, &gates::h());
+        assert_eq!(s.index_ops(), 8); // same as apply_1q: all pairs
+        s.apply_1q_subspace(&[1], 0, &gates::h());
+        assert_eq!(s.index_ops(), 8 + 4);
+        s.apply_1q_subspace(&[1, 2], 0, &gates::h()); // Toffoli shape
+        assert_eq!(s.index_ops(), 8 + 4 + 2);
+        s.apply_diagonal(&[1, 2], 0, Complex::ONE, Complex::I);
+        assert_eq!(s.index_ops(), 8 + 4 + 2 + 2);
+        s.apply_antidiagonal(&[3], 0, Complex::ONE, Complex::ONE);
+        assert_eq!(s.index_ops(), 8 + 4 + 2 + 2 + 4);
+        s.apply_swap_subspace(&[], 0, 1);
+        assert_eq!(s.index_ops(), 8 + 4 + 2 + 2 + 4 + 4);
+        s.apply_swap_subspace(&[2], 0, 1); // Fredkin shape
+        assert_eq!(s.index_ops(), 8 + 4 + 2 + 2 + 4 + 4 + 2);
+        assert_eq!(s.gate_ops(), 7);
+
+        // The generic paths pay the full scan for the same gates.
+        let mut generic = dense_state();
+        generic.apply_controlled_1q(&[1, 2], 0, &gates::x());
+        assert_eq!(generic.index_ops(), 8);
+        generic.apply_controlled_swap(&[2], 0, 1);
+        assert_eq!(generic.index_ops(), 8 + 16);
+    }
+
+    #[test]
+    fn toffoli_truth_table_via_subspace() {
+        for input in 0..8u64 {
+            let mut s = State::basis(3, input).unwrap();
+            s.apply_antidiagonal(&[0, 1], 2, Complex::ONE, Complex::ONE);
+            let expected = if input & 0b11 == 0b11 {
+                (input ^ 0b100) as usize
+            } else {
+                input as usize
+            };
+            assert!(
+                (s.probability(expected) - 1.0).abs() < 1e-12,
+                "input {input}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "used twice")]
+    fn duplicate_control_panics() {
+        dense_state().apply_1q_subspace(&[1, 1], 0, &gates::x());
+    }
+
+    #[test]
+    #[should_panic(expected = "control 0 equals target")]
+    fn control_equals_target_panics() {
+        dense_state().apply_diagonal(&[0], 0, Complex::ONE, Complex::I);
+    }
+
+    #[test]
+    #[should_panic(expected = "swap targets must differ")]
+    fn swap_same_qubit_panics() {
+        dense_state().apply_swap_subspace(&[], 1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlaps swap target")]
+    fn swap_control_overlap_panics() {
+        dense_state().apply_swap_subspace(&[0], 0, 1);
+    }
+}

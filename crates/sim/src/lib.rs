@@ -10,6 +10,10 @@
 //! * [`state`] — the dense state vector: gate application (single-qubit,
 //!   multiply-controlled, arbitrary k-qubit unitaries), inner products,
 //!   fidelity, tensor products.
+//! * [`kernels`] — specialized gate kernels (diagonal, anti-diagonal,
+//!   control-subspace enumeration) used by the compiled hot path in
+//!   `qdb-circuit`; the generic [`state`] entry points remain the
+//!   reference semantics.
 //! * [`measure`] — ensemble sampling (via a cumulative-distribution
 //!   sampler) and collapsing mid-circuit measurement, as needed for
 //!   iterative phase estimation.
@@ -46,6 +50,7 @@
 pub mod complex;
 pub mod density;
 pub mod gates;
+pub mod kernels;
 pub mod linalg;
 pub mod measure;
 pub mod noise;

@@ -55,7 +55,7 @@ pub fn extract_bits(outcome: u64, qubits: &[usize]) -> u64 {
 /// let shots: Vec<u64> = (0..100).map(|_| sampler.sample(&mut rng)).collect();
 /// assert!(shots.iter().any(|&x| x == 0) && shots.iter().any(|&x| x == 1));
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct Sampler {
     /// cdf[i] = P(outcome ≤ i); last entry forced to 1.0.
     cdf: Vec<f64>,
@@ -65,22 +65,65 @@ impl Sampler {
     /// Build a sampler from the state's probability vector.
     #[must_use]
     pub fn new(state: &State) -> Self {
-        let mut cdf = Vec::with_capacity(state.dim());
+        let mut sampler = Self {
+            cdf: Vec::with_capacity(state.dim()),
+        };
+        sampler.rebuild(state);
+        sampler
+    }
+
+    /// Rebuild this sampler over a (new) state, reusing the CDF
+    /// allocation.
+    ///
+    /// A loop that samples many states of the same size — the
+    /// per-breakpoint ensemble loop of the sweep engine — allocates one
+    /// buffer up front (`Sampler::default()`) and rebuilds it at each
+    /// stop, instead of paying a fresh `2ⁿ` allocation per breakpoint
+    /// via [`Sampler::new`]. The CDF is computed by the same
+    /// accumulation in the same order, so the two construction routes
+    /// sample identically, bit for bit. A default-constructed sampler
+    /// must be rebuilt before use (it has no outcomes).
+    pub fn rebuild(&mut self, state: &State) {
+        state.probabilities_into(&mut self.cdf);
         let mut acc = 0.0;
-        for i in 0..state.dim() {
-            acc += state.probability(i);
-            cdf.push(acc);
+        for p in &mut self.cdf {
+            acc += *p;
+            *p = acc;
         }
-        if let Some(last) = cdf.last_mut() {
+        if let Some(last) = self.cdf.last_mut() {
             *last = 1.0;
         }
-        Self { cdf }
     }
 
     /// Draw one full-register outcome (a basis index).
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
         let u: f64 = rng.gen();
         self.sample_at(u)
+    }
+
+    /// Draw a single outcome directly from `state`, bit-identical to
+    /// `Sampler::new(state).sample(rng)` but without materializing the
+    /// CDF.
+    ///
+    /// A caller that needs exactly one shot per state — the noisy
+    /// trajectory engine measures each freshly-simulated trajectory
+    /// once — pays one accumulating scan (with early exit) instead of a
+    /// `2ⁿ` allocation plus a binary search. The running sum performs
+    /// the same additions in the same order as the CDF construction,
+    /// and the selection rule ("first index whose CDF value strictly
+    /// exceeds `u`, last bin forced to cover 1.0") is the same, so the
+    /// outcome matches the sampler's bit for bit.
+    pub fn sample_once<R: Rng + ?Sized>(state: &State, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen();
+        let mut acc = 0.0;
+        for i in 0..state.dim() - 1 {
+            acc += state.probability(i);
+            if acc > u {
+                return i as u64;
+            }
+        }
+        // The sampler forces the last CDF entry to 1.0 > u.
+        (state.dim() - 1) as u64
     }
 
     /// The outcome the inverse-CDF transform assigns to the uniform
@@ -328,6 +371,36 @@ mod tests {
             // Qubit 0 is reset; qubit 1 still carries the outcome.
             assert!(s.prob_one(0) < 1e-12);
             assert!((s.prob_one(1) - f64::from(bit)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sample_once_matches_sampler_bit_for_bit() {
+        // States covering zero-probability bins, basis states, and
+        // dense superpositions.
+        let mut dense = State::zero(4);
+        for q in 0..4 {
+            dense.apply_1q(q, &gates::h());
+            dense.apply_1q(q, &gates::t());
+        }
+        let mut bell = State::zero(2);
+        bell.apply_1q(0, &gates::h());
+        bell.apply_controlled_1q(&[0], 1, &gates::x());
+        for (name, state) in [
+            ("dense", &dense),
+            ("bell", &bell),
+            ("basis", &State::basis(3, 5).unwrap()),
+        ] {
+            let sampler = Sampler::new(state);
+            let mut a = rng(99);
+            let mut b = rng(99);
+            for shot in 0..512 {
+                assert_eq!(
+                    Sampler::sample_once(state, &mut a),
+                    sampler.sample(&mut b),
+                    "{name} diverged at shot {shot}"
+                );
+            }
         }
     }
 

@@ -51,11 +51,13 @@ pub struct State {
     num_qubits: usize,
     amps: Vec<Complex>,
     gate_ops: u64,
+    index_ops: u64,
 }
 
 /// Equality compares qubit count and amplitudes only; the
-/// [`gate_ops`](State::gate_ops) instrumentation counter is ignored, so
-/// a freshly simulated state equals a checkpointed copy of itself.
+/// [`gate_ops`](State::gate_ops) and [`index_ops`](State::index_ops)
+/// instrumentation counters are ignored, so a freshly simulated state
+/// equals a checkpointed copy of itself.
 impl PartialEq for State {
     fn eq(&self, other: &Self) -> bool {
         self.num_qubits == other.num_qubits && self.amps == other.amps
@@ -100,6 +102,7 @@ impl State {
             num_qubits,
             amps,
             gate_ops: 0,
+            index_ops: 0,
         })
     }
 
@@ -130,6 +133,7 @@ impl State {
             num_qubits,
             amps,
             gate_ops: 0,
+            index_ops: 0,
         })
     }
 
@@ -174,7 +178,25 @@ impl State {
     /// The full probability vector.
     #[must_use]
     pub fn probabilities(&self) -> Vec<f64> {
-        self.amps.iter().map(|a| a.norm_sqr()).collect()
+        let mut out = Vec::new();
+        self.probabilities_into(&mut out);
+        out
+    }
+
+    /// Fill `out` with the full probability vector, reusing its
+    /// allocation.
+    ///
+    /// This is the allocation-free sibling of
+    /// [`probabilities`](State::probabilities) for hot loops that query
+    /// the distribution repeatedly (the per-breakpoint sampling loop
+    /// rebuilds a `2ⁿ` CDF at every assertion; with this entry point —
+    /// via [`Sampler::rebuild`](crate::Sampler::rebuild) — the buffer
+    /// is allocated once per sweep instead of once per breakpoint).
+    /// `out` is cleared first; values and order match
+    /// [`probabilities`](State::probabilities) exactly.
+    pub fn probabilities_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(self.amps.iter().map(|a| a.norm_sqr()));
     }
 
     /// Squared norm `⟨ψ|ψ⟩` (1 for a valid state, up to float error).
@@ -196,7 +218,9 @@ impl State {
     /// [`apply_controlled_1q`](State::apply_controlled_1q) /
     /// [`swap`](State::swap) /
     /// [`apply_controlled_swap`](State::apply_controlled_swap) /
-    /// [`apply_unitary`](State::apply_unitary) call counts as one.
+    /// [`apply_unitary`](State::apply_unitary) call counts as one, as
+    /// does each specialized kernel in [`kernels`](crate::kernels).
+    /// The no-op `swap(q, q)` does not count.
     ///
     /// The counter is the instrumentation behind the sweep-vs-prefix
     /// complexity proofs: applying a circuit prefix of length `p` to a
@@ -214,12 +238,50 @@ impl State {
         self.gate_ops = 0;
     }
 
+    /// Number of basis-index loop iterations gate application has spent
+    /// on this state — the *index work* behind each
+    /// [`gate_ops`](State::gate_ops) unit.
+    ///
+    /// Each kernel adds its inner-loop trip count: the dense pair loop
+    /// of [`apply_1q`](State::apply_1q) adds `2ⁿ⁻¹` (one per amplitude
+    /// pair); the mask-filtering scans of
+    /// [`apply_controlled_1q`](State::apply_controlled_1q),
+    /// [`swap`](State::swap), and
+    /// [`apply_controlled_swap`](State::apply_controlled_swap) add
+    /// `2ⁿ⁻¹`, `2ⁿ`, and `2ⁿ` respectively (they visit every candidate
+    /// index whether or not the controls match); the subspace kernels in
+    /// [`kernels`](crate::kernels) add only the control-satisfying
+    /// subspace they enumerate (e.g. `2ⁿ⁻³` for a Toffoli). This is the
+    /// counter that lets tests *prove* kernel specialization reduces
+    /// index work rather than assuming it. `clone()` inherits the
+    /// count; equality comparisons ignore it.
+    #[must_use]
+    pub fn index_ops(&self) -> u64 {
+        self.index_ops
+    }
+
+    /// Reset the [`index_ops`](State::index_ops) counter to zero.
+    pub fn reset_index_ops(&mut self) {
+        self.index_ops = 0;
+    }
+
     /// Mutable access to the raw amplitudes for in-crate measurement code.
     pub(crate) fn amps_mut(&mut self) -> &mut [Complex] {
         &mut self.amps
     }
 
-    fn check_qubit(&self, q: usize) -> usize {
+    /// Count one gate application (kernel entry points in
+    /// [`kernels`](crate::kernels) live outside this module).
+    pub(crate) fn record_gate_op(&mut self) {
+        self.gate_ops += 1;
+    }
+
+    /// Count `n` basis-index loop iterations.
+    pub(crate) fn record_index_ops(&mut self, n: u64) {
+        self.index_ops += n;
+    }
+
+    pub(crate) fn check_qubit(&self, q: usize) -> usize {
         assert!(
             q < self.num_qubits,
             "qubit {q} out of range for {}-qubit state",
@@ -236,6 +298,7 @@ impl State {
     pub fn apply_1q(&mut self, target: usize, m: &Matrix2) {
         self.check_qubit(target);
         self.gate_ops += 1;
+        self.index_ops += (self.amps.len() as u64) / 2;
         let mask = 1usize << target;
         let dim = self.amps.len();
         let m = m.0;
@@ -277,6 +340,7 @@ impl State {
             return self.apply_1q(target, m);
         }
         self.gate_ops += 1;
+        self.index_ops += (self.amps.len() as u64) / 2;
         let tmask = 1usize << target;
         let dim = self.amps.len();
         let m = m.0;
@@ -298,16 +362,20 @@ impl State {
     /// Swap two qubits (relabels basis indices; exactly three CNOTs' worth
     /// of work done directly).
     ///
+    /// `swap(q, q)` is a no-op: it touches no amplitudes and counts no
+    /// work on either instrumentation counter.
+    ///
     /// # Panics
     ///
     /// Panics if either qubit is out of range.
     pub fn swap(&mut self, a: usize, b: usize) {
         self.check_qubit(a);
         self.check_qubit(b);
-        self.gate_ops += 1;
         if a == b {
             return;
         }
+        self.gate_ops += 1;
+        self.index_ops += self.amps.len() as u64;
         let (lo, hi) = (a.min(b), a.max(b));
         let lo_mask = 1usize << lo;
         let hi_mask = 1usize << hi;
@@ -338,6 +406,7 @@ impl State {
             cmask |= 1 << c;
         }
         self.gate_ops += 1;
+        self.index_ops += self.amps.len() as u64;
         let (lo, hi) = (a.min(b), a.max(b));
         let lo_mask = 1usize << lo;
         let hi_mask = 1usize << hi;
@@ -394,6 +463,7 @@ impl State {
             seen |= 1 << q;
         }
         self.gate_ops += 1;
+        self.index_ops += 1u64 << (self.num_qubits - k);
 
         // offsets[s]: the full-index bits contributed by sub-index s.
         let mut offsets = vec![0usize; sub_dim];
@@ -487,6 +557,7 @@ impl State {
             num_qubits: n,
             amps,
             gate_ops: 0,
+            index_ops: 0,
         }
     }
 
@@ -677,6 +748,46 @@ mod tests {
         let before = s.clone();
         s.swap(1, 1);
         assert!(s.approx_eq(&before, 0.0));
+        // A no-op counts no work on either counter.
+        assert_eq!(s.gate_ops(), 0);
+        assert_eq!(s.index_ops(), 0);
+    }
+
+    #[test]
+    fn probabilities_into_matches_and_reuses_buffer() {
+        let mut s = State::zero(3);
+        for q in 0..3 {
+            s.apply_1q(q, &gates::h());
+        }
+        let fresh = s.probabilities();
+        let mut buf = vec![0.0; 1]; // wrong length on purpose
+        s.probabilities_into(&mut buf);
+        assert_eq!(buf.len(), s.dim());
+        for (a, b) in fresh.iter().zip(&buf) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // Reuse keeps the allocation.
+        let cap = buf.capacity();
+        s.probabilities_into(&mut buf);
+        assert_eq!(buf.capacity(), cap);
+    }
+
+    #[test]
+    fn index_ops_counts_scan_work() {
+        let mut s = State::zero(4); // dim = 16
+        s.apply_1q(0, &gates::h()); // 8 pairs
+        assert_eq!(s.index_ops(), 8);
+        s.apply_controlled_1q(&[0, 1], 2, &gates::x()); // scans 8 candidates
+        assert_eq!(s.index_ops(), 16);
+        s.swap(0, 3); // scans all 16 indices
+        assert_eq!(s.index_ops(), 32);
+        s.apply_controlled_swap(&[2], 0, 1); // scans all 16 indices
+        assert_eq!(s.index_ops(), 48);
+        let snapshot = s.clone();
+        assert_eq!(snapshot.index_ops(), 48);
+        s.reset_index_ops();
+        assert_eq!(s.index_ops(), 0);
+        assert_eq!(s, snapshot); // equality ignores the counters
     }
 
     #[test]
