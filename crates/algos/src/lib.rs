@@ -22,12 +22,16 @@
 //! * [`chem`] — the H₂/STO-3G model, Trotterization, and iterative
 //!   phase estimation (Table 5, §5.2.3 convergence checks);
 //! * [`harnesses`] — Listings 1/3/4 as ready-made assertion-annotated
-//!   programs and the §4 bug-type catalogue.
+//!   programs and the §4 bug-type catalogue;
+//! * [`clifford`] — Clifford-scale scenario builders (GHZ ladders,
+//!   teleportation chains, repetition codes with injectable Pauli
+//!   faults) that run on the stabilizer backend at 100+ qubits.
 
 #![warn(missing_docs)]
 
 pub mod arith;
 pub mod chem;
+pub mod clifford;
 pub mod fermion;
 pub mod gf2;
 pub mod grover;
@@ -36,6 +40,7 @@ pub mod modular;
 pub mod shor;
 
 pub use arith::AdderVariant;
+pub use clifford::PauliFault;
 pub use gf2::Gf2m;
 pub use grover::GroverStyle;
 pub use harnesses::{BugType, Listing4Params};

@@ -15,11 +15,18 @@
 //!    ([`qdb_sim::kernels`]) — diagonal, anti-diagonal, general 2×2, or
 //!    swap — with controlled variants that enumerate only the
 //!    control-satisfying subspace;
-//! 3. optionally ([`OptLevel::Fuse`]) runs of adjacent uncontrolled
+//! 3. each instruction is additionally classified as Clifford or not
+//!    (from the source [`GateKind`], exactly — never by matrix
+//!    matching), so Clifford-only plans ([`CompiledCircuit::is_clifford`])
+//!    can run on the polynomial-time stabilizer backend;
+//! 4. optionally ([`OptLevel::Fuse`]) runs of adjacent uncontrolled
 //!    single-qubit gates on the same target are fused into one matrix.
 //!
 //! The result is reused across every application: the ensemble sweep,
-//! per-prefix replays, and noisy trajectories all walk the same plan.
+//! per-prefix replays, and noisy trajectories all walk the same plan —
+//! on *any* [`SimBackend`] via the `*_backend` entry points (the
+//! `State`-typed entry points are thin wrappers over the statevector
+//! backend).
 //!
 //! ## Equivalence contract
 //!
@@ -34,14 +41,25 @@
 //! floating-point products, so it guarantees only approximate equality
 //! (to simulation precision) and is **opt-in**; fused plans refuse the
 //! noisy-trajectory entry points, whose per-instruction noise insertion
-//! points fusion would erase.
+//! points fusion would erase, and drop the per-op Clifford
+//! classification (a fused plan is never [`is_clifford`]).
+//!
+//! ## Clifford classification
+//!
+//! Classification is *syntactic*: exactly `h`/`s`/`sdg`/`x`/`y`/`z`
+//! uncontrolled, `cx`/`cy`/`cz` singly controlled, and the uncontrolled
+//! `swap` are recognized. An `rz(π/2)` is mathematically Clifford but
+//! is conservatively classified non-Clifford — float-angle matching
+//! could silently misroute a nearly-Clifford rotation, and the paper's
+//! Clifford workloads all use the named gates.
 //!
 //! [`State::gate_ops`]: qdb_sim::State::gate_ops
+//! [`is_clifford`]: CompiledCircuit::is_clifford
 
 use crate::circuit::{Circuit, GateSink};
-use crate::instruction::Instruction;
+use crate::instruction::{GateKind, Instruction};
 use qdb_sim::kernels::{classify, MatrixClass};
-use qdb_sim::{Complex, Matrix2, State};
+use qdb_sim::{CliffordGate1, CliffordOp, KernelOp, Matrix2, SimBackend, SimOp, State};
 
 /// How aggressively [`CompiledCircuit::compile`] lowers a circuit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -58,7 +76,7 @@ pub enum OptLevel {
     /// equal — drift grows with depth, roughly 1e-12 per fused gate
     /// (the repo's 600-gate kernel bench stays within 1e-9); opt in
     /// explicitly where that trade is acceptable. Fused plans cannot
-    /// replay noisy trajectories.
+    /// replay noisy trajectories and are never Clifford-classified.
     Fuse,
 }
 
@@ -75,23 +93,11 @@ pub enum KernelClass {
     Swap,
 }
 
-#[derive(Debug, Clone)]
-enum Kernel {
-    Diagonal { d0: Complex, d1: Complex },
-    AntiDiagonal { a01: Complex, a10: Complex },
-    General(Matrix2),
-    Swap { other: usize },
-}
-
-/// One lowered instruction: a classified kernel plus its wiring and the
+/// One lowered instruction: a classified [`SimOp`] plus the
 /// source-instruction range it covers.
 #[derive(Debug, Clone)]
 pub struct CompiledOp {
-    /// Control qubits in source order (the order noise channels replay).
-    controls: Vec<usize>,
-    /// Target qubit (for swaps: the first swapped qubit).
-    target: usize,
-    kernel: Kernel,
+    op: SimOp,
     /// Source instruction range `[start, end)` this op covers
     /// (`end - start > 1` only for fused runs).
     start: usize,
@@ -99,15 +105,28 @@ pub struct CompiledOp {
 }
 
 impl CompiledOp {
+    /// The backend-neutral lowered op (kernel data plus optional
+    /// Clifford classification).
+    #[must_use]
+    pub fn sim_op(&self) -> &SimOp {
+        &self.op
+    }
+
     /// The kernel this op dispatches to.
     #[must_use]
     pub fn kernel_class(&self) -> KernelClass {
-        match self.kernel {
-            Kernel::Diagonal { .. } => KernelClass::Diagonal,
-            Kernel::AntiDiagonal { .. } => KernelClass::AntiDiagonal,
-            Kernel::General(_) => KernelClass::General,
-            Kernel::Swap { .. } => KernelClass::Swap,
+        match self.op.kernel() {
+            KernelOp::Diagonal { .. } => KernelClass::Diagonal,
+            KernelOp::AntiDiagonal { .. } => KernelClass::AntiDiagonal,
+            KernelOp::General(_) => KernelClass::General,
+            KernelOp::Swap { .. } => KernelClass::Swap,
         }
+    }
+
+    /// The Clifford form of the source instruction, when it has one.
+    #[must_use]
+    pub fn clifford(&self) -> Option<&CliffordOp> {
+        self.op.clifford()
     }
 
     /// The source-instruction range this op covers.
@@ -119,46 +138,19 @@ impl CompiledOp {
     /// Number of control qubits.
     #[must_use]
     pub fn num_controls(&self) -> usize {
-        self.controls.len()
-    }
-
-    /// Apply this op to a state (exactly one simulator gate
-    /// application).
-    fn apply(&self, state: &mut State) {
-        match &self.kernel {
-            Kernel::Diagonal { d0, d1 } => {
-                state.apply_diagonal(&self.controls, self.target, *d0, *d1);
-            }
-            Kernel::AntiDiagonal { a01, a10 } => {
-                state.apply_antidiagonal(&self.controls, self.target, *a01, *a10);
-            }
-            Kernel::General(m) => state.apply_1q_subspace(&self.controls, self.target, m),
-            Kernel::Swap { other } => {
-                state.apply_swap_subspace(&self.controls, self.target, *other);
-            }
-        }
-    }
-
-    /// Visit every qubit this op touches, in the source instruction's
-    /// order (controls first) — the qubit sequence noisy replay walks.
-    fn for_each_qubit(&self, mut f: impl FnMut(usize)) {
-        for &c in &self.controls {
-            f(c);
-        }
-        f(self.target);
-        if let Kernel::Swap { other } = &self.kernel {
-            f(*other);
-        }
+        self.op.controls().len()
     }
 }
 
-/// A circuit lowered once and applied many times.
+/// A circuit lowered once and applied many times, on any backend.
 ///
 /// Build with [`CompiledCircuit::compile`] (or
 /// [`Program::compile`](crate::Program::compile), which keeps fusion
 /// from crossing breakpoints); apply with [`CompiledCircuit::apply_to`]
 /// / [`apply_range_to`](CompiledCircuit::apply_range_to) /
-/// [`apply_to_noisy`](CompiledCircuit::apply_to_noisy).
+/// [`apply_to_noisy`](CompiledCircuit::apply_to_noisy) on a dense
+/// [`State`], or with the `*_backend` generic entry points on any
+/// [`SimBackend`] (e.g. the stabilizer tableau for Clifford-only plans).
 ///
 /// ```
 /// use qdb_circuit::{compile::{CompiledCircuit, OptLevel}, Circuit, GateSink};
@@ -174,6 +166,7 @@ impl CompiledOp {
 /// let mut reference = State::zero(3);
 /// c.apply_to(&mut reference);
 /// assert_eq!(compiled, reference);
+/// assert!(!plan.is_clifford()); // rz and ccx are not Clifford
 /// ```
 #[derive(Debug, Clone)]
 pub struct CompiledCircuit {
@@ -218,7 +211,10 @@ impl CompiledCircuit {
         let flush =
             |ops: &mut Vec<CompiledOp>, run: &mut Option<(usize, usize, Matrix2)>, end: usize| {
                 if let Some((start, target, m)) = run.take() {
-                    ops.push(lower_matrix(Vec::new(), target, &m, start, end));
+                    // A fused run reassociates matrices; it carries no
+                    // Clifford classification even if every source gate
+                    // had one.
+                    ops.push(lower_matrix(Vec::new(), target, &m, None, start, end));
                 }
             };
 
@@ -258,6 +254,7 @@ impl CompiledCircuit {
                         controls.clone(),
                         *target,
                         &kind.matrix(),
+                        classify_clifford(inst),
                         pos,
                         pos + 1,
                     ));
@@ -265,9 +262,8 @@ impl CompiledCircuit {
                 Instruction::Swap { controls, a, b } => {
                     flush(&mut ops, &mut run, pos);
                     ops.push(CompiledOp {
-                        controls: controls.clone(),
-                        target: *a,
-                        kernel: Kernel::Swap { other: *b },
+                        op: SimOp::new(controls.clone(), *a, KernelOp::Swap { other: *b })
+                            .with_clifford(classify_clifford(inst)),
                         start: pos,
                         end: pos + 1,
                     });
@@ -308,6 +304,14 @@ impl CompiledCircuit {
         &self.ops
     }
 
+    /// `true` when every op carries a Clifford classification, i.e. the
+    /// whole plan can execute on the stabilizer tableau backend. Always
+    /// `false` for [`OptLevel::Fuse`] plans with at least one fused op.
+    #[must_use]
+    pub fn is_clifford(&self) -> bool {
+        self.ops.iter().all(|op| op.clifford().is_some())
+    }
+
     /// Count ops per kernel class:
     /// `(diagonal, anti-diagonal, general, swap)`.
     #[must_use]
@@ -330,7 +334,18 @@ impl CompiledCircuit {
     ///
     /// Panics if the state has fewer qubits than the circuit.
     pub fn apply_to(&self, state: &mut State) {
-        self.apply_range_to(state, 0..self.source_len);
+        self.apply_to_backend(state);
+    }
+
+    /// Run the whole compiled circuit on any backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the backend has fewer qubits than the circuit or
+    /// cannot execute an op (a non-Clifford op on the stabilizer
+    /// backend — check [`is_clifford`](Self::is_clifford) first).
+    pub fn apply_to_backend<B: SimBackend>(&self, backend: &mut B) {
+        self.apply_range_to_backend(backend, 0..self.source_len);
     }
 
     /// Run only the ops covering the **source-instruction** window
@@ -345,8 +360,22 @@ impl CompiledCircuit {
     /// boundary was passed as a cut at compile time, and at
     /// [`OptLevel::Specialize`] in general).
     pub fn apply_range_to(&self, state: &mut State, range: std::ops::Range<usize>) {
-        for op in self.ops_for_range(state, &range) {
-            op.apply(state);
+        self.apply_range_to_backend(state, range);
+    }
+
+    /// [`apply_range_to`](Self::apply_range_to) on any backend.
+    ///
+    /// # Panics
+    ///
+    /// As [`apply_range_to`](Self::apply_range_to), plus unsupported
+    /// ops (see [`apply_to_backend`](Self::apply_to_backend)).
+    pub fn apply_range_to_backend<B: SimBackend>(
+        &self,
+        backend: &mut B,
+        range: std::ops::Range<usize>,
+    ) {
+        for op in self.ops_for_range(backend.num_qubits(), &range) {
+            backend.apply_op(&op.op);
         }
     }
 
@@ -366,7 +395,7 @@ impl CompiledCircuit {
         noise: &qdb_sim::NoiseModel,
         rng: &mut R,
     ) {
-        self.apply_range_to_noisy(state, 0..self.source_len, noise, rng);
+        self.apply_range_to_noisy_backend(state, 0..self.source_len, noise, rng);
     }
 
     /// Noisy-trajectory replay of a source-instruction window; see
@@ -383,24 +412,47 @@ impl CompiledCircuit {
         noise: &qdb_sim::NoiseModel,
         rng: &mut R,
     ) {
+        self.apply_range_to_noisy_backend(state, range, noise, rng);
+    }
+
+    /// Noisy-trajectory replay on any backend. All the noise channels
+    /// are stochastic Paulis, so Clifford plans replay noisy
+    /// trajectories on the stabilizer backend too.
+    ///
+    /// # Panics
+    ///
+    /// As [`apply_range_to_noisy`](Self::apply_range_to_noisy), plus
+    /// unsupported ops (see [`apply_to_backend`](Self::apply_to_backend)).
+    pub fn apply_range_to_noisy_backend<B: SimBackend, R: rand::Rng + ?Sized>(
+        &self,
+        backend: &mut B,
+        range: std::ops::Range<usize>,
+        noise: &qdb_sim::NoiseModel,
+        rng: &mut R,
+    ) {
         assert!(
             self.opt != OptLevel::Fuse,
             "noisy replay requires an unfused plan (compile at OptLevel::Specialize)"
         );
-        for op in self.ops_for_range(state, &range) {
-            op.apply(state);
+        for op in self.ops_for_range(backend.num_qubits(), &range) {
+            backend.apply_op(&op.op);
             if let Some(channel) = noise.gate_noise {
-                op.for_each_qubit(|q| channel.apply(state, q, rng));
+                op.op
+                    .for_each_qubit(|q| channel.apply_to_backend(backend, q, rng));
             }
         }
     }
 
     /// Validate a source range and resolve it to the ops that tile it.
-    fn ops_for_range(&self, state: &State, range: &std::ops::Range<usize>) -> &[CompiledOp] {
+    fn ops_for_range(
+        &self,
+        backend_qubits: usize,
+        range: &std::ops::Range<usize>,
+    ) -> &[CompiledOp] {
         assert!(
-            state.num_qubits() >= self.num_qubits,
-            "state has {} qubits, compiled circuit needs {}",
-            state.num_qubits(),
+            backend_qubits >= self.num_qubits,
+            "backend has {} qubits, compiled circuit needs {}",
+            backend_qubits,
             self.num_qubits
         );
         assert!(
@@ -433,27 +485,66 @@ fn lower_matrix(
     controls: Vec<usize>,
     target: usize,
     m: &Matrix2,
+    clifford: Option<CliffordOp>,
     start: usize,
     end: usize,
 ) -> CompiledOp {
     let kernel = match classify(m) {
-        MatrixClass::Diagonal => Kernel::Diagonal {
+        MatrixClass::Diagonal => KernelOp::Diagonal {
             d0: m.0[0][0],
             d1: m.0[1][1],
         },
-        MatrixClass::AntiDiagonal => Kernel::AntiDiagonal {
+        MatrixClass::AntiDiagonal => KernelOp::AntiDiagonal {
             a01: m.0[0][1],
             a10: m.0[1][0],
         },
-        MatrixClass::General => Kernel::General(*m),
+        MatrixClass::General => KernelOp::General(*m),
     };
     CompiledOp {
-        controls,
-        target,
-        kernel,
+        op: SimOp::new(controls, target, kernel).with_clifford(clifford),
         start,
         end,
     }
+}
+
+/// The syntactic Clifford classification of one source instruction (see
+/// the [module docs](self) for the exact gate set).
+fn classify_clifford(inst: &Instruction) -> Option<CliffordOp> {
+    match inst {
+        Instruction::Gate {
+            controls,
+            target,
+            kind,
+        } => match (controls.as_slice(), kind) {
+            ([], GateKind::H) => Some(gate1(CliffordGate1::H, *target)),
+            ([], GateKind::S) => Some(gate1(CliffordGate1::S, *target)),
+            ([], GateKind::Sdg) => Some(gate1(CliffordGate1::Sdg, *target)),
+            ([], GateKind::X) => Some(gate1(CliffordGate1::X, *target)),
+            ([], GateKind::Y) => Some(gate1(CliffordGate1::Y, *target)),
+            ([], GateKind::Z) => Some(gate1(CliffordGate1::Z, *target)),
+            ([c], GateKind::X) => Some(CliffordOp::Cx {
+                control: *c,
+                target: *target,
+            }),
+            ([c], GateKind::Y) => Some(CliffordOp::Cy {
+                control: *c,
+                target: *target,
+            }),
+            ([c], GateKind::Z) => Some(CliffordOp::Cz {
+                control: *c,
+                target: *target,
+            }),
+            _ => None,
+        },
+        Instruction::Swap { controls, a, b } if controls.is_empty() => {
+            Some(CliffordOp::Swap { a: *a, b: *b })
+        }
+        Instruction::Swap { .. } => None,
+    }
+}
+
+fn gate1(gate: CliffordGate1, target: usize) -> CliffordOp {
+    CliffordOp::Gate1 { gate, target }
 }
 
 impl Circuit {
@@ -467,12 +558,27 @@ impl Circuit {
     pub fn compile(&self, opt: OptLevel) -> CompiledCircuit {
         CompiledCircuit::compile(self, opt)
     }
+
+    /// `true` when every instruction is in the recognized Clifford set
+    /// (see the [module docs](self::super::compile) for the exact
+    /// gates) — the same classification a
+    /// [`Specialize`](OptLevel::Specialize) plan's
+    /// [`CompiledCircuit::is_clifford`] reports, but purely syntactic:
+    /// no matrices are built, so a backend chooser can probe a program
+    /// without paying for a lowering it may never use.
+    #[must_use]
+    pub fn is_clifford(&self) -> bool {
+        self.instructions()
+            .iter()
+            .all(|inst| classify_clifford(inst).is_some())
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::circuit::GateSink;
+    use qdb_sim::StabilizerState;
 
     /// A circuit exercising every kernel class and control arity.
     fn mixed_circuit() -> Circuit {
@@ -489,6 +595,22 @@ mod tests {
         c.swap(1, 3);
         c.cswap(0, 2, 3);
         c.ry(2, -0.9);
+        c
+    }
+
+    /// Every named Clifford gate the classifier recognizes.
+    fn clifford_circuit() -> Circuit {
+        let mut c = Circuit::new(3);
+        c.h(0);
+        c.s(1);
+        c.sdg(2);
+        c.x(0);
+        c.y(1);
+        c.z(2);
+        c.cx(0, 1);
+        c.cz(1, 2);
+        c.push(Instruction::controlled_gate(vec![0], GateKind::Y, 2));
+        c.swap(0, 2);
         c
     }
 
@@ -525,6 +647,51 @@ mod tests {
         assert_eq!(anti, 4);
         assert_eq!(general, 2);
         assert_eq!(swap, 2);
+    }
+
+    #[test]
+    fn clifford_classification_is_syntactic_and_complete() {
+        let plan = clifford_circuit().compile(OptLevel::Specialize);
+        assert!(plan.is_clifford());
+        for op in plan.ops() {
+            assert!(op.clifford().is_some(), "op {op:?} unclassified");
+        }
+        // T, rotations, multi-controlled gates, and cswap are not.
+        let mixed = mixed_circuit().compile(OptLevel::Specialize);
+        assert!(!mixed.is_clifford());
+        let clifford_count = mixed
+            .ops()
+            .iter()
+            .filter(|op| op.clifford().is_some())
+            .count();
+        // h, x, y, cx, swap are Clifford in mixed_circuit.
+        assert_eq!(clifford_count, 5);
+    }
+
+    #[test]
+    fn clifford_plan_matches_dense_on_stabilizer_backend() {
+        let c = clifford_circuit();
+        let plan = c.compile(OptLevel::Specialize);
+        let mut tableau = StabilizerState::zero(3).unwrap();
+        plan.apply_to_backend(&mut tableau);
+        let dense = c.run_on_basis(0).unwrap();
+        let qubits = [0, 1, 2];
+        let td = tableau.outcome_distribution(&qubits);
+        let dd = SimBackend::outcome_distribution(&dense, &qubits);
+        for key in td.keys().chain(dd.keys()) {
+            let a = td.get(key).copied().unwrap_or(0.0);
+            let b = dd.get(key).copied().unwrap_or(0.0);
+            assert!((a - b).abs() < 1e-9, "outcome {key:#b}: {a} vs {b}");
+        }
+        assert_eq!(tableau.gate_ops(), c.len() as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-Clifford")]
+    fn stabilizer_backend_rejects_non_clifford_plan() {
+        let plan = mixed_circuit().compile(OptLevel::Specialize);
+        let mut tableau = StabilizerState::zero(4).unwrap();
+        plan.apply_to_backend(&mut tableau);
     }
 
     #[test]
@@ -573,6 +740,9 @@ mod tests {
         assert_eq!(plan.ops()[0].source_range(), 0..3);
         // A fused all-diagonal run lowers to the diagonal kernel.
         assert_eq!(plan.ops()[0].kernel_class(), KernelClass::Diagonal);
+        // Fused runs drop Clifford classification (the H·H run would be
+        // Clifford mathematically, but fusion is matrix-level).
+        assert!(!plan.is_clifford());
         // Fusion is only approximately equal to the reference.
         let mut fused = State::zero(2);
         plan.apply_to(&mut fused);
@@ -643,6 +813,34 @@ mod tests {
     }
 
     #[test]
+    fn noisy_clifford_replay_runs_on_stabilizer_backend() {
+        use rand::SeedableRng;
+        let c = clifford_circuit();
+        let plan = c.compile(OptLevel::Specialize);
+        let noise = qdb_sim::NoiseModel::depolarizing(0.3);
+        // Same seed ⇒ same Pauli insertions on both backends ⇒ same
+        // trajectory state, hence identical exact distributions.
+        for seed in 0..8 {
+            let mut tableau = StabilizerState::zero(3).unwrap();
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            plan.apply_range_to_noisy_backend(&mut tableau, 0..c.len(), &noise, &mut rng);
+            let mut dense = State::zero(3);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            plan.apply_to_noisy(&mut dense, &noise, &mut rng);
+            let td = tableau.outcome_distribution(&[0, 1, 2]);
+            let dd = SimBackend::outcome_distribution(&dense, &[0, 1, 2]);
+            for key in td.keys().chain(dd.keys()) {
+                let a = td.get(key).copied().unwrap_or(0.0);
+                let b = dd.get(key).copied().unwrap_or(0.0);
+                assert!(
+                    (a - b).abs() < 1e-9,
+                    "seed {seed}, outcome {key:#b}: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "invalid instruction range")]
     fn out_of_bounds_range_panics() {
         let plan = mixed_circuit().compile(OptLevel::Specialize);
@@ -655,6 +853,8 @@ mod tests {
         let plan = Circuit::new(2).compile(OptLevel::Fuse);
         assert_eq!(plan.ops().len(), 0);
         assert_eq!(plan.source_len(), 0);
+        // An empty plan is vacuously Clifford.
+        assert!(plan.is_clifford());
         let mut s = State::zero(2);
         plan.apply_to(&mut s);
         assert_eq!(s.gate_ops(), 0);

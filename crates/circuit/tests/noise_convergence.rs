@@ -1,0 +1,197 @@
+//! Trajectory-averaging convergence: the claim in
+//! [`Circuit::apply_to_noisy`] — "averaging outcomes over many
+//! trajectories reproduces the density-matrix noise channel" — tested
+//! quantitatively via `qdb_sim::density`.
+//!
+//! Each noisy trajectory is a pure state `|ψₜ⟩`; the channel's density
+//! matrix is the expectation `ρ = E[|ψₜ⟩⟨ψₜ|]`. These tests build the
+//! *exact* `ρ` by enumerating every Pauli-insertion branch with its
+//! probability, average a few thousand trajectories, and require the
+//! Monte-Carlo estimate to converge to the exact channel action — in
+//! matrix entries and in `purity` — within statistical tolerance
+//! (`O(1/√M)` with a safety factor).
+
+use qdb_circuit::{Circuit, GateSink};
+use qdb_sim::density::{purity, reduced_density_matrix};
+use qdb_sim::linalg::CMatrix;
+use qdb_sim::{Complex, NoiseChannel, NoiseModel, State};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The density matrix of a pure state (all qubits kept).
+fn density_of(state: &State) -> CMatrix {
+    let qubits: Vec<usize> = (0..state.num_qubits()).collect();
+    reduced_density_matrix(state, &qubits).expect("full-system density matrix")
+}
+
+/// Element-wise accumulate `rho += weight · |ψ⟩⟨ψ|`.
+fn accumulate(rho: &mut CMatrix, state: &State, weight: f64) {
+    let contribution = density_of(state);
+    for (acc_row, row) in rho.iter_mut().zip(&contribution) {
+        for (acc, value) in acc_row.iter_mut().zip(row) {
+            *acc += value.scale(weight);
+        }
+    }
+}
+
+fn zero_matrix(dim: usize) -> CMatrix {
+    vec![vec![Complex::ZERO; dim]; dim]
+}
+
+fn max_entry_deviation(a: &CMatrix, b: &CMatrix) -> f64 {
+    a.iter()
+        .flatten()
+        .zip(b.iter().flatten())
+        .map(|(x, y)| (*x - *y).abs())
+        .fold(0.0, f64::max)
+}
+
+/// The exact channel action of `circuit` under per-gate Pauli noise:
+/// enumerate every combination of "which Pauli (or none) fired after
+/// which (gate, qubit) site" with its probability. Exponential in site
+/// count — these circuits keep it tiny — but exactly the density-matrix
+/// semantics the trajectory method samples.
+fn exact_channel_density(circuit: &Circuit, noise: &NoiseModel) -> CMatrix {
+    let channel = noise.gate_noise.expect("a gate channel");
+    let p = channel.probability();
+    // Per-site branch set: (weight, Pauli to insert or None).
+    let branches: Vec<(f64, Option<char>)> = match channel {
+        NoiseChannel::BitFlip(_) => vec![(1.0 - p, None), (p, Some('x'))],
+        NoiseChannel::PhaseFlip(_) => vec![(1.0 - p, None), (p, Some('z'))],
+        NoiseChannel::Depolarizing(_) => vec![
+            (1.0 - p, None),
+            (p / 3.0, Some('x')),
+            (p / 3.0, Some('y')),
+            (p / 3.0, Some('z')),
+        ],
+    };
+    // The noise sites, in the order the trajectory visits them.
+    let sites: Vec<(usize, usize)> = circuit
+        .instructions()
+        .iter()
+        .enumerate()
+        .flat_map(|(pos, inst)| inst.qubits().into_iter().map(move |q| (pos, q)))
+        .collect();
+    let dim = 1usize << circuit.num_qubits();
+    let mut rho = zero_matrix(dim);
+    let mut choice = vec![0usize; sites.len()];
+    loop {
+        // One branch: run the circuit with the chosen Pauli insertions.
+        let mut weight = 1.0;
+        let mut state = State::zero(circuit.num_qubits());
+        let mut site = 0usize;
+        for (pos, inst) in circuit.instructions().iter().enumerate() {
+            let mut single = Circuit::new(circuit.num_qubits());
+            single.push(inst.clone());
+            single.apply_to(&mut state);
+            while site < sites.len() && sites[site].0 == pos {
+                let (branch_weight, pauli) = branches[choice[site]];
+                weight *= branch_weight;
+                match pauli {
+                    None => {}
+                    Some('x') => state.apply_1q(sites[site].1, &qdb_sim::gates::x()),
+                    Some('y') => state.apply_1q(sites[site].1, &qdb_sim::gates::y()),
+                    _ => state.apply_1q(sites[site].1, &qdb_sim::gates::z()),
+                }
+                site += 1;
+            }
+        }
+        accumulate(&mut rho, &state, weight);
+        // Next mixed-radix choice vector.
+        let mut carry = 0usize;
+        loop {
+            if carry == choice.len() {
+                return rho;
+            }
+            choice[carry] += 1;
+            if choice[carry] < branches.len() {
+                break;
+            }
+            choice[carry] = 0;
+            carry += 1;
+        }
+    }
+}
+
+/// Average `trials` trajectories of `circuit` under `noise`.
+fn averaged_trajectory_density(
+    circuit: &Circuit,
+    noise: &NoiseModel,
+    trials: usize,
+    seed: u64,
+) -> CMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dim = 1usize << circuit.num_qubits();
+    let mut rho = zero_matrix(dim);
+    let weight = 1.0 / trials as f64;
+    for _ in 0..trials {
+        let mut state = State::zero(circuit.num_qubits());
+        circuit.apply_to_noisy(&mut state, noise, &mut rng);
+        accumulate(&mut rho, &state, weight);
+    }
+    rho
+}
+
+#[test]
+fn phase_flip_on_plus_state_converges_to_the_mixture() {
+    // H|0⟩ then PhaseFlip(p): ρ = (1−p)|+⟩⟨+| + p|−⟩⟨−|, whose purity
+    // is (1−p)² + p². (A bit-flip would be invisible here: X|+⟩ = |+⟩.)
+    let mut circuit = Circuit::new(1);
+    circuit.h(0);
+    let p = 0.3;
+    let noise = NoiseModel {
+        gate_noise: Some(NoiseChannel::PhaseFlip(p)),
+        readout_flip: 0.0,
+    };
+    let exact = exact_channel_density(&circuit, &noise);
+    let exact_purity = (1.0 - p) * (1.0 - p) + p * p;
+    assert!(
+        (purity(&exact) - exact_purity).abs() < 1e-12,
+        "exact-channel enumeration disagrees with the analytic mixture"
+    );
+    let trials = 4000;
+    let averaged = averaged_trajectory_density(&circuit, &noise, trials, 11);
+    // Monte-Carlo tolerance: per-entry fluctuations are O(1/√M); 5σ-ish.
+    let tol = 5.0 / (trials as f64).sqrt();
+    assert!(
+        max_entry_deviation(&averaged, &exact) < tol,
+        "averaged trajectories deviate {:.4} from the exact channel (tol {:.4})",
+        max_entry_deviation(&averaged, &exact),
+        tol
+    );
+    assert!((purity(&averaged) - exact_purity).abs() < tol);
+}
+
+#[test]
+fn depolarizing_bell_pair_converges_entrywise_and_in_purity() {
+    // H + CNOT with Depolarizing(p) after each gate: 4 · 4 · 4 = 64
+    // exact branches (3 noise sites), against 4000 trajectories.
+    let mut circuit = Circuit::new(2);
+    circuit.h(0);
+    circuit.cx(0, 1);
+    let noise = NoiseModel::depolarizing(0.15);
+    let exact = exact_channel_density(&circuit, &noise);
+    // Sanity: the exact channel is trace-1 and genuinely mixed.
+    let trace: f64 = (0..4).map(|i| exact[i][i].re).sum();
+    assert!((trace - 1.0).abs() < 1e-12);
+    assert!(purity(&exact) < 0.999, "noise must mix the state");
+
+    let trials = 4000;
+    let averaged = averaged_trajectory_density(&circuit, &noise, trials, 7);
+    let tol = 5.0 / (trials as f64).sqrt();
+    let dev = max_entry_deviation(&averaged, &exact);
+    assert!(
+        dev < tol,
+        "averaged trajectories deviate {dev:.4} from the exact channel (tol {tol:.4})"
+    );
+    assert!((purity(&averaged) - purity(&exact)).abs() < tol);
+
+    // Convergence is monotone in distribution: quadrupling the trials
+    // should not make the estimate worse than the 1/√M trend line.
+    let coarse = averaged_trajectory_density(&circuit, &noise, trials / 4, 7);
+    let coarse_dev = max_entry_deviation(&coarse, &exact);
+    assert!(
+        coarse_dev < 2.0 * tol,
+        "even the coarse estimate must be in the 1/√M regime ({coarse_dev:.4})"
+    );
+}

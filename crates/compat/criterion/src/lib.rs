@@ -18,7 +18,7 @@
 //! machine-readable results file (see [`write_results_to`]): wall-clock
 //! stats per bench plus any work counters attached via
 //! [`record_metric`]. `criterion_main!` writes
-//! `<bench crate>/BENCH_results.json` (override with the
+//! `BENCH_results.json` at the *workspace root* (override with the
 //! `BENCH_RESULTS_PATH` environment variable) after all groups finish,
 //! merging by `(target, bench)` key so repeated `cargo bench` runs of
 //! different bench targets accumulate into one file — the perf
@@ -452,13 +452,33 @@ pub fn write_results_to(path: &str, target: &str) {
     }
 }
 
+/// The directory the default results file lives in: the *workspace
+/// root* — the nearest ancestor of `manifest_dir` (inclusive) holding a
+/// `Cargo.lock` — falling back to `manifest_dir` itself outside any
+/// workspace. Keeping the file at the root means cross-PR tooling that
+/// globs `BENCH_*.json` there sees the tracked perf trajectory without
+/// knowing which crate benches live in.
+fn results_dir(manifest_dir: &str) -> std::path::PathBuf {
+    let start = std::path::Path::new(manifest_dir);
+    start
+        .ancestors()
+        .find(|dir| dir.join("Cargo.lock").is_file())
+        .unwrap_or(start)
+        .to_path_buf()
+}
+
 /// Resolve the results path (`BENCH_RESULTS_PATH` env override, else
-/// `BENCH_results.json` under `manifest_dir`) and the bench-target name
+/// `BENCH_results.json` in the workspace root — the nearest ancestor of
+/// `manifest_dir` holding a `Cargo.lock`) and the bench-target name
 /// (binary file stem minus cargo's trailing `-<hash>`), then write.
 /// Called by [`criterion_main!`]; separated for testability.
 pub fn write_default_results(manifest_dir: &str) {
-    let path = std::env::var("BENCH_RESULTS_PATH")
-        .unwrap_or_else(|_| format!("{manifest_dir}/BENCH_results.json"));
+    let path = std::env::var("BENCH_RESULTS_PATH").unwrap_or_else(|_| {
+        results_dir(manifest_dir)
+            .join("BENCH_results.json")
+            .to_string_lossy()
+            .into_owned()
+    });
     let target = std::env::args()
         .next()
         .and_then(|argv0| {
@@ -675,5 +695,17 @@ mod tests {
             !results.iter().any(|e| e.bench == "results_smoke_probe"),
             "smoke runs must not enqueue results"
         );
+    }
+
+    #[test]
+    fn results_dir_walks_up_to_the_workspace_root() {
+        // This crate sits at <root>/crates/compat/criterion; the
+        // workspace root (with Cargo.lock) is three levels up, and the
+        // default results file lands there.
+        let manifest_dir = env!("CARGO_MANIFEST_DIR");
+        let dir = results_dir(manifest_dir);
+        assert!(dir.join("Cargo.lock").is_file());
+        assert_ne!(dir, std::path::Path::new(manifest_dir));
+        assert!(std::path::Path::new(manifest_dir).starts_with(&dir));
     }
 }

@@ -1,10 +1,15 @@
 //! The statistical decision procedures for each assertion type, plus the
 //! exact amplitude-based oracle used for cross-validation.
+//!
+//! The statistical checkers consume measured *values* and are
+//! backend-agnostic by construction. The exact oracle is generic over
+//! [`SimBackend`]: it reads register distributions through
+//! [`SimBackend::outcome_distribution`], so the same cross-check runs on
+//! the dense statevector (a `2ⁿ` amplitude scan) and on the stabilizer
+//! tableau (polynomial branch enumeration at 100+ qubits).
 
-use std::collections::HashMap;
-
-use qdb_circuit::{BreakpointKind, QReg};
-use qdb_sim::State;
+use qdb_circuit::BreakpointKind;
+use qdb_sim::{SimBackend, State};
 use qdb_stats::chi2::DEFAULT_POINT_MASS_EPSILON;
 use qdb_stats::exact::{fisher_exact_table, g_test};
 use qdb_stats::{ContingencyTable, GoodnessOfFit, StatsError};
@@ -336,33 +341,7 @@ pub fn check_breakpoint_with(
     }
 }
 
-/// The marginal Born distribution of a register's values in `state`.
-fn register_distribution(state: &State, reg: &QReg) -> HashMap<u64, f64> {
-    let mut dist: HashMap<u64, f64> = HashMap::new();
-    for i in 0..state.dim() {
-        let p = state.probability(i);
-        if p > 0.0 {
-            *dist.entry(reg.value_of(i as u64)).or_insert(0.0) += p;
-        }
-    }
-    dist
-}
-
-/// The joint Born distribution of two registers' values.
-fn joint_distribution(state: &State, a: &QReg, b: &QReg) -> HashMap<(u64, u64), f64> {
-    let mut dist: HashMap<(u64, u64), f64> = HashMap::new();
-    for i in 0..state.dim() {
-        let p = state.probability(i);
-        if p > 0.0 {
-            *dist
-                .entry((a.value_of(i as u64), b.value_of(i as u64)))
-                .or_insert(0.0) += p;
-        }
-    }
-    dist
-}
-
-/// The exact, amplitude-level verdict for a breakpoint: what an infinite
+/// The exact verdict for a breakpoint on any backend: what an infinite
 /// ensemble would conclude.
 ///
 /// * classical — all probability mass on the expected value;
@@ -374,11 +353,17 @@ fn joint_distribution(state: &State, a: &QReg, b: &QReg) -> HashMap<(u64, u64), 
 /// semantics (correlation of measurement outcomes in the computational
 /// basis), not full quantum entanglement — exactly the quantity the
 /// paper's contingency tables estimate.
+///
+/// # Panics
+///
+/// Panics if the registers under test span more than 64 qubits combined
+/// (the packed-outcome limit of
+/// [`SimBackend::outcome_distribution`]).
 #[must_use]
-pub fn exact_verdict(kind: &BreakpointKind, state: &State, tol: f64) -> Verdict {
+pub fn exact_verdict_on<B: SimBackend>(kind: &BreakpointKind, backend: &B, tol: f64) -> Verdict {
     match kind {
         BreakpointKind::Classical { register, expected } => {
-            let dist = register_distribution(state, register);
+            let dist = backend.outcome_distribution(register.qubits());
             let p = dist.get(expected).copied().unwrap_or(0.0);
             if (p - 1.0).abs() <= tol {
                 Verdict::Pass
@@ -387,7 +372,7 @@ pub fn exact_verdict(kind: &BreakpointKind, state: &State, tol: f64) -> Verdict 
             }
         }
         BreakpointKind::Superposition { register } => {
-            let dist = register_distribution(state, register);
+            let dist = backend.outcome_distribution(register.qubits());
             let want = 1.0 / register.domain_size() as f64;
             let flat = dist.len() as u64 == register.domain_size()
                 && dist.values().all(|&p| (p - want).abs() <= tol);
@@ -398,13 +383,17 @@ pub fn exact_verdict(kind: &BreakpointKind, state: &State, tol: f64) -> Verdict 
             }
         }
         BreakpointKind::Entangled { a, b } | BreakpointKind::Product { a, b } => {
-            let pa = register_distribution(state, a);
-            let pb = register_distribution(state, b);
-            let joint = joint_distribution(state, a, b);
+            let pa = backend.outcome_distribution(a.qubits());
+            let pb = backend.outcome_distribution(b.qubits());
+            let union: Vec<usize> = a.qubits().iter().chain(b.qubits()).copied().collect();
+            let joint = backend.outcome_distribution(&union);
+            // `a.width() ≤ 63` here: registers are non-empty, and the
+            // joint distribution above already enforced the ≤ 64-qubit
+            // packing limit, so the shift cannot overflow.
             let mut max_dev: f64 = 0.0;
             for (&va, &pa_v) in &pa {
                 for (&vb, &pb_v) in &pb {
-                    let j = joint.get(&(va, vb)).copied().unwrap_or(0.0);
+                    let j = joint.get(&(va | (vb << a.width()))).copied().unwrap_or(0.0);
                     max_dev = max_dev.max((j - pa_v * pb_v).abs());
                 }
             }
@@ -417,6 +406,14 @@ pub fn exact_verdict(kind: &BreakpointKind, state: &State, tol: f64) -> Verdict 
             }
         }
     }
+}
+
+/// [`exact_verdict_on`] specialized to the dense statevector — the
+/// original amplitude-level oracle, kept as the convenient entry point
+/// for `State`-typed callers.
+#[must_use]
+pub fn exact_verdict(kind: &BreakpointKind, state: &State, tol: f64) -> Verdict {
+    exact_verdict_on(kind, state, tol)
 }
 
 #[cfg(test)]

@@ -27,6 +27,13 @@ pub enum CoreError {
     },
     /// The ensemble configuration is invalid (e.g. zero shots).
     BadConfig(String),
+    /// The selected simulation backend cannot execute this session.
+    BackendUnsupported {
+        /// The backend that was requested (e.g. `"stabilizer"`).
+        backend: &'static str,
+        /// Why it cannot run the session.
+        reason: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -40,6 +47,9 @@ impl fmt::Display for CoreError {
                 "register `{name}` is {width} qubits wide; this test supports at most {max}"
             ),
             CoreError::BadConfig(msg) => write!(f, "bad configuration: {msg}"),
+            CoreError::BackendUnsupported { backend, reason } => {
+                write!(f, "the {backend} backend cannot run this session: {reason}")
+            }
         }
     }
 }

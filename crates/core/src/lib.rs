@@ -46,13 +46,21 @@ pub mod sweep;
 
 mod error;
 
-pub use checker::{check_breakpoint, check_breakpoint_with, exact_verdict, IndependenceMethod};
+pub use checker::{
+    check_breakpoint, check_breakpoint_with, exact_verdict, exact_verdict_on, IndependenceMethod,
+};
 pub use debugger::{DebugReport, Debugger};
 pub use error::CoreError;
 pub use report::{AssertionReport, TestKind, Verdict};
-pub use runner::{EnsembleConfig, EnsembleRunner, ExecutionStrategy, MeasuredEnsemble};
+pub use runner::{
+    BackendChoice, EnsembleConfig, EnsembleConfigBuilder, EnsembleRunner, ExecutionStrategy,
+    MeasuredEnsemble,
+};
 pub use sweep::SweepRunner;
 
 // The lowering opt level lives in `qdb-circuit` but is configured per
-// ensemble session, so re-export it beside `EnsembleConfig`.
+// ensemble session, so re-export it beside `EnsembleConfig`; likewise
+// the backend trait and engines live in `qdb-sim` but are selected per
+// session via `BackendChoice`.
 pub use qdb_circuit::OptLevel;
+pub use qdb_sim::{SimBackend, StabilizerState, StatevectorBackend};

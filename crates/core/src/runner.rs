@@ -31,11 +31,14 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
 
-use qdb_circuit::{CompiledCircuit, OptLevel, Program};
-use qdb_sim::{NoiseModel, Sampler, State};
+use qdb_circuit::{Breakpoint, BreakpointKind, CompiledCircuit, GateSink, OptLevel, Program};
+use qdb_sim::{NoiseModel, Sampler, SimBackend, StabilizerState, State};
 use qdb_stats::Histogram;
 
-use crate::checker::{check_breakpoint_with, exact_verdict, IndependenceMethod};
+use crate::checker::{
+    check_breakpoint_with, check_classical, check_entangled_with, check_product_with,
+    check_superposition, exact_verdict, exact_verdict_on, IndependenceMethod,
+};
 use crate::error::CoreError;
 use crate::report::AssertionReport;
 use crate::sweep::SweepRunner;
@@ -61,7 +64,40 @@ pub enum ExecutionStrategy {
     Sweep,
 }
 
+/// Which simulation engine executes a session.
+///
+/// The dense statevector is exact for arbitrary circuits but
+/// exponential in qubit count (≤ 26 qubits); the stabilizer tableau is
+/// polynomial — hundreds of qubits — but restricted to Clifford
+/// circuits (`h`/`s`/`sdg`/`x`/`y`/`z`/`cx`/`cy`/`cz`/`swap`). Both
+/// backends produce the same assertion verdicts on programs both can
+/// run (matching outcome distributions; each consumes randomness its
+/// own way, so sampled ensembles differ across backends while staying
+/// reproducible within one).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackendChoice {
+    /// Pick per program: the stabilizer tableau when the compiled plan
+    /// is Clifford-only (noise is never an obstacle — every
+    /// [`NoiseChannel`](qdb_sim::NoiseChannel) is a stochastic Pauli,
+    /// and readout error is classical), the dense statevector
+    /// otherwise. The recommended choice for new code.
+    Auto,
+    /// Always the dense statevector — the default, and the engine whose
+    /// sampled ensembles every pre-backend seed in this repository was
+    /// chosen against.
+    #[default]
+    Statevector,
+    /// Always the stabilizer tableau; sessions whose program contains a
+    /// non-Clifford instruction fail with
+    /// [`CoreError::BackendUnsupported`].
+    Stabilizer,
+}
+
 /// Configuration for ensemble runs.
+///
+/// Construct via [`EnsembleConfig::builder`] (or `default()` plus the
+/// `with_*` methods): the struct's field list grows over time, and the
+/// builder keeps downstream code source-compatible when it does.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EnsembleConfig {
     /// Measurement shots per breakpoint. The paper demonstrates
@@ -106,6 +142,15 @@ pub struct EnsembleConfig {
     /// ([`OptLevel::Specialize`]) plan — fusion would erase the
     /// per-instruction noise insertion points.
     pub opt: OptLevel,
+    /// Which simulation engine runs the session (see [`BackendChoice`]).
+    /// The stabilizer backend always executes an unfused plan
+    /// (there is nothing to fuse in `O(n)` tableau updates), ignores
+    /// [`ExecutionStrategy`] cost differences only in constant factors,
+    /// and draws its ensembles from the `(seed, breakpoint, shot)`
+    /// streams the noisy-trajectory engine already uses — reports are
+    /// reproducible and thread-count-invariant, but not bit-comparable
+    /// with statevector ensembles (only verdict-comparable).
+    pub backend: BackendChoice,
 }
 
 impl Default for EnsembleConfig {
@@ -121,11 +166,126 @@ impl Default for EnsembleConfig {
             parallel: true,
             strategy: ExecutionStrategy::default(),
             opt: OptLevel::default(),
+            backend: BackendChoice::default(),
         }
     }
 }
 
+/// Incremental constructor for [`EnsembleConfig`].
+///
+/// Every field of the config keeps its default until overridden, so
+/// downstream code written against the builder does not break when a
+/// new field is added to the struct.
+///
+/// ```
+/// use qdb_core::{BackendChoice, EnsembleConfig};
+///
+/// let config = EnsembleConfig::builder()
+///     .shots(256)
+///     .seed(42)
+///     .backend(BackendChoice::Auto)
+///     .build();
+/// assert_eq!(config.shots, 256);
+/// assert_eq!(config.alpha, EnsembleConfig::default().alpha);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct EnsembleConfigBuilder {
+    config: EnsembleConfig,
+}
+
+impl EnsembleConfigBuilder {
+    /// Measurement shots per breakpoint.
+    #[must_use]
+    pub fn shots(mut self, shots: usize) -> Self {
+        self.config.shots = shots;
+        self
+    }
+
+    /// Significance level for rejecting null hypotheses.
+    #[must_use]
+    pub fn alpha(mut self, alpha: f64) -> Self {
+        self.config.alpha = alpha;
+        self
+    }
+
+    /// RNG seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Whether to also compute the exact amplitude-based verdict.
+    #[must_use]
+    pub fn exact_cross_check(mut self, enabled: bool) -> Self {
+        self.config.exact_cross_check = enabled;
+        self
+    }
+
+    /// Tolerance for exact verdicts.
+    #[must_use]
+    pub fn exact_tol(mut self, tol: f64) -> Self {
+        self.config.exact_tol = tol;
+        self
+    }
+
+    /// Which independence test decides entanglement/product assertions.
+    #[must_use]
+    pub fn independence(mut self, method: IndependenceMethod) -> Self {
+        self.config.independence = method;
+        self
+    }
+
+    /// Hardware noise model (a noiseless model normalizes to `None`).
+    #[must_use]
+    pub fn noise(mut self, noise: NoiseModel) -> Self {
+        self.config = self.config.with_noise(noise);
+        self
+    }
+
+    /// Run the hot loops on all cores.
+    #[must_use]
+    pub fn parallel(mut self, parallel: bool) -> Self {
+        self.config.parallel = parallel;
+        self
+    }
+
+    /// How ideal-mode ensembles are produced.
+    #[must_use]
+    pub fn strategy(mut self, strategy: ExecutionStrategy) -> Self {
+        self.config.strategy = strategy;
+        self
+    }
+
+    /// How the sweep path lowers the program.
+    #[must_use]
+    pub fn opt_level(mut self, opt: OptLevel) -> Self {
+        self.config.opt = opt;
+        self
+    }
+
+    /// Which simulation engine runs the session.
+    #[must_use]
+    pub fn backend(mut self, backend: BackendChoice) -> Self {
+        self.config.backend = backend;
+        self
+    }
+
+    /// Finish, yielding the configuration.
+    #[must_use]
+    pub fn build(self) -> EnsembleConfig {
+        self.config
+    }
+}
+
 impl EnsembleConfig {
+    /// Start building a configuration from the defaults (see
+    /// [`EnsembleConfigBuilder`]).
+    #[must_use]
+    pub fn builder() -> EnsembleConfigBuilder {
+        EnsembleConfigBuilder::default()
+    }
+
     /// The paper's smallest reported ensemble size (16 shots), e.g. for
     /// the Listing 4 p-values.
     #[must_use]
@@ -185,6 +345,13 @@ impl EnsembleConfig {
     #[must_use]
     pub fn with_opt_level(mut self, opt: OptLevel) -> Self {
         self.opt = opt;
+        self
+    }
+
+    /// Builder-style backend override (see [`EnsembleConfig::backend`]).
+    #[must_use]
+    pub fn with_backend(mut self, backend: BackendChoice) -> Self {
+        self.backend = backend;
         self
     }
 
@@ -409,14 +576,57 @@ impl EnsembleRunner {
         })
     }
 
+    /// Resolve [`EnsembleConfig::backend`] for this program. The
+    /// stabilizer resolution carries the plan it decided on — always
+    /// compiled at [`OptLevel::Specialize`] with breakpoint cuts,
+    /// regardless of [`EnsembleConfig::opt`]: fusion buys nothing on
+    /// `O(n)` tableau updates and would erase both the Clifford
+    /// classification and the noise insertion points. Classification
+    /// itself is the syntactic [`Circuit::is_clifford`] probe, so a
+    /// session that resolves to the statevector never pays for a
+    /// lowering it would only throw away.
+    ///
+    /// [`Circuit::is_clifford`]: qdb_circuit::Circuit::is_clifford
+    fn resolve_backend(&self, program: &Program) -> Result<ResolvedBackend, CoreError> {
+        let clifford = || program.circuit().is_clifford();
+        match self.config.backend {
+            BackendChoice::Statevector => Ok(ResolvedBackend::Statevector),
+            BackendChoice::Auto if clifford() => Ok(ResolvedBackend::Stabilizer(
+                program.compile(OptLevel::Specialize),
+            )),
+            BackendChoice::Auto => Ok(ResolvedBackend::Statevector),
+            BackendChoice::Stabilizer if clifford() => Ok(ResolvedBackend::Stabilizer(
+                program.compile(OptLevel::Specialize),
+            )),
+            BackendChoice::Stabilizer => Err(CoreError::BackendUnsupported {
+                backend: StabilizerState::NAME,
+                reason: "the program contains non-Clifford instructions \
+                         (only h/s/sdg/x/y/z/cx/cy/cz/swap lower to the tableau); \
+                         use BackendChoice::Auto or Statevector"
+                    .into(),
+            }),
+        }
+    }
+
     /// Run and check every breakpoint in the program, producing one
     /// report per assertion.
     ///
+    /// The session's engine follows [`EnsembleConfig::backend`]: the
+    /// statevector paths below are the classic (bit-stable) ones, while
+    /// a stabilizer resolution routes through the backend-generic
+    /// engine (`check_program_on`), which
+    /// scales Clifford programs to hundreds of qubits.
+    ///
     /// # Errors
     ///
-    /// Propagates configuration, simulation, and statistics errors.
+    /// Propagates configuration, simulation, and statistics errors;
+    /// [`CoreError::BackendUnsupported`] when an explicitly requested
+    /// backend cannot run the program.
     pub fn check_program(&self, program: &Program) -> Result<Vec<AssertionReport>, CoreError> {
         self.config.validate()?;
+        if let ResolvedBackend::Stabilizer(plan) = self.resolve_backend(program)? {
+            return self.check_program_on::<StabilizerState>(program, &plan);
+        }
         if self.config.noise.is_none() && self.config.strategy == ExecutionStrategy::Sweep {
             // Single checkpointed pass: sample and check each
             // breakpoint in place from the live state — no prefix
@@ -459,6 +669,237 @@ impl EnsembleRunner {
             (0..count).map(check_one).collect()
         }
     }
+
+    /// The backend-generic session engine: run and check every
+    /// breakpoint of a pre-compiled plan on backend `B`.
+    ///
+    /// This is the path a stabilizer resolution takes, written against
+    /// [`SimBackend`] alone so any engine slots in:
+    ///
+    /// * the ideal state walks the plan once per
+    ///   [`EnsembleConfig::strategy`] — a single `O(G)` sweep
+    ///   ([`SweepRunner::walk_backend`]) or a per-breakpoint prefix
+    ///   replay (the generic form of the per-prefix reference path);
+    ///   both produce identical reports because every ensemble is a
+    ///   pure function of `(seed, breakpoint, shot)` and the ideal
+    ///   checkpoint state;
+    /// * each breakpoint's ensemble measures only the qubits its
+    ///   assertion reads (a 100-qubit GHZ check samples 2 qubits, not
+    ///   100), with one RNG per shot seeded from
+    ///   `(seed, breakpoint, shot)` — the same stream discipline the
+    ///   noisy-trajectory engine has always used, so results are
+    ///   identical across thread counts and the serial/parallel switch;
+    /// * with noise, each shot replays the prefix as an independent
+    ///   noisy trajectory on a fresh backend (all channels are Pauli,
+    ///   so this works on the tableau), then applies classical readout
+    ///   corruption to the measured bits;
+    /// * the exact cross-check reads the *ideal* backend state through
+    ///   [`exact_verdict_on`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration, simulation, and statistics errors.
+    fn check_program_on<B: SimBackend>(
+        &self,
+        program: &Program,
+        plan: &CompiledCircuit,
+    ) -> Result<Vec<AssertionReport>, CoreError> {
+        match self.config.strategy {
+            ExecutionStrategy::Sweep => SweepRunner::new(self.config).walk_backend::<B, _>(
+                program,
+                plan,
+                |index, bp, ideal| self.report_for_backend(plan, index, bp, ideal),
+            ),
+            ExecutionStrategy::PerPrefix => {
+                // `check_program` validated the config before routing
+                // here (the Sweep arm leans on the same fact —
+                // `walk_backend` merely re-validates).
+                let n = program.circuit().num_qubits();
+                program
+                    .breakpoints()
+                    .iter()
+                    .enumerate()
+                    .map(|(index, bp)| {
+                        let mut ideal = B::zero(n)
+                            .map_err(|e| CoreError::Circuit(qdb_circuit::CircuitError::Sim(e)))?;
+                        plan.apply_range_to_backend(&mut ideal, 0..bp.position);
+                        self.report_for_backend(plan, index, bp, &ideal)
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// Check one breakpoint from its ideal backend checkpoint: draw the
+    /// ensemble, run the statistical test on the measured register
+    /// values, and attach the exact verdict and histogram.
+    fn report_for_backend<B: SimBackend>(
+        &self,
+        plan: &CompiledCircuit,
+        index: usize,
+        bp: &Breakpoint,
+        ideal: &B,
+    ) -> Result<AssertionReport, CoreError> {
+        let qubits = breakpoint_qubits(&bp.kind);
+        if qubits.len() > 64 {
+            return Err(CoreError::RegisterTooWide {
+                name: bp.label.clone(),
+                width: qubits.len(),
+                max: 64,
+            });
+        }
+        let outcomes = self.draw_backend_ensemble(plan, index, bp, ideal, &qubits)?;
+        // `outcomes` packs the measured bits of `qubits` in order, so a
+        // single register's values are the outcomes themselves, and a
+        // register pair splits at the first register's width.
+        let outcome = match &bp.kind {
+            BreakpointKind::Classical { expected, .. } => {
+                check_classical(&outcomes, *expected, self.config.alpha)?
+            }
+            BreakpointKind::Superposition { register } => check_superposition(
+                &outcomes,
+                register.width(),
+                self.config.alpha,
+            )
+            .map_err(|e| match e {
+                CoreError::RegisterTooWide { width, max, .. } => CoreError::RegisterTooWide {
+                    name: register.name().to_string(),
+                    width,
+                    max,
+                },
+                other => other,
+            })?,
+            BreakpointKind::Entangled { a, .. } => {
+                let pairs = split_pairs(&outcomes, a.width());
+                check_entangled_with(&pairs, self.config.alpha, self.config.independence)?
+            }
+            BreakpointKind::Product { a, .. } => {
+                let pairs = split_pairs(&outcomes, a.width());
+                check_product_with(&pairs, self.config.alpha, self.config.independence)?
+            }
+        };
+        let exact = self
+            .config
+            .exact_cross_check
+            .then(|| exact_verdict_on(&bp.kind, ideal, self.config.exact_tol));
+        let histogram = match &bp.kind {
+            BreakpointKind::Classical { .. } | BreakpointKind::Superposition { .. } => {
+                outcomes.iter().copied().collect()
+            }
+            BreakpointKind::Entangled { a, .. } | BreakpointKind::Product { a, .. } => {
+                let mask = register_mask(a.width());
+                outcomes.iter().map(|&o| o & mask).collect()
+            }
+        };
+        Ok(AssertionReport {
+            index,
+            label: bp.label.clone(),
+            kind: bp.kind.clone(),
+            test: outcome.test,
+            shots: self.config.shots,
+            statistic: outcome.statistic,
+            dof: outcome.dof,
+            p_value: outcome.p_value,
+            verdict: outcome.verdict,
+            histogram,
+            exact,
+        })
+    }
+
+    /// Draw breakpoint `index`'s ensemble of packed outcomes of
+    /// `qubits` on backend `B`. Shot `s` owns the RNG stream
+    /// `shot_seed(seed, index, s)`, so the ensemble is a pure function
+    /// of the configuration — independent of scheduling, thread count,
+    /// and the serial/parallel switch — and shots are free to fan out.
+    fn draw_backend_ensemble<B: SimBackend>(
+        &self,
+        plan: &CompiledCircuit,
+        index: usize,
+        bp: &Breakpoint,
+        ideal: &B,
+        qubits: &[usize],
+    ) -> Result<Vec<u64>, CoreError> {
+        let one_shot = |shot: usize| -> Result<u64, CoreError> {
+            let mut rng =
+                StdRng::seed_from_u64(shot_seed(self.config.seed, index as u64, shot as u64));
+            match self.config.noise {
+                None => Ok(ideal.sample_once(qubits, &mut rng)),
+                Some(noise) => {
+                    // An independent noisy trajectory per shot; the
+                    // classical readout error then flips each *measured*
+                    // bit — same per-register marginal as the dense
+                    // path's full-outcome corruption.
+                    let mut trajectory = B::zero(ideal.num_qubits())
+                        .map_err(|e| CoreError::Circuit(qdb_circuit::CircuitError::Sim(e)))?;
+                    plan.apply_range_to_noisy_backend(
+                        &mut trajectory,
+                        0..bp.position,
+                        &noise,
+                        &mut rng,
+                    );
+                    let raw = trajectory.sample_once(qubits, &mut rng);
+                    Ok(noise.corrupt_readout(raw, qubits.len(), &mut rng))
+                }
+            }
+        };
+        if self.config.parallel {
+            (0..self.config.shots)
+                .into_par_iter()
+                .map(one_shot)
+                .collect()
+        } else {
+            (0..self.config.shots).map(one_shot).collect()
+        }
+    }
+}
+
+/// How [`EnsembleRunner::resolve_backend`] routed a session.
+enum ResolvedBackend {
+    /// The classic dense paths (bit-stable against the pre-backend
+    /// engine).
+    Statevector,
+    /// The backend-generic engine on the stabilizer tableau, with the
+    /// Clifford-only plan the resolution verified.
+    Stabilizer(CompiledCircuit),
+}
+
+/// The qubits a breakpoint's assertion measures, in packing order: the
+/// register's qubits (LSB first), or the first register's then the
+/// second's for two-register assertions.
+fn breakpoint_qubits(kind: &BreakpointKind) -> Vec<usize> {
+    match kind {
+        BreakpointKind::Classical { register, .. } | BreakpointKind::Superposition { register } => {
+            register.qubits().to_vec()
+        }
+        BreakpointKind::Entangled { a, b } | BreakpointKind::Product { a, b } => {
+            a.qubits().iter().chain(b.qubits()).copied().collect()
+        }
+    }
+}
+
+/// The low `width` bits (valid for `width ≤ 64`).
+fn register_mask(width: usize) -> u64 {
+    if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+/// Split packed two-register outcomes into `(first, second)` value
+/// pairs at the first register's width.
+///
+/// `a_width ≤ 63` always holds here: registers own at least one qubit
+/// ([`QReg::new`](qdb_circuit::QReg::new) enforces it), so under the
+/// 64-qubit packing guard the first register leaves the second at
+/// least one bit.
+fn split_pairs(outcomes: &[u64], a_width: usize) -> Vec<(u64, u64)> {
+    debug_assert!(
+        a_width < 64,
+        "first register must leave room for the second"
+    );
+    let mask = register_mask(a_width);
+    outcomes.iter().map(|&o| (o & mask, o >> a_width)).collect()
 }
 
 /// Derive the RNG seed for one noisy-trajectory shot.
@@ -821,6 +1262,244 @@ mod tests {
         assert_eq!(swept[0].outcomes, replayed[0].outcomes);
         assert_eq!(swept[0].state.gate_ops(), replayed[0].state.gate_ops());
         assert!(swept[0].state.index_ops() < replayed[0].state.index_ops());
+    }
+
+    #[test]
+    fn builder_matches_with_methods() {
+        let via_builder = EnsembleConfig::builder()
+            .shots(64)
+            .seed(7)
+            .alpha(0.01)
+            .parallel(false)
+            .strategy(ExecutionStrategy::PerPrefix)
+            .backend(BackendChoice::Auto)
+            .noise(qdb_sim::NoiseModel::depolarizing(0.01))
+            .build();
+        let via_with = EnsembleConfig::default()
+            .with_shots(64)
+            .with_seed(7)
+            .with_alpha(0.01)
+            .with_parallel(false)
+            .with_strategy(ExecutionStrategy::PerPrefix)
+            .with_backend(BackendChoice::Auto)
+            .with_noise(qdb_sim::NoiseModel::depolarizing(0.01));
+        assert_eq!(via_builder, via_with);
+        // A noiseless model normalizes away, exactly as with_noise does.
+        assert!(EnsembleConfig::builder()
+            .noise(qdb_sim::NoiseModel::noiseless())
+            .build()
+            .noise
+            .is_none());
+    }
+
+    #[test]
+    fn stabilizer_backend_checks_bell_program() {
+        let (mut p, m0, m1) = bell_program();
+        p.assert_entangled(&m0, &m1);
+        let config = EnsembleConfig::builder()
+            .shots(256)
+            .seed(7)
+            .backend(BackendChoice::Stabilizer)
+            .build();
+        let reports = EnsembleRunner::new(config).check_program(&p).unwrap();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].verdict, Verdict::Pass, "{}", reports[0]);
+        assert_eq!(reports[0].exact, Some(Verdict::Pass));
+        assert_eq!(reports[0].shots, 256);
+        assert_eq!(reports[0].histogram.total(), 256);
+    }
+
+    #[test]
+    fn stabilizer_multi_breakpoint_program_passes() {
+        let mut p = Program::new();
+        let r = p.alloc_register("r", 3);
+        p.prep_int(&r, 5);
+        p.assert_classical(&r, 5);
+        for i in 0..3 {
+            p.h(r.bit(i));
+        }
+        p.assert_superposition(&r);
+        p.h(r.bit(1)); // back to |0⟩ so the CX genuinely entangles
+        p.cx(r.bit(0), r.bit(1));
+        let a = QReg::new("a", vec![r.bit(0)]);
+        let b = QReg::new("b", vec![r.bit(1)]);
+        p.assert_entangled(&a, &b);
+        let config = EnsembleConfig::builder()
+            .shots(256)
+            .seed(12)
+            .backend(BackendChoice::Stabilizer)
+            .build();
+        let reports = EnsembleRunner::new(config).check_program(&p).unwrap();
+        assert_eq!(reports.len(), 3);
+        for report in &reports {
+            assert_eq!(report.verdict, Verdict::Pass, "{report}");
+            assert_eq!(report.exact, Some(Verdict::Pass), "{report}");
+        }
+    }
+
+    #[test]
+    fn auto_matches_stabilizer_on_clifford_programs() {
+        let (mut p, m0, m1) = bell_program();
+        p.assert_entangled(&m0, &m1);
+        let base = EnsembleConfig::builder().shots(128).seed(9).build();
+        let auto = EnsembleRunner::new(base.with_backend(BackendChoice::Auto))
+            .check_program(&p)
+            .unwrap();
+        let stab = EnsembleRunner::new(base.with_backend(BackendChoice::Stabilizer))
+            .check_program(&p)
+            .unwrap();
+        assert_reports_bit_identical(&auto, &stab);
+    }
+
+    #[test]
+    fn auto_matches_statevector_on_non_clifford_programs() {
+        let mut p = Program::new();
+        let r = p.alloc_register("r", 2);
+        p.h(r.bit(0));
+        p.t(r.bit(0)); // non-Clifford ⇒ Auto must fall back, bit for bit
+        p.cx(r.bit(0), r.bit(1));
+        let a = QReg::new("a", vec![r.bit(0)]);
+        let b = QReg::new("b", vec![r.bit(1)]);
+        p.assert_entangled(&a, &b);
+        let base = EnsembleConfig::builder().shots(128).seed(3).build();
+        let auto = EnsembleRunner::new(base.with_backend(BackendChoice::Auto))
+            .check_program(&p)
+            .unwrap();
+        let dense = EnsembleRunner::new(base.with_backend(BackendChoice::Statevector))
+            .check_program(&p)
+            .unwrap();
+        assert_reports_bit_identical(&auto, &dense);
+    }
+
+    #[test]
+    fn explicit_stabilizer_rejects_non_clifford_programs() {
+        let mut p = Program::new();
+        let r = p.alloc_register("r", 1);
+        p.h(r.bit(0));
+        p.t(r.bit(0));
+        p.assert_superposition(&r);
+        let config = EnsembleConfig::builder()
+            .backend(BackendChoice::Stabilizer)
+            .build();
+        let err = EnsembleRunner::new(config).check_program(&p).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                CoreError::BackendUnsupported {
+                    backend: "stabilizer",
+                    ..
+                }
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn stabilizer_sweep_and_per_prefix_reports_are_bit_identical() {
+        let mut p = Program::new();
+        let r = p.alloc_register("r", 4);
+        p.prep_int(&r, 9);
+        p.assert_classical(&r, 9);
+        p.h(r.bit(0));
+        p.cx(r.bit(0), r.bit(2));
+        p.s(r.bit(2));
+        p.cz(r.bit(2), r.bit(3));
+        let a = QReg::new("a", vec![r.bit(0)]);
+        let b = QReg::new("b", vec![r.bit(2)]);
+        p.assert_entangled(&a, &b);
+        for parallel in [false, true] {
+            let base = EnsembleConfig::builder()
+                .shots(200)
+                .seed(13)
+                .parallel(parallel)
+                .backend(BackendChoice::Stabilizer)
+                .build();
+            let sweep = EnsembleRunner::new(base.with_strategy(ExecutionStrategy::Sweep))
+                .check_program(&p)
+                .unwrap();
+            let prefix = EnsembleRunner::new(base.with_strategy(ExecutionStrategy::PerPrefix))
+                .check_program(&p)
+                .unwrap();
+            assert_reports_bit_identical(&sweep, &prefix);
+        }
+    }
+
+    #[test]
+    fn stabilizer_serial_and_parallel_sessions_agree() {
+        let (mut p, m0, m1) = bell_program();
+        p.assert_entangled(&m0, &m1);
+        let base = EnsembleConfig::builder()
+            .shots(512)
+            .seed(21)
+            .backend(BackendChoice::Stabilizer)
+            .build();
+        let serial = EnsembleRunner::new(base.with_parallel(false))
+            .check_program(&p)
+            .unwrap();
+        let parallel = EnsembleRunner::new(base.with_parallel(true))
+            .check_program(&p)
+            .unwrap();
+        assert_reports_bit_identical(&serial, &parallel);
+    }
+
+    #[test]
+    fn stabilizer_noisy_sessions_localize_readout_noise() {
+        let mut p = Program::new();
+        let r = p.alloc_register("r", 3);
+        p.prep_int(&r, 5);
+        p.assert_classical(&r, 5);
+        let config = EnsembleConfig::builder()
+            .shots(256)
+            .seed(4)
+            .noise(qdb_sim::NoiseModel::readout_only(0.25))
+            .backend(BackendChoice::Stabilizer)
+            .build();
+        let reports = EnsembleRunner::new(config).check_program(&p).unwrap();
+        assert_eq!(reports[0].verdict, Verdict::Fail);
+        // The exact verdict (ideal tableau) still says PASS: the
+        // disagreement localizes the problem to hardware, not code.
+        assert_eq!(reports[0].exact, Some(Verdict::Pass));
+        assert!(reports[0].disagrees_with_exact());
+    }
+
+    #[test]
+    fn stabilizer_noisy_trajectories_keep_robust_assertions_at_low_noise() {
+        let (mut p, m0, m1) = bell_program();
+        p.assert_entangled(&m0, &m1);
+        let config = EnsembleConfig::builder()
+            .shots(256)
+            .seed(3)
+            .noise(qdb_sim::NoiseModel::depolarizing(0.005))
+            .backend(BackendChoice::Stabilizer)
+            .build();
+        let reports = EnsembleRunner::new(config).check_program(&p).unwrap();
+        assert_eq!(reports[0].verdict, Verdict::Pass, "{}", reports[0]);
+    }
+
+    #[test]
+    fn hundred_qubit_ghz_checks_on_the_stabilizer_backend() {
+        // Far beyond the dense backend's 26-qubit cap: the same
+        // assertion workflow, unchanged, at 100 qubits.
+        let mut p = Program::new();
+        let q = p.alloc_register("q", 100);
+        p.h(q.bit(0));
+        for i in 1..100 {
+            p.cx(q.bit(i - 1), q.bit(i));
+        }
+        let first = QReg::new("first", vec![q.bit(0)]);
+        let last = QReg::new("last", vec![q.bit(99)]);
+        p.assert_entangled(&first, &last);
+        let config = EnsembleConfig::builder()
+            .shots(128)
+            .seed(5)
+            .backend(BackendChoice::Auto)
+            .build();
+        let reports = EnsembleRunner::new(config).check_program(&p).unwrap();
+        assert_eq!(reports[0].verdict, Verdict::Pass, "{}", reports[0]);
+        assert_eq!(reports[0].exact, Some(Verdict::Pass));
+        // The statevector backend cannot even allocate this program.
+        let dense = EnsembleRunner::new(config.with_backend(BackendChoice::Statevector));
+        assert!(dense.check_program(&p).is_err());
     }
 
     #[test]

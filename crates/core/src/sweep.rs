@@ -49,8 +49,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
 
-use qdb_circuit::{Breakpoint, GateSink, Program};
-use qdb_sim::{Sampler, State};
+use qdb_circuit::{Breakpoint, CompiledCircuit, GateSink, Program};
+use qdb_sim::{Sampler, SimBackend, State};
 
 use crate::error::CoreError;
 use crate::runner::{EnsembleConfig, MeasuredEnsemble};
@@ -86,11 +86,41 @@ impl SweepRunner {
     ///
     /// This is the engine under both [`SweepRunner::run_all`] (which
     /// snapshots) and the report path (which checks in place and never
-    /// clones the state).
+    /// clones the state). The program is lowered once at the configured
+    /// opt level; `Program::compile` cuts fusion at breakpoint
+    /// positions, so segment boundaries are always op boundaries.
     pub(crate) fn walk<T>(
         &self,
         program: &Program,
-        mut visit: impl FnMut(usize, &Breakpoint, &State) -> Result<T, CoreError>,
+        visit: impl FnMut(usize, &Breakpoint, &State) -> Result<T, CoreError>,
+    ) -> Result<Vec<T>, CoreError> {
+        let plan = program.compile(self.config.opt);
+        self.walk_backend::<State, T>(program, &plan, visit)
+    }
+
+    /// The backend-generic sweep: evolve `B`'s `|0…0⟩` state through
+    /// `plan` once, invoking `visit` with the live (borrowed) backend
+    /// state at each breakpoint.
+    ///
+    /// This is the classic `walk` with the engine abstracted: the
+    /// dense path instantiates it with [`State`] (bit-for-bit the
+    /// classic sweep), the Clifford path with
+    /// [`StabilizerState`](qdb_sim::StabilizerState) — same `O(G)`
+    /// gate-application bound either way. The caller supplies the plan
+    /// (compile via [`Program::compile`] so breakpoint positions are
+    /// fusion cuts); [`EnsembleConfig::noise`] is ignored — the walk is
+    /// always the *ideal* evolution.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::BadConfig`] for invalid configurations;
+    /// * simulator errors for malformed programs (e.g. zero qubits);
+    /// * whatever `visit` returns.
+    pub fn walk_backend<B: SimBackend, T>(
+        &self,
+        program: &Program,
+        plan: &CompiledCircuit,
+        mut visit: impl FnMut(usize, &Breakpoint, &B) -> Result<T, CoreError>,
     ) -> Result<Vec<T>, CoreError> {
         self.config.validate()?;
         let breakpoints = program.breakpoints();
@@ -98,21 +128,13 @@ impl SweepRunner {
         if breakpoints.is_empty() {
             return Ok(out);
         }
-        let circuit = program.circuit();
-        // Lower the program once at the configured opt level; every
-        // segment below replays a window of this plan. `Program::compile`
-        // cuts fusion at breakpoint positions, so segment boundaries
-        // are always op boundaries. At the default
-        // `OptLevel::Specialize` the plan is 1:1 with instructions and
-        // the sweep's `gate_ops` accounting is unchanged.
-        let plan = program.compile(self.config.opt);
         // Matches the per-prefix path's `prefix.run_on_basis(0)` start
         // state (and its error for zero-qubit programs).
-        let mut state = State::basis(circuit.num_qubits(), 0)
+        let mut backend = B::zero(program.circuit().num_qubits())
             .map_err(|e| CoreError::Circuit(qdb_circuit::CircuitError::Sim(e)))?;
         for segment in program.segments() {
-            plan.apply_range_to(&mut state, segment.range());
-            out.push(visit(segment.index, &breakpoints[segment.index], &state)?);
+            plan.apply_range_to_backend(&mut backend, segment.range());
+            out.push(visit(segment.index, &breakpoints[segment.index], &backend)?);
         }
         Ok(out)
     }

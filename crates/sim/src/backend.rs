@@ -1,0 +1,477 @@
+//! The simulator backend abstraction.
+//!
+//! Everything above `qdb-sim` — the lowering layer in `qdb-circuit`, the
+//! sweep/ensemble engines in `qdb-core` — used to be hard-wired to the
+//! dense [`State`] vector, capping every workflow at
+//! [`MAX_QUBITS`](crate::state::MAX_QUBITS) qubits. This module factors
+//! the contract those layers actually rely on into the [`SimBackend`]
+//! trait so specialized engines can slot in underneath an unchanged
+//! programming model:
+//!
+//! * [`StatevectorBackend`] (= [`State`]) — the dense reference engine;
+//!   exact for arbitrary circuits, exponential in qubit count.
+//! * [`StabilizerState`](crate::stabilizer::StabilizerState) — an
+//!   Aaronson–Gottesman tableau engine; polynomial in qubit count but
+//!   restricted to Clifford circuits.
+//!
+//! The unit of work is a [`SimOp`]: one lowered gate, carrying both its
+//! dense kernel form (what the statevector backend executes) and — when
+//! the source instruction is a recognized Clifford gate — its
+//! [`CliffordOp`] form (what the tableau backend executes). Lowering
+//! (and therefore Clifford *classification*) happens once per compiled
+//! circuit in `qdb-circuit`; backends never parse matrices.
+//!
+//! ## Determinism
+//!
+//! Every probabilistic entry point takes a caller-seeded RNG and draws
+//! from it in a documented order, so any two runs given the same seeds
+//! agree bit for bit *within* a backend. Across backends only the
+//! *distributions* agree: each backend consumes randomness its own way.
+
+use std::collections::HashMap;
+
+use rand::Rng;
+
+use crate::complex::Complex;
+use crate::error::SimError;
+use crate::gates::Matrix2;
+use crate::measure::{extract_bits, Sampler};
+use crate::state::{Pauli, State};
+
+/// A single-qubit Clifford gate the stabilizer backend understands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CliffordGate1 {
+    /// Hadamard.
+    H,
+    /// Phase gate `S = diag(1, i)`.
+    S,
+    /// `S†`.
+    Sdg,
+    /// Pauli-X.
+    X,
+    /// Pauli-Y.
+    Y,
+    /// Pauli-Z.
+    Z,
+}
+
+/// A backend-neutral Clifford operation.
+///
+/// This is the instruction set of the tableau backend: the single-qubit
+/// Cliffords, the controlled Paulis, and the qubit swap. Anything else
+/// (T gates, rotations, multiply-controlled gates) is not Clifford and
+/// has no representation here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CliffordOp {
+    /// An uncontrolled single-qubit Clifford on `target`.
+    Gate1 {
+        /// Which gate.
+        gate: CliffordGate1,
+        /// Target qubit.
+        target: usize,
+    },
+    /// Controlled-X (CNOT).
+    Cx {
+        /// Control qubit.
+        control: usize,
+        /// Target qubit.
+        target: usize,
+    },
+    /// Controlled-Y.
+    Cy {
+        /// Control qubit.
+        control: usize,
+        /// Target qubit.
+        target: usize,
+    },
+    /// Controlled-Z.
+    Cz {
+        /// Control qubit.
+        control: usize,
+        /// Target qubit.
+        target: usize,
+    },
+    /// Swap two qubits.
+    Swap {
+        /// First qubit.
+        a: usize,
+        /// Second qubit.
+        b: usize,
+    },
+}
+
+/// The dense kernel form of a lowered gate — which specialized
+/// [`kernels`](crate::kernels) entry point the statevector backend
+/// dispatches to, with the precomputed matrix data.
+#[derive(Debug, Clone, PartialEq)]
+pub enum KernelOp {
+    /// `diag(d0, d1)` — two scalar multiplies per pair.
+    Diagonal {
+        /// Top-left entry.
+        d0: Complex,
+        /// Bottom-right entry.
+        d1: Complex,
+    },
+    /// Anti-diagonal — amplitude permutation with per-branch phases.
+    AntiDiagonal {
+        /// Top-right entry.
+        a01: Complex,
+        /// Bottom-left entry.
+        a10: Complex,
+    },
+    /// Dense 2×2 on the control-satisfying subspace.
+    General(Matrix2),
+    /// (Controlled) swap with the second swapped qubit.
+    Swap {
+        /// The qubit swapped with the op's target.
+        other: usize,
+    },
+}
+
+/// One lowered simulator operation: control wiring, target, the dense
+/// kernel form, and — when the source instruction is a recognized
+/// Clifford gate — the [`CliffordOp`] the tableau backend executes.
+///
+/// Built by the lowering layer in `qdb-circuit`
+/// (`CompiledCircuit::compile`); consumed by [`SimBackend::apply_op`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimOp {
+    controls: Vec<usize>,
+    target: usize,
+    kernel: KernelOp,
+    clifford: Option<CliffordOp>,
+}
+
+impl SimOp {
+    /// Lower a (controlled) gate into its kernel form. The Clifford
+    /// classification is attached separately with
+    /// [`SimOp::with_clifford`] because it derives from the source IR,
+    /// not from the matrix.
+    #[must_use]
+    pub fn new(controls: Vec<usize>, target: usize, kernel: KernelOp) -> Self {
+        Self {
+            controls,
+            target,
+            kernel,
+            clifford: None,
+        }
+    }
+
+    /// Attach the Clifford classification of the source instruction.
+    #[must_use]
+    pub fn with_clifford(mut self, clifford: Option<CliffordOp>) -> Self {
+        self.clifford = clifford;
+        self
+    }
+
+    /// Control qubits in source order.
+    #[must_use]
+    pub fn controls(&self) -> &[usize] {
+        &self.controls
+    }
+
+    /// Target qubit (for swaps: the first swapped qubit).
+    #[must_use]
+    pub fn target(&self) -> usize {
+        self.target
+    }
+
+    /// The dense kernel form.
+    #[must_use]
+    pub fn kernel(&self) -> &KernelOp {
+        &self.kernel
+    }
+
+    /// The Clifford form, when the source instruction is one of the
+    /// gates in [`CliffordOp`]'s instruction set.
+    #[must_use]
+    pub fn clifford(&self) -> Option<&CliffordOp> {
+        self.clifford.as_ref()
+    }
+
+    /// Visit every qubit this op touches, in the source instruction's
+    /// order (controls first) — the qubit sequence noisy replay walks.
+    pub fn for_each_qubit(&self, mut f: impl FnMut(usize)) {
+        for &c in &self.controls {
+            f(c);
+        }
+        f(self.target);
+        if let KernelOp::Swap { other } = &self.kernel {
+            f(*other);
+        }
+    }
+}
+
+/// The contract every simulation engine offers the ensemble machinery:
+/// construction from `|0…0⟩`, application of lowered ops, marginal
+/// measurement probabilities, seeded collapse, one-shot sampling, and
+/// exact outcome distributions over qubit subsets.
+///
+/// Implementations: [`State`] (dense statevector, exact and universal,
+/// ≤ [`MAX_QUBITS`](crate::state::MAX_QUBITS) qubits) and
+/// [`StabilizerState`](crate::stabilizer::StabilizerState) (tableau,
+/// Clifford-only, hundreds of qubits).
+pub trait SimBackend: Sized + Clone + Send + Sync {
+    /// Human-readable engine name (for error messages and reports).
+    const NAME: &'static str;
+
+    /// The all-zeros state `|0…0⟩` on `num_qubits` qubits.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::InvalidDimension`] when `num_qubits == 0`;
+    /// * [`SimError::TooManyQubits`] beyond the backend's capacity.
+    fn zero(num_qubits: usize) -> Result<Self, SimError>;
+
+    /// Number of qubits.
+    fn num_qubits(&self) -> usize;
+
+    /// `true` when [`apply_op`](SimBackend::apply_op) can execute `op`.
+    ///
+    /// The statevector backend supports everything; the tableau backend
+    /// supports exactly the ops carrying a [`CliffordOp`]
+    /// classification.
+    fn supports_op(&self, op: &SimOp) -> bool;
+
+    /// Apply one lowered op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the op is unsupported (see
+    /// [`supports_op`](SimBackend::supports_op)) or touches a qubit out
+    /// of range.
+    fn apply_op(&mut self, op: &SimOp);
+
+    /// Apply a single-qubit Pauli (the noise-channel primitive; every
+    /// noise channel in [`crate::noise`] is Pauli, so trajectories work
+    /// on any backend).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    fn apply_pauli(&mut self, q: usize, p: Pauli);
+
+    /// Marginal probability that qubit `q` measures `1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    fn prob_one(&self, q: usize) -> f64;
+
+    /// Measure qubit `q` in the computational basis, collapsing the
+    /// state; the caller seeds the RNG (seeded collapse).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    fn measure_qubit<R: Rng + ?Sized>(&mut self, q: usize, rng: &mut R) -> u8;
+
+    /// Draw one joint measurement outcome of the listed qubits without
+    /// disturbing `self`, packing the observed bit of `qubits[i]` into
+    /// bit `i` of the result.
+    ///
+    /// The default implementation measures the qubits in order on a
+    /// working copy; the joint distribution is the Born rule marginal
+    /// on `qubits` (commuting Z measurements, so the order does not
+    /// affect the distribution).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a qubit is out of range or `qubits.len() > 64`.
+    fn sample_once<R: Rng + ?Sized>(&self, qubits: &[usize], rng: &mut R) -> u64 {
+        assert!(qubits.len() <= 64, "cannot pack more than 64 qubits");
+        let mut copy = self.clone();
+        let mut out = 0u64;
+        for (pos, &q) in qubits.iter().enumerate() {
+            out |= u64::from(copy.measure_qubit(q, rng)) << pos;
+        }
+        out
+    }
+
+    /// The exact joint Born distribution of the listed qubits, keyed by
+    /// the packed outcome (bit `i` ← qubit `qubits[i]`). Outcomes with
+    /// zero probability are omitted.
+    ///
+    /// This is the *measurement probabilities* entry point behind the
+    /// exact assertion cross-check: the statevector backend scans its
+    /// `2ⁿ` amplitudes; the tableau backend enumerates the (at most
+    /// `2^|qubits|`) branches of its affine outcome space in polynomial
+    /// time per branch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a qubit is out of range or `qubits.len() > 64`.
+    fn outcome_distribution(&self, qubits: &[usize]) -> HashMap<u64, f64>;
+}
+
+/// The dense statevector engine is [`State`] itself: exact for
+/// arbitrary circuits, `O(2ⁿ)` memory, the reference semantics every
+/// other backend is validated against.
+pub type StatevectorBackend = State;
+
+impl SimBackend for State {
+    const NAME: &'static str = "statevector";
+
+    fn zero(num_qubits: usize) -> Result<Self, SimError> {
+        State::basis(num_qubits, 0)
+    }
+
+    fn num_qubits(&self) -> usize {
+        State::num_qubits(self)
+    }
+
+    fn supports_op(&self, _op: &SimOp) -> bool {
+        true
+    }
+
+    fn apply_op(&mut self, op: &SimOp) {
+        match &op.kernel {
+            KernelOp::Diagonal { d0, d1 } => {
+                self.apply_diagonal(&op.controls, op.target, *d0, *d1);
+            }
+            KernelOp::AntiDiagonal { a01, a10 } => {
+                self.apply_antidiagonal(&op.controls, op.target, *a01, *a10);
+            }
+            KernelOp::General(m) => self.apply_1q_subspace(&op.controls, op.target, m),
+            KernelOp::Swap { other } => self.apply_swap_subspace(&op.controls, op.target, *other),
+        }
+    }
+
+    fn apply_pauli(&mut self, q: usize, p: Pauli) {
+        if p != Pauli::I {
+            self.apply_1q(q, &p.matrix());
+        }
+    }
+
+    fn prob_one(&self, q: usize) -> f64 {
+        State::prob_one(self, q)
+    }
+
+    fn measure_qubit<R: Rng + ?Sized>(&mut self, q: usize, rng: &mut R) -> u8 {
+        State::measure_qubit(self, q, rng)
+    }
+
+    fn sample_once<R: Rng + ?Sized>(&self, qubits: &[usize], rng: &mut R) -> u64 {
+        // One CDF inversion instead of sequential per-qubit collapse:
+        // same distribution, and it reuses the battle-tested sampler.
+        assert!(qubits.len() <= 64, "cannot pack more than 64 qubits");
+        extract_bits(Sampler::sample_once(self, rng), qubits)
+    }
+
+    fn outcome_distribution(&self, qubits: &[usize]) -> HashMap<u64, f64> {
+        assert!(qubits.len() <= 64, "cannot pack more than 64 qubits");
+        for &q in qubits {
+            self.check_qubit(q);
+        }
+        let mut dist: HashMap<u64, f64> = HashMap::new();
+        for i in 0..self.dim() {
+            let p = self.probability(i);
+            if p > 0.0 {
+                *dist.entry(extract_bits(i as u64, qubits)).or_insert(0.0) += p;
+            }
+        }
+        dist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gates;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn bell() -> State {
+        let mut s = State::zero(2);
+        s.apply_1q(0, &gates::h());
+        s.apply_controlled_1q(&[0], 1, &gates::x());
+        s
+    }
+
+    #[test]
+    fn state_apply_op_matches_kernel_entry_points() {
+        let op = SimOp::new(
+            vec![0],
+            1,
+            KernelOp::AntiDiagonal {
+                a01: Complex::ONE,
+                a10: Complex::ONE,
+            },
+        )
+        .with_clifford(Some(CliffordOp::Cx {
+            control: 0,
+            target: 1,
+        }));
+        let mut via_trait = State::zero(2);
+        via_trait.apply_1q(0, &gates::h());
+        via_trait.apply_op(&op);
+        assert_eq!(via_trait, bell());
+        assert!(via_trait.supports_op(&op));
+        assert_eq!(
+            op.clifford(),
+            Some(&CliffordOp::Cx {
+                control: 0,
+                target: 1
+            })
+        );
+    }
+
+    #[test]
+    fn sim_op_visits_qubits_in_source_order() {
+        let op = SimOp::new(vec![3, 1], 0, KernelOp::Swap { other: 2 });
+        let mut seen = Vec::new();
+        op.for_each_qubit(|q| seen.push(q));
+        assert_eq!(seen, vec![3, 1, 0, 2]);
+    }
+
+    #[test]
+    fn outcome_distribution_matches_probabilities() {
+        let s = bell();
+        let full = s.outcome_distribution(&[0, 1]);
+        assert_eq!(full.len(), 2);
+        assert!((full[&0b00] - 0.5).abs() < 1e-12);
+        assert!((full[&0b11] - 0.5).abs() < 1e-12);
+        // Marginal of one qubit: uniform.
+        let marginal = s.outcome_distribution(&[1]);
+        assert!((marginal[&0] - 0.5).abs() < 1e-12);
+        assert!((marginal[&1] - 0.5).abs() < 1e-12);
+        // Qubit order controls bit packing.
+        let mut one = State::zero(2);
+        one.apply_1q(0, &gates::x());
+        let swapped = one.outcome_distribution(&[1, 0]);
+        assert!((swapped[&0b10] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_once_respects_support_and_packing() {
+        let s = bell();
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..200 {
+            let o = SimBackend::sample_once(&s, &[0, 1], &mut rng);
+            assert!(o == 0b00 || o == 0b11, "impossible outcome {o:#b}");
+        }
+    }
+
+    #[test]
+    fn trait_zero_matches_basis_and_guards() {
+        let z = <State as SimBackend>::zero(3).unwrap();
+        assert_eq!(z, State::zero(3));
+        assert!(<State as SimBackend>::zero(0).is_err());
+    }
+
+    #[test]
+    fn apply_pauli_matches_apply_1q() {
+        for p in [Pauli::X, Pauli::Y, Pauli::Z] {
+            let mut a = bell();
+            SimBackend::apply_pauli(&mut a, 1, p);
+            let mut b = bell();
+            b.apply_1q(1, &p.matrix());
+            assert_eq!(a, b);
+        }
+        // Identity is a no-op (and counts no gate).
+        let mut a = bell();
+        let ops_before = a.gate_ops();
+        SimBackend::apply_pauli(&mut a, 0, Pauli::I);
+        assert_eq!(a.gate_ops(), ops_before);
+    }
+}

@@ -14,6 +14,13 @@
 //!   control-subspace enumeration) used by the compiled hot path in
 //!   `qdb-circuit`; the generic [`state`] entry points remain the
 //!   reference semantics.
+//! * [`backend`] — the [`SimBackend`] trait abstracting simulation
+//!   engines behind one contract (lowered-op application, measurement
+//!   probabilities, sampling, seeded collapse), with the dense
+//!   [`State`] as the [`backend::StatevectorBackend`] reference engine.
+//! * [`stabilizer`] — an Aaronson–Gottesman Clifford tableau backend:
+//!   polynomial-time simulation of H/S/CX-class circuits at hundreds of
+//!   qubits, where the dense backend cannot even allocate.
 //! * [`measure`] — ensemble sampling (via a cumulative-distribution
 //!   sampler) and collapsing mid-circuit measurement, as needed for
 //!   iterative phase estimation.
@@ -47,6 +54,7 @@
 
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod complex;
 pub mod density;
 pub mod gates;
@@ -54,13 +62,16 @@ pub mod kernels;
 pub mod linalg;
 pub mod measure;
 pub mod noise;
+pub mod stabilizer;
 pub mod state;
 
 mod error;
 
+pub use backend::{CliffordGate1, CliffordOp, KernelOp, SimBackend, SimOp, StatevectorBackend};
 pub use complex::Complex;
 pub use error::SimError;
 pub use gates::Matrix2;
 pub use measure::Sampler;
 pub use noise::{NoiseChannel, NoiseModel};
-pub use state::State;
+pub use stabilizer::StabilizerState;
+pub use state::{Pauli, State};

@@ -10,8 +10,8 @@
 
 use rand::Rng;
 
-use crate::gates;
-use crate::state::State;
+use crate::backend::SimBackend;
+use crate::state::{Pauli, State};
 
 /// A single-qubit Pauli noise channel, applied after each gate to every
 /// qubit the gate touched.
@@ -38,17 +38,34 @@ impl NoiseChannel {
 
     /// Sample the channel once on qubit `q` of `state`.
     pub fn apply<R: Rng + ?Sized>(&self, state: &mut State, q: usize, rng: &mut R) {
+        self.apply_to_backend(state, q, rng);
+    }
+
+    /// Sample the channel once on qubit `q` of any [`SimBackend`].
+    ///
+    /// Every channel is a stochastic Pauli, so this works on the
+    /// stabilizer backend too (Pauli conjugation is Clifford). The RNG
+    /// consumption order — one uniform for the error decision, then one
+    /// `gen_range(0..3)` only for a firing depolarizing channel — is
+    /// identical to what the dense path has always drawn, so existing
+    /// seeded trajectories are unchanged.
+    pub fn apply_to_backend<B: SimBackend, R: Rng + ?Sized>(
+        &self,
+        backend: &mut B,
+        q: usize,
+        rng: &mut R,
+    ) {
         let p = self.probability();
         if p <= 0.0 || rng.gen::<f64>() >= p {
             return;
         }
         match self {
-            NoiseChannel::BitFlip(_) => state.apply_1q(q, &gates::x()),
-            NoiseChannel::PhaseFlip(_) => state.apply_1q(q, &gates::z()),
+            NoiseChannel::BitFlip(_) => backend.apply_pauli(q, Pauli::X),
+            NoiseChannel::PhaseFlip(_) => backend.apply_pauli(q, Pauli::Z),
             NoiseChannel::Depolarizing(_) => match rng.gen_range(0..3) {
-                0 => state.apply_1q(q, &gates::x()),
-                1 => state.apply_1q(q, &gates::y()),
-                _ => state.apply_1q(q, &gates::z()),
+                0 => backend.apply_pauli(q, Pauli::X),
+                1 => backend.apply_pauli(q, Pauli::Y),
+                _ => backend.apply_pauli(q, Pauli::Z),
             },
         }
     }
@@ -126,6 +143,7 @@ impl NoiseModel {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::gates;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

@@ -27,10 +27,11 @@ fn noisy_bell_program() -> Program {
 }
 
 fn config() -> EnsembleConfig {
-    EnsembleConfig::default()
-        .with_shots(128)
-        .with_seed(0x00D5_EAD5)
-        .with_noise(NoiseModel::depolarizing(0.01).with_readout_flip(0.02))
+    EnsembleConfig::builder()
+        .shots(128)
+        .seed(0x00D5_EAD5)
+        .noise(NoiseModel::depolarizing(0.01).with_readout_flip(0.02))
+        .build()
 }
 
 fn assert_identical(a: &DebugReport, b: &DebugReport, what: &str) {
