@@ -72,6 +72,13 @@ fn noisy_config(shots: usize) -> EnsembleConfig {
 /// here too). Single-core hosts skip the assertion — there is nothing
 /// to win — but say so instead of silently documenting an unmet
 /// expectation.
+///
+/// The check pins `ExecutionStrategy::PerPrefix`: it documents the
+/// *per-shot* engine's scaling, whose trajectory loop is the parallel
+/// axis. The default trajectory-tree engine deliberately removes most
+/// of that work (often leaving too little to parallelize — that is the
+/// point); its own speedup claim is asserted in the
+/// `noisy_trajectory` bench against the per-shot reference instead.
 fn assert_parallel_speedup(program: &Program, shots: usize) {
     // Worker threads beyond the physical core count add no speedup, so
     // the expectation is set by whichever is smaller.
@@ -85,7 +92,10 @@ fn assert_parallel_speedup(program: &Program, shots: usize) {
         return;
     }
     let time_one = |parallel: bool| {
-        let runner = EnsembleRunner::new(noisy_config(shots).with_parallel(parallel));
+        let config = noisy_config(shots)
+            .with_strategy(qdb_core::ExecutionStrategy::PerPrefix)
+            .with_parallel(parallel);
+        let runner = EnsembleRunner::new(config);
         runner.check_program(program).expect("warm-up session");
         let iters = 3;
         let start = std::time::Instant::now();

@@ -480,6 +480,125 @@ impl CompiledCircuit {
     }
 }
 
+/// One presampled Pauli fault of a noisy trajectory: after the op at
+/// source position [`op`](FaultEvent::op) executes, [`pauli`]
+/// strikes [`qubit`](FaultEvent::qubit).
+///
+/// Produced by [`CompiledCircuit::presample_faults`] in exactly the
+/// order the interleaved noisy replay would have drawn (and would
+/// apply) them: ascending op position, and within one op the source
+/// qubit order (controls first, then target, then a swap's partner).
+/// A shot's `Vec<FaultEvent>` is therefore a complete, canonical
+/// description of its trajectory — two shots with equal fault vectors
+/// evolve through bit-for-bit identical states, which is what makes
+/// ensemble deduplication sound.
+///
+/// [`pauli`]: FaultEvent::pauli
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FaultEvent {
+    /// Source position of the op after which the fault fires.
+    pub op: usize,
+    /// The struck qubit.
+    pub qubit: usize,
+    /// Which Pauli error strikes it.
+    pub pauli: qdb_sim::Pauli,
+}
+
+impl CompiledCircuit {
+    /// Draw the complete gate-noise fault pattern one trajectory of the
+    /// source window `range` would experience, **without any state
+    /// work**, appending to `out` (cleared first; the buffer is the
+    /// caller's to reuse across shots).
+    ///
+    /// The RNG consumption is identical — draw for draw — to
+    /// [`apply_range_to_noisy_backend`](Self::apply_range_to_noisy_backend)
+    /// over the same window: one decision per (op, touched qubit) in
+    /// op order then source qubit order, with
+    /// [`NoiseChannel::sample_fault`](qdb_sim::NoiseChannel::sample_fault)'s
+    /// contract per decision. After this call the RNG sits exactly
+    /// where the interleaved replay would have left it — at the shot's
+    /// measurement draw — so presampled trajectories plug into
+    /// existing seeded streams without disturbing a single downstream
+    /// draw. A model with no gate channel draws nothing.
+    ///
+    /// # Panics
+    ///
+    /// As [`apply_range_to_noisy_backend`](Self::apply_range_to_noisy_backend):
+    /// fused plans and invalid ranges are refused.
+    pub fn presample_faults<R: rand::Rng + ?Sized>(
+        &self,
+        range: std::ops::Range<usize>,
+        noise: &qdb_sim::NoiseModel,
+        rng: &mut R,
+        out: &mut Vec<FaultEvent>,
+    ) {
+        assert!(
+            self.opt != OptLevel::Fuse,
+            "noisy replay requires an unfused plan (compile at OptLevel::Specialize)"
+        );
+        out.clear();
+        let Some(channel) = noise.gate_noise else {
+            return;
+        };
+        for op in self.ops_for_range(self.num_qubits, &range) {
+            let pos = op.start;
+            op.op.for_each_qubit(|q| {
+                if let Some(pauli) = channel.sample_fault(rng) {
+                    out.push(FaultEvent {
+                        op: pos,
+                        qubit: q,
+                        pauli,
+                    });
+                }
+            });
+        }
+    }
+
+    /// Replay the source window `range` with a presampled fault pattern
+    /// spliced back in: each op is applied, then every fault recorded
+    /// against its position fires in recorded order.
+    ///
+    /// `faults` must be sorted by [`FaultEvent::op`] (presampling
+    /// produces them sorted) and must lie within `range`; the replayed
+    /// state is bit-for-bit the one
+    /// [`apply_range_to_noisy_backend`](Self::apply_range_to_noisy_backend)
+    /// would have produced from the RNG stream that presampled the
+    /// pattern. The trajectory-tree engine uses this to replay only a
+    /// trajectory's *faulty suffix* from a forked ideal checkpoint.
+    ///
+    /// # Panics
+    ///
+    /// As [`apply_range_to_noisy_backend`](Self::apply_range_to_noisy_backend),
+    /// plus a fault positioned outside `range`.
+    pub fn apply_range_to_backend_with_faults<B: SimBackend>(
+        &self,
+        backend: &mut B,
+        range: std::ops::Range<usize>,
+        faults: &[FaultEvent],
+    ) {
+        assert!(
+            self.opt != OptLevel::Fuse,
+            "noisy replay requires an unfused plan (compile at OptLevel::Specialize)"
+        );
+        let mut pending = faults.iter().peekable();
+        for op in self.ops_for_range(backend.num_qubits(), &range) {
+            backend.apply_op(&op.op);
+            while let Some(fault) = pending.next_if(|f| f.op < op.end) {
+                assert!(
+                    fault.op >= op.start,
+                    "fault at op {} precedes replay window {range:?}",
+                    fault.op
+                );
+                backend.apply_pauli(fault.qubit, fault.pauli);
+            }
+        }
+        assert!(
+            pending.next().is_none(),
+            "fault pattern extends past replay window {range:?}"
+        );
+    }
+}
+
 /// Classify a (possibly fused) 2×2 matrix into its kernel.
 fn lower_matrix(
     controls: Vec<usize>,
@@ -838,6 +957,100 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn presampled_faulted_replay_matches_interleaved_trajectory() {
+        use rand::SeedableRng;
+        let c = mixed_circuit();
+        let plan = c.compile(OptLevel::Specialize);
+        let noise = qdb_sim::NoiseModel::depolarizing(0.25);
+        let mut pattern = Vec::new();
+        for seed in 0..32 {
+            // Presample, then splice the pattern into an ideal replay.
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            plan.presample_faults(0..c.len(), &noise, &mut rng, &mut pattern);
+            let mut spliced = State::zero(4);
+            plan.apply_range_to_backend_with_faults(&mut spliced, 0..c.len(), &pattern);
+            // Reference: the classic interleaved noisy replay.
+            let mut reference = State::zero(4);
+            let mut rng2 = rand::rngs::StdRng::seed_from_u64(seed);
+            plan.apply_to_noisy(&mut reference, &noise, &mut rng2);
+            assert_eq!(spliced, reference, "seed {seed}");
+            // Both RNG routes end at the same stream position.
+            use rand::RngCore;
+            assert_eq!(rng.next_u64(), rng2.next_u64(), "seed {seed}");
+            // Patterns arrive sorted by op position.
+            assert!(pattern.windows(2).all(|w| w[0].op <= w[1].op));
+        }
+    }
+
+    #[test]
+    fn suffix_replay_from_fork_matches_full_faulted_replay() {
+        use rand::SeedableRng;
+        let c = mixed_circuit();
+        let plan = c.compile(OptLevel::Specialize);
+        let noise = qdb_sim::NoiseModel::depolarizing(0.3);
+        let mut pattern = Vec::new();
+        let mut tried_forks = 0;
+        for seed in 0..32 {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            plan.presample_faults(0..c.len(), &noise, &mut rng, &mut pattern);
+            let Some(first) = pattern.first().copied() else {
+                continue;
+            };
+            tried_forks += 1;
+            // Fork: ideal prefix through the first faulty op, then the
+            // fault(s) at that op, then the faulty suffix.
+            let mut forked = State::zero(4);
+            plan.apply_range_to(&mut forked, 0..first.op + 1);
+            let at_fork = pattern.partition_point(|f| f.op == first.op);
+            for fault in &pattern[..at_fork] {
+                use qdb_sim::SimBackend as _;
+                forked.apply_pauli(fault.qubit, fault.pauli);
+            }
+            plan.apply_range_to_backend_with_faults(
+                &mut forked,
+                first.op + 1..c.len(),
+                &pattern[at_fork..],
+            );
+            let mut whole = State::zero(4);
+            plan.apply_range_to_backend_with_faults(&mut whole, 0..c.len(), &pattern);
+            assert_eq!(forked, whole, "seed {seed}");
+        }
+        assert!(tried_forks > 10, "noise too quiet to exercise forking");
+    }
+
+    #[test]
+    fn presample_without_gate_noise_draws_nothing() {
+        use rand::{RngCore, SeedableRng};
+        let c = mixed_circuit();
+        let plan = c.compile(OptLevel::Specialize);
+        let readout_only = qdb_sim::NoiseModel::readout_only(0.1);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let mut untouched = rand::rngs::StdRng::seed_from_u64(9);
+        let mut pattern = vec![FaultEvent {
+            op: 0,
+            qubit: 0,
+            pauli: qdb_sim::Pauli::X,
+        }];
+        plan.presample_faults(0..c.len(), &readout_only, &mut rng, &mut pattern);
+        assert!(pattern.is_empty(), "buffer must be cleared");
+        assert_eq!(rng.next_u64(), untouched.next_u64(), "stream consumed");
+    }
+
+    #[test]
+    #[should_panic(expected = "extends past replay window")]
+    fn fault_outside_replay_window_panics() {
+        let c = mixed_circuit();
+        let plan = c.compile(OptLevel::Specialize);
+        let mut s = State::zero(4);
+        let stray = [FaultEvent {
+            op: 5,
+            qubit: 0,
+            pauli: qdb_sim::Pauli::X,
+        }];
+        plan.apply_range_to_backend_with_faults(&mut s, 0..3, &stray);
     }
 
     #[test]

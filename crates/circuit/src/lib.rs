@@ -56,7 +56,7 @@ pub mod scopes;
 mod error;
 
 pub use circuit::{Circuit, GateSink};
-pub use compile::{CompiledCircuit, CompiledOp, KernelClass, OptLevel};
+pub use compile::{CompiledCircuit, CompiledOp, FaultEvent, KernelClass, OptLevel};
 pub use error::CircuitError;
 pub use instruction::{GateKind, Instruction};
 pub use program::{Breakpoint, BreakpointKind, Program, Segment};

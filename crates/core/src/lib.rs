@@ -43,6 +43,7 @@ pub mod debugger;
 pub mod report;
 pub mod runner;
 pub mod sweep;
+pub mod trajectory;
 
 mod error;
 
@@ -57,6 +58,7 @@ pub use runner::{
     MeasuredEnsemble,
 };
 pub use sweep::SweepRunner;
+pub use trajectory::{NoisySessionStats, TrajectoryStats};
 
 // The lowering opt level lives in `qdb-circuit` but is configured per
 // ensemble session, so re-export it beside `EnsembleConfig`; likewise

@@ -17,15 +17,26 @@
 //!
 //! Reports are bit-for-bit identical across the two strategies.
 //!
+//! Noisy sessions honor the same strategy switch: the default
+//! [`ExecutionStrategy::Sweep`] runs the **trajectory tree**
+//! ([`crate::trajectory`]) — presample each shot's fault pattern,
+//! deduplicate identical trajectories, and fork distinct ones from a
+//! shared ideal frontier, so gate work scales with *unique
+//! trajectories* instead of shots — while
+//! [`ExecutionStrategy::PerPrefix`] keeps the per-shot reference path
+//! (one full noisy replay per `(breakpoint, shot)`). Reports are
+//! bit-for-bit identical across the two.
+//!
 //! All hot loops are embarrassingly parallel; rayon drives exactly
 //! one of them at a time (never nested). Noiseless per-prefix sessions
 //! check breakpoints concurrently (each one owns seed `seed + index`,
 //! like the paper's per-assertion QX cluster jobs); sweep sessions
-//! parallelize per-shot CDF inversion; noisy sessions parallelize the
-//! dominant per-shot trajectory loop, with each shot's RNG seeded from
-//! `(seed, breakpoint, shot)` alone — so reports are bit-for-bit
-//! identical across thread counts and across the serial/parallel
-//! paths.
+//! parallelize per-shot CDF inversion; per-shot noisy sessions
+//! parallelize the dominant per-shot trajectory loop, and trajectory-
+//! tree sessions the per-fork suffix replays — with each shot's RNG
+//! seeded from `(seed, breakpoint, shot)` alone, so reports are
+//! bit-for-bit identical across thread counts and across the
+//! serial/parallel paths.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -42,24 +53,34 @@ use crate::checker::{
 use crate::error::CoreError;
 use crate::report::AssertionReport;
 use crate::sweep::SweepRunner;
+use crate::trajectory::NoisySessionStats;
 
-/// How ideal (noiseless) ensembles are produced.
+/// How ensembles are produced.
 ///
 /// Both strategies yield bit-for-bit identical [`AssertionReport`]s —
-/// the choice is purely about cost and scheduling. Noisy sessions
-/// ignore the strategy: every shot is an independent trajectory from
-/// `|0…0⟩` by definition, so there is no prefix work to share.
+/// the choice is purely about cost and scheduling. In ideal mode the
+/// switch selects prefix replay vs the checkpointed sweep; in noisy
+/// mode it selects the per-shot reference path vs the trajectory tree
+/// (see [`crate::trajectory`]), whose deduplication and prefix sharing
+/// make gate work scale with unique trajectories instead of shots.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ExecutionStrategy {
-    /// Re-simulate the program prefix from `|0…0⟩` for every
-    /// breakpoint, exactly as the paper's ScaffCC-emitted per-assertion
-    /// programs did: `O(Σᵢ|prefixᵢ|)` gate applications. Kept as the
-    /// reference implementation and benchmark baseline; breakpoints
-    /// fan out across cores.
+    /// The paper-faithful reference path, kept as the benchmark
+    /// baseline. Ideal mode re-simulates the program prefix from
+    /// `|0…0⟩` for every breakpoint, exactly as the paper's
+    /// ScaffCC-emitted per-assertion programs did
+    /// (`O(Σᵢ|prefixᵢ|)` gate applications, breakpoints fanned out
+    /// across cores); noisy mode replays every `(breakpoint, shot)`
+    /// pair as an independent full trajectory
+    /// (`O(shots × Σᵢ|prefixᵢ|)`, shots fanned out).
     PerPrefix,
-    /// Evolve the state through the program once, checkpointing at
-    /// each breakpoint: `O(G)` gate applications total (see
-    /// [`crate::sweep`]). The default.
+    /// Share everything shareable. Ideal mode evolves the state
+    /// through the program once, checkpointing at each breakpoint —
+    /// `O(G)` gate applications total (see [`crate::sweep`]); noisy
+    /// mode runs the trajectory tree — presampled, deduplicated,
+    /// prefix-shared trajectories at
+    /// `O(G + Σ unique-suffixes)` (see [`crate::trajectory`]). The
+    /// default.
     #[default]
     Sweep,
 }
@@ -77,10 +98,13 @@ pub enum ExecutionStrategy {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum BackendChoice {
     /// Pick per program: the stabilizer tableau when the compiled plan
-    /// is Clifford-only (noise is never an obstacle — every
-    /// [`NoiseChannel`](qdb_sim::NoiseChannel) is a stochastic Pauli,
-    /// and readout error is classical), the dense statevector
-    /// otherwise. The recommended choice for new code.
+    /// is Clifford-only, the dense statevector otherwise. Noise is
+    /// never an obstacle to the tableau — every
+    /// [`NoiseChannel`](qdb_sim::NoiseChannel) is a stochastic Pauli
+    /// (Clifford to conjugate) and readout error is classical — so a
+    /// noisy Clifford program runs its full trajectory-tree session at
+    /// hundreds of qubits; only the *plan* decides the routing. The
+    /// recommended choice for new code.
     Auto,
     /// Always the dense statevector — the default, and the engine whose
     /// sampled ensembles every pre-backend seed in this repository was
@@ -126,11 +150,13 @@ pub struct EnsembleConfig {
     /// on the calling thread (useful for benchmarking the speedup and
     /// for embedding in an outer parallel scheduler).
     pub parallel: bool,
-    /// How ideal-mode ensembles are produced (ignored when `noise` is
-    /// set). The default [`ExecutionStrategy::Sweep`] does `O(G)` total
-    /// gate applications; [`ExecutionStrategy::PerPrefix`] is the
-    /// paper-faithful `O(Σᵢ|prefixᵢ|)` reference path. Reports are
-    /// bit-for-bit identical either way.
+    /// How ensembles are produced. The default
+    /// [`ExecutionStrategy::Sweep`] shares all shareable work — the
+    /// `O(G)` checkpointed sweep in ideal mode, the trajectory tree
+    /// (dedup + prefix sharing) in noisy mode —
+    /// while [`ExecutionStrategy::PerPrefix`] is the paper-faithful
+    /// per-prefix / per-shot reference path. Reports are bit-for-bit
+    /// identical either way.
     pub strategy: ExecutionStrategy,
     /// How the sweep path lowers the program before executing it (see
     /// [`OptLevel`]). The default [`OptLevel::Specialize`] keeps
@@ -510,7 +536,8 @@ impl EnsembleRunner {
     /// Produce every breakpoint's measured ensemble (plus the ideal
     /// state for cross-checking), honoring
     /// [`EnsembleConfig::strategy`]: the default sweep does one
-    /// checkpointed pass; per-prefix (and any noisy session) runs
+    /// checkpointed pass (ideal mode) or one trajectory-tree session
+    /// (noisy mode); per-prefix runs
     /// [`run_breakpoint`](EnsembleRunner::run_breakpoint) per index.
     /// Results are bit-for-bit identical across strategies.
     ///
@@ -523,11 +550,29 @@ impl EnsembleRunner {
             return SweepRunner::new(self.config).run_all(program);
         }
         let count = program.breakpoints().len();
-        if self.config.noise.is_some() {
+        if let Some(noise) = self.config.noise {
             // Lower the whole program once; every breakpoint's
-            // trajectories replay windows of the same plan. Shots are
-            // the parallel axis (inside `run_breakpoint_with_plan`).
+            // trajectories replay windows of the same plan.
             let plan = CompiledCircuit::compile(program.circuit(), OptLevel::Specialize);
+            if self.config.strategy == ExecutionStrategy::Sweep {
+                // Trajectory tree: the checkpoint the visit receives is
+                // the ideal frontier — value-identical to the replayed
+                // prefix state the reference path stores.
+                return self.run_dense_tree(
+                    program,
+                    &plan,
+                    &noise,
+                    None,
+                    |_, _, outcomes, ideal| {
+                        Ok(MeasuredEnsemble {
+                            outcomes,
+                            state: ideal.clone(),
+                        })
+                    },
+                );
+            }
+            // Per-shot reference: shots are the parallel axis (inside
+            // `run_breakpoint_with_plan`).
             return (0..count)
                 .map(|index| self.run_breakpoint_with_plan(program, index, Some(&plan)))
                 .collect();
@@ -538,6 +583,36 @@ impl EnsembleRunner {
         } else {
             (0..count).map(run_one).collect()
         }
+    }
+
+    /// Launch a dense (statevector) trajectory-tree session: the shared
+    /// setup — full-register measurement over the reference path's
+    /// `num_qubits().max(1)` width — behind both
+    /// [`run_all`](EnsembleRunner::run_all) and
+    /// [`check_program`](EnsembleRunner::check_program), which differ
+    /// only in what they build from each breakpoint's ensemble.
+    fn run_dense_tree<T>(
+        &self,
+        program: &Program,
+        plan: &CompiledCircuit,
+        noise: &NoiseModel,
+        stats: Option<&mut NoisySessionStats>,
+        visit: impl FnMut(usize, &Breakpoint, Vec<u64>, &State) -> Result<T, CoreError>,
+    ) -> Result<Vec<T>, CoreError> {
+        let n = program.num_qubits().max(1);
+        let full_register: Vec<usize> = (0..n).collect();
+        crate::trajectory::run_noisy_tree::<State, _>(
+            &crate::trajectory::NoisySession {
+                config: &self.config,
+                program,
+                plan,
+                noise,
+                num_qubits: n,
+            },
+            |_| full_register.clone(),
+            visit,
+            stats,
+        )
     }
 
     /// Build one assertion report from a breakpoint's measured
@@ -623,9 +698,42 @@ impl EnsembleRunner {
     /// [`CoreError::BackendUnsupported`] when an explicitly requested
     /// backend cannot run the program.
     pub fn check_program(&self, program: &Program) -> Result<Vec<AssertionReport>, CoreError> {
+        self.check_program_inner(program, None)
+    }
+
+    /// [`check_program`](EnsembleRunner::check_program), additionally
+    /// returning the trajectory-tree work census when the session ran
+    /// one (a noisy session under the default
+    /// [`ExecutionStrategy::Sweep`], on either backend); `None`
+    /// otherwise. The reports are bit-for-bit those of
+    /// [`check_program`](EnsembleRunner::check_program).
+    ///
+    /// This is how benchmarks and tests *assert* the tree's scaling
+    /// claims — unique-trajectory counts, replayed-suffix totals, pool
+    /// allocation bounds — instead of trusting them.
+    ///
+    /// # Errors
+    ///
+    /// As [`check_program`](EnsembleRunner::check_program).
+    pub fn check_program_stats(
+        &self,
+        program: &Program,
+    ) -> Result<(Vec<AssertionReport>, Option<NoisySessionStats>), CoreError> {
+        let mut stats = NoisySessionStats::default();
+        let reports = self.check_program_inner(program, Some(&mut stats))?;
+        let ran_tree =
+            self.config.noise.is_some() && self.config.strategy == ExecutionStrategy::Sweep;
+        Ok((reports, ran_tree.then_some(stats)))
+    }
+
+    fn check_program_inner(
+        &self,
+        program: &Program,
+        stats: Option<&mut NoisySessionStats>,
+    ) -> Result<Vec<AssertionReport>, CoreError> {
         self.config.validate()?;
         if let ResolvedBackend::Stabilizer(plan) = self.resolve_backend(program)? {
-            return self.check_program_on::<StabilizerState>(program, &plan);
+            return self.check_program_on::<StabilizerState>(program, &plan, stats);
         }
         if self.config.noise.is_none() && self.config.strategy == ExecutionStrategy::Sweep {
             // Single checkpointed pass: sample and check each
@@ -643,13 +751,27 @@ impl EnsembleRunner {
         let count = program.breakpoints().len();
         // Pick ONE parallel axis so work never nests (nested fan-out
         // would spawn ~cores² threads on big hosts). With noise, the
-        // shot loop inside `run_breakpoint_with_plan` dominates (shots
-        // ≫ breakpoints) and parallelizes there — and the whole
-        // program is lowered once, shared by every trajectory; without
-        // noise, each breakpoint is a single prefix simulation, so fan
-        // out here.
-        if self.config.noise.is_some() {
+        // per-trajectory work dominates and parallelizes inside the
+        // noisy engines — and the whole program is lowered once, shared
+        // by every trajectory; without noise, each breakpoint is a
+        // single prefix simulation, so fan out here.
+        if let Some(noise) = self.config.noise {
             let plan = CompiledCircuit::compile(program.circuit(), OptLevel::Specialize);
+            if self.config.strategy == ExecutionStrategy::Sweep {
+                // Trajectory tree: check each breakpoint in place from
+                // the shared ideal frontier (which doubles as the
+                // exact-cross-check state), with fault-identical shots
+                // deduplicated and distinct trajectories replaying only
+                // their faulty suffixes.
+                return self.run_dense_tree(
+                    program,
+                    &plan,
+                    &noise,
+                    stats,
+                    |index, bp, outcomes, ideal| self.report_for(index, bp, &outcomes, ideal),
+                );
+            }
+            // Per-shot reference: one full noisy replay per shot.
             return (0..count)
                 .map(|index| -> Result<AssertionReport, CoreError> {
                     let bp = &program.breakpoints()[index];
@@ -689,10 +811,13 @@ impl EnsembleRunner {
     ///   `(seed, breakpoint, shot)` — the same stream discipline the
     ///   noisy-trajectory engine has always used, so results are
     ///   identical across thread counts and the serial/parallel switch;
-    /// * with noise, each shot replays the prefix as an independent
-    ///   noisy trajectory on a fresh backend (all channels are Pauli,
-    ///   so this works on the tableau), then applies classical readout
-    ///   corruption to the measured bits;
+    /// * with noise, the default [`ExecutionStrategy::Sweep`] runs the
+    ///   trajectory tree ([`crate::trajectory`]) — every noise channel
+    ///   is a stochastic Pauli, so presampled fault patterns replay on
+    ///   the tableau exactly as on the dense engine — while
+    ///   [`ExecutionStrategy::PerPrefix`] replays each shot as an
+    ///   independent noisy trajectory on a fresh backend; classical
+    ///   readout corruption then flips the measured bits;
     /// * the exact cross-check reads the *ideal* backend state through
     ///   [`exact_verdict_on`].
     ///
@@ -703,7 +828,37 @@ impl EnsembleRunner {
         &self,
         program: &Program,
         plan: &CompiledCircuit,
+        stats: Option<&mut NoisySessionStats>,
     ) -> Result<Vec<AssertionReport>, CoreError> {
+        if let Some(noise) = self.config.noise {
+            if self.config.strategy == ExecutionStrategy::Sweep {
+                // The tree engine measures with `sample_once`, whose
+                // 64-qubit packing limit is a panic; surface the
+                // reference path's typed error up front instead.
+                for bp in program.breakpoints() {
+                    let width = breakpoint_qubits(&bp.kind).len();
+                    if width > 64 {
+                        return Err(CoreError::RegisterTooWide {
+                            name: bp.label.clone(),
+                            width,
+                            max: 64,
+                        });
+                    }
+                }
+                return crate::trajectory::run_noisy_tree::<B, _>(
+                    &crate::trajectory::NoisySession {
+                        config: &self.config,
+                        program,
+                        plan,
+                        noise: &noise,
+                        num_qubits: program.circuit().num_qubits(),
+                    },
+                    |bp| breakpoint_qubits(&bp.kind),
+                    |index, bp, outcomes, ideal| self.backend_report(index, bp, outcomes, ideal),
+                    stats,
+                );
+            }
+        }
         match self.config.strategy {
             ExecutionStrategy::Sweep => SweepRunner::new(self.config).walk_backend::<B, _>(
                 program,
@@ -749,6 +904,20 @@ impl EnsembleRunner {
             });
         }
         let outcomes = self.draw_backend_ensemble(plan, index, bp, ideal, &qubits)?;
+        self.backend_report(index, bp, outcomes, ideal)
+    }
+
+    /// Assemble one breakpoint's report from an already-measured
+    /// ensemble of packed outcomes and the ideal backend state — the
+    /// stage [`report_for_backend`](Self::report_for_backend) and the
+    /// trajectory-tree engine share.
+    fn backend_report<B: SimBackend>(
+        &self,
+        index: usize,
+        bp: &Breakpoint,
+        outcomes: Vec<u64>,
+        ideal: &B,
+    ) -> Result<AssertionReport, CoreError> {
         // `outcomes` packs the measured bits of `qubits` in order, so a
         // single register's values are the outcomes themselves, and a
         // register pair splits at the first register's width.
@@ -909,7 +1078,7 @@ fn split_pairs(outcomes: &[u64], a_width: usize) -> Vec<(u64, u64)> {
 /// sampling stream, and — because the seed is a pure function of the
 /// three indices — the resulting ensemble is independent of thread
 /// count, scheduling order, and the serial/parallel switch.
-fn shot_seed(seed: u64, breakpoint: u64, shot: u64) -> u64 {
+pub(crate) fn shot_seed(seed: u64, breakpoint: u64, shot: u64) -> u64 {
     let mut z = seed
         ^ breakpoint.wrapping_mul(0x9E37_79B9_7F4A_7C15)
         ^ shot.wrapping_mul(0xD134_2543_DE82_EF95);
@@ -1196,7 +1365,10 @@ mod tests {
     }
 
     #[test]
-    fn noisy_sessions_ignore_strategy() {
+    fn noisy_tree_and_per_shot_reference_reports_are_bit_identical() {
+        // Two different engines — the trajectory tree (Sweep) and the
+        // per-shot reference (PerPrefix) — one contract. The broader
+        // property test lives in tests/trajectory_equivalence.rs.
         let (mut p, m0, m1) = bell_program();
         p.assert_entangled(&m0, &m1);
         let base = EnsembleConfig::default()

@@ -36,12 +36,16 @@
 //! evolution is inherently serial here; programs wanting breakpoint
 //! fan-out instead can keep [`ExecutionStrategy::PerPrefix`].
 //!
-//! Noisy ensembles never sweep: every shot is an independent
-//! trajectory from `|0…0⟩` by definition, so there is no prefix work to
-//! share and [`EnsembleRunner`] routes noisy sessions to the
-//! (unchanged) per-shot trajectory path regardless of strategy.
+//! Noisy ensembles have their own sharing engine: under the default
+//! [`ExecutionStrategy::Sweep`], [`EnsembleRunner`] routes them to the
+//! trajectory tree ([`crate::trajectory`]), which presamples fault
+//! patterns, deduplicates identical trajectories, and forks distinct
+//! ones from a shared ideal frontier — the noisy counterpart of this
+//! module's checkpointed pass. `ExecutionStrategy::PerPrefix` keeps
+//! the per-shot reference path.
 //!
 //! [`EnsembleRunner`]: crate::runner::EnsembleRunner
+//! [`ExecutionStrategy::Sweep`]: crate::runner::ExecutionStrategy::Sweep
 //! [`EnsembleRunner::run_breakpoint`]: crate::runner::EnsembleRunner::run_breakpoint
 //! [`ExecutionStrategy::PerPrefix`]: crate::runner::ExecutionStrategy::PerPrefix
 

@@ -233,6 +233,38 @@ pub trait SimBackend: Sized + Clone + Send + Sync {
     /// classification.
     fn supports_op(&self, op: &SimOp) -> bool;
 
+    /// Overwrite `self` with an exact copy of `source`, reusing
+    /// `self`'s allocations where possible.
+    ///
+    /// Semantically identical to `*self = source.clone()` (and that is
+    /// the default implementation) — bit-for-bit, including any
+    /// instrumentation counters — but backends override it to recycle
+    /// their buffers: forking a trajectory from a checkpoint through a
+    /// [`StatePool`](crate::pool::StatePool) then costs one `memcpy`,
+    /// not an allocation. `self` need not match `source`'s qubit count;
+    /// after the call it is a copy of `source` regardless.
+    fn copy_from(&mut self, source: &Self) {
+        *self = source.clone();
+    }
+
+    /// Rebuild `sampler` as a prepared full-register distribution over
+    /// `self`, returning `true` when the backend supports it.
+    ///
+    /// A caller drawing **many** shots from one state pays the CDF
+    /// construction once and each shot becomes a binary search —
+    /// bit-identical to per-shot [`sample_once`](SimBackend::sample_once)
+    /// on the statevector backend (see
+    /// [`Sampler::sample_once`](crate::Sampler::sample_once) for the
+    /// contract), with the caller owning the buffer so one allocation
+    /// serves a whole session. The default returns `false` (no dense
+    /// CDF exists — the tableau backend's outcome space is exponential
+    /// only in the *measured* qubits, not materializable per state), in
+    /// which case callers fall back to per-shot sampling.
+    fn rebuild_shot_sampler(&self, sampler: &mut Sampler) -> bool {
+        let _ = sampler;
+        false
+    }
+
     /// Apply one lowered op.
     ///
     /// # Panics
@@ -321,6 +353,15 @@ impl SimBackend for State {
     }
 
     fn supports_op(&self, _op: &SimOp) -> bool {
+        true
+    }
+
+    fn copy_from(&mut self, source: &Self) {
+        State::copy_from(self, source);
+    }
+
+    fn rebuild_shot_sampler(&self, sampler: &mut Sampler) -> bool {
+        sampler.rebuild(self);
         true
     }
 

@@ -62,6 +62,7 @@ pub mod kernels;
 pub mod linalg;
 pub mod measure;
 pub mod noise;
+pub mod pool;
 pub mod stabilizer;
 pub mod state;
 
@@ -73,5 +74,6 @@ pub use error::SimError;
 pub use gates::Matrix2;
 pub use measure::Sampler;
 pub use noise::{NoiseChannel, NoiseModel};
+pub use pool::StatePool;
 pub use stabilizer::StabilizerState;
 pub use state::{Pauli, State};

@@ -45,29 +45,51 @@ impl NoiseChannel {
     ///
     /// Every channel is a stochastic Pauli, so this works on the
     /// stabilizer backend too (Pauli conjugation is Clifford). The RNG
-    /// consumption order — one uniform for the error decision, then one
-    /// `gen_range(0..3)` only for a firing depolarizing channel — is
-    /// identical to what the dense path has always drawn, so existing
-    /// seeded trajectories are unchanged.
+    /// consumption is exactly [`NoiseChannel::sample_fault`]'s — this
+    /// method *is* `sample_fault` plus the state update, so a caller
+    /// that presamples the fault stream and a caller that applies it
+    /// interleaved read identical stream positions.
     pub fn apply_to_backend<B: SimBackend, R: Rng + ?Sized>(
         &self,
         backend: &mut B,
         q: usize,
         rng: &mut R,
     ) {
+        if let Some(p) = self.sample_fault(rng) {
+            backend.apply_pauli(q, p);
+        }
+    }
+
+    /// Draw one firing decision from the channel **without touching any
+    /// state**: `Some(pauli)` when the channel fires, `None` otherwise.
+    ///
+    /// This is the presampling primitive behind the trajectory-tree
+    /// ensemble engine: a shot's complete fault pattern can be drawn up
+    /// front (cheaply, with no simulator in sight) and the state work
+    /// deferred, deduplicated, and prefix-shared. The draw order is the
+    /// **determinism contract** every noisy path shares:
+    ///
+    /// 1. one uniform for the fire/no-fire decision — *skipped
+    ///    entirely* when the channel probability is `≤ 0`;
+    /// 2. one `gen_range(0..3)` for the Pauli choice, drawn **only**
+    ///    by a firing depolarizing channel.
+    ///
+    /// [`NoiseChannel::apply_to_backend`] delegates here, so the two
+    /// can never drift apart.
+    pub fn sample_fault<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<Pauli> {
         let p = self.probability();
         if p <= 0.0 || rng.gen::<f64>() >= p {
-            return;
+            return None;
         }
-        match self {
-            NoiseChannel::BitFlip(_) => backend.apply_pauli(q, Pauli::X),
-            NoiseChannel::PhaseFlip(_) => backend.apply_pauli(q, Pauli::Z),
+        Some(match self {
+            NoiseChannel::BitFlip(_) => Pauli::X,
+            NoiseChannel::PhaseFlip(_) => Pauli::Z,
             NoiseChannel::Depolarizing(_) => match rng.gen_range(0..3) {
-                0 => backend.apply_pauli(q, Pauli::X),
-                1 => backend.apply_pauli(q, Pauli::Y),
-                _ => backend.apply_pauli(q, Pauli::Z),
+                0 => Pauli::X,
+                1 => Pauli::Y,
+                _ => Pauli::Z,
             },
-        }
+        })
     }
 }
 
@@ -121,6 +143,17 @@ impl NoiseModel {
 
     /// Apply classical readout error to a measured outcome over
     /// `num_bits` bits.
+    ///
+    /// **Determinism-contract note.** When `readout_flip ≤ 0` this
+    /// returns immediately and draws *nothing* — the per-bit uniforms
+    /// exist only for a genuinely lossy readout. That early exit is
+    /// safe to rely on (and the trajectory engines do): the readout
+    /// draws are the **last** draws of each shot's RNG stream, after
+    /// the gate-noise and measurement draws, so skipping them can never
+    /// shift the stream position of any other draw. A caller therefore
+    /// may call this unconditionally; with `readout_flip == 0` the call
+    /// is free and the shot's stream is identical to one that never
+    /// mentioned readout at all.
     pub fn corrupt_readout<R: Rng + ?Sized>(
         &self,
         outcome: u64,
@@ -232,6 +265,52 @@ mod tests {
         assert!(!NoiseModel::depolarizing(0.01).is_noiseless());
         assert!(!NoiseModel::readout_only(0.02).is_noiseless());
         assert_eq!(NoiseChannel::Depolarizing(0.25).probability(), 0.25);
+    }
+
+    #[test]
+    fn sample_fault_matches_apply_stream_positions() {
+        // Presampling a channel and applying it interleaved must read
+        // identical RNG stream positions and produce the same faults.
+        for channel in [
+            NoiseChannel::BitFlip(0.3),
+            NoiseChannel::PhaseFlip(0.3),
+            NoiseChannel::Depolarizing(0.4),
+            NoiseChannel::Depolarizing(0.0), // p = 0 draws nothing
+        ] {
+            let mut presample = rng(77);
+            let mut interleaved = rng(77);
+            for _ in 0..400 {
+                let fault = channel.sample_fault(&mut presample);
+                let mut s = State::zero(1);
+                let reference = s.clone();
+                channel.apply(&mut s, 0, &mut interleaved);
+                match fault {
+                    None => assert!(s.approx_eq(&reference, 0.0)),
+                    Some(p) => {
+                        let mut expected = State::zero(1);
+                        if p != crate::state::Pauli::I {
+                            expected.apply_1q(0, &p.matrix());
+                        }
+                        assert_eq!(s, expected, "{channel:?} fault {p:?}");
+                    }
+                }
+            }
+            // Streams stay aligned: the next u64 agrees.
+            use rand::RngCore;
+            assert_eq!(presample.next_u64(), interleaved.next_u64());
+        }
+    }
+
+    #[test]
+    fn zero_readout_flip_draws_nothing() {
+        // corrupt_readout with flip = 0 must not consume the stream:
+        // both RNGs agree on the next draw afterwards.
+        use rand::RngCore;
+        let model = NoiseModel::noiseless();
+        let mut with_call = rng(8);
+        let mut without_call = rng(8);
+        assert_eq!(model.corrupt_readout(0b101, 8, &mut with_call), 0b101);
+        assert_eq!(with_call.next_u64(), without_call.next_u64());
     }
 
     #[test]

@@ -557,6 +557,15 @@ impl SimBackend for StabilizerState {
         op.clifford().is_some()
     }
 
+    fn copy_from(&mut self, source: &Self) {
+        self.n = source.n;
+        self.words = source.words;
+        self.xs.clone_from(&source.xs);
+        self.zs.clone_from(&source.zs);
+        self.phase.clone_from(&source.phase);
+        self.gate_ops = source.gate_ops;
+    }
+
     fn apply_op(&mut self, op: &SimOp) {
         let clifford = op.clifford().unwrap_or_else(|| {
             panic!(

@@ -265,6 +265,21 @@ impl State {
         self.index_ops = 0;
     }
 
+    /// Overwrite this state with an exact copy of `source`, reusing the
+    /// existing amplitude buffer when its capacity suffices.
+    ///
+    /// Bit-for-bit equivalent to `*self = source.clone()` — amplitudes
+    /// and both instrumentation counters are copied — but a buffer of
+    /// matching capacity is recycled instead of reallocated, which is
+    /// what makes a pooled trajectory fork
+    /// ([`StatePool`](crate::pool::StatePool)) a plain `memcpy`.
+    pub fn copy_from(&mut self, source: &State) {
+        self.num_qubits = source.num_qubits;
+        self.amps.clone_from(&source.amps);
+        self.gate_ops = source.gate_ops;
+        self.index_ops = source.index_ops;
+    }
+
     /// Mutable access to the raw amplitudes for in-crate measurement code.
     pub(crate) fn amps_mut(&mut self) -> &mut [Complex] {
         &mut self.amps
