@@ -25,7 +25,11 @@
 //!   programs and the §4 bug-type catalogue;
 //! * [`clifford`] — Clifford-scale scenario builders (GHZ ladders,
 //!   teleportation chains, repetition codes with injectable Pauli
-//!   faults) that run on the stabilizer backend at 100+ qubits.
+//!   faults) that run on the stabilizer backend at 100+ qubits;
+//! * [`sparse`] — sparse-scale scenario builders (Shor-style period
+//!   finding over permutation arithmetic, repetition codes under
+//!   coherent rotation faults) whose non-Clifford circuits keep a tiny
+//!   state support, so the sparse backend checks them at 30–60 qubits.
 
 #![warn(missing_docs)]
 
@@ -38,6 +42,7 @@ pub mod grover;
 pub mod harnesses;
 pub mod modular;
 pub mod shor;
+pub mod sparse;
 
 pub use arith::AdderVariant;
 pub use clifford::PauliFault;

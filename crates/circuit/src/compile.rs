@@ -328,6 +328,25 @@ impl CompiledCircuit {
         census
     }
 
+    /// An upper bound on `log₂` of the state's support size anywhere in
+    /// the plan — the sparsity estimate behind `BackendChoice::Auto`'s
+    /// sparse-tier routing.
+    ///
+    /// Starting from `|0…0⟩` (support 1), only a general 2×2 kernel can
+    /// grow the support, and it at most doubles it; diagonal,
+    /// anti-diagonal, and swap kernels permute or rephase existing
+    /// basis states. The bound is therefore the count of general-kernel
+    /// ops, capped at the qubit count (support can never exceed `2ⁿ`).
+    /// It is an over-estimate whenever branches cancel or a branching
+    /// gate hits an already-saturated subspace — safe in the direction
+    /// that matters (a plan judged sparse-friendly may run even cheaper
+    /// than predicted, never catastrophically worse).
+    #[must_use]
+    pub fn support_log2_bound(&self) -> usize {
+        let (_, _, general, _) = self.kernel_census();
+        general.min(self.num_qubits)
+    }
+
     /// Run the whole compiled circuit on a state.
     ///
     /// # Panics
@@ -766,6 +785,30 @@ mod tests {
         assert_eq!(anti, 4);
         assert_eq!(general, 2);
         assert_eq!(swap, 2);
+    }
+
+    #[test]
+    fn support_bound_counts_branching_kernels_capped_at_width() {
+        // mixed_circuit has 2 general kernels (h, ry) on 4 qubits.
+        let plan = mixed_circuit().compile(OptLevel::Specialize);
+        assert_eq!(plan.support_log2_bound(), 2);
+        // Permutation/diagonal-only circuits never grow the support.
+        let mut c = Circuit::new(30);
+        c.x(0);
+        c.cx(0, 29);
+        c.t(5);
+        c.swap(3, 17);
+        let plan = c.compile(OptLevel::Specialize);
+        assert_eq!(plan.support_log2_bound(), 0);
+        // The bound saturates at the qubit count: support ≤ 2ⁿ always.
+        let mut c = Circuit::new(3);
+        for _ in 0..10 {
+            c.h(0);
+            c.h(1);
+            c.h(2);
+        }
+        let plan = c.compile(OptLevel::Specialize);
+        assert_eq!(plan.support_log2_bound(), 3);
     }
 
     #[test]

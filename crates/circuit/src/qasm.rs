@@ -632,4 +632,101 @@ mod tests {
         let parsed = from_qasm(&text).unwrap();
         assert_eq!(parsed.circuit, c);
     }
+
+    /// A random circuit drawn entirely from the exportable subset:
+    /// every uncontrolled and singly-controlled gate kind, the
+    /// doubly-controlled X/Z/Rz/Phase family, and (controlled) swaps.
+    fn random_supported_circuit(n: usize, gates: usize, seed: u64) -> Circuit {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut c = Circuit::new(n);
+        fn distinct(rng: &mut StdRng, n: usize, exclude: &[usize]) -> usize {
+            loop {
+                let q = rng.gen_range(0..n);
+                if !exclude.contains(&q) {
+                    return q;
+                }
+            }
+        }
+        for _ in 0..gates {
+            let target = rng.gen_range(0..n);
+            let angle = rng.gen_range(-3.0..3.0f64);
+            let kind = match rng.gen_range(0..12u32) {
+                0 => GateKind::H,
+                1 => GateKind::X,
+                2 => GateKind::Y,
+                3 => GateKind::Z,
+                4 => GateKind::S,
+                5 => GateKind::Sdg,
+                6 => GateKind::T,
+                7 => GateKind::Tdg,
+                8 => GateKind::Rx(angle),
+                9 => GateKind::Ry(angle),
+                10 => GateKind::Rz(angle),
+                _ => GateKind::Phase(angle),
+            };
+            let inst = match rng.gen_range(0..5u32) {
+                1 if n >= 2 => {
+                    let ctrl = distinct(&mut rng, n, &[target]);
+                    Instruction::controlled_gate(vec![ctrl], kind, target)
+                }
+                2 if n >= 3 => {
+                    let narrow = match rng.gen_range(0..4u32) {
+                        0 => GateKind::X,
+                        1 => GateKind::Z,
+                        2 => GateKind::Rz(angle),
+                        _ => GateKind::Phase(angle),
+                    };
+                    let c0 = distinct(&mut rng, n, &[target]);
+                    let c1 = distinct(&mut rng, n, &[target, c0]);
+                    Instruction::controlled_gate(vec![c0, c1], narrow, target)
+                }
+                3 if n >= 2 => Instruction::Swap {
+                    controls: vec![],
+                    a: target,
+                    b: distinct(&mut rng, n, &[target]),
+                },
+                4 if n >= 3 => {
+                    let a = distinct(&mut rng, n, &[target]);
+                    let b = distinct(&mut rng, n, &[target, a]);
+                    Instruction::Swap {
+                        controls: vec![target],
+                        a,
+                        b,
+                    }
+                }
+                _ => Instruction::gate(kind, target),
+            };
+            c.push(inst);
+        }
+        c
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn emit_parse_emit_is_a_fixpoint(
+            n in 1..6usize,
+            gates in 0..40usize,
+            seed in 0..u64::MAX,
+        ) {
+            use proptest::prelude::{prop_assert, prop_assert_eq};
+            let circuit = random_supported_circuit(n, gates, seed);
+            let emitted = to_qasm(&circuit).expect("supported circuit must export");
+            let parsed = from_qasm(&emitted).expect("own output must parse");
+            let re_emitted = to_qasm(&parsed.circuit).expect("parsed circuit must re-export");
+            // The documented cu1 divergence (controlled S/Sdg/T/Tdg
+            // emit as cu1) must be *stable*: one emit → parse cycle
+            // reaches a fixpoint, it never keeps drifting.
+            prop_assert_eq!(&emitted, &re_emitted);
+            let reparsed = from_qasm(&re_emitted).expect("the fixpoint must parse");
+            prop_assert_eq!(&reparsed.circuit, &parsed.circuit);
+            // And the fixpoint is still the same operation.
+            prop_assert!(circuit
+                .equivalent_up_to_phase(&parsed.circuit, 1e-9)
+                .expect("same width"));
+        }
+    }
 }

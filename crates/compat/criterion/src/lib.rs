@@ -22,8 +22,11 @@
 //! `BENCH_RESULTS_PATH` environment variable) after all groups finish,
 //! merging by `(target, bench)` key so repeated `cargo bench` runs of
 //! different bench targets accumulate into one file — the perf
-//! trajectory across PRs lives in version control. Smoke runs write
-//! nothing (they have no timings and must not clobber measured data).
+//! trajectory across PRs lives in version control. Smoke runs have no
+//! timings, but their work counters still land in the file as entries
+//! flagged `"mode":"smoke"`; measured data is always authoritative — a
+//! smoke refresh never replaces a measured entry with the same key,
+//! while a later measured run replaces a smoke placeholder.
 
 #![warn(missing_docs)]
 
@@ -308,8 +311,9 @@ fn run_scoped<F: FnMut(&mut Bencher)>(
 /// Call from bench code next to the cross-checks that compute the
 /// counter; the value rides along with that bench's wall-clock entry on
 /// the next [`write_results_to`]. Metrics recorded for labels that
-/// never measure (e.g. in smoke mode) are dropped with the rest of the
-/// run.
+/// never measure (e.g. in smoke mode) are written as timing-free
+/// entries flagged `"mode":"smoke"` — unless a measured entry with the
+/// same key already exists, which always wins.
 pub fn record_metric(bench: &str, name: &str, value: f64) {
     METRICS
         .lock()
@@ -365,6 +369,26 @@ fn render_entry(target: &str, entry: &ResultEntry, metrics: &[(String, String, f
     line
 }
 
+/// Render a timing-free smoke entry: just the key, the mode flag, and
+/// the work counters recorded for `bench` during the smoke run.
+fn render_smoke_entry(target: &str, bench: &str, metrics: &[(String, String, f64)]) -> String {
+    let mut line = format!(
+        "    {{\"target\":\"{}\",\"bench\":\"{}\",\"mode\":\"smoke\",\"metrics\":{{",
+        json_escape(target),
+        json_escape(bench),
+    );
+    let attached: Vec<&(String, String, f64)> =
+        metrics.iter().filter(|(b, _, _)| b == bench).collect();
+    for (i, (_, name, value)) in attached.iter().enumerate() {
+        if i > 0 {
+            line.push(',');
+        }
+        line.push_str(&format!("\"{}\":{:e}", json_escape(name), value));
+    }
+    line.push_str("}}");
+    line
+}
+
 /// Extract the `(target, bench)` key from a previously-rendered entry
 /// line, for merge-by-key.
 fn entry_key(line: &str) -> Option<(String, String)> {
@@ -400,33 +424,66 @@ fn extract_json_string_after(line: &str, marker: &str) -> Option<String> {
 /// contents and render the whole results document: entries from other
 /// bench targets (and other benches of this target) are preserved;
 /// entries re-measured in this run replace their previous versions.
+///
+/// A run with no timings but recorded work counters (smoke mode) emits
+/// `"mode":"smoke"` placeholder entries instead. Measured data is
+/// authoritative: a smoke entry replaces only a previous *smoke* entry
+/// with the same key and is suppressed entirely when a measured entry
+/// with that key already exists, while a measured entry replaces
+/// anything — smoke or measured — sharing its key.
 fn merge_and_render(
     existing: Option<&str>,
     target: &str,
     results: &[ResultEntry],
     metrics: &[(String, String, f64)],
 ) -> String {
+    let smoke_run = results.is_empty();
+    // The distinct bench labels this run contributes, in first-seen
+    // order: from timings when measured, from work counters when smoke.
+    let mut fresh_benches: Vec<String> = Vec::new();
+    if smoke_run {
+        for (bench, _, _) in metrics {
+            if !fresh_benches.contains(bench) {
+                fresh_benches.push(bench.clone());
+            }
+        }
+    } else {
+        fresh_benches.extend(results.iter().map(|e| e.bench.clone()));
+    }
     // Keys are compared in *escaped* form: `entry_key` reads them back
     // from rendered (escaped) lines, so the fresh side escapes too —
     // otherwise any label containing `"` or `\` would never match its
     // previous entry and would duplicate on every run.
-    let fresh_keys: Vec<(String, String)> = results
+    let fresh_keys: Vec<(String, String)> = fresh_benches
         .iter()
-        .map(|e| (json_escape(target), json_escape(&e.bench)))
+        .map(|bench| (json_escape(target), json_escape(bench)))
         .collect();
+    let mut measured_keys: Vec<(String, String)> = Vec::new();
     let mut lines: Vec<String> = Vec::new();
     for line in existing.unwrap_or_default().lines() {
         let trimmed = line.trim().trim_end_matches(',');
         if trimmed.starts_with("{\"target\":") {
             if let Some(key) = entry_key(trimmed) {
-                if !fresh_keys.contains(&key) {
+                let measured_line = !trimmed.contains("\"mode\":\"smoke\"");
+                if !fresh_keys.contains(&key) || (smoke_run && measured_line) {
                     lines.push(format!("    {trimmed}"));
+                    if measured_line {
+                        measured_keys.push(key);
+                    }
                 }
             }
         }
     }
-    for entry in results {
-        lines.push(render_entry(target, entry, metrics));
+    if smoke_run {
+        for (bench, key) in fresh_benches.iter().zip(&fresh_keys) {
+            if !measured_keys.contains(key) {
+                lines.push(render_smoke_entry(target, bench, metrics));
+            }
+        }
+    } else {
+        for entry in results {
+            lines.push(render_entry(target, entry, metrics));
+        }
     }
     let mut out = String::from("{\n  \"schema\": \"qdb-bench-results/v1\",\n  \"results\": [\n");
     out.push_str(&lines.join(",\n"));
@@ -437,14 +494,15 @@ fn merge_and_render(
 /// Write every benchmark measured by this process to `path` as JSON,
 /// merged with whatever a previous run left there (see
 /// [`record_metric`] for attaching work counters). `target` names the
-/// bench binary. No-op when nothing was measured (smoke mode never
-/// clobbers measured data).
+/// bench binary. Smoke runs (no timings) still write their work
+/// counters as `"mode":"smoke"` entries, but never displace measured
+/// data; a run with neither timings nor counters is a no-op.
 pub fn write_results_to(path: &str, target: &str) {
     let results = RESULTS.lock().expect("results lock");
-    if results.is_empty() {
+    let metrics = METRICS.lock().expect("metrics lock");
+    if results.is_empty() && metrics.is_empty() {
         return;
     }
-    let metrics = METRICS.lock().expect("metrics lock");
     let existing = std::fs::read_to_string(path).ok();
     let out = merge_and_render(existing.as_deref(), target, &results, &metrics);
     if let Err(e) = std::fs::write(path, out) {
@@ -684,6 +742,60 @@ mod tests {
         assert_eq!(second.matches("\"bench\"").count(), 1);
         assert!(second.contains("\"median_s\":2e-3"));
         assert!(!second.contains("\"median_s\":1e-3"));
+    }
+
+    #[test]
+    fn smoke_metrics_render_flagged_entries() {
+        let metrics = vec![
+            ("s/a".to_owned(), "ops".to_owned(), 128.0),
+            ("s/a".to_owned(), "peak_support".to_owned(), 32.0),
+            ("s/b".to_owned(), "ops".to_owned(), 64.0),
+        ];
+        // A smoke run: no timed results, only work counters.
+        let doc = merge_and_render(None, "sparse_scale", &[], &metrics);
+        assert_eq!(doc.matches("\"mode\":\"smoke\"").count(), 2);
+        assert!(doc.contains("\"bench\":\"s/a\",\"mode\":\"smoke\""));
+        assert!(doc.contains("\"metrics\":{\"ops\":1.28e2,\"peak_support\":3.2e1}"));
+        assert!(doc.contains("\"bench\":\"s/b\",\"mode\":\"smoke\""));
+        assert!(!doc.contains("median_s"), "smoke entries carry no timings");
+    }
+
+    #[test]
+    fn measured_entries_survive_smoke_refreshes() {
+        let metrics = vec![("s/a".to_owned(), "ops".to_owned(), 128.0)];
+        let measured = merge_and_render(None, "sparse_scale", &[entry("s/a", 1e-3)], &metrics);
+        // A later smoke run of the same bench must not displace the
+        // measured entry — and must not add a duplicate smoke one.
+        let after_smoke = merge_and_render(Some(&measured), "sparse_scale", &[], &metrics);
+        assert!(after_smoke.contains("\"median_s\":1e-3"));
+        assert!(!after_smoke.contains("\"mode\":\"smoke\""));
+        assert_eq!(after_smoke.matches("\"bench\":\"s/a\"").count(), 1);
+    }
+
+    #[test]
+    fn smoke_replaces_smoke_and_measured_replaces_smoke() {
+        let metrics_v1 = vec![("s/a".to_owned(), "ops".to_owned(), 128.0)];
+        let metrics_v2 = vec![("s/a".to_owned(), "ops".to_owned(), 256.0)];
+        let first = merge_and_render(None, "sparse_scale", &[], &metrics_v1);
+        // Smoke refreshes smoke in place.
+        let second = merge_and_render(Some(&first), "sparse_scale", &[], &metrics_v2);
+        assert_eq!(second.matches("\"bench\":\"s/a\"").count(), 1);
+        assert!(second.contains("\"ops\":2.56e2"));
+        assert!(!second.contains("\"ops\":1.28e2"));
+        // A measured run upgrades the smoke placeholder.
+        let third = merge_and_render(
+            Some(&second),
+            "sparse_scale",
+            &[entry("s/a", 1e-3)],
+            &metrics_v1,
+        );
+        assert_eq!(third.matches("\"bench\":\"s/a\"").count(), 1);
+        assert!(third.contains("\"median_s\":1e-3"));
+        assert!(!third.contains("\"mode\":\"smoke\""));
+        // Entries from other targets are untouched throughout.
+        let other = merge_and_render(Some(&third), "other_target", &[], &metrics_v1);
+        assert!(other.contains("\"median_s\":1e-3"));
+        assert!(other.contains("\"target\":\"other_target\",\"bench\":\"s/a\",\"mode\":\"smoke\""));
     }
 
     #[test]

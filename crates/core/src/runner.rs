@@ -43,7 +43,7 @@ use rand::SeedableRng;
 use rayon::prelude::*;
 
 use qdb_circuit::{Breakpoint, BreakpointKind, CompiledCircuit, GateSink, OptLevel, Program};
-use qdb_sim::{NoiseModel, Sampler, SimBackend, StabilizerState, State};
+use qdb_sim::{NoiseModel, Sampler, SimBackend, SparseState, StabilizerState, State};
 use qdb_stats::Histogram;
 
 use crate::checker::{
@@ -98,23 +98,40 @@ pub enum ExecutionStrategy {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum BackendChoice {
     /// Pick per program: the stabilizer tableau when the compiled plan
-    /// is Clifford-only, the dense statevector otherwise. Noise is
-    /// never an obstacle to the tableau — every
-    /// [`NoiseChannel`](qdb_sim::NoiseChannel) is a stochastic Pauli
-    /// (Clifford to conjugate) and readout error is classical — so a
-    /// noisy Clifford program runs its full trajectory-tree session at
-    /// hundreds of qubits; only the *plan* decides the routing. The
-    /// recommended choice for new code.
+    /// is Clifford-only; the dense statevector for everything else that
+    /// fits its 26-qubit ceiling; past the ceiling, the sparse
+    /// amplitude-map backend when the compiled plan's support estimate
+    /// ([`CompiledCircuit::support_log2_bound`]) says the program stays
+    /// sparse. Noise is never an obstacle to either alternative engine —
+    /// every [`NoiseChannel`](qdb_sim::NoiseChannel) is a stochastic
+    /// Pauli (Clifford to conjugate, support-preserving on the sparse
+    /// map) and readout error is classical — so a noisy session routes
+    /// on the *plan* alone. Programs no engine can run (past the dense
+    /// ceiling, non-Clifford, and branching too much for the sparse
+    /// tier) fail with a clean [`CoreError::BackendUnsupported`] at
+    /// resolution time. The recommended choice for new code.
+    ///
+    /// [`CompiledCircuit::support_log2_bound`]: qdb_circuit::CompiledCircuit::support_log2_bound
     Auto,
     /// Always the dense statevector — the default, and the engine whose
     /// sampled ensembles every pre-backend seed in this repository was
-    /// chosen against.
+    /// chosen against. Sessions wider than the dense ceiling fail with
+    /// [`CoreError::BackendUnsupported`] at resolution time.
     #[default]
     Statevector,
     /// Always the stabilizer tableau; sessions whose program contains a
     /// non-Clifford instruction fail with
     /// [`CoreError::BackendUnsupported`].
     Stabilizer,
+    /// Always the sparse amplitude-map statevector
+    /// ([`SparseState`]): exact for arbitrary
+    /// circuits up to 64 qubits, with cost scaling in the live support
+    /// size instead of `2ⁿ` — the engine for structured non-Clifford
+    /// programs (Shor-style arithmetic, fault-injected codes) past the
+    /// dense ceiling. States that stop being sparse fall back to the
+    /// dense representation at ≤ 26 qubits; wider than that, a
+    /// saturating program simply gets slow rather than wrong.
+    Sparse,
 }
 
 /// Configuration for ensemble runs.
@@ -663,13 +680,73 @@ impl EnsembleRunner {
     ///
     /// [`Circuit::is_clifford`]: qdb_circuit::Circuit::is_clifford
     fn resolve_backend(&self, program: &Program) -> Result<ResolvedBackend, CoreError> {
+        let n = program.circuit().num_qubits();
         let clifford = || program.circuit().is_clifford();
         match self.config.backend {
+            // Qubit-count capacity is validated here, at resolution
+            // time, so an oversized session fails with a typed error
+            // naming the ceiling instead of dying deep inside state
+            // allocation.
+            BackendChoice::Statevector if n > qdb_sim::state::MAX_QUBITS => {
+                Err(CoreError::BackendUnsupported {
+                    backend: State::NAME,
+                    reason: format!(
+                        "the program uses {n} qubits but the dense statevector \
+                         caps at {} (2ⁿ amplitudes); use BackendChoice::Auto, \
+                         Stabilizer (Clifford programs), or Sparse (structured \
+                         non-Clifford programs up to 64 qubits)",
+                        qdb_sim::state::MAX_QUBITS
+                    ),
+                })
+            }
             BackendChoice::Statevector => Ok(ResolvedBackend::Statevector),
+            BackendChoice::Sparse if n > qdb_sim::sparse::MAX_QUBITS => {
+                Err(CoreError::BackendUnsupported {
+                    backend: SparseState::NAME,
+                    reason: format!(
+                        "the program uses {n} qubits but the sparse backend packs \
+                         basis indices into a u64, capping it at {} qubits; use \
+                         BackendChoice::Stabilizer for wider (Clifford) programs",
+                        qdb_sim::sparse::MAX_QUBITS
+                    ),
+                })
+            }
+            BackendChoice::Sparse => Ok(ResolvedBackend::Sparse(
+                program.compile(OptLevel::Specialize),
+            )),
             BackendChoice::Auto if clifford() => Ok(ResolvedBackend::Stabilizer(
                 program.compile(OptLevel::Specialize),
             )),
-            BackendChoice::Auto => Ok(ResolvedBackend::Statevector),
+            // Within the dense ceiling, Auto stays bit-identical to the
+            // default engine on non-Clifford programs (a documented
+            // compatibility guarantee the tier-1 suite pins down).
+            BackendChoice::Auto if n <= qdb_sim::state::MAX_QUBITS => {
+                Ok(ResolvedBackend::Statevector)
+            }
+            BackendChoice::Auto => {
+                // Past the dense ceiling and non-Clifford: the sparse
+                // tier is the only candidate. Route to it when the
+                // compiled plan's support bound says the state stays
+                // sparse; otherwise fail with a typed error up front.
+                let plan = program.compile(OptLevel::Specialize);
+                let support_log2 = plan.support_log2_bound();
+                if n <= qdb_sim::sparse::MAX_QUBITS && support_log2 <= SPARSE_SUPPORT_LOG2_LIMIT {
+                    Ok(ResolvedBackend::Sparse(plan))
+                } else {
+                    Err(CoreError::BackendUnsupported {
+                        backend: State::NAME,
+                        reason: format!(
+                            "no backend can run this program: {n} qubits exceeds the \
+                             dense statevector's {}-qubit ceiling, the program is not \
+                             Clifford (so the stabilizer tableau is out), and its \
+                             compiled plan bounds the state support at 2^{support_log2} \
+                             basis states — past the sparse tier's 2^{} budget",
+                            qdb_sim::state::MAX_QUBITS,
+                            SPARSE_SUPPORT_LOG2_LIMIT
+                        ),
+                    })
+                }
+            }
             BackendChoice::Stabilizer if clifford() => Ok(ResolvedBackend::Stabilizer(
                 program.compile(OptLevel::Specialize),
             )),
@@ -732,8 +809,14 @@ impl EnsembleRunner {
         stats: Option<&mut NoisySessionStats>,
     ) -> Result<Vec<AssertionReport>, CoreError> {
         self.config.validate()?;
-        if let ResolvedBackend::Stabilizer(plan) = self.resolve_backend(program)? {
-            return self.check_program_on::<StabilizerState>(program, &plan, stats);
+        match self.resolve_backend(program)? {
+            ResolvedBackend::Stabilizer(plan) => {
+                return self.check_program_on::<StabilizerState>(program, &plan, stats);
+            }
+            ResolvedBackend::Sparse(plan) => {
+                return self.check_program_on::<SparseState>(program, &plan, stats);
+            }
+            ResolvedBackend::Statevector => {}
         }
         if self.config.noise.is_none() && self.config.strategy == ExecutionStrategy::Sweep {
             // Single checkpointed pass: sample and check each
@@ -1022,6 +1105,15 @@ impl EnsembleRunner {
     }
 }
 
+/// `BackendChoice::Auto` routes past the dense ceiling to the sparse
+/// tier only when the compiled plan bounds the support at
+/// `2^SPARSE_SUPPORT_LOG2_LIMIT` basis states — about a million support
+/// entries (~16 MiB), comfortably cheap — and refuses (with a typed
+/// error) above it: an estimated-dense 40-qubit program would otherwise
+/// run for geological time instead of failing fast. Explicitly
+/// requesting `BackendChoice::Sparse` bypasses the estimate.
+const SPARSE_SUPPORT_LOG2_LIMIT: usize = 20;
+
 /// How [`EnsembleRunner::resolve_backend`] routed a session.
 enum ResolvedBackend {
     /// The classic dense paths (bit-stable against the pre-backend
@@ -1030,6 +1122,12 @@ enum ResolvedBackend {
     /// The backend-generic engine on the stabilizer tableau, with the
     /// Clifford-only plan the resolution verified.
     Stabilizer(CompiledCircuit),
+    /// The backend-generic engine on the sparse amplitude map, with the
+    /// plan the resolution compiled (and, for `Auto`, judged
+    /// sparse-friendly by [`CompiledCircuit::support_log2_bound`]).
+    ///
+    /// [`CompiledCircuit::support_log2_bound`]: qdb_circuit::CompiledCircuit::support_log2_bound
+    Sparse(CompiledCircuit),
 }
 
 /// The qubits a breakpoint's assertion measures, in packing order: the
@@ -1564,6 +1662,176 @@ mod tests {
             ),
             "{err}"
         );
+    }
+
+    /// A GHZ ladder with a T phase on the control: non-Clifford, but
+    /// support never exceeds two basis states at any width.
+    fn wide_sparse_program(n: usize) -> (Program, QReg, QReg) {
+        let mut p = Program::new();
+        let q = p.alloc_register("q", n);
+        p.h(q.bit(0));
+        p.t(q.bit(0)); // non-Clifford: the tableau is out
+        for i in 1..n {
+            p.cx(q.bit(i - 1), q.bit(i));
+        }
+        let first = QReg::new("first", vec![q.bit(0)]);
+        let last = QReg::new("last", vec![q.bit(n - 1)]);
+        p.assert_entangled(&first, &last);
+        (p, first, last)
+    }
+
+    #[test]
+    fn oversized_dense_sessions_fail_at_resolution_time() {
+        // 27 qubits, one past the dense ceiling: the explicit
+        // statevector backend must fail with a typed error naming the
+        // qubit count and the ceiling — not die inside allocation.
+        let (p, _, _) = wide_sparse_program(27);
+        let config = EnsembleConfig::builder()
+            .backend(BackendChoice::Statevector)
+            .build();
+        let err = EnsembleRunner::new(config).check_program(&p).unwrap_err();
+        match &err {
+            CoreError::BackendUnsupported {
+                backend: "statevector",
+                reason,
+            } => {
+                assert!(reason.contains("27"), "{reason}");
+                assert!(reason.contains("26"), "{reason}");
+            }
+            other => panic!("expected BackendUnsupported, got {other}"),
+        }
+    }
+
+    #[test]
+    fn auto_rejects_wide_branching_programs_with_a_typed_error() {
+        // 27 qubits, a Hadamard on every one: non-Clifford (because of
+        // the T), support bound 2²⁷ — no engine can run it, and Auto
+        // must say so cleanly instead of panicking or allocating.
+        let mut p = Program::new();
+        let q = p.alloc_register("q", 27);
+        for i in 0..27 {
+            p.h(q.bit(i));
+        }
+        p.t(q.bit(0));
+        let probe = QReg::new("probe", vec![q.bit(0)]);
+        p.assert_superposition(&probe);
+        let config = EnsembleConfig::builder()
+            .backend(BackendChoice::Auto)
+            .build();
+        let err = EnsembleRunner::new(config).check_program(&p).unwrap_err();
+        match &err {
+            CoreError::BackendUnsupported { reason, .. } => {
+                assert!(reason.contains("support"), "{reason}");
+                assert!(reason.contains("26"), "{reason}");
+            }
+            other => panic!("expected BackendUnsupported, got {other}"),
+        }
+    }
+
+    #[test]
+    fn explicit_sparse_rejects_past_64_qubits() {
+        let (p, _, _) = wide_sparse_program(65);
+        let config = EnsembleConfig::builder()
+            .backend(BackendChoice::Sparse)
+            .build();
+        let err = EnsembleRunner::new(config).check_program(&p).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                CoreError::BackendUnsupported {
+                    backend: "sparse",
+                    ..
+                }
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn auto_routes_wide_sparse_programs_to_the_sparse_backend() {
+        // 40 qubits: unallocatable dense, non-Clifford, but the plan's
+        // support bound (one branching gate) routes Auto to the sparse
+        // tier — and the session must reach the right verdicts, both
+        // statistical and exact.
+        let (p, _, _) = wide_sparse_program(40);
+        let base = EnsembleConfig::builder().shots(256).seed(19).build();
+        let auto = EnsembleRunner::new(base.with_backend(BackendChoice::Auto))
+            .check_program(&p)
+            .unwrap();
+        assert_eq!(auto.len(), 1);
+        assert_eq!(auto[0].verdict, Verdict::Pass, "{}", auto[0]);
+        assert_eq!(auto[0].exact, Some(Verdict::Pass));
+        // Auto's resolution is exactly the explicit sparse session.
+        let explicit = EnsembleRunner::new(base.with_backend(BackendChoice::Sparse))
+            .check_program(&p)
+            .unwrap();
+        assert_reports_bit_identical(&auto, &explicit);
+    }
+
+    #[test]
+    fn sparse_backend_matches_dense_verdicts_within_the_ceiling() {
+        let mut p = Program::new();
+        let r = p.alloc_register("r", 3);
+        p.prep_int(&r, 5);
+        p.assert_classical(&r, 5);
+        for i in 0..3 {
+            p.h(r.bit(i));
+        }
+        p.assert_superposition(&r);
+        p.h(r.bit(1));
+        p.t(r.bit(0));
+        p.cx(r.bit(0), r.bit(1));
+        let a = QReg::new("a", vec![r.bit(0)]);
+        let b = QReg::new("b", vec![r.bit(1)]);
+        p.assert_entangled(&a, &b);
+        let base = EnsembleConfig::builder().shots(256).seed(14).build();
+        let dense = EnsembleRunner::new(base).check_program(&p).unwrap();
+        let sparse = EnsembleRunner::new(base.with_backend(BackendChoice::Sparse))
+            .check_program(&p)
+            .unwrap();
+        assert_eq!(dense.len(), sparse.len());
+        for (d, s) in dense.iter().zip(&sparse) {
+            assert_eq!(d.verdict, s.verdict, "{d} vs {s}");
+            assert_eq!(d.exact, s.exact);
+        }
+    }
+
+    #[test]
+    fn sparse_sweep_and_per_prefix_reports_are_bit_identical() {
+        let (p, _, _) = wide_sparse_program(32);
+        for parallel in [false, true] {
+            let base = EnsembleConfig::builder()
+                .shots(200)
+                .seed(23)
+                .parallel(parallel)
+                .backend(BackendChoice::Sparse)
+                .build();
+            let sweep = EnsembleRunner::new(base.with_strategy(ExecutionStrategy::Sweep))
+                .check_program(&p)
+                .unwrap();
+            let prefix = EnsembleRunner::new(base.with_strategy(ExecutionStrategy::PerPrefix))
+                .check_program(&p)
+                .unwrap();
+            assert_reports_bit_identical(&sweep, &prefix);
+        }
+    }
+
+    #[test]
+    fn sparse_noisy_sessions_run_the_trajectory_tree_past_the_ceiling() {
+        // Noise on a 30-qubit non-Clifford program: the trajectory tree
+        // must run on the sparse backend (every fault is a Pauli, which
+        // preserves support), and low noise must not flip the verdict.
+        let (p, _, _) = wide_sparse_program(30);
+        let config = EnsembleConfig::builder()
+            .shots(128)
+            .seed(31)
+            .noise(qdb_sim::NoiseModel::depolarizing(0.0005))
+            .backend(BackendChoice::Auto)
+            .build();
+        let (reports, stats) = EnsembleRunner::new(config).check_program_stats(&p).unwrap();
+        assert_eq!(reports[0].verdict, Verdict::Pass, "{}", reports[0]);
+        assert_eq!(reports[0].exact, Some(Verdict::Pass));
+        assert!(stats.is_some(), "the sweep strategy runs the tree");
     }
 
     #[test]

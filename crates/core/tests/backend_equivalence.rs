@@ -1,7 +1,9 @@
 //! Cross-backend equivalence: on random Clifford programs the
 //! stabilizer tableau and the dense statevector must be the *same
 //! debugger* — identical assertion verdicts, identical exact verdicts,
-//! and per-breakpoint outcome distributions agreeing to 1e-9 — and
+//! and per-breakpoint outcome distributions agreeing to 1e-9 — on
+//! random phase-spiced *non-Clifford* programs the sparse amplitude
+//! map must reach the dense engine's verdicts too, and
 //! `BackendChoice::Auto` must never change a verdict relative to the
 //! default statevector engine.
 //!
@@ -31,6 +33,21 @@ use qdb_sim::{SimBackend, StabilizerState, State};
 /// `n` qubits with decisive assertions sprinkled at random positions
 /// (and always one at the end).
 fn random_clifford_program(n: usize, gates: usize, seed: u64) -> Program {
+    random_program(n, gates, seed, false)
+}
+
+/// As [`random_clifford_program`], but with diagonal non-Clifford
+/// phases (T, Tdg, Rz, controlled-phase) sprinkled between the Clifford
+/// gates. Diagonal gates never change a computational-basis outcome
+/// distribution and are local/controlled-local unitaries, so every
+/// decisiveness argument from the module docs carries over verbatim —
+/// while the program as a whole is non-Clifford and therefore eligible
+/// for the sparse amplitude-map backend.
+fn random_phase_spiced_program(n: usize, gates: usize, seed: u64) -> Program {
+    random_program(n, gates, seed, true)
+}
+
+fn random_program(n: usize, gates: usize, seed: u64, diagonal_spice: bool) -> Program {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut p = Program::new();
     let reg = p.alloc_register("q", n);
@@ -99,6 +116,21 @@ fn random_clifford_program(n: usize, gates: usize, seed: u64) -> Program {
                 }
             }
         }
+        if diagonal_spice && rng.gen::<f64>() < 0.3 {
+            let q = rng.gen_range(0..n);
+            match rng.gen_range(0..4u32) {
+                0 => p.t(q),
+                1 => p.tdg(q),
+                2 => p.rz(q, rng.gen_range(0.1..3.0)),
+                _ => {
+                    let mut other = rng.gen_range(0..n - 1);
+                    if other >= q {
+                        other += 1;
+                    }
+                    p.cphase(other, q, rng.gen_range(0.1..3.0));
+                }
+            }
+        }
         maybe_assert(&mut p, &mut rng, false);
     }
     maybe_assert(&mut p, &mut rng, true);
@@ -149,6 +181,34 @@ proptest! {
             prop_assert_eq!(t.p_value.to_bits(), a.p_value.to_bits());
             prop_assert_eq!(t.exact, a.exact);
         }
+    }
+
+    #[test]
+    fn sparse_and_dense_reach_identical_verdicts_on_non_clifford_programs(
+        n in 2..13usize,
+        gates in 0..60usize,
+        program_seed in 0..u64::MAX,
+        run_seed in 0..u64::MAX,
+    ) {
+        // Diagonal spice keeps every assertion exactly as decisive as
+        // in the Clifford case (see the generator's docs) while making
+        // the program non-Clifford, so the explicit Sparse tier is the
+        // engine actually under test here — including its runtime
+        // densify fallback when Hadamards saturate the support.
+        let program = random_phase_spiced_program(n, gates, program_seed);
+        prop_assume!(!program.breakpoints().is_empty());
+        let base = EnsembleConfig::builder()
+            .shots(256)
+            .alpha(1e-6)
+            .seed(run_seed)
+            .build();
+        let dense = EnsembleRunner::new(base.with_backend(BackendChoice::Statevector))
+            .check_program(&program)
+            .expect("statevector session");
+        let sparse = EnsembleRunner::new(base.with_backend(BackendChoice::Sparse))
+            .check_program(&program)
+            .expect("sparse session");
+        prop_assert_eq!(verdicts(&dense), verdicts(&sparse));
     }
 
     #[test]

@@ -21,6 +21,10 @@
 //! * [`stabilizer`] — an Aaronson–Gottesman Clifford tableau backend:
 //!   polynomial-time simulation of H/S/CX-class circuits at hundreds of
 //!   qubits, where the dense backend cannot even allocate.
+//! * [`sparse`] — a sorted amplitude-support-map backend for structured
+//!   *non-Clifford* programs past the dense ceiling (30–60 qubits):
+//!   cost scales with the live support size, not `2ⁿ`, with an exact
+//!   dense fallback when the support stops being sparse.
 //! * [`measure`] — ensemble sampling (via a cumulative-distribution
 //!   sampler) and collapsing mid-circuit measurement, as needed for
 //!   iterative phase estimation.
@@ -63,6 +67,7 @@ pub mod linalg;
 pub mod measure;
 pub mod noise;
 pub mod pool;
+pub mod sparse;
 pub mod stabilizer;
 pub mod state;
 
@@ -75,5 +80,6 @@ pub use gates::Matrix2;
 pub use measure::Sampler;
 pub use noise::{NoiseChannel, NoiseModel};
 pub use pool::StatePool;
+pub use sparse::SparseState;
 pub use stabilizer::StabilizerState;
 pub use state::{Pauli, State};

@@ -301,6 +301,78 @@ mod tests {
         }
     }
 
+    /// Counts every `next_u64` pulled from the underlying stream, so
+    /// tests can pin the *number* of draws, not just their positions.
+    struct CountingRng {
+        inner: StdRng,
+        draws: u64,
+    }
+
+    impl CountingRng {
+        fn new(seed: u64) -> Self {
+            Self {
+                inner: rng(seed),
+                draws: 0,
+            }
+        }
+    }
+
+    impl rand::RngCore for CountingRng {
+        fn next_u64(&mut self) -> u64 {
+            self.draws += 1;
+            self.inner.next_u64()
+        }
+    }
+
+    #[test]
+    fn channel_draw_counts_are_pinned() {
+        // The determinism contract in `sample_fault`'s docs, enforced
+        // draw by draw: zero-probability channels consume nothing.
+        let mut counter = CountingRng::new(9);
+        for channel in [
+            NoiseChannel::BitFlip(0.0),
+            NoiseChannel::PhaseFlip(0.0),
+            NoiseChannel::Depolarizing(0.0),
+            NoiseChannel::Depolarizing(-1.0),
+        ] {
+            for _ in 0..100 {
+                assert_eq!(channel.sample_fault(&mut counter), None);
+            }
+        }
+        assert_eq!(counter.draws, 0, "p ≤ 0 must skip the stream entirely");
+
+        // Bernoulli channels: exactly one uniform per sample, firing
+        // or not.
+        let mut counter = CountingRng::new(9);
+        for _ in 0..500 {
+            NoiseChannel::BitFlip(0.5).sample_fault(&mut counter);
+            NoiseChannel::PhaseFlip(0.5).sample_fault(&mut counter);
+        }
+        assert_eq!(counter.draws, 1000);
+
+        // Depolarizing: one uniform per sample plus one Pauli-choice
+        // draw per *firing* sample — never more, never fewer.
+        let channel = NoiseChannel::Depolarizing(0.4);
+        let mut counter = CountingRng::new(10);
+        let mut fired = 0u64;
+        for _ in 0..500 {
+            if channel.sample_fault(&mut counter).is_some() {
+                fired += 1;
+            }
+        }
+        assert!(0 < fired && fired < 500, "seed must exercise both arms");
+        assert_eq!(counter.draws, 500 + fired);
+
+        // And the state-updating path consumes the identical stream:
+        // no draw hides in the backend update.
+        let mut counter = CountingRng::new(10);
+        let mut s = State::zero(1);
+        for _ in 0..500 {
+            channel.apply(&mut s, 0, &mut counter);
+        }
+        assert_eq!(counter.draws, 500 + fired);
+    }
+
     #[test]
     fn zero_readout_flip_draws_nothing() {
         // corrupt_readout with flip = 0 must not consume the stream:
