@@ -1,0 +1,322 @@
+//! Device noise profiles: hardware calibration data → simulator noise.
+//!
+//! The paper measures assertion power under idealized stochastic noise;
+//! real devices publish *calibration* numbers instead — per-qubit T1
+//! (energy relaxation) and T2 (dephasing) times, a gate duration, and a
+//! readout confusion matrix. This module turns those numbers into the
+//! Kraus channels `qdb_sim` unravels, using the standard
+//! zero-temperature thermal-relaxation model:
+//!
+//! * amplitude-damping rate `γ = 1 − e^{−t/T1}` per gate of duration
+//!   `t`;
+//! * pure-dephasing rate `λ = 1 − e^{−t/Tφ}` with
+//!   `1/Tφ = 1/T2 − 1/(2·T1)` (T2 bundles both processes; physicality
+//!   requires `T2 ≤ 2·T1`);
+//! * asymmetric readout confusion `p01`/`p10`
+//!   ([`ReadoutError`]) — excited states decay *during* readout, so
+//!   `p10 > p01` on real chips.
+//!
+//! The qdb noise model applies one channel uniformly after every gate,
+//! so a whole-device [`NoiseModel`] is built from a chosen qubit's
+//! rates; [`DeviceProfile::noise_model`] conservatively picks the
+//! *worst* qubit (shortest coherence), bounding the real device from
+//! below.
+
+use qdb_circuit::Program;
+use qdb_sim::{NoiseChannel, NoiseModel, ReadoutError};
+
+use crate::clifford::{repetition_code_program, PauliFault};
+
+/// One qubit's published coherence times, in microseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QubitCalibration {
+    /// Energy-relaxation (amplitude-damping) time constant T1, in µs.
+    pub t1_us: f64,
+    /// Total dephasing time constant T2, in µs. Physical devices obey
+    /// `T2 ≤ 2·T1`.
+    pub t2_us: f64,
+}
+
+impl QubitCalibration {
+    /// `true` when the pair is physical: both positive and `T2 ≤ 2·T1`
+    /// (a tiny tolerance absorbs calibration-report rounding).
+    #[must_use]
+    pub fn is_physical(&self) -> bool {
+        self.t1_us > 0.0 && self.t2_us > 0.0 && self.t2_us <= 2.0 * self.t1_us * (1.0 + 1e-9)
+    }
+}
+
+/// A device's noise calibration: per-qubit coherence times, a uniform
+/// gate duration, and the readout confusion matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceProfile {
+    qubits: Vec<QubitCalibration>,
+    gate_time_ns: f64,
+    readout: ReadoutError,
+}
+
+impl DeviceProfile {
+    /// Build a profile from explicit per-qubit calibrations.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `qubits` is empty, `gate_time_ns` is not positive
+    /// and finite, or any calibration is unphysical (see
+    /// [`QubitCalibration::is_physical`]).
+    #[must_use]
+    pub fn new(qubits: Vec<QubitCalibration>, gate_time_ns: f64, readout: ReadoutError) -> Self {
+        assert!(!qubits.is_empty(), "a device needs at least one qubit");
+        assert!(
+            gate_time_ns > 0.0 && gate_time_ns.is_finite(),
+            "gate time must be positive and finite"
+        );
+        for (q, cal) in qubits.iter().enumerate() {
+            assert!(
+                cal.is_physical(),
+                "qubit {q}: T1 = {} µs, T2 = {} µs is unphysical (need 0 < T2 ≤ 2·T1)",
+                cal.t1_us,
+                cal.t2_us
+            );
+        }
+        Self {
+            qubits,
+            gate_time_ns,
+            readout,
+        }
+    }
+
+    /// A device whose qubits all share one calibration.
+    ///
+    /// # Panics
+    ///
+    /// As [`DeviceProfile::new`].
+    #[must_use]
+    pub fn uniform(
+        num_qubits: usize,
+        calibration: QubitCalibration,
+        gate_time_ns: f64,
+        readout: ReadoutError,
+    ) -> Self {
+        Self::new(vec![calibration; num_qubits], gate_time_ns, readout)
+    }
+
+    /// A representative superconducting-transmon profile: T1 ≈ 100 µs
+    /// and T2 ≈ 80 µs with mild per-qubit spread, 60 ns gates, and the
+    /// typical asymmetric readout (`p10 > p01`, since `|1⟩` decays
+    /// during the readout pulse).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `num_qubits == 0`.
+    #[must_use]
+    pub fn transmon_like(num_qubits: usize) -> Self {
+        let qubits = (0..num_qubits)
+            .map(|q| {
+                // Deterministic ±10% spread so qubits differ but the
+                // profile stays reproducible (and worst_qubit is fixed).
+                let wobble = 1.0 - 0.1 * (q % 3) as f64 / 2.0;
+                QubitCalibration {
+                    t1_us: 100.0 * wobble,
+                    t2_us: 80.0 * wobble,
+                }
+            })
+            .collect();
+        Self::new(qubits, 60.0, ReadoutError::asymmetric(0.01, 0.03))
+    }
+
+    /// Number of calibrated qubits.
+    #[must_use]
+    pub fn num_qubits(&self) -> usize {
+        self.qubits.len()
+    }
+
+    /// The profile's readout confusion matrix.
+    #[must_use]
+    pub fn readout(&self) -> ReadoutError {
+        self.readout
+    }
+
+    /// The per-gate damping rates `(γ, λ)` of qubit `q`:
+    /// `γ = 1 − e^{−t/T1}`, `λ = 1 − e^{−t/Tφ}` with
+    /// `1/Tφ = 1/T2 − 1/(2·T1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `q` is out of range.
+    #[must_use]
+    pub fn damping_rates(&self, q: usize) -> (f64, f64) {
+        let cal = &self.qubits[q];
+        let t_us = self.gate_time_ns * 1e-3;
+        let gamma = 1.0 - (-t_us / cal.t1_us).exp();
+        // The pure-dephasing rate; T2 = 2·T1 means dephasing is
+        // entirely relaxation-induced and λ collapses to 0.
+        let inv_t_phi = (1.0 / cal.t2_us - 0.5 / cal.t1_us).max(0.0);
+        let lambda = 1.0 - (-t_us * inv_t_phi).exp();
+        (gamma, lambda)
+    }
+
+    /// The thermal-relaxation Kraus channel one gate applies to qubit
+    /// `q` (see [`NoiseChannel::thermal_relaxation`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `q` is out of range.
+    #[must_use]
+    pub fn channel_for(&self, q: usize) -> NoiseChannel {
+        let (gamma, lambda) = self.damping_rates(q);
+        NoiseChannel::thermal_relaxation(gamma, lambda)
+            .expect("rates derived from physical T1/T2 are always in [0, 1]")
+    }
+
+    /// The qubit with the shortest coherence (largest combined damping
+    /// rate) — the one that bounds the device.
+    #[must_use]
+    pub fn worst_qubit(&self) -> usize {
+        (0..self.num_qubits())
+            .max_by(|&a, &b| {
+                let rate = |q: usize| {
+                    let (g, l) = self.damping_rates(q);
+                    g + l
+                };
+                rate(a).total_cmp(&rate(b))
+            })
+            .expect("profile has at least one qubit")
+    }
+
+    /// The whole-device noise model: the worst qubit's
+    /// thermal-relaxation channel after every gate (qdb's noise model
+    /// is uniform, so the worst qubit is the conservative stand-in for
+    /// the chip) plus the profile's readout confusion.
+    #[must_use]
+    pub fn noise_model(&self) -> NoiseModel {
+        NoiseModel {
+            gate_noise: Some(self.channel_for(self.worst_qubit())),
+            readout: self.readout,
+        }
+    }
+}
+
+/// A device-noise repetition-code scenario: the distance-`distance`
+/// code of [`repetition_code_program`] (with an optional injected Pauli
+/// fault and the matching *correct* syndrome assertion) paired with the
+/// profile's noise model. The Kraus gate channel routes the session to
+/// the dense per-shot engine. Device noise splits the verdicts by
+/// assertion kind: the exact-match syndrome assertion is a point-mass
+/// test with zero noise tolerance (the few decay events transmon-scale
+/// damping deals to a realistic ensemble already break it, before
+/// readout confusion piles on), while the entanglement assertion's
+/// correlation test absorbs both — the noise sensitivity the bench
+/// suite pins quantitatively.
+///
+/// # Panics
+///
+/// As [`repetition_code_program`].
+#[must_use]
+pub fn device_repetition_code(
+    profile: &DeviceProfile,
+    distance: usize,
+    fault: Option<PauliFault>,
+) -> (Program, NoiseModel) {
+    (
+        repetition_code_program(distance, fault),
+        profile.noise_model(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn damping_rates_follow_exponential_law() {
+        let profile = DeviceProfile::uniform(
+            1,
+            QubitCalibration {
+                t1_us: 100.0,
+                t2_us: 80.0,
+            },
+            60.0,
+            ReadoutError::default(),
+        );
+        let (gamma, lambda) = profile.damping_rates(0);
+        let t = 0.060; // 60 ns in µs
+        assert!((gamma - (1.0 - (-t / 100.0f64).exp())).abs() < 1e-15);
+        let inv_t_phi = 1.0 / 80.0 - 0.5 / 100.0;
+        assert!((lambda - (1.0 - (-t * inv_t_phi).exp())).abs() < 1e-15);
+        assert!(gamma > 0.0 && lambda > 0.0);
+    }
+
+    #[test]
+    fn t2_at_relaxation_limit_means_no_pure_dephasing() {
+        let profile = DeviceProfile::uniform(
+            2,
+            QubitCalibration {
+                t1_us: 50.0,
+                t2_us: 100.0,
+            },
+            100.0,
+            ReadoutError::default(),
+        );
+        let (gamma, lambda) = profile.damping_rates(1);
+        assert!(gamma > 0.0);
+        assert_eq!(lambda, 0.0, "T2 = 2·T1 leaves λ = 0");
+        // …and the channel then compresses to the pure-AD 2-operator set.
+        let qdb_sim::NoiseChannel::Kraus(set) = profile.channel_for(1) else {
+            panic!("thermal relaxation lowers to a Kraus set");
+        };
+        assert_eq!(set.num_ops(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "unphysical")]
+    fn unphysical_t2_is_rejected() {
+        let _ = DeviceProfile::uniform(
+            1,
+            QubitCalibration {
+                t1_us: 10.0,
+                t2_us: 30.0,
+            },
+            60.0,
+            ReadoutError::default(),
+        );
+    }
+
+    #[test]
+    fn worst_qubit_has_shortest_coherence() {
+        let profile = DeviceProfile::new(
+            vec![
+                QubitCalibration {
+                    t1_us: 120.0,
+                    t2_us: 90.0,
+                },
+                QubitCalibration {
+                    t1_us: 30.0,
+                    t2_us: 25.0,
+                },
+                QubitCalibration {
+                    t1_us: 80.0,
+                    t2_us: 60.0,
+                },
+            ],
+            60.0,
+            ReadoutError::default(),
+        );
+        assert_eq!(profile.worst_qubit(), 1);
+    }
+
+    #[test]
+    fn transmon_profile_yields_kraus_noise_model() {
+        let profile = DeviceProfile::transmon_like(9);
+        assert_eq!(profile.num_qubits(), 9);
+        let model = profile.noise_model();
+        assert!(!model.is_noiseless());
+        assert!(
+            !model.gate_noise_is_pauli(),
+            "device damping must be a Kraus channel"
+        );
+        assert!(model.readout.p10 > model.readout.p01);
+        let (program, model) = device_repetition_code(&profile, 3, None);
+        assert_eq!(program.num_qubits(), 5);
+        assert!(!model.gate_noise_is_pauli());
+    }
+}

@@ -26,6 +26,9 @@
 //! * [`clifford`] — Clifford-scale scenario builders (GHZ ladders,
 //!   teleportation chains, repetition codes with injectable Pauli
 //!   faults) that run on the stabilizer backend at 100+ qubits;
+//! * [`device`] — device noise profiles: per-qubit T1/T2 calibrations
+//!   lowered to thermal-relaxation Kraus channels and asymmetric
+//!   readout confusion, with ready-made noisy scenarios;
 //! * [`sparse`] — sparse-scale scenario builders (Shor-style period
 //!   finding over permutation arithmetic, repetition codes under
 //!   coherent rotation faults) whose non-Clifford circuits keep a tiny
@@ -36,6 +39,7 @@
 pub mod arith;
 pub mod chem;
 pub mod clifford;
+pub mod device;
 pub mod fermion;
 pub mod gf2;
 pub mod grover;
@@ -46,6 +50,7 @@ pub mod sparse;
 
 pub use arith::AdderVariant;
 pub use clifford::PauliFault;
+pub use device::{DeviceProfile, QubitCalibration};
 pub use gf2::Gf2m;
 pub use grover::GroverStyle;
 pub use harnesses::{BugType, Listing4Params};

@@ -329,7 +329,7 @@ impl Circuit {
         );
         for inst in &self.instructions {
             apply_instruction(state, inst);
-            if let Some(channel) = noise.gate_noise {
+            if let Some(channel) = noise.gate_noise.as_ref() {
                 for q in inst.qubits() {
                     channel.apply(state, q, rng);
                 }

@@ -434,14 +434,19 @@ impl CompiledCircuit {
         self.apply_range_to_noisy_backend(state, range, noise, rng);
     }
 
-    /// Noisy-trajectory replay on any backend. All the noise channels
-    /// are stochastic Paulis, so Clifford plans replay noisy
-    /// trajectories on the stabilizer backend too.
+    /// Noisy-trajectory replay on any backend. Stochastic-Pauli
+    /// channels replay on every backend (Clifford plans run noisy
+    /// trajectories on the stabilizer backend too); Kraus channels
+    /// (amplitude/phase damping, general Kraus sets) need dense branch
+    /// norms and therefore a backend with
+    /// [`SimBackend::supports_kraus`]` == true` — the statevector
+    /// engine.
     ///
     /// # Panics
     ///
     /// As [`apply_range_to_noisy`](Self::apply_range_to_noisy), plus
-    /// unsupported ops (see [`apply_to_backend`](Self::apply_to_backend)).
+    /// unsupported ops (see [`apply_to_backend`](Self::apply_to_backend)),
+    /// plus Kraus noise on a backend without Kraus support.
     pub fn apply_range_to_noisy_backend<B: SimBackend, R: rand::Rng + ?Sized>(
         &self,
         backend: &mut B,
@@ -455,7 +460,7 @@ impl CompiledCircuit {
         );
         for op in self.ops_for_range(backend.num_qubits(), &range) {
             backend.apply_op(&op.op);
-            if let Some(channel) = noise.gate_noise {
+            if let Some(channel) = noise.gate_noise.as_ref() {
                 op.op
                     .for_each_qubit(|q| channel.apply_to_backend(backend, q, rng));
             }
@@ -543,7 +548,11 @@ impl CompiledCircuit {
     /// # Panics
     ///
     /// As [`apply_range_to_noisy_backend`](Self::apply_range_to_noisy_backend):
-    /// fused plans and invalid ranges are refused.
+    /// fused plans and invalid ranges are refused. Panics for a
+    /// **Kraus** gate channel (amplitude/phase damping, general Kraus
+    /// sets): its branch probabilities depend on the evolving state, so
+    /// no state-free fault pattern exists — callers gate presampling on
+    /// [`NoiseModel::gate_noise_is_pauli`](qdb_sim::NoiseModel::gate_noise_is_pauli).
     pub fn presample_faults<R: rand::Rng + ?Sized>(
         &self,
         range: std::ops::Range<usize>,
@@ -556,7 +565,7 @@ impl CompiledCircuit {
             "noisy replay requires an unfused plan (compile at OptLevel::Specialize)"
         );
         out.clear();
-        let Some(channel) = noise.gate_noise else {
+        let Some(channel) = noise.gate_noise.as_ref() else {
             return;
         };
         for op in self.ops_for_range(self.num_qubits, &range) {

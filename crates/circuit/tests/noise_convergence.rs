@@ -1,35 +1,41 @@
 //! Trajectory-averaging convergence: the claim in
 //! [`Circuit::apply_to_noisy`] — "averaging outcomes over many
 //! trajectories reproduces the density-matrix noise channel" — tested
-//! quantitatively via `qdb_sim::density`.
+//! quantitatively, for every shipped channel family.
 //!
 //! Each noisy trajectory is a pure state `|ψₜ⟩`; the channel's density
-//! matrix is the expectation `ρ = E[|ψₜ⟩⟨ψₜ|]`. These tests build the
-//! *exact* `ρ` by enumerating every Pauli-insertion branch with its
-//! probability, average a few thousand trajectories, and require the
-//! Monte-Carlo estimate to converge to the exact channel action — in
+//! matrix is the expectation `ρ = E[|ψₜ⟩⟨ψₜ|]`. The exact `ρ` comes
+//! from one uniform construction: every channel exposes its
+//! operator-sum form via [`NoiseChannel::kraus_operators`], and
+//! enumerating all Kraus-index strings — applying the **unnormalized**
+//! `Kᵢ` at each noise site and accumulating `|ψ̃⟩⟨ψ̃|` with weight 1 —
+//! yields exactly `Σ K ρ K†`, because each branch's probability is
+//! carried in its norm. For Pauli channels this reproduces the old
+//! Pauli-insertion enumeration bit for bit (the operators are scaled
+//! Paulis); for damping channels it is the genuinely non-unitary
+//! channel action the trajectory unraveler must match.
+//!
+//! The differential oracle then requires the Monte-Carlo average of a
+//! few thousand trajectories to converge to the exact channel — in
 //! matrix entries and in `purity` — within statistical tolerance
-//! (`O(1/√M)` with a safety factor).
+//! (`5/√M`), with closed-form analytic anchors cross-checking the
+//! enumeration itself.
 
 use qdb_circuit::{Circuit, GateSink};
-use qdb_sim::density::{purity, reduced_density_matrix};
+use qdb_sim::density::purity;
 use qdb_sim::linalg::CMatrix;
-use qdb_sim::{Complex, NoiseChannel, NoiseModel, State};
+use qdb_sim::{Complex, NoiseChannel, NoiseModel, ReadoutError, State};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-/// The density matrix of a pure state (all qubits kept).
-fn density_of(state: &State) -> CMatrix {
-    let qubits: Vec<usize> = (0..state.num_qubits()).collect();
-    reduced_density_matrix(state, &qubits).expect("full-system density matrix")
-}
-
-/// Element-wise accumulate `rho += weight · |ψ⟩⟨ψ|`.
-fn accumulate(rho: &mut CMatrix, state: &State, weight: f64) {
-    let contribution = density_of(state);
-    for (acc_row, row) in rho.iter_mut().zip(&contribution) {
-        for (acc, value) in acc_row.iter_mut().zip(row) {
-            *acc += value.scale(weight);
+/// Element-wise accumulate `rho += weight · |ψ⟩⟨ψ|`, with no
+/// normalization: feeding an unnormalized branch state `|ψ̃⟩ = K…K|ψ⟩`
+/// at weight 1 contributes its probability-weighted projector.
+fn accumulate_outer(rho: &mut CMatrix, state: &State, weight: f64) {
+    let amps = state.amplitudes();
+    for (acc_row, ai) in rho.iter_mut().zip(amps) {
+        for (acc, aj) in acc_row.iter_mut().zip(amps) {
+            *acc += (*ai * aj.conj()).scale(weight);
         }
     }
 }
@@ -46,25 +52,18 @@ fn max_entry_deviation(a: &CMatrix, b: &CMatrix) -> f64 {
         .fold(0.0, f64::max)
 }
 
-/// The exact channel action of `circuit` under per-gate Pauli noise:
-/// enumerate every combination of "which Pauli (or none) fired after
-/// which (gate, qubit) site" with its probability. Exponential in site
-/// count — these circuits keep it tiny — but exactly the density-matrix
-/// semantics the trajectory method samples.
+/// The exact channel action of `circuit` under per-gate noise:
+/// enumerate every Kraus-index string over the noise sites (one site
+/// per (gate, touched qubit), in trajectory order), apply the
+/// unnormalized operators, and sum the outer products. Exponential in
+/// site count — these circuits keep it tiny — but exactly the
+/// density-matrix semantics the trajectory method samples.
 fn exact_channel_density(circuit: &Circuit, noise: &NoiseModel) -> CMatrix {
-    let channel = noise.gate_noise.expect("a gate channel");
-    let p = channel.probability();
-    // Per-site branch set: (weight, Pauli to insert or None).
-    let branches: Vec<(f64, Option<char>)> = match channel {
-        NoiseChannel::BitFlip(_) => vec![(1.0 - p, None), (p, Some('x'))],
-        NoiseChannel::PhaseFlip(_) => vec![(1.0 - p, None), (p, Some('z'))],
-        NoiseChannel::Depolarizing(_) => vec![
-            (1.0 - p, None),
-            (p / 3.0, Some('x')),
-            (p / 3.0, Some('y')),
-            (p / 3.0, Some('z')),
-        ],
-    };
+    let ops = noise
+        .gate_noise
+        .as_ref()
+        .expect("a gate channel")
+        .kraus_operators();
     // The noise sites, in the order the trajectory visits them.
     let sites: Vec<(usize, usize)> = circuit
         .instructions()
@@ -76,8 +75,8 @@ fn exact_channel_density(circuit: &Circuit, noise: &NoiseModel) -> CMatrix {
     let mut rho = zero_matrix(dim);
     let mut choice = vec![0usize; sites.len()];
     loop {
-        // One branch: run the circuit with the chosen Pauli insertions.
-        let mut weight = 1.0;
+        // One branch: run the circuit inserting the chosen (still
+        // unnormalized) Kraus operator at each site.
         let mut state = State::zero(circuit.num_qubits());
         let mut site = 0usize;
         for (pos, inst) in circuit.instructions().iter().enumerate() {
@@ -85,18 +84,11 @@ fn exact_channel_density(circuit: &Circuit, noise: &NoiseModel) -> CMatrix {
             single.push(inst.clone());
             single.apply_to(&mut state);
             while site < sites.len() && sites[site].0 == pos {
-                let (branch_weight, pauli) = branches[choice[site]];
-                weight *= branch_weight;
-                match pauli {
-                    None => {}
-                    Some('x') => state.apply_1q(sites[site].1, &qdb_sim::gates::x()),
-                    Some('y') => state.apply_1q(sites[site].1, &qdb_sim::gates::y()),
-                    _ => state.apply_1q(sites[site].1, &qdb_sim::gates::z()),
-                }
+                state.apply_1q(sites[site].1, &ops[choice[site]]);
                 site += 1;
             }
         }
-        accumulate(&mut rho, &state, weight);
+        accumulate_outer(&mut rho, &state, 1.0);
         // Next mixed-radix choice vector.
         let mut carry = 0usize;
         loop {
@@ -104,7 +96,7 @@ fn exact_channel_density(circuit: &Circuit, noise: &NoiseModel) -> CMatrix {
                 return rho;
             }
             choice[carry] += 1;
-            if choice[carry] < branches.len() {
+            if choice[carry] < ops.len() {
                 break;
             }
             choice[carry] = 0;
@@ -127,9 +119,47 @@ fn averaged_trajectory_density(
     for _ in 0..trials {
         let mut state = State::zero(circuit.num_qubits());
         circuit.apply_to_noisy(&mut state, noise, &mut rng);
-        accumulate(&mut rho, &state, weight);
+        accumulate_outer(&mut rho, &state, weight);
     }
     rho
+}
+
+fn gate_model(channel: NoiseChannel) -> NoiseModel {
+    NoiseModel {
+        gate_noise: Some(channel),
+        readout: ReadoutError::default(),
+    }
+}
+
+/// The parameterized differential oracle: exact Kraus-summed density vs
+/// `trials` averaged trajectories, entrywise and in purity, within
+/// `5/√M`. Returns the exact density for channel-specific anchors.
+fn assert_channel_converges(
+    circuit: &Circuit,
+    noise: &NoiseModel,
+    trials: usize,
+    seed: u64,
+    what: &str,
+) -> CMatrix {
+    let exact = exact_channel_density(circuit, noise);
+    // The enumeration must itself be a density matrix: trace 1.
+    let trace: f64 = (0..exact.len()).map(|i| exact[i][i].re).sum();
+    assert!(
+        (trace - 1.0).abs() < 1e-12,
+        "{what}: exact Kraus sum has trace {trace}"
+    );
+    let averaged = averaged_trajectory_density(circuit, noise, trials, seed);
+    let tol = 5.0 / (trials as f64).sqrt();
+    let dev = max_entry_deviation(&averaged, &exact);
+    assert!(
+        dev < tol,
+        "{what}: averaged trajectories deviate {dev:.4} from the exact channel (tol {tol:.4})"
+    );
+    assert!(
+        (purity(&averaged) - purity(&exact)).abs() < tol,
+        "{what}: purity off by more than {tol:.4}"
+    );
+    exact
 }
 
 #[test]
@@ -139,27 +169,13 @@ fn phase_flip_on_plus_state_converges_to_the_mixture() {
     let mut circuit = Circuit::new(1);
     circuit.h(0);
     let p = 0.3;
-    let noise = NoiseModel {
-        gate_noise: Some(NoiseChannel::PhaseFlip(p)),
-        readout_flip: 0.0,
-    };
-    let exact = exact_channel_density(&circuit, &noise);
+    let noise = gate_model(NoiseChannel::PhaseFlip(p));
+    let exact = assert_channel_converges(&circuit, &noise, 4000, 11, "phase flip");
     let exact_purity = (1.0 - p) * (1.0 - p) + p * p;
     assert!(
         (purity(&exact) - exact_purity).abs() < 1e-12,
         "exact-channel enumeration disagrees with the analytic mixture"
     );
-    let trials = 4000;
-    let averaged = averaged_trajectory_density(&circuit, &noise, trials, 11);
-    // Monte-Carlo tolerance: per-entry fluctuations are O(1/√M); 5σ-ish.
-    let tol = 5.0 / (trials as f64).sqrt();
-    assert!(
-        max_entry_deviation(&averaged, &exact) < tol,
-        "averaged trajectories deviate {:.4} from the exact channel (tol {:.4})",
-        max_entry_deviation(&averaged, &exact),
-        tol
-    );
-    assert!((purity(&averaged) - exact_purity).abs() < tol);
 }
 
 #[test]
@@ -170,28 +186,78 @@ fn depolarizing_bell_pair_converges_entrywise_and_in_purity() {
     circuit.h(0);
     circuit.cx(0, 1);
     let noise = NoiseModel::depolarizing(0.15);
-    let exact = exact_channel_density(&circuit, &noise);
-    // Sanity: the exact channel is trace-1 and genuinely mixed.
-    let trace: f64 = (0..4).map(|i| exact[i][i].re).sum();
-    assert!((trace - 1.0).abs() < 1e-12);
+    let trials = 4000;
+    let exact = assert_channel_converges(&circuit, &noise, trials, 7, "depolarizing");
     assert!(purity(&exact) < 0.999, "noise must mix the state");
 
-    let trials = 4000;
-    let averaged = averaged_trajectory_density(&circuit, &noise, trials, 7);
+    // Convergence is monotone in distribution: quartering the trials
+    // should keep the estimate on the 1/√M trend line.
     let tol = 5.0 / (trials as f64).sqrt();
-    let dev = max_entry_deviation(&averaged, &exact);
-    assert!(
-        dev < tol,
-        "averaged trajectories deviate {dev:.4} from the exact channel (tol {tol:.4})"
-    );
-    assert!((purity(&averaged) - purity(&exact)).abs() < tol);
-
-    // Convergence is monotone in distribution: quadrupling the trials
-    // should not make the estimate worse than the 1/√M trend line.
     let coarse = averaged_trajectory_density(&circuit, &noise, trials / 4, 7);
     let coarse_dev = max_entry_deviation(&coarse, &exact);
     assert!(
         coarse_dev < 2.0 * tol,
         "even the coarse estimate must be in the 1/√M regime ({coarse_dev:.4})"
+    );
+}
+
+#[test]
+fn amplitude_damping_on_excited_state_converges_to_the_decay_mixture() {
+    // X|0⟩ then AmplitudeDamping(γ): the decay branch K₁ sends |1⟩ to
+    // |0⟩ with probability γ, the survival branch renormalizes back to
+    // |1⟩ — so ρ = γ|0⟩⟨0| + (1−γ)|1⟩⟨1|, purity γ² + (1−γ)².
+    let mut circuit = Circuit::new(1);
+    circuit.x(0);
+    let gamma = 0.35;
+    let noise = gate_model(NoiseChannel::amplitude_damping(gamma).unwrap());
+    let exact = assert_channel_converges(&circuit, &noise, 4000, 19, "amplitude damping");
+    assert!((exact[0][0].re - gamma).abs() < 1e-12, "P(|0⟩) must be γ");
+    assert!(exact[0][1].abs() < 1e-12, "decay creates no coherence");
+    let exact_purity = gamma * gamma + (1.0 - gamma) * (1.0 - gamma);
+    assert!((purity(&exact) - exact_purity).abs() < 1e-12);
+}
+
+#[test]
+fn phase_damping_on_plus_state_shrinks_coherence() {
+    // H|0⟩ then PhaseDamping(λ): populations stay ½/½ while the
+    // off-diagonal coherence shrinks to ½·√(1−λ) — the T2 signature
+    // that distinguishes damping from any Pauli channel (a phase *flip*
+    // would leave |ρ₀₁| ∈ {½(1−2p)} instead).
+    let mut circuit = Circuit::new(1);
+    circuit.h(0);
+    let lambda = 0.4;
+    let noise = gate_model(NoiseChannel::phase_damping(lambda).unwrap());
+    let exact = assert_channel_converges(&circuit, &noise, 4000, 23, "phase damping");
+    assert!(
+        (exact[0][0].re - 0.5).abs() < 1e-12,
+        "populations untouched"
+    );
+    assert!(
+        (exact[1][1].re - 0.5).abs() < 1e-12,
+        "populations untouched"
+    );
+    let coherence = 0.5 * (1.0 - lambda).sqrt();
+    assert!(
+        (exact[0][1].abs() - coherence).abs() < 1e-12,
+        "|ρ₀₁| = {} must equal ½√(1−λ) = {coherence}",
+        exact[0][1].abs()
+    );
+}
+
+#[test]
+fn general_kraus_thermal_relaxation_converges_on_entangled_input() {
+    // The three-operator thermal-relaxation set on a Bell pair: the
+    // general-Kraus path (no damping-specific shortcut), on entangled
+    // input where branch norms genuinely depend on the joint state.
+    let mut circuit = Circuit::new(2);
+    circuit.h(0);
+    circuit.cx(0, 1);
+    let noise = gate_model(NoiseChannel::thermal_relaxation(0.25, 0.2).unwrap());
+    let exact = assert_channel_converges(&circuit, &noise, 4000, 29, "thermal relaxation");
+    assert!(purity(&exact) < 0.999, "relaxation must mix the state");
+    // Damping prefers |00⟩: the decayed population lands there.
+    assert!(
+        exact[0][0].re > exact[3][3].re + 0.05,
+        "energy relaxation must bias toward the ground state"
     );
 }

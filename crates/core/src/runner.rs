@@ -571,7 +571,11 @@ impl EnsembleRunner {
             // Lower the whole program once; every breakpoint's
             // trajectories replay windows of the same plan.
             let plan = CompiledCircuit::compile(program.circuit(), OptLevel::Specialize);
-            if self.config.strategy == ExecutionStrategy::Sweep {
+            // The trajectory tree presamples and deduplicates fault
+            // patterns, which only exist for state-independent (Pauli)
+            // channels; Kraus noise takes the per-shot reference path,
+            // which unravels branch-by-branch on the dense state.
+            if self.config.strategy == ExecutionStrategy::Sweep && noise.gate_noise_is_pauli() {
                 // Trajectory tree: the checkpoint the visit receives is
                 // the ideal frontier — value-identical to the replayed
                 // prefix state the reference path stores.
@@ -682,7 +686,48 @@ impl EnsembleRunner {
     fn resolve_backend(&self, program: &Program) -> Result<ResolvedBackend, CoreError> {
         let n = program.circuit().num_qubits();
         let clifford = || program.circuit().is_clifford();
+        // A non-Pauli (Kraus) gate channel needs dense amplitudes for
+        // its branch norms, so it pins the session to the statevector
+        // engine — checked first so a Kraus session can never silently
+        // drop its noise on a backend that can't unravel it.
+        let kraus = self
+            .config
+            .noise
+            .as_ref()
+            .is_some_and(|m| !m.gate_noise_is_pauli());
         match self.config.backend {
+            BackendChoice::Stabilizer if kraus => Err(CoreError::BackendUnsupported {
+                backend: StabilizerState::NAME,
+                reason: "the noise model's gate channel is a Kraus channel \
+                         (amplitude/phase damping or a general Kraus set); its \
+                         branch probabilities depend on dense amplitudes the \
+                         tableau does not track — use BackendChoice::Auto or \
+                         Statevector"
+                    .into(),
+            }),
+            BackendChoice::Sparse if kraus => Err(CoreError::BackendUnsupported {
+                backend: SparseState::NAME,
+                reason: "the noise model's gate channel is a Kraus channel \
+                         (amplitude/phase damping or a general Kraus set); \
+                         unraveling needs dense branch norms — use \
+                         BackendChoice::Auto or Statevector"
+                    .into(),
+            }),
+            // Auto + Kraus: dense is the only engine that can unravel,
+            // so route there whenever the program fits.
+            BackendChoice::Auto if kraus && n <= qdb_sim::state::MAX_QUBITS => {
+                Ok(ResolvedBackend::Statevector)
+            }
+            BackendChoice::Auto if kraus => Err(CoreError::BackendUnsupported {
+                backend: State::NAME,
+                reason: format!(
+                    "the noise model's gate channel is a Kraus channel, which \
+                     only the dense statevector can unravel, but the program \
+                     uses {n} qubits — past the dense {}-qubit ceiling; shrink \
+                     the program or switch to a Pauli channel",
+                    qdb_sim::state::MAX_QUBITS
+                ),
+            }),
             // Qubit-count capacity is validated here, at resolution
             // time, so an oversized session fails with a typed error
             // naming the ceiling instead of dying deep inside state
@@ -798,8 +843,12 @@ impl EnsembleRunner {
     ) -> Result<(Vec<AssertionReport>, Option<NoisySessionStats>), CoreError> {
         let mut stats = NoisySessionStats::default();
         let reports = self.check_program_inner(program, Some(&mut stats))?;
-        let ran_tree =
-            self.config.noise.is_some() && self.config.strategy == ExecutionStrategy::Sweep;
+        let ran_tree = self
+            .config
+            .noise
+            .as_ref()
+            .is_some_and(NoiseModel::gate_noise_is_pauli)
+            && self.config.strategy == ExecutionStrategy::Sweep;
         Ok((reports, ran_tree.then_some(stats)))
     }
 
@@ -840,7 +889,10 @@ impl EnsembleRunner {
         // single prefix simulation, so fan out here.
         if let Some(noise) = self.config.noise {
             let plan = CompiledCircuit::compile(program.circuit(), OptLevel::Specialize);
-            if self.config.strategy == ExecutionStrategy::Sweep {
+            // Pauli noise only: the tree's presample/dedup machinery has
+            // no meaning for state-dependent Kraus branches, which fall
+            // through to the per-shot reference path below.
+            if self.config.strategy == ExecutionStrategy::Sweep && noise.gate_noise_is_pauli() {
                 // Trajectory tree: check each breakpoint in place from
                 // the shared ideal frontier (which doubles as the
                 // exact-cross-check state), with fault-identical shots

@@ -32,6 +32,21 @@
 //! a breakpoint, it *is* that group's final state — and simultaneously
 //! the ideal state the exact cross-check wants.
 //!
+//! ## Pauli channels only
+//!
+//! Every stage above leans on fault patterns being *state-independent*:
+//! presampling draws them with no simulator in sight, and deduplication
+//! assumes equal patterns imply equal states. A Kraus channel
+//! (amplitude/phase damping, general Kraus sets) breaks both — its
+//! branch distribution is the branch-norm spectrum `‖Kᵢ|ψ⟩‖²` of the
+//! *current* state, so two shots agreeing on branch indices need not
+//! agree on states, and no pattern exists before the state does. The
+//! runner therefore gates this engine on
+//! [`NoiseModel::gate_noise_is_pauli`](qdb_sim::NoiseModel::gate_noise_is_pauli)
+//! and sends Kraus sessions down the per-shot dense path
+//! (`presample_faults` additionally panics on a Kraus channel as a
+//! safety net).
+//!
 //! ## Determinism
 //!
 //! Every outcome is a pure function of `(seed, breakpoint, shot)` and

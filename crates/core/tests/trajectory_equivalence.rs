@@ -157,7 +157,7 @@ fn noise_level(which: u8) -> NoiseModel {
         3 => NoiseModel::depolarizing(0.0005),
         _ => NoiseModel {
             gate_noise: Some(qdb_sim::NoiseChannel::BitFlip(0.004)),
-            readout_flip: 0.0,
+            readout: qdb_sim::ReadoutError::default(),
         },
     }
 }
@@ -390,4 +390,83 @@ fn tree_serial_parallel_identical_with_stats() {
     assert_eq!(stats_s.frontier_ops, stats_p.frontier_ops);
     assert!(stats_s.states_allocated <= 1);
     assert!(stats_p.states_allocated <= 33);
+}
+
+/// Pre-existing Pauli-noise ensemble reports are pinned bit for bit
+/// against constants harvested *before* the Kraus-channel layer landed:
+/// the Kraus generalization must leave every Pauli fast path — draw
+/// order, tree dedup, readout corruption — untouched to the last bit,
+/// on both backends. If this test fails, a "refactor" changed the
+/// noisy determinism contract.
+#[test]
+fn pauli_noise_reports_are_pinned_across_the_kraus_generalization() {
+    let program = faulty_repetition_code_program(5, PauliFault::X(2));
+    let run = |backend: BackendChoice| {
+        let config = EnsembleConfig::builder()
+            .shots(256)
+            .seed(42)
+            .backend(backend)
+            .noise(NoiseModel::depolarizing(0.01).with_readout_flip(0.02))
+            .build();
+        EnsembleRunner::new(config).check_program(&program).unwrap()
+    };
+
+    // (statistic bits, p-value bits, verdict, hist total/distinct/mode)
+    type Pin = (u64, u64, Verdict, (u64, usize, Option<u64>));
+    let check = |reports: &[AssertionReport], pins: &[Pin], what: &str| {
+        assert_eq!(reports.len(), pins.len(), "{what}: report count");
+        for (r, (stat, p, verdict, hist)) in reports.iter().zip(pins) {
+            assert_eq!(
+                r.statistic.to_bits(),
+                *stat,
+                "{what} #{}: statistic",
+                r.index
+            );
+            assert_eq!(r.p_value.to_bits(), *p, "{what} #{}: p-value", r.index);
+            assert_eq!(r.verdict, *verdict, "{what} #{}: verdict", r.index);
+            let got = (
+                r.histogram.total(),
+                r.histogram.distinct(),
+                r.histogram.mode(),
+            );
+            assert_eq!(got, *hist, "{what} #{}: histogram", r.index);
+        }
+    };
+
+    check(
+        &run(BackendChoice::Statevector),
+        &[
+            (
+                0x41ad564bf0b20003,
+                0x0000000000000000,
+                Verdict::Fail,
+                (256, 9, Some(6)),
+            ),
+            (
+                0x40652346c43e8331,
+                0x380fa22808133c17,
+                Verdict::Pass,
+                (256, 2, Some(1)),
+            ),
+        ],
+        "statevector",
+    );
+    check(
+        &run(BackendChoice::Stabilizer),
+        &[
+            (
+                0x41ad1a92a2480005,
+                0x0000000000000000,
+                Verdict::Fail,
+                (256, 9, Some(6)),
+            ),
+            (
+                0x40638a10b8e70ca7,
+                0x38a3362a8faf6c4f,
+                Verdict::Pass,
+                (256, 2, Some(0)),
+            ),
+        ],
+        "stabilizer",
+    );
 }

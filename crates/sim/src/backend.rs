@@ -274,14 +274,45 @@ pub trait SimBackend: Sized + Clone + Send + Sync {
     /// of range.
     fn apply_op(&mut self, op: &SimOp);
 
-    /// Apply a single-qubit Pauli (the noise-channel primitive; every
-    /// noise channel in [`crate::noise`] is Pauli, so trajectories work
-    /// on any backend).
+    /// Apply a single-qubit Pauli (the *Pauli* noise-channel primitive:
+    /// Pauli conjugation is Clifford, so stochastic-Pauli trajectories
+    /// replay on any backend).
     ///
     /// # Panics
     ///
     /// Panics if `q` is out of range.
     fn apply_pauli(&mut self, q: usize, p: Pauli);
+
+    /// `true` when this backend can unravel general Kraus channels via
+    /// [`apply_kraus`](SimBackend::apply_kraus). Only the dense
+    /// statevector engine can: branch norms `‖Kᵢ|ψ⟩‖²` need amplitude
+    /// access, which tableau and support-map representations don't
+    /// offer. The runner consults this at resolution time so an
+    /// unsupported pairing fails with a typed error instead of reaching
+    /// the panicking default.
+    fn supports_kraus() -> bool {
+        false
+    }
+
+    /// Unravel one Kraus-channel site on qubit `q`: compute the branch
+    /// norms `pᵢ = ‖Kᵢ|ψ⟩‖²`, draw branch `i` with probability `pᵢ`
+    /// (exactly **one** uniform from `rng`, drawn before any state
+    /// work; zero draws for a single-operator set), apply `Kᵢ/√pᵢ`,
+    /// and return the chosen branch index.
+    ///
+    /// # Panics
+    ///
+    /// The default panics: backends that report
+    /// [`supports_kraus`](SimBackend::supports_kraus)` == false` have
+    /// no dense amplitudes to compute branch norms from.
+    fn apply_kraus<R: Rng + ?Sized>(&mut self, q: usize, ops: &[Matrix2], rng: &mut R) -> usize {
+        let _ = (q, ops, rng);
+        panic!(
+            "the {} backend cannot unravel Kraus channels (no amplitude \
+             access for branch norms); route Kraus noise to the dense backend",
+            Self::NAME
+        );
+    }
 
     /// Marginal probability that qubit `q` measures `1`.
     ///
@@ -382,6 +413,14 @@ impl SimBackend for State {
         if p != Pauli::I {
             self.apply_1q(q, &p.matrix());
         }
+    }
+
+    fn supports_kraus() -> bool {
+        true
+    }
+
+    fn apply_kraus<R: Rng + ?Sized>(&mut self, q: usize, ops: &[Matrix2], rng: &mut R) -> usize {
+        State::apply_kraus(self, q, ops, rng)
     }
 
     fn prob_one(&self, q: usize) -> f64 {

@@ -28,6 +28,9 @@ pub enum SimError {
     NotNormalized,
     /// The requested state exceeds the simulator's size limit.
     TooManyQubits(usize),
+    /// A proposed Kraus-operator set does not describe a valid (CPTP)
+    /// quantum channel; the message names the violated condition.
+    NotCptp(String),
 }
 
 impl fmt::Display for SimError {
@@ -49,6 +52,9 @@ impl fmt::Display for SimError {
             SimError::NotNormalized => write!(f, "state vector is not normalized"),
             SimError::TooManyQubits(n) => {
                 write!(f, "{n} qubits exceeds the dense simulation limit")
+            }
+            SimError::NotCptp(why) => {
+                write!(f, "not a valid CPTP channel: {why}")
             }
         }
     }

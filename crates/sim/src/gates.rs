@@ -44,6 +44,17 @@ impl Matrix2 {
         Matrix2(out)
     }
 
+    /// Element-wise multiplication by a real scalar — how a Kraus
+    /// operator `K` becomes the applied branch map `K/√p`.
+    #[must_use]
+    pub fn scale(&self, s: f64) -> Matrix2 {
+        let m = &self.0;
+        Matrix2([
+            [m[0][0].scale(s), m[0][1].scale(s)],
+            [m[1][0].scale(s), m[1][1].scale(s)],
+        ])
+    }
+
     /// Conjugate transpose (the adjoint, i.e. the inverse for a unitary).
     #[must_use]
     pub fn dagger(&self) -> Matrix2 {

@@ -78,7 +78,7 @@ pub use complex::Complex;
 pub use error::SimError;
 pub use gates::Matrix2;
 pub use measure::Sampler;
-pub use noise::{NoiseChannel, NoiseModel};
+pub use noise::{KrausSet, NoiseChannel, NoiseModel, ReadoutError, CPTP_TOL, MAX_KRAUS_OPS};
 pub use pool::StatePool;
 pub use sparse::SparseState;
 pub use stabilizer::StabilizerState;

@@ -330,6 +330,100 @@ impl State {
         }
     }
 
+    /// Branch norms `pᵢ = ‖Kᵢ|ψ⟩‖²` for a set of single-qubit Kraus
+    /// operators acting on `target` — the norm-dependent distribution a
+    /// Kraus trajectory step draws its branch from. One pass over the
+    /// amplitude pairs serves every operator. For a CPTP set on a
+    /// normalized state the norms sum to 1 (up to float error); this is
+    /// a read-only probe and does not touch the instrumentation
+    /// counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is out of range.
+    #[must_use]
+    pub fn kraus_branch_norms(&self, target: usize, ops: &[Matrix2]) -> Vec<f64> {
+        self.check_qubit(target);
+        let mask = 1usize << target;
+        let dim = self.amps.len();
+        let mut norms = vec![0.0f64; ops.len()];
+        let mut base = 0usize;
+        while base < dim {
+            for i0 in base..base + mask {
+                let i1 = i0 | mask;
+                let a = self.amps[i0];
+                let b = self.amps[i1];
+                for (norm, k) in norms.iter_mut().zip(ops) {
+                    let m = &k.0;
+                    *norm += (m[0][0] * a + m[0][1] * b).norm_sqr()
+                        + (m[1][0] * a + m[1][1] * b).norm_sqr();
+                }
+            }
+            base += mask << 1;
+        }
+        norms
+    }
+
+    /// One Kraus-channel trajectory step on `target`: compute the
+    /// branch norms `pᵢ = ‖Kᵢ|ψ⟩‖²`, draw a branch from that
+    /// norm-dependent distribution, apply the selected `Kᵢ/√pᵢ`, and
+    /// return the chosen branch index. Averaging `|ψ⟩⟨ψ|` over many
+    /// such trajectories reproduces the channel `ρ → Σᵢ KᵢρKᵢ†`.
+    ///
+    /// **Draw contract** (the noisy-stream determinism contract): a
+    /// potentially-branching set (`ops.len() ≥ 2`) consumes **exactly
+    /// one** uniform, drawn *before* any state work; a single-operator
+    /// set is deterministic — `K₀` is applied directly (CPTP forces it
+    /// unitary) and **nothing** is drawn. The branch choice and the
+    /// applied rescaling are pure functions of `(ops, |ψ⟩, u)`, so a
+    /// seeded stream replays bit-for-bit.
+    ///
+    /// The applied branch counts as one [`gate_ops`](State::gate_ops)
+    /// unit, exactly like the `apply_1q` it lowers to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is out of range, `ops` is empty, or every
+    /// branch has zero norm (only possible for a non-CPTP set or an
+    /// unnormalized state).
+    pub fn apply_kraus<R: rand::Rng + ?Sized>(
+        &mut self,
+        target: usize,
+        ops: &[Matrix2],
+        rng: &mut R,
+    ) -> usize {
+        assert!(!ops.is_empty(), "a Kraus set needs at least one operator");
+        if ops.len() == 1 {
+            self.apply_1q(target, &ops[0]);
+            return 0;
+        }
+        let u: f64 = rng.gen();
+        let norms = self.kraus_branch_norms(target, ops);
+        let total: f64 = norms.iter().sum();
+        assert!(
+            total > 0.0,
+            "every Kraus branch has zero norm (non-CPTP set or zero state)"
+        );
+        // CDF walk scaled by the total, so float drift in Σpᵢ can never
+        // push the draw off the end; a zero-norm branch is unselectable
+        // (the strict `<` cannot newly hold when `acc` does not move).
+        let mut chosen = None;
+        let mut acc = 0.0f64;
+        for (i, &p) in norms.iter().enumerate() {
+            acc += p;
+            if u * total < acc {
+                chosen = Some(i);
+                break;
+            }
+        }
+        let chosen = chosen.unwrap_or_else(|| {
+            // u == 1.0 exactly (or accumulated rounding): last live branch.
+            norms.iter().rposition(|&p| p > 0.0).expect("total > 0")
+        });
+        self.apply_1q(target, &ops[chosen].scale(norms[chosen].sqrt().recip()));
+        chosen
+    }
+
     /// Apply a single-qubit unitary to `target`, conditioned on *all*
     /// `controls` being `|1⟩`. With one control and [`gates::x`] this is a
     /// CNOT; with two controls it is a Toffoli; with two controls and a

@@ -1,0 +1,184 @@
+//! Property tests for the Kraus-channel layer: CPTP validation accepts
+//! exactly the completeness-satisfying sets, branch norms are a
+//! probability distribution on every state, and zero-rate damping is a
+//! bit-identical no-op.
+
+use proptest::prelude::*;
+use qdb_sim::{gates, Complex, KrausSet, Matrix2, NoiseChannel, SimError, State, CPTP_TOL};
+
+/// Build a 2×2 matrix from 8 raw floats.
+fn matrix_from(raw: &[f64]) -> Matrix2 {
+    Matrix2([
+        [Complex::new(raw[0], raw[1]), Complex::new(raw[2], raw[3])],
+        [Complex::new(raw[4], raw[5]), Complex::new(raw[6], raw[7])],
+    ])
+}
+
+/// `Σ Aᵢ†Aᵢ` — the Gram matrix a Kraus set must whiten to the identity.
+fn gram(ops: &[Matrix2]) -> Matrix2 {
+    let mut s = Matrix2([[Complex::ZERO; 2]; 2]);
+    for a in ops {
+        let aa = a.dagger().mul(a);
+        for r in 0..2 {
+            for c in 0..2 {
+                s.0[r][c] += aa.0[r][c];
+            }
+        }
+    }
+    s
+}
+
+/// Whiten arbitrary operators into a CPTP set: `Kᵢ = Aᵢ·S^{−1/2}` with
+/// `S = Σ Aᵢ†Aᵢ`, using the closed 2×2 forms
+/// `√S = (S + √(det S)·I)/√(tr S + 2·√(det S))` (valid for Hermitian
+/// positive-definite `S`) and the adjugate inverse. Returns `None` when
+/// `S` is too ill-conditioned for the whitening to stay accurate.
+fn whiten(ops: &[Matrix2]) -> Option<Vec<Matrix2>> {
+    let s = gram(ops);
+    // Hermitian PSD: trace and determinant are real and non-negative.
+    let tr = s.0[0][0].re + s.0[1][1].re;
+    let det = s.0[0][0].re * s.0[1][1].re - s.0[0][1].norm_sqr();
+    if det < 1e-3 || tr < 1e-2 || !det.is_finite() {
+        return None;
+    }
+    let sqrt_det = det.sqrt();
+    let denom = (tr + 2.0 * sqrt_det).sqrt();
+    let mut sqrt_s = s;
+    sqrt_s.0[0][0] += Complex::real(sqrt_det);
+    sqrt_s.0[1][1] += Complex::real(sqrt_det);
+    let sqrt_s = sqrt_s.scale(denom.recip());
+    // Adjugate inverse of √S.
+    let inv_det = sqrt_s.0[0][0] * sqrt_s.0[1][1] - sqrt_s.0[0][1] * sqrt_s.0[1][0];
+    if inv_det.abs() < 1e-6 {
+        return None;
+    }
+    let inv = Matrix2([
+        [sqrt_s.0[1][1] / inv_det, -sqrt_s.0[0][1] / inv_det],
+        [-sqrt_s.0[1][0] / inv_det, sqrt_s.0[0][0] / inv_det],
+    ]);
+    Some(ops.iter().map(|a| a.mul(&inv)).collect())
+}
+
+/// A reproducible "random" n-qubit state: per-qubit `u3` rotations from
+/// the drawn angles, entangled by a CX chain.
+fn random_state(num_qubits: usize, angles: &[f64]) -> State {
+    let mut state = State::zero(num_qubits);
+    for q in 0..num_qubits {
+        let a = &angles[3 * q..3 * q + 3];
+        state.apply_1q(q, &gates::u3(a[0], a[1], a[2]));
+    }
+    for q in 1..num_qubits {
+        state.apply_controlled_1q(&[q - 1], q, &gates::x());
+    }
+    state
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Whitened random operator sets are accepted (they satisfy
+    /// completeness by construction); the same set with any single
+    /// operator perturbed beyond tolerance is rejected with
+    /// [`SimError::NotCptp`]. Acceptance is exactly the CPTP test.
+    #[test]
+    fn kraus_accepted_iff_cptp(
+        raw in proptest::collection::vec(-1.0..1.0f64, 32),
+        num_ops in 1..4usize,
+        victim in 0..4usize,
+    ) {
+        let arbitrary: Vec<Matrix2> = (0..num_ops)
+            .map(|i| matrix_from(&raw[8 * i..8 * i + 8]))
+            .collect();
+        let Some(ops) = whiten(&arbitrary) else {
+            // Ill-conditioned draw; skip (proptest retries with fresh
+            // randomness on the next case).
+            return Ok(());
+        };
+        // Completeness holds by construction…
+        let gram_dev = {
+            let s = gram(&ops);
+            let mut dev = 0.0f64;
+            for r in 0..2 {
+                for c in 0..2 {
+                    let want = if r == c { Complex::ONE } else { Complex::ZERO };
+                    dev = dev.max((s.0[r][c] - want).abs());
+                }
+            }
+            dev
+        };
+        prop_assume!(gram_dev <= CPTP_TOL); // numerically borderline whitenings excluded
+        prop_assert!(NoiseChannel::kraus(ops.clone()).is_ok());
+        prop_assert!(KrausSet::new(&ops).is_ok());
+
+        // …and breaking any one operator breaks acceptance.
+        let mut broken = ops;
+        let victim = victim % broken.len();
+        broken[victim] = broken[victim].scale(1.001);
+        match NoiseChannel::kraus(broken) {
+            Err(SimError::NotCptp(_)) => {}
+            other => prop_assert!(false, "perturbed set must be rejected, got {other:?}"),
+        }
+    }
+
+    /// On any state, every shipped channel's branch norms
+    /// `pᵢ = ‖Kᵢ|ψ⟩‖²` sum to 1 — the CPTP completeness relation seen
+    /// from the trajectory side, and the reason one uniform draw always
+    /// lands in some branch.
+    #[test]
+    fn branch_norms_are_a_distribution_on_random_states(
+        angles in proptest::collection::vec(0.0..6.3f64, 9),
+        target in 0..3usize,
+        raw in proptest::collection::vec(-1.0..1.0f64, 16),
+    ) {
+        let state = random_state(3, &angles);
+        let mut channels = vec![
+            NoiseChannel::BitFlip(0.3),
+            NoiseChannel::Depolarizing(0.25),
+            NoiseChannel::amplitude_damping(0.4).unwrap(),
+            NoiseChannel::phase_damping(0.15).unwrap(),
+            NoiseChannel::thermal_relaxation(0.2, 0.3).unwrap(),
+        ];
+        if let Some(ops) = whiten(&[matrix_from(&raw[..8]), matrix_from(&raw[8..])]) {
+            if let Ok(channel) = NoiseChannel::kraus(ops) {
+                channels.push(channel);
+            }
+        }
+        for channel in channels {
+            let norms = state.kraus_branch_norms(target, &channel.kraus_operators());
+            let total: f64 = norms.iter().sum();
+            prop_assert!(norms.iter().all(|&p| p >= 0.0));
+            prop_assert!(
+                (total - 1.0).abs() < 1e-9,
+                "{channel:?}: branch norms sum to {total}"
+            );
+        }
+    }
+
+    /// `AmplitudeDamping(0)` and `PhaseDamping(0)` interleaved into any
+    /// gate sequence are exact no-ops: the final state is bit-identical
+    /// to the noiseless run and the RNG stream is never touched.
+    #[test]
+    fn zero_rate_damping_is_bit_identical_to_noiseless(
+        angles in proptest::collection::vec(0.0..6.3f64, 9),
+        seed in 0..u64::MAX,
+    ) {
+        use rand::rngs::StdRng;
+        use rand::{RngCore, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut untouched = StdRng::seed_from_u64(seed);
+
+        let noiseless = random_state(3, &angles);
+        let mut noisy = State::zero(3);
+        for q in 0..3 {
+            let a = &angles[3 * q..3 * q + 3];
+            noisy.apply_1q(q, &gates::u3(a[0], a[1], a[2]));
+            NoiseChannel::AmplitudeDamping(0.0).apply(&mut noisy, q, &mut rng);
+        }
+        for q in 1..3 {
+            noisy.apply_controlled_1q(&[q - 1], q, &gates::x());
+            NoiseChannel::PhaseDamping(0.0).apply(&mut noisy, q, &mut rng);
+        }
+        prop_assert_eq!(&noisy, &noiseless, "zero-rate damping must not perturb the state");
+        prop_assert_eq!(rng.next_u64(), untouched.next_u64(), "stream position must be untouched");
+    }
+}

@@ -70,7 +70,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 let p: f64 = value("--noise")?
                     .parse()
                     .map_err(|_| "--noise expects a probability".to_string())?;
-                noise = NoiseModel::depolarizing(p).with_readout_flip(noise.readout_flip);
+                noise = NoiseModel::depolarizing(p).with_readout(noise.readout);
             }
             "--readout" => {
                 let p: f64 = value("--readout")?
