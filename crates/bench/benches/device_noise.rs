@@ -142,7 +142,7 @@ fn session_cross_check(name: &str, program: &Program, config: &EnsembleConfig) {
 
     // …which Auto routes to the dense engine, bit-identically to an
     // explicit request, with no trajectory-tree census.
-    let (auto, stats) = EnsembleRunner::new(*config)
+    let (auto, stats) = EnsembleRunner::new(config.clone())
         .check_program_stats(program)
         .expect("device session runs under Auto");
     assert!(stats.is_none(), "{name}: Kraus sessions bypass the tree");
@@ -235,7 +235,7 @@ fn bench_device_noise(c: &mut Criterion) {
         session_cross_check(name, &program, &config);
 
         if bench_mode {
-            let session = time_session(&EnsembleRunner::new(config), &program);
+            let session = time_session(&EnsembleRunner::new(config.clone()), &program);
             let (gamma, lambda) = profile.damping_rates(profile.worst_qubit());
             println!(
                 "device_noise {name}: {:.1} ms/session (γ = {gamma:.2e}, λ = {lambda:.2e})",

@@ -1,0 +1,145 @@
+//! Governor polling overhead on the flagship noisy ensemble — asserted
+//! under `cargo bench`, not narrated.
+//!
+//! Every session now runs under the execution governor: all three
+//! engines poll the `RunBudget` at op-batch granularity (every
+//! `max(1, 2¹⁶ ≫ n)` compiled ops). The design claim is that the
+//! amortized poll — a handful of atomic loads against ~2¹⁶ amplitude
+//! visits of real work — is unmeasurable. This bench pins it: on the
+//! `noisy_ensemble_shor_n15` flagship (the same paper §4.6 session
+//! `noisy_trajectory.rs` benchmarks), a session with an *armed* budget
+//! (far deadline + generous memory ceiling, so every poll does its full
+//! check work without ever tripping) must cost < 3% over the default
+//! unlimited-budget session, with bit-identical reports.
+//!
+//! Every run — smoke mode included — cross-checks report bit-identity
+//! and that the governor really polled (`poll_checks > 0`). Under full
+//! `cargo bench` the < 3% wall-clock bound is asserted and
+//! `poll_checks` / `overhead_pct` are recorded into the root
+//! `BENCH_results.json` so the perf trajectory tracks the poll cost.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qdb_algos::shor::{shor_program, ShorConfig};
+use qdb_algos::ControlRouting;
+use qdb_circuit::Program;
+use qdb_core::{EnsembleConfig, EnsembleRunner, RunBudget};
+use qdb_sim::NoiseModel;
+
+/// The flagship: Shor (paper §4.6, N = 15) under realistic Pauli noise,
+/// identical to `noisy_trajectory.rs`'s `shor_n15` case.
+fn shor_case() -> (Program, EnsembleConfig) {
+    let (program, _) = shor_program(
+        &ShorConfig::paper_n15(),
+        ControlRouting::Correct,
+        &Vec::new(),
+    );
+    let config = EnsembleConfig::default()
+        .with_shots(32)
+        .with_seed(7)
+        .with_noise(NoiseModel::depolarizing(5e-5).with_readout_flip(1e-3));
+    (program, config)
+}
+
+/// A budget that exercises every poll check without ever tripping: the
+/// deadline is an hour away and the ceiling is far above any 13-qubit
+/// resident state.
+fn armed_budget() -> RunBudget {
+    RunBudget::default()
+        .with_deadline(Duration::from_secs(3600))
+        .with_max_resident_bytes(1 << 30)
+}
+
+/// One timed session.
+fn time_once(runner: &EnsembleRunner, program: &Program) -> f64 {
+    let start = std::time::Instant::now();
+    std::hint::black_box(runner.check_program(program).expect("timed session"));
+    start.elapsed().as_secs_f64()
+}
+
+/// Best-of-nine wall-clock for both arms, sampled *interleaved*
+/// (unlimited, armed, unlimited, armed, …) so load shifts and
+/// frequency ramps on a shared host hit both arms alike instead of
+/// whichever arm happened to run second. The *minimum* per arm is
+/// the right estimator: scheduler preemption only ever adds time, and
+/// a 3% bound on a ~50 ms session leaves no room for that additive
+/// noise in a mean or median.
+fn time_pair(a: &EnsembleRunner, b: &EnsembleRunner, program: &Program) -> (f64, f64) {
+    a.check_program(program).expect("warm-up");
+    b.check_program(program).expect("warm-up");
+    let mut best = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..9 {
+        best.0 = best.0.min(time_once(a, program));
+        best.1 = best.1.min(time_once(b, program));
+    }
+    best
+}
+
+fn bench_governor_overhead(c: &mut Criterion) {
+    let bench_mode = std::env::args().any(|arg| arg == "--bench");
+    let (program, unlimited) = shor_case();
+    let budget = armed_budget();
+    let armed = unlimited.with_budget(budget.clone());
+
+    // Correctness cross-checks on every invocation, smoke mode
+    // included: an armed (never-tripping) budget must not change a
+    // single bit of the report, and the governor must actually have
+    // polled.
+    let baseline = EnsembleRunner::new(unlimited.clone())
+        .check_program(&program)
+        .expect("unlimited session");
+    let governed = EnsembleRunner::new(armed.clone())
+        .check_program(&program)
+        .expect("armed session");
+    assert_eq!(
+        baseline, governed,
+        "an untripped budget must be bit-invisible in the report"
+    );
+    let poll_checks = budget.poll_checks();
+    assert!(
+        poll_checks > 0,
+        "the armed session must have polled the governor"
+    );
+
+    if bench_mode {
+        let (base, with_budget) = time_pair(
+            &EnsembleRunner::new(unlimited.clone()),
+            &EnsembleRunner::new(armed.clone()),
+            &program,
+        );
+        let overhead_pct = (with_budget / base - 1.0) * 100.0;
+        println!(
+            "governor_overhead noisy_ensemble_shor_n15: {overhead_pct:+.2}% \
+             ({:.1} ms armed vs {:.1} ms unlimited, {poll_checks} polls)",
+            with_budget * 1e3,
+            base * 1e3
+        );
+        assert!(
+            overhead_pct < 3.0,
+            "governor polling costs {overhead_pct:.2}% — over the 3% bound"
+        );
+        // Attached to the armed session's measured entry so the
+        // counters ride along with its wall-clock numbers.
+        let label = "governor_overhead/noisy_ensemble_shor_n15/armed";
+        criterion::record_metric(label, "poll_checks", poll_checks as f64);
+        criterion::record_metric(label, "overhead_pct", overhead_pct);
+    }
+
+    let mut group = c.benchmark_group("governor_overhead");
+    group.sample_size(10);
+    for (label, config) in [("unlimited", unlimited), ("armed", armed)] {
+        let runner = EnsembleRunner::new(config);
+        group.bench_with_input(
+            BenchmarkId::new("noisy_ensemble_shor_n15", label),
+            &(),
+            |b, ()| {
+                b.iter(|| runner.check_program(&program).expect("session"));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_governor_overhead);
+criterion_main!(benches);

@@ -62,7 +62,7 @@ fn grover_case() -> (Program, EnsembleConfig) {
 /// reports) and the unique-trajectory scaling census; returns the
 /// tree's stats for metric recording.
 fn cross_check(name: &str, program: &Program, config: &EnsembleConfig) -> NoisySessionStats {
-    let (tree, stats) = EnsembleRunner::new(*config)
+    let (tree, stats) = EnsembleRunner::new(config.clone())
         .check_program_stats(program)
         .expect("tree session");
     let stats = stats.expect("noisy sweep sessions trace the tree");
@@ -130,7 +130,7 @@ fn bench_trajectory_tree(c: &mut Criterion) {
 
         if bench_mode {
             // The wall-clock claim, asserted where timing is meaningful.
-            let tree = time_session(&EnsembleRunner::new(config), &program);
+            let tree = time_session(&EnsembleRunner::new(config.clone()), &program);
             let reference = time_session(
                 &EnsembleRunner::new(config.with_strategy(ExecutionStrategy::PerPrefix)),
                 &program,

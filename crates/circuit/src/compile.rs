@@ -398,6 +398,54 @@ impl CompiledCircuit {
         }
     }
 
+    /// [`apply_range_to_backend`](Self::apply_range_to_backend) with an
+    /// amortized interruption check: after every `batch_ops` compiled
+    /// ops — and once more at the window's end if a partial batch
+    /// remains — `poll` is invoked with the backend and the cumulative
+    /// op count so far. A poll returning `Err` stops the replay
+    /// immediately and propagates the error; the backend is left at the
+    /// last op applied (mid-window, so callers treat it as consumed).
+    ///
+    /// The execution governor drives this with a stride chosen so the
+    /// per-op polling cost is unmeasurable (`max(1, 2¹⁶ >> n)` for an
+    /// `n`-qubit state): each poll then costs a handful of atomic loads
+    /// against ~2¹⁶ amplitude visits of real work. Because the ops are
+    /// batched directly — not by slicing the *source* range, which
+    /// would panic on fused-op boundaries — this is safe at every
+    /// [`OptLevel`], including [`OptLevel::Fuse`].
+    ///
+    /// # Errors
+    ///
+    /// Whatever `poll` returns, unchanged.
+    ///
+    /// # Panics
+    ///
+    /// As [`apply_range_to_backend`](Self::apply_range_to_backend).
+    pub fn apply_range_to_backend_polled<B: SimBackend, E>(
+        &self,
+        backend: &mut B,
+        range: std::ops::Range<usize>,
+        batch_ops: usize,
+        poll: &mut impl FnMut(&B, usize) -> Result<(), E>,
+    ) -> Result<(), E> {
+        let batch = batch_ops.max(1);
+        let mut since_poll = 0usize;
+        let mut total = 0usize;
+        for op in self.ops_for_range(backend.num_qubits(), &range) {
+            backend.apply_op(&op.op);
+            total += 1;
+            since_poll += 1;
+            if since_poll >= batch {
+                since_poll = 0;
+                poll(backend, total)?;
+            }
+        }
+        if since_poll > 0 {
+            poll(backend, total)?;
+        }
+        Ok(())
+    }
+
     /// Run the whole compiled circuit as one noisy trajectory,
     /// bit-compatible with [`Circuit::apply_to_noisy`]: after each op
     /// the noise channel is sampled on every qubit the source
@@ -624,6 +672,67 @@ impl CompiledCircuit {
             pending.next().is_none(),
             "fault pattern extends past replay window {range:?}"
         );
+    }
+
+    /// [`apply_range_to_backend_with_faults`](Self::apply_range_to_backend_with_faults)
+    /// with the same amortized interruption check as
+    /// [`apply_range_to_backend_polled`](Self::apply_range_to_backend_polled):
+    /// `poll` runs after every `batch_ops` ops (faults fire with their
+    /// op before the poll) and once at the window's end, and an `Err`
+    /// stops the replay immediately. The trajectory tree drives its
+    /// forked suffix replays through this so a budget trip interrupts
+    /// even a single long trajectory, not just the gaps between them.
+    ///
+    /// # Errors
+    ///
+    /// Whatever `poll` returns, unchanged.
+    ///
+    /// # Panics
+    ///
+    /// As [`apply_range_to_backend_with_faults`](Self::apply_range_to_backend_with_faults),
+    /// except that a fault pattern extending past the replay window is
+    /// only detected if the replay runs to completion.
+    pub fn apply_range_to_backend_with_faults_polled<B: SimBackend, E>(
+        &self,
+        backend: &mut B,
+        range: std::ops::Range<usize>,
+        faults: &[FaultEvent],
+        batch_ops: usize,
+        poll: &mut impl FnMut(&B, usize) -> Result<(), E>,
+    ) -> Result<(), E> {
+        assert!(
+            self.opt != OptLevel::Fuse,
+            "noisy replay requires an unfused plan (compile at OptLevel::Specialize)"
+        );
+        let batch = batch_ops.max(1);
+        let mut since_poll = 0usize;
+        let mut total = 0usize;
+        let mut pending = faults.iter().peekable();
+        for op in self.ops_for_range(backend.num_qubits(), &range) {
+            backend.apply_op(&op.op);
+            while let Some(fault) = pending.next_if(|f| f.op < op.end) {
+                assert!(
+                    fault.op >= op.start,
+                    "fault at op {} precedes replay window {range:?}",
+                    fault.op
+                );
+                backend.apply_pauli(fault.qubit, fault.pauli);
+            }
+            total += 1;
+            since_poll += 1;
+            if since_poll >= batch {
+                since_poll = 0;
+                poll(backend, total)?;
+            }
+        }
+        assert!(
+            pending.next().is_none(),
+            "fault pattern extends past replay window {range:?}"
+        );
+        if since_poll > 0 {
+            poll(backend, total)?;
+        }
+        Ok(())
     }
 }
 

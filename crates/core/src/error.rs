@@ -5,6 +5,9 @@ use qdb_circuit::CircuitError;
 use qdb_sim::SimError;
 use qdb_stats::StatsError;
 
+use crate::governor::InterruptCause;
+use crate::report::PartialReport;
+
 /// Errors surfaced by the assertion engine.
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
@@ -34,6 +37,44 @@ pub enum CoreError {
         /// Why it cannot run the session.
         reason: String,
     },
+    /// The session was interrupted — deadline, memory ceiling,
+    /// cancellation, allocation failure, or a contained worker panic —
+    /// before every breakpoint was evaluated. Completed work is not
+    /// lost: `partial` holds a bit-identical prefix of the report the
+    /// uninterrupted session would have produced, with
+    /// [`Verdict::Unevaluated`](crate::Verdict::Unevaluated) markers
+    /// for the rest.
+    Interrupted {
+        /// What tripped the session.
+        cause: InterruptCause,
+        /// Everything the session finished before the trip.
+        partial: Box<PartialReport>,
+    },
+}
+
+impl CoreError {
+    /// The one constructor for [`CoreError::BackendUnsupported`]:
+    /// resolution-time capacity errors and noise-routing errors all go
+    /// through here so the message format cannot drift between call
+    /// sites. `backend` is the backend's stable name (e.g.
+    /// [`SimBackend::NAME`](qdb_sim::SimBackend::NAME)).
+    #[must_use]
+    pub fn backend_unsupported(backend: &'static str, reason: impl Into<String>) -> Self {
+        CoreError::BackendUnsupported {
+            backend,
+            reason: reason.into(),
+        }
+    }
+
+    /// The session's partial results, when this error carries them
+    /// ([`CoreError::Interrupted`]).
+    #[must_use]
+    pub fn partial_report(&self) -> Option<&PartialReport> {
+        match self {
+            CoreError::Interrupted { partial, .. } => Some(partial),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for CoreError {
@@ -49,6 +90,14 @@ impl fmt::Display for CoreError {
             CoreError::BadConfig(msg) => write!(f, "bad configuration: {msg}"),
             CoreError::BackendUnsupported { backend, reason } => {
                 write!(f, "the {backend} backend cannot run this session: {reason}")
+            }
+            CoreError::Interrupted { cause, partial } => {
+                write!(
+                    f,
+                    "session interrupted ({cause}); {}/{} breakpoints evaluated",
+                    partial.completed,
+                    partial.reports.len()
+                )
             }
         }
     }

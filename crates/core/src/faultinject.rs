@@ -1,0 +1,152 @@
+//! Deterministic fault injection for the execution governor's failure
+//! paths.
+//!
+//! Compiled only under `cfg(any(test, feature = "faultinject"))` — the
+//! release library carries none of this. A [`FaultPlan`] names a fault
+//! kind, a site class, and a 1-based ordinal `n`; arming it on a
+//! [`RunBudget`](crate::RunBudget) (via
+//! [`RunBudget::with_injected_fault`](crate::RunBudget::with_injected_fault))
+//! makes the session raise that fault at **exactly** the `n`-th visit
+//! to that site class:
+//!
+//! * [`FaultSite::Op`] — the governor's op-batch poll sites, visited by
+//!   all three engines as they advance states.
+//! * [`FaultSite::Fork`] — state-construction sites: fresh backend
+//!   allocations and trajectory-tree pool checkouts.
+//!
+//! The plan is **session-scoped**, not global: its counters live behind
+//! the budget's `Arc`, shared by every worker thread of that session
+//! and invisible to concurrently running sessions or tests. Because the
+//! engines visit sites in a deterministic order for a fixed config and
+//! seed (the same order every run — that is the repo's core determinism
+//! contract), an injected fault is perfectly reproducible: same plan,
+//! same config, same trip point, same partial report.
+//!
+//! What each kind does when its site fires:
+//!
+//! * [`FaultKind::AllocationFailure`] — behaves as if the allocator
+//!   refused the state buffer: the session interrupts with
+//!   [`InterruptCause::AllocationFailed`](crate::InterruptCause::AllocationFailed).
+//! * [`FaultKind::DeadlineExhaustion`] — behaves as if the deadline
+//!   elapsed at that instant
+//!   ([`InterruptCause::Deadline`](crate::InterruptCause::Deadline)
+//!   with a zero deadline).
+//! * [`FaultKind::WorkerPanic`] — actually panics on the worker thread,
+//!   exercising the `catch_unwind` containment layer; the session
+//!   interrupts with
+//!   [`InterruptCause::WorkerPanic`](crate::InterruptCause::WorkerPanic).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Which failure to inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Simulate the allocator refusing a state buffer.
+    AllocationFailure,
+    /// Panic on the worker thread that hits the site.
+    WorkerPanic,
+    /// Simulate the wall-clock deadline elapsing.
+    DeadlineExhaustion,
+}
+
+/// Which class of engine site the fault fires at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultSite {
+    /// The governor's amortized op-batch poll sites.
+    Op,
+    /// State-construction sites: fresh allocations and trajectory-tree
+    /// pool checkouts.
+    Fork,
+}
+
+/// A deterministic fault: `kind` fires at the `n`-th (1-based) visit to
+/// a `site`-class location within one session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Which failure to inject.
+    pub kind: FaultKind,
+    /// Which site class it fires at.
+    pub site: FaultSite,
+    /// 1-based ordinal of the firing visit; `n = 1` fires at the very
+    /// first site of the session.
+    pub n: u64,
+}
+
+impl FaultPlan {
+    /// A plan firing `kind` at the `n`-th (1-based) `site`-class visit.
+    #[must_use]
+    pub fn new(kind: FaultKind, site: FaultSite, n: u64) -> Self {
+        Self { kind, site, n }
+    }
+}
+
+/// A [`FaultPlan`] armed on a session: the plan plus the session's site
+/// counters. Shared across the session's worker threads behind the
+/// budget's `Arc`; the counters make the "exactly the `n`-th visit"
+/// accounting exact even when several workers hit sites concurrently
+/// (one `fetch_add` per visit — exactly one visit observes the value
+/// `n`).
+#[derive(Debug)]
+pub(crate) struct ArmedFault {
+    plan: FaultPlan,
+    ops: AtomicU64,
+    forks: AtomicU64,
+}
+
+impl ArmedFault {
+    pub(crate) fn new(plan: FaultPlan) -> Self {
+        Self {
+            plan,
+            ops: AtomicU64::new(0),
+            forks: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one visit to an op-poll site; `Some(kind)` on the firing
+    /// visit.
+    pub(crate) fn op_site(&self) -> Option<FaultKind> {
+        self.site_visit(FaultSite::Op, &self.ops)
+    }
+
+    /// Record one visit to a fork/allocation site; `Some(kind)` on the
+    /// firing visit.
+    pub(crate) fn fork_site(&self) -> Option<FaultKind> {
+        self.site_visit(FaultSite::Fork, &self.forks)
+    }
+
+    fn site_visit(&self, site: FaultSite, counter: &AtomicU64) -> Option<FaultKind> {
+        if self.plan.site != site {
+            return None;
+        }
+        let visit = counter.fetch_add(1, Ordering::Relaxed) + 1;
+        (visit == self.plan.n).then_some(self.plan.kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_exactly_once_at_the_nth_site() {
+        let armed = ArmedFault::new(FaultPlan::new(FaultKind::WorkerPanic, FaultSite::Op, 3));
+        assert_eq!(armed.op_site(), None);
+        assert_eq!(armed.op_site(), None);
+        assert_eq!(armed.op_site(), Some(FaultKind::WorkerPanic));
+        assert_eq!(armed.op_site(), None);
+    }
+
+    #[test]
+    fn site_classes_count_independently() {
+        let armed = ArmedFault::new(FaultPlan::new(
+            FaultKind::AllocationFailure,
+            FaultSite::Fork,
+            1,
+        ));
+        // Op sites never fire a Fork-sited plan, and don't consume it.
+        assert_eq!(armed.op_site(), None);
+        assert_eq!(armed.op_site(), None);
+        assert_eq!(armed.fork_site(), Some(FaultKind::AllocationFailure));
+        assert_eq!(armed.fork_site(), None);
+    }
+}

@@ -40,6 +40,9 @@
 
 pub mod checker;
 pub mod debugger;
+#[cfg(any(test, feature = "faultinject"))]
+pub mod faultinject;
+pub mod governor;
 pub mod report;
 pub mod runner;
 pub mod sweep;
@@ -52,7 +55,8 @@ pub use checker::{
 };
 pub use debugger::{DebugReport, Debugger};
 pub use error::CoreError;
-pub use report::{AssertionReport, TestKind, Verdict};
+pub use governor::{CancelToken, InterruptCause, RunBudget};
+pub use report::{AssertionReport, PartialReport, TestKind, Verdict};
 pub use runner::{
     BackendChoice, EnsembleConfig, EnsembleConfigBuilder, EnsembleRunner, ExecutionStrategy,
     MeasuredEnsemble,

@@ -41,6 +41,11 @@ pub enum Verdict {
     /// Observations reject the asserted state class — there is a bug (or
     /// the assertion itself is wrong, as the paper notes).
     Fail,
+    /// The breakpoint was never evaluated: the session was interrupted
+    /// (budget trip, cancellation, injected fault, or a poisoned
+    /// worker) before its turn. Appears only inside
+    /// [`PartialReport`]s — a completed session never contains one.
+    Unevaluated,
 }
 
 impl Verdict {
@@ -56,12 +61,13 @@ impl fmt::Display for Verdict {
         f.write_str(match self {
             Verdict::Pass => "PASS",
             Verdict::Fail => "FAIL",
+            Verdict::Unevaluated => "UNEVALUATED",
         })
     }
 }
 
 /// Full record of one checked assertion.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AssertionReport {
     /// Index of the breakpoint within the program.
     pub index: usize,
@@ -90,6 +96,35 @@ pub struct AssertionReport {
 }
 
 impl AssertionReport {
+    /// A placeholder report for a breakpoint the session never reached:
+    /// verdict [`Verdict::Unevaluated`], zero shots, zeroed statistics
+    /// (zeros rather than `NAN` so placeholder reports compare equal to
+    /// themselves), empty histogram. The execution governor emits these
+    /// for every breakpoint past the interruption point so a
+    /// [`PartialReport`] always covers the full program.
+    #[must_use]
+    pub fn unevaluated(index: usize, breakpoint: &qdb_circuit::Breakpoint) -> Self {
+        let test = match &breakpoint.kind {
+            BreakpointKind::Classical { .. } => TestKind::PointMassChi2,
+            BreakpointKind::Superposition { .. } => TestKind::UniformChi2,
+            BreakpointKind::Entangled { .. } => TestKind::ContingencyDependent,
+            BreakpointKind::Product { .. } => TestKind::ContingencyIndependent,
+        };
+        Self {
+            index,
+            label: breakpoint.label.clone(),
+            kind: breakpoint.kind.clone(),
+            test,
+            shots: 0,
+            statistic: 0.0,
+            dof: 0,
+            p_value: 0.0,
+            verdict: Verdict::Unevaluated,
+            histogram: Histogram::new(),
+            exact: None,
+        }
+    }
+
     /// `true` when the assertion passed.
     #[must_use]
     pub fn passed(&self) -> bool {
@@ -107,6 +142,13 @@ impl AssertionReport {
 
 impl fmt::Display for AssertionReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.verdict == Verdict::Unevaluated {
+            return write!(
+                f,
+                "#{} {} [{}] → UNEVALUATED (interrupted before evaluation)",
+                self.index, self.label, self.test
+            );
+        }
         write!(
             f,
             "#{} {} [{}] p={:.4} χ²={:.3} dof={} shots={} → {}",
@@ -121,6 +163,59 @@ impl fmt::Display for AssertionReport {
         )?;
         if let Some(exact) = self.exact {
             write!(f, " (exact: {exact})")?;
+        }
+        Ok(())
+    }
+}
+
+/// What an interrupted session managed to finish: one report per
+/// breakpoint of the program, of which the first
+/// [`completed`](PartialReport::completed) are real evaluated reports
+/// and the rest are [`Verdict::Unevaluated`] placeholders.
+///
+/// The prefix guarantee is strict: the evaluated reports are bit-for-bit
+/// identical to the first `completed` entries of the report the same
+/// session would have produced uninterrupted (same seed, same config),
+/// across strategies × backends × parallelism. A parallel run that
+/// happened to finish breakpoint 5 before the trip but not breakpoint 3
+/// downgrades 5 to a placeholder rather than report a gapped set — so
+/// resuming is always "re-run the suffix", never "diff two sparse
+/// reports".
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartialReport {
+    /// One entry per breakpoint, in program order: evaluated reports
+    /// first, [`Verdict::Unevaluated`] placeholders after.
+    pub reports: Vec<AssertionReport>,
+    /// Length of the evaluated prefix.
+    pub completed: usize,
+}
+
+impl PartialReport {
+    /// The evaluated prefix — every report in it carries a real
+    /// verdict.
+    #[must_use]
+    pub fn completed_reports(&self) -> &[AssertionReport] {
+        &self.reports[..self.completed]
+    }
+
+    /// The unevaluated placeholders — the breakpoints a resumed session
+    /// still needs to run.
+    #[must_use]
+    pub fn unevaluated_reports(&self) -> &[AssertionReport] {
+        &self.reports[self.completed..]
+    }
+}
+
+impl fmt::Display for PartialReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "partial report: {}/{} breakpoints evaluated",
+            self.completed,
+            self.reports.len()
+        )?;
+        for report in &self.reports {
+            writeln!(f, "  {report}")?;
         }
         Ok(())
     }

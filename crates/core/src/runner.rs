@@ -51,6 +51,7 @@ use crate::checker::{
     check_superposition, exact_verdict, exact_verdict_on, IndependenceMethod,
 };
 use crate::error::CoreError;
+use crate::governor::{self, Governor, InterruptCause, RunBudget};
 use crate::report::AssertionReport;
 use crate::sweep::SweepRunner;
 use crate::trajectory::NoisySessionStats;
@@ -139,7 +140,7 @@ pub enum BackendChoice {
 /// Construct via [`EnsembleConfig::builder`] (or `default()` plus the
 /// `with_*` methods): the struct's field list grows over time, and the
 /// builder keeps downstream code source-compatible when it does.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EnsembleConfig {
     /// Measurement shots per breakpoint. The paper demonstrates
     /// ensembles as small as 16; the default gives comfortable
@@ -194,6 +195,14 @@ pub struct EnsembleConfig {
     /// reproducible and thread-count-invariant, but not bit-comparable
     /// with statevector ensembles (only verdict-comparable).
     pub backend: BackendChoice,
+    /// Resource budget for the session: wall-clock deadline, resident-
+    /// memory ceiling, and a cooperative [`CancelToken`](crate::CancelToken).
+    /// The default is unlimited. All engines poll it at op-batch
+    /// granularity; a tripped budget surfaces as
+    /// [`CoreError::Interrupted`] with the completed breakpoints
+    /// preserved in a [`PartialReport`](crate::PartialReport) (see
+    /// [`crate::governor`]).
+    pub budget: RunBudget,
 }
 
 impl Default for EnsembleConfig {
@@ -210,6 +219,7 @@ impl Default for EnsembleConfig {
             strategy: ExecutionStrategy::default(),
             opt: OptLevel::default(),
             backend: BackendChoice::default(),
+            budget: RunBudget::default(),
         }
     }
 }
@@ -314,6 +324,14 @@ impl EnsembleConfigBuilder {
         self
     }
 
+    /// Resource budget for the session (deadline, memory ceiling,
+    /// cancellation).
+    #[must_use]
+    pub fn budget(mut self, budget: RunBudget) -> Self {
+        self.config.budget = budget;
+        self
+    }
+
     /// Finish, yielding the configuration.
     #[must_use]
     pub fn build(self) -> EnsembleConfig {
@@ -340,74 +358,106 @@ impl EnsembleConfig {
     }
 
     /// Builder-style shot count override.
+    ///
+    /// All `with_*` methods take `&self` and return a modified clone,
+    /// so one base configuration can spawn any number of variants
+    /// (`base.with_parallel(false)`, `base.with_parallel(true)`, …).
     #[must_use]
-    pub fn with_shots(mut self, shots: usize) -> Self {
-        self.shots = shots;
-        self
+    pub fn with_shots(&self, shots: usize) -> Self {
+        Self {
+            shots,
+            ..self.clone()
+        }
     }
 
     /// Builder-style seed override.
     #[must_use]
-    pub fn with_seed(mut self, seed: u64) -> Self {
-        self.seed = seed;
-        self
+    pub fn with_seed(&self, seed: u64) -> Self {
+        Self {
+            seed,
+            ..self.clone()
+        }
     }
 
     /// Builder-style significance level override.
     #[must_use]
-    pub fn with_alpha(mut self, alpha: f64) -> Self {
-        self.alpha = alpha;
-        self
+    pub fn with_alpha(&self, alpha: f64) -> Self {
+        Self {
+            alpha,
+            ..self.clone()
+        }
     }
 
     /// Builder-style independence-test method override.
     #[must_use]
-    pub fn with_independence(mut self, method: IndependenceMethod) -> Self {
-        self.independence = method;
-        self
+    pub fn with_independence(&self, method: IndependenceMethod) -> Self {
+        Self {
+            independence: method,
+            ..self.clone()
+        }
     }
 
     /// Builder-style parallelism override (see
     /// [`EnsembleConfig::parallel`]).
     #[must_use]
-    pub fn with_parallel(mut self, parallel: bool) -> Self {
-        self.parallel = parallel;
-        self
+    pub fn with_parallel(&self, parallel: bool) -> Self {
+        Self {
+            parallel,
+            ..self.clone()
+        }
     }
 
     /// Builder-style execution-strategy override (see
     /// [`EnsembleConfig::strategy`]).
     #[must_use]
-    pub fn with_strategy(mut self, strategy: ExecutionStrategy) -> Self {
-        self.strategy = strategy;
-        self
+    pub fn with_strategy(&self, strategy: ExecutionStrategy) -> Self {
+        Self {
+            strategy,
+            ..self.clone()
+        }
     }
 
     /// Builder-style lowering opt-level override (see
     /// [`EnsembleConfig::opt`]).
     #[must_use]
-    pub fn with_opt_level(mut self, opt: OptLevel) -> Self {
-        self.opt = opt;
-        self
+    pub fn with_opt_level(&self, opt: OptLevel) -> Self {
+        Self {
+            opt,
+            ..self.clone()
+        }
     }
 
     /// Builder-style backend override (see [`EnsembleConfig::backend`]).
     #[must_use]
-    pub fn with_backend(mut self, backend: BackendChoice) -> Self {
-        self.backend = backend;
-        self
+    pub fn with_backend(&self, backend: BackendChoice) -> Self {
+        Self {
+            backend,
+            ..self.clone()
+        }
     }
 
     /// Builder-style noise model override (see
     /// [`EnsembleConfig::noise`]).
     #[must_use]
-    pub fn with_noise(mut self, noise: NoiseModel) -> Self {
-        self.noise = if noise.is_noiseless() {
-            None
-        } else {
-            Some(noise)
-        };
-        self
+    pub fn with_noise(&self, noise: NoiseModel) -> Self {
+        Self {
+            noise: if noise.is_noiseless() {
+                None
+            } else {
+                Some(noise)
+            },
+            ..self.clone()
+        }
+    }
+
+    /// Builder-style run-budget override (see
+    /// [`EnsembleConfig::budget`]).
+    #[must_use]
+    pub fn with_budget(&self, budget: RunBudget) -> Self {
+        Self {
+            budget,
+            ..self.clone()
+        }
     }
 
     pub(crate) fn validate(&self) -> Result<(), CoreError> {
@@ -465,7 +515,11 @@ impl EnsembleRunner {
     /// # Errors
     ///
     /// * [`CoreError::BadConfig`] for invalid configurations;
-    /// * simulator errors for malformed programs.
+    /// * simulator errors for malformed programs;
+    /// * [`CoreError::Interrupted`] when [`EnsembleConfig::budget`]
+    ///   trips (ensemble-level APIs carry an all-`Unevaluated` partial;
+    ///   the evaluated-prefix guarantee belongs to
+    ///   [`check_program`](EnsembleRunner::check_program)).
     ///
     /// # Panics
     ///
@@ -475,7 +529,9 @@ impl EnsembleRunner {
         program: &Program,
         index: usize,
     ) -> Result<MeasuredEnsemble, CoreError> {
-        self.run_breakpoint_with_plan(program, index, None)
+        let governor = Governor::new(&self.config.budget);
+        self.run_breakpoint_with_plan(program, index, None, &governor)
+            .map_err(|e| finalize_interrupt(program, e))
     }
 
     /// [`run_breakpoint`](EnsembleRunner::run_breakpoint) with an
@@ -486,19 +542,44 @@ impl EnsembleRunner {
     /// its prefix locally (still shared across that breakpoint's
     /// shots). Outcomes are identical either way: at
     /// [`OptLevel::Specialize`] compiled ops are 1:1 with instructions.
+    /// The per-prefix dense path polls its governor coarsely — once at
+    /// entry (so a latched trip skips the whole prefix simulation) and
+    /// once per noisy shot — because the reference path interprets the
+    /// *uncompiled* prefix, which has no op-batch poll sites. Trips
+    /// surface as sentinel [`CoreError::Interrupted`] errors (empty
+    /// partial) for the caller to re-wrap with real context.
     fn run_breakpoint_with_plan(
         &self,
         program: &Program,
         index: usize,
         plan: Option<&CompiledCircuit>,
+        governor: &Governor,
     ) -> Result<MeasuredEnsemble, CoreError> {
         self.config.validate()?;
+        governor.poll_resident(0).map_err(governor::trip_error)?;
+        if let Some(cause) = governor.injected_fork_fault() {
+            return Err(governor::trip_error(cause));
+        }
         let prefix = program.prefix_for(index);
-        let ideal_state = prefix.run_on_basis(0)?;
+        // `|0…0⟩` via the fallible constructor (an allocator refusal
+        // becomes a trip, not an abort), then the prefix replay —
+        // together bit-identical to `prefix.run_on_basis(0)`.
+        let mut ideal_state = match State::try_zero_state(prefix.num_qubits()) {
+            Ok(state) => state,
+            Err(qdb_sim::SimError::AllocationFailed { bytes }) => {
+                let cause = InterruptCause::AllocationFailed { bytes };
+                governor.trip(cause.clone());
+                return Err(governor::trip_error(cause));
+            }
+            Err(e) => return Err(CoreError::Circuit(qdb_circuit::CircuitError::Sim(e))),
+        };
+        prefix.apply_to(&mut ideal_state);
+        let ideal_state = ideal_state;
         let outcomes = match self.config.noise {
             None => {
                 // The ideal prefix is deterministic, so sampling is a
                 // cheap serial scan of one shared CDF.
+                governor.poll(&ideal_state).map_err(governor::trip_error)?;
                 let mut rng = StdRng::seed_from_u64(self.config.seed.wrapping_add(index as u64));
                 let sampler = Sampler::new(&ideal_state);
                 sampler.sample_many(&mut rng, self.config.shots)
@@ -521,26 +602,49 @@ impl EnsembleRunner {
                         &local_plan
                     }
                 };
-                let trajectory = |shot: usize| {
-                    let mut rng = StdRng::seed_from_u64(shot_seed(
-                        self.config.seed,
-                        index as u64,
-                        shot as u64,
-                    ));
-                    let mut state = State::zero(n);
-                    plan.apply_range_to_noisy(&mut state, 0..upto, &noise, &mut rng);
-                    // One shot per trajectory: draw directly, skipping
-                    // the 2ⁿ CDF allocation (bit-identical outcome).
-                    let raw = Sampler::sample_once(&state, &mut rng);
-                    noise.corrupt_readout(raw, n, &mut rng)
+                // Each shot worker polls once (against its own state's
+                // footprint) and runs panic-contained, so a trip or a
+                // worker panic stops the ensemble at shot granularity
+                // without poisoning sibling shots.
+                let trajectory = |shot: usize| -> Result<u64, CoreError> {
+                    governor
+                        .contain(|| -> Result<u64, CoreError> {
+                            if let Some(cause) = governor.injected_fork_fault() {
+                                return Err(governor::trip_error(cause));
+                            }
+                            let mut state = match State::try_zero_state(n) {
+                                Ok(state) => state,
+                                Err(qdb_sim::SimError::AllocationFailed { bytes }) => {
+                                    let cause = InterruptCause::AllocationFailed { bytes };
+                                    governor.trip(cause.clone());
+                                    return Err(governor::trip_error(cause));
+                                }
+                                Err(e) => return Err(CoreError::Sim(e)),
+                            };
+                            governor.poll(&state).map_err(governor::trip_error)?;
+                            let mut rng = StdRng::seed_from_u64(shot_seed(
+                                self.config.seed,
+                                index as u64,
+                                shot as u64,
+                            ));
+                            plan.apply_range_to_noisy(&mut state, 0..upto, &noise, &mut rng);
+                            // One shot per trajectory: draw directly,
+                            // skipping the 2ⁿ CDF allocation
+                            // (bit-identical outcome).
+                            let raw = Sampler::sample_once(&state, &mut rng);
+                            Ok(noise.corrupt_readout(raw, n, &mut rng))
+                        })
+                        .unwrap_or_else(|cause| Err(governor::trip_error(cause)))
                 };
                 if self.config.parallel {
                     (0..self.config.shots)
                         .into_par_iter()
                         .map(trajectory)
-                        .collect()
+                        .collect::<Result<Vec<_>, _>>()?
                 } else {
-                    (0..self.config.shots).map(trajectory).collect()
+                    (0..self.config.shots)
+                        .map(trajectory)
+                        .collect::<Result<Vec<_>, _>>()?
                 }
             }
         };
@@ -564,8 +668,9 @@ impl EnsembleRunner {
     pub fn run_all(&self, program: &Program) -> Result<Vec<MeasuredEnsemble>, CoreError> {
         self.config.validate()?;
         if self.config.noise.is_none() && self.config.strategy == ExecutionStrategy::Sweep {
-            return SweepRunner::new(self.config).run_all(program);
+            return SweepRunner::new(self.config.clone()).run_all(program);
         }
+        let governor = Governor::new(&self.config.budget);
         let count = program.breakpoints().len();
         if let Some(noise) = self.config.noise {
             // Lower the whole program once; every breakpoint's
@@ -579,31 +684,38 @@ impl EnsembleRunner {
                 // Trajectory tree: the checkpoint the visit receives is
                 // the ideal frontier — value-identical to the replayed
                 // prefix state the reference path stores.
-                return self.run_dense_tree(
+                let (ensembles, interrupted) = self.run_dense_tree(
                     program,
                     &plan,
                     &noise,
                     None,
+                    &governor,
                     |_, _, outcomes, ideal| {
                         Ok(MeasuredEnsemble {
                             outcomes,
                             state: ideal.clone(),
                         })
                     },
-                );
+                )?;
+                return match interrupted {
+                    None => Ok(ensembles),
+                    Some(cause) => Err(governor::interrupted(program, Vec::new(), cause)),
+                };
             }
             // Per-shot reference: shots are the parallel axis (inside
             // `run_breakpoint_with_plan`).
             return (0..count)
-                .map(|index| self.run_breakpoint_with_plan(program, index, Some(&plan)))
-                .collect();
+                .map(|index| self.run_breakpoint_with_plan(program, index, Some(&plan), &governor))
+                .collect::<Result<Vec<_>, _>>()
+                .map_err(|e| finalize_interrupt(program, e));
         }
-        let run_one = |index: usize| self.run_breakpoint(program, index);
-        if self.config.parallel {
+        let run_one = |index: usize| self.run_breakpoint_with_plan(program, index, None, &governor);
+        let ensembles: Result<Vec<_>, CoreError> = if self.config.parallel {
             (0..count).into_par_iter().map(run_one).collect()
         } else {
             (0..count).map(run_one).collect()
-        }
+        };
+        ensembles.map_err(|e| finalize_interrupt(program, e))
     }
 
     /// Launch a dense (statevector) trajectory-tree session: the shared
@@ -618,8 +730,9 @@ impl EnsembleRunner {
         plan: &CompiledCircuit,
         noise: &NoiseModel,
         stats: Option<&mut NoisySessionStats>,
+        governor: &Governor,
         visit: impl FnMut(usize, &Breakpoint, Vec<u64>, &State) -> Result<T, CoreError>,
-    ) -> Result<Vec<T>, CoreError> {
+    ) -> Result<(Vec<T>, Option<InterruptCause>), CoreError> {
         let n = program.num_qubits().max(1);
         let full_register: Vec<usize> = (0..n).collect();
         crate::trajectory::run_noisy_tree::<State, _>(
@@ -630,6 +743,7 @@ impl EnsembleRunner {
                 noise,
                 num_qubits: n,
             },
+            governor,
             |_| full_register.clone(),
             visit,
             stats,
@@ -696,65 +810,63 @@ impl EnsembleRunner {
             .as_ref()
             .is_some_and(|m| !m.gate_noise_is_pauli());
         match self.config.backend {
-            BackendChoice::Stabilizer if kraus => Err(CoreError::BackendUnsupported {
-                backend: StabilizerState::NAME,
-                reason: "the noise model's gate channel is a Kraus channel \
-                         (amplitude/phase damping or a general Kraus set); its \
-                         branch probabilities depend on dense amplitudes the \
-                         tableau does not track — use BackendChoice::Auto or \
-                         Statevector"
-                    .into(),
-            }),
-            BackendChoice::Sparse if kraus => Err(CoreError::BackendUnsupported {
-                backend: SparseState::NAME,
-                reason: "the noise model's gate channel is a Kraus channel \
-                         (amplitude/phase damping or a general Kraus set); \
-                         unraveling needs dense branch norms — use \
-                         BackendChoice::Auto or Statevector"
-                    .into(),
-            }),
+            BackendChoice::Stabilizer if kraus => Err(CoreError::backend_unsupported(
+                StabilizerState::NAME,
+                "the noise model's gate channel is a Kraus channel \
+                 (amplitude/phase damping or a general Kraus set); its \
+                 branch probabilities depend on dense amplitudes the \
+                 tableau does not track — use BackendChoice::Auto or \
+                 Statevector",
+            )),
+            BackendChoice::Sparse if kraus => Err(CoreError::backend_unsupported(
+                SparseState::NAME,
+                "the noise model's gate channel is a Kraus channel \
+                 (amplitude/phase damping or a general Kraus set); \
+                 unraveling needs dense branch norms — use \
+                 BackendChoice::Auto or Statevector",
+            )),
             // Auto + Kraus: dense is the only engine that can unravel,
             // so route there whenever the program fits.
             BackendChoice::Auto if kraus && n <= qdb_sim::state::MAX_QUBITS => {
                 Ok(ResolvedBackend::Statevector)
             }
-            BackendChoice::Auto if kraus => Err(CoreError::BackendUnsupported {
-                backend: State::NAME,
-                reason: format!(
+            BackendChoice::Auto if kraus => Err(CoreError::backend_unsupported(
+                State::NAME,
+                format!(
                     "the noise model's gate channel is a Kraus channel, which \
                      only the dense statevector can unravel, but the program \
                      uses {n} qubits — past the dense {}-qubit ceiling; shrink \
                      the program or switch to a Pauli channel",
                     qdb_sim::state::MAX_QUBITS
                 ),
-            }),
+            )),
             // Qubit-count capacity is validated here, at resolution
             // time, so an oversized session fails with a typed error
             // naming the ceiling instead of dying deep inside state
             // allocation.
             BackendChoice::Statevector if n > qdb_sim::state::MAX_QUBITS => {
-                Err(CoreError::BackendUnsupported {
-                    backend: State::NAME,
-                    reason: format!(
+                Err(CoreError::backend_unsupported(
+                    State::NAME,
+                    format!(
                         "the program uses {n} qubits but the dense statevector \
                          caps at {} (2ⁿ amplitudes); use BackendChoice::Auto, \
                          Stabilizer (Clifford programs), or Sparse (structured \
                          non-Clifford programs up to 64 qubits)",
                         qdb_sim::state::MAX_QUBITS
                     ),
-                })
+                ))
             }
             BackendChoice::Statevector => Ok(ResolvedBackend::Statevector),
             BackendChoice::Sparse if n > qdb_sim::sparse::MAX_QUBITS => {
-                Err(CoreError::BackendUnsupported {
-                    backend: SparseState::NAME,
-                    reason: format!(
+                Err(CoreError::backend_unsupported(
+                    SparseState::NAME,
+                    format!(
                         "the program uses {n} qubits but the sparse backend packs \
                          basis indices into a u64, capping it at {} qubits; use \
                          BackendChoice::Stabilizer for wider (Clifford) programs",
                         qdb_sim::sparse::MAX_QUBITS
                     ),
-                })
+                ))
             }
             BackendChoice::Sparse => Ok(ResolvedBackend::Sparse(
                 program.compile(OptLevel::Specialize),
@@ -778,9 +890,9 @@ impl EnsembleRunner {
                 if n <= qdb_sim::sparse::MAX_QUBITS && support_log2 <= SPARSE_SUPPORT_LOG2_LIMIT {
                     Ok(ResolvedBackend::Sparse(plan))
                 } else {
-                    Err(CoreError::BackendUnsupported {
-                        backend: State::NAME,
-                        reason: format!(
+                    Err(CoreError::backend_unsupported(
+                        State::NAME,
+                        format!(
                             "no backend can run this program: {n} qubits exceeds the \
                              dense statevector's {}-qubit ceiling, the program is not \
                              Clifford (so the stabilizer tableau is out), and its \
@@ -789,19 +901,18 @@ impl EnsembleRunner {
                             qdb_sim::state::MAX_QUBITS,
                             SPARSE_SUPPORT_LOG2_LIMIT
                         ),
-                    })
+                    ))
                 }
             }
             BackendChoice::Stabilizer if clifford() => Ok(ResolvedBackend::Stabilizer(
                 program.compile(OptLevel::Specialize),
             )),
-            BackendChoice::Stabilizer => Err(CoreError::BackendUnsupported {
-                backend: StabilizerState::NAME,
-                reason: "the program contains non-Clifford instructions \
-                         (only h/s/sdg/x/y/z/cx/cy/cz/swap lower to the tableau); \
-                         use BackendChoice::Auto or Statevector"
-                    .into(),
-            }),
+            BackendChoice::Stabilizer => Err(CoreError::backend_unsupported(
+                StabilizerState::NAME,
+                "the program contains non-Clifford instructions \
+                 (only h/s/sdg/x/y/z/cx/cy/cz/swap lower to the tableau); \
+                 use BackendChoice::Auto or Statevector",
+            )),
         }
     }
 
@@ -858,12 +969,43 @@ impl EnsembleRunner {
         stats: Option<&mut NoisySessionStats>,
     ) -> Result<Vec<AssertionReport>, CoreError> {
         self.config.validate()?;
+        let governor = Governor::new(&self.config.budget);
+        // The outermost containment boundary: a worker panic anywhere in
+        // the session surfaces as `CoreError::Interrupted`, never as an
+        // unwinding process. The governed engines hand back the reports
+        // they completed before a trip; the re-wrap below pads the
+        // remainder with `Verdict::Unevaluated` markers so the partial
+        // always spans every breakpoint.
+        match governor.contain(|| self.check_program_governed(program, stats, &governor)) {
+            Ok(result) => {
+                let (completed, interrupted) = result?;
+                match interrupted {
+                    None => Ok(completed),
+                    Some(cause) => Err(governor::interrupted(program, completed, cause)),
+                }
+            }
+            Err(cause) => Err(governor::interrupted(program, Vec::new(), cause)),
+        }
+    }
+
+    /// The governed body of [`check_program`](Self::check_program):
+    /// dispatch to the session's engine, polling the governor at
+    /// op-batch granularity inside each one. Returns the reports of
+    /// every breakpoint completed **in order** plus the trip cause, if
+    /// any — the strict-prefix contract
+    /// [`CoreError::Interrupted`] documents.
+    fn check_program_governed(
+        &self,
+        program: &Program,
+        stats: Option<&mut NoisySessionStats>,
+        governor: &Governor,
+    ) -> Result<(Vec<AssertionReport>, Option<InterruptCause>), CoreError> {
         match self.resolve_backend(program)? {
             ResolvedBackend::Stabilizer(plan) => {
-                return self.check_program_on::<StabilizerState>(program, &plan, stats);
+                return self.check_program_on::<StabilizerState>(program, &plan, stats, governor);
             }
             ResolvedBackend::Sparse(plan) => {
-                return self.check_program_on::<SparseState>(program, &plan, stats);
+                return self.check_program_on::<SparseState>(program, &plan, stats, governor);
             }
             ResolvedBackend::Statevector => {}
         }
@@ -873,12 +1015,18 @@ impl EnsembleRunner {
             // replay, no state clones. Per-shot sampling is the one
             // rayon axis in here (see `crate::sweep`). One sampler
             // buffer serves every breakpoint.
-            let sweep = SweepRunner::new(self.config);
+            let sweep = SweepRunner::new(self.config.clone());
+            let plan = program.compile(self.config.opt);
             let mut sampler = Sampler::default();
-            return sweep.walk(program, |index, bp, state| {
-                let outcomes = sweep.draw_ensemble(index, state, &mut sampler);
-                self.report_for(index, bp, &outcomes, state)
-            });
+            return sweep.walk_backend_governed::<State, _>(
+                program,
+                &plan,
+                governor,
+                |index, bp, state| {
+                    let outcomes = sweep.draw_ensemble(index, state, &mut sampler);
+                    self.report_for(index, bp, &outcomes, state)
+                },
+            );
         }
         let count = program.breakpoints().len();
         // Pick ONE parallel axis so work never nests (nested fan-out
@@ -903,28 +1051,62 @@ impl EnsembleRunner {
                     &plan,
                     &noise,
                     stats,
+                    governor,
                     |index, bp, outcomes, ideal| self.report_for(index, bp, &outcomes, ideal),
                 );
             }
-            // Per-shot reference: one full noisy replay per shot.
-            return (0..count)
-                .map(|index| -> Result<AssertionReport, CoreError> {
+            // Per-shot reference: one full noisy replay per shot. Serial
+            // over breakpoints (shots fan out inside), so the first trip
+            // cleanly truncates to a strict prefix.
+            let mut completed = Vec::with_capacity(count);
+            for index in 0..count {
+                let step = governor.contain(|| -> Result<AssertionReport, CoreError> {
                     let bp = &program.breakpoints()[index];
-                    let ensemble = self.run_breakpoint_with_plan(program, index, Some(&plan))?;
+                    let ensemble =
+                        self.run_breakpoint_with_plan(program, index, Some(&plan), governor)?;
+                    self.report_for(index, bp, &ensemble.outcomes, &ensemble.state)
+                });
+                match step {
+                    Ok(Ok(report)) => completed.push(report),
+                    Ok(Err(CoreError::Interrupted { cause, .. })) => {
+                        governor.trip(cause.clone());
+                        return Ok((completed, Some(cause)));
+                    }
+                    Ok(Err(e)) => return Err(e),
+                    Err(cause) => return Ok((completed, Some(cause))),
+                }
+            }
+            return Ok((completed, None));
+        }
+        // Noiseless per-prefix: breakpoints are the parallel axis. Every
+        // index is attempted (a mid-list trip can't retract work already
+        // fanned out), but the assembly below keeps only the strictly
+        // completed prefix, so the partial is bit-identical to an
+        // untripped run's prefix regardless of which worker tripped
+        // first.
+        let check_one = |index: usize| -> Result<AssertionReport, CoreError> {
+            governor
+                .contain(|| -> Result<AssertionReport, CoreError> {
+                    let bp = &program.breakpoints()[index];
+                    let ensemble = self.run_breakpoint_with_plan(program, index, None, governor)?;
                     self.report_for(index, bp, &ensemble.outcomes, &ensemble.state)
                 })
-                .collect();
-        }
-        let check_one = |index: usize| -> Result<AssertionReport, CoreError> {
-            let bp = &program.breakpoints()[index];
-            let ensemble = self.run_breakpoint(program, index)?;
-            self.report_for(index, bp, &ensemble.outcomes, &ensemble.state)
+                .unwrap_or_else(|cause| Err(governor::trip_error(cause)))
         };
-        if self.config.parallel {
+        let attempts: Vec<Result<AssertionReport, CoreError>> = if self.config.parallel {
             (0..count).into_par_iter().map(check_one).collect()
         } else {
             (0..count).map(check_one).collect()
+        };
+        let mut completed = Vec::with_capacity(count);
+        for attempt in attempts {
+            match attempt {
+                Ok(report) => completed.push(report),
+                Err(CoreError::Interrupted { cause, .. }) => return Ok((completed, Some(cause))),
+                Err(e) => return Err(e),
+            }
         }
+        Ok((completed, None))
     }
 
     /// The backend-generic session engine: run and check every
@@ -964,7 +1146,8 @@ impl EnsembleRunner {
         program: &Program,
         plan: &CompiledCircuit,
         stats: Option<&mut NoisySessionStats>,
-    ) -> Result<Vec<AssertionReport>, CoreError> {
+        governor: &Governor,
+    ) -> Result<(Vec<AssertionReport>, Option<InterruptCause>), CoreError> {
         if let Some(noise) = self.config.noise {
             if self.config.strategy == ExecutionStrategy::Sweep {
                 // The tree engine measures with `sample_once`, whose
@@ -988,6 +1171,7 @@ impl EnsembleRunner {
                         noise: &noise,
                         num_qubits: program.circuit().num_qubits(),
                     },
+                    governor,
                     |bp| breakpoint_qubits(&bp.kind),
                     |index, bp, outcomes, ideal| self.backend_report(index, bp, outcomes, ideal),
                     stats,
@@ -995,27 +1179,56 @@ impl EnsembleRunner {
             }
         }
         match self.config.strategy {
-            ExecutionStrategy::Sweep => SweepRunner::new(self.config).walk_backend::<B, _>(
-                program,
-                plan,
-                |index, bp, ideal| self.report_for_backend(plan, index, bp, ideal),
-            ),
+            ExecutionStrategy::Sweep => SweepRunner::new(self.config.clone())
+                .walk_backend_governed::<B, _>(program, plan, governor, |index, bp, ideal| {
+                    self.report_for_backend(plan, index, bp, ideal, governor)
+                }),
             ExecutionStrategy::PerPrefix => {
                 // `check_program` validated the config before routing
                 // here (the Sweep arm leans on the same fact —
-                // `walk_backend` merely re-validates).
+                // `walk_backend_governed` merely re-validates). Serial
+                // over breakpoints (the backend-generic reference path
+                // has always been), so the first trip truncates to a
+                // strict prefix with no retraction needed.
                 let n = program.circuit().num_qubits();
-                program
-                    .breakpoints()
-                    .iter()
-                    .enumerate()
-                    .map(|(index, bp)| {
-                        let mut ideal = B::zero(n)
-                            .map_err(|e| CoreError::Circuit(qdb_circuit::CircuitError::Sim(e)))?;
-                        plan.apply_range_to_backend(&mut ideal, 0..bp.position);
-                        self.report_for_backend(plan, index, bp, &ideal)
-                    })
-                    .collect()
+                let batch = Governor::batch_ops(n);
+                let mut completed = Vec::with_capacity(program.breakpoints().len());
+                for (index, bp) in program.breakpoints().iter().enumerate() {
+                    let step = governor.contain(|| -> Result<AssertionReport, CoreError> {
+                        if let Some(cause) = governor.injected_fork_fault() {
+                            return Err(governor::trip_error(cause));
+                        }
+                        let mut ideal = match B::try_zero_state(n) {
+                            Ok(backend) => backend,
+                            Err(qdb_sim::SimError::AllocationFailed { bytes }) => {
+                                let cause = InterruptCause::AllocationFailed { bytes };
+                                governor.trip(cause.clone());
+                                return Err(governor::trip_error(cause));
+                            }
+                            Err(e) => {
+                                return Err(CoreError::Circuit(qdb_circuit::CircuitError::Sim(e)))
+                            }
+                        };
+                        plan.apply_range_to_backend_polled(
+                            &mut ideal,
+                            0..bp.position,
+                            batch,
+                            &mut |state: &B, _| governor.poll(state),
+                        )
+                        .map_err(governor::trip_error)?;
+                        self.report_for_backend(plan, index, bp, &ideal, governor)
+                    });
+                    match step {
+                        Ok(Ok(report)) => completed.push(report),
+                        Ok(Err(CoreError::Interrupted { cause, .. })) => {
+                            governor.trip(cause.clone());
+                            return Ok((completed, Some(cause)));
+                        }
+                        Ok(Err(e)) => return Err(e),
+                        Err(cause) => return Ok((completed, Some(cause))),
+                    }
+                }
+                Ok((completed, None))
             }
         }
     }
@@ -1029,6 +1242,7 @@ impl EnsembleRunner {
         index: usize,
         bp: &Breakpoint,
         ideal: &B,
+        governor: &Governor,
     ) -> Result<AssertionReport, CoreError> {
         let qubits = breakpoint_qubits(&bp.kind);
         if qubits.len() > 64 {
@@ -1038,7 +1252,7 @@ impl EnsembleRunner {
                 max: 64,
             });
         }
-        let outcomes = self.draw_backend_ensemble(plan, index, bp, ideal, &qubits)?;
+        let outcomes = self.draw_backend_ensemble(plan, index, bp, ideal, &qubits, governor)?;
         self.backend_report(index, bp, outcomes, ideal)
     }
 
@@ -1122,29 +1336,58 @@ impl EnsembleRunner {
         bp: &Breakpoint,
         ideal: &B,
         qubits: &[usize],
+        governor: &Governor,
     ) -> Result<Vec<u64>, CoreError> {
         let one_shot = |shot: usize| -> Result<u64, CoreError> {
-            let mut rng =
-                StdRng::seed_from_u64(shot_seed(self.config.seed, index as u64, shot as u64));
-            match self.config.noise {
-                None => Ok(ideal.sample_once(qubits, &mut rng)),
-                Some(noise) => {
-                    // An independent noisy trajectory per shot; the
-                    // classical readout error then flips each *measured*
-                    // bit — same per-register marginal as the dense
-                    // path's full-outcome corruption.
-                    let mut trajectory = B::zero(ideal.num_qubits())
-                        .map_err(|e| CoreError::Circuit(qdb_circuit::CircuitError::Sim(e)))?;
-                    plan.apply_range_to_noisy_backend(
-                        &mut trajectory,
-                        0..bp.position,
-                        &noise,
-                        &mut rng,
-                    );
-                    let raw = trajectory.sample_once(qubits, &mut rng);
-                    Ok(noise.corrupt_readout(raw, qubits.len(), &mut rng))
-                }
-            }
+            governor
+                .contain(|| -> Result<u64, CoreError> {
+                    let mut rng = StdRng::seed_from_u64(shot_seed(
+                        self.config.seed,
+                        index as u64,
+                        shot as u64,
+                    ));
+                    match self.config.noise {
+                        None => {
+                            // Sampling works on the shared ideal state;
+                            // poll against its footprint so a
+                            // cancel/deadline still lands between shots.
+                            governor.poll(ideal).map_err(governor::trip_error)?;
+                            Ok(ideal.sample_once(qubits, &mut rng))
+                        }
+                        Some(noise) => {
+                            // An independent noisy trajectory per shot; the
+                            // classical readout error then flips each *measured*
+                            // bit — same per-register marginal as the dense
+                            // path's full-outcome corruption.
+                            if let Some(cause) = governor.injected_fork_fault() {
+                                return Err(governor::trip_error(cause));
+                            }
+                            let mut trajectory = match B::try_zero_state(ideal.num_qubits()) {
+                                Ok(backend) => backend,
+                                Err(qdb_sim::SimError::AllocationFailed { bytes }) => {
+                                    let cause = InterruptCause::AllocationFailed { bytes };
+                                    governor.trip(cause.clone());
+                                    return Err(governor::trip_error(cause));
+                                }
+                                Err(e) => {
+                                    return Err(CoreError::Circuit(qdb_circuit::CircuitError::Sim(
+                                        e,
+                                    )))
+                                }
+                            };
+                            governor.poll(&trajectory).map_err(governor::trip_error)?;
+                            plan.apply_range_to_noisy_backend(
+                                &mut trajectory,
+                                0..bp.position,
+                                &noise,
+                                &mut rng,
+                            );
+                            let raw = trajectory.sample_once(qubits, &mut rng);
+                            Ok(noise.corrupt_readout(raw, qubits.len(), &mut rng))
+                        }
+                    }
+                })
+                .unwrap_or_else(|cause| Err(governor::trip_error(cause)))
         };
         if self.config.parallel {
             (0..self.config.shots)
@@ -1219,6 +1462,22 @@ fn split_pairs(outcomes: &[u64], a_width: usize) -> Vec<(u64, u64)> {
     );
     let mask = register_mask(a_width);
     outcomes.iter().map(|&o| (o & mask, o >> a_width)).collect()
+}
+
+/// Promote an inner engine's sentinel interruption (empty partial — see
+/// [`governor::trip_error`]) into the outward-facing form whose partial
+/// spans every breakpoint of `program` with `Unevaluated` markers.
+/// Single-breakpoint and ensemble entry points use this where no
+/// evaluated prefix exists by construction; an `Interrupted` that
+/// already carries reports passes through untouched, as does every
+/// other error.
+fn finalize_interrupt(program: &Program, e: CoreError) -> CoreError {
+    match e {
+        CoreError::Interrupted { cause, partial } if partial.reports.is_empty() => {
+            governor::interrupted(program, Vec::new(), cause)
+        }
+        other => other,
+    }
 }
 
 /// Derive the RNG seed for one noisy-trajectory shot.
@@ -1394,7 +1653,9 @@ mod tests {
             .with_shots(64)
             .with_seed(5)
             .with_noise(qdb_sim::NoiseModel::depolarizing(0.05));
-        let a = EnsembleRunner::new(config).run_breakpoint(&p, 0).unwrap();
+        let a = EnsembleRunner::new(config.clone())
+            .run_breakpoint(&p, 0)
+            .unwrap();
         let b = EnsembleRunner::new(config).run_breakpoint(&p, 0).unwrap();
         assert_eq!(a.outcomes, b.outcomes);
     }
@@ -1547,7 +1808,7 @@ mod tests {
         }
         p.assert_superposition(&r);
         let base = EnsembleConfig::default().with_shots(128).with_seed(17);
-        let exact = EnsembleRunner::new(base).check_program(&p).unwrap();
+        let exact = EnsembleRunner::new(base.clone()).check_program(&p).unwrap();
         let fused = EnsembleRunner::new(base.with_opt_level(qdb_circuit::OptLevel::Fuse))
             .check_program(&p)
             .unwrap();
@@ -1574,7 +1835,7 @@ mod tests {
         }
         p.assert_superposition(&r);
         let config = EnsembleConfig::default().with_shots(16);
-        let swept = EnsembleRunner::new(config).run_all(&p).unwrap();
+        let swept = EnsembleRunner::new(config.clone()).run_all(&p).unwrap();
         let replayed = EnsembleRunner::new(config.with_strategy(ExecutionStrategy::PerPrefix))
             .run_all(&p)
             .unwrap();
@@ -1837,7 +2098,7 @@ mod tests {
         let b = QReg::new("b", vec![r.bit(1)]);
         p.assert_entangled(&a, &b);
         let base = EnsembleConfig::builder().shots(256).seed(14).build();
-        let dense = EnsembleRunner::new(base).check_program(&p).unwrap();
+        let dense = EnsembleRunner::new(base.clone()).check_program(&p).unwrap();
         let sparse = EnsembleRunner::new(base.with_backend(BackendChoice::Sparse))
             .check_program(&p)
             .unwrap();
@@ -1986,7 +2247,9 @@ mod tests {
             .seed(5)
             .backend(BackendChoice::Auto)
             .build();
-        let reports = EnsembleRunner::new(config).check_program(&p).unwrap();
+        let reports = EnsembleRunner::new(config.clone())
+            .check_program(&p)
+            .unwrap();
         assert_eq!(reports[0].verdict, Verdict::Pass, "{}", reports[0]);
         assert_eq!(reports[0].exact, Some(Verdict::Pass));
         // The statevector backend cannot even allocate this program.

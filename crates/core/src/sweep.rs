@@ -57,6 +57,7 @@ use qdb_circuit::{Breakpoint, CompiledCircuit, GateSink, Program};
 use qdb_sim::{Sampler, SimBackend, State};
 
 use crate::error::CoreError;
+use crate::governor::{self, Governor, InterruptCause};
 use crate::runner::{EnsembleConfig, MeasuredEnsemble};
 
 /// Single-pass checkpointed executor for ideal (noiseless) ensembles.
@@ -119,28 +120,89 @@ impl SweepRunner {
     ///
     /// * [`CoreError::BadConfig`] for invalid configurations;
     /// * simulator errors for malformed programs (e.g. zero qubits);
+    /// * [`CoreError::Interrupted`] when the configured
+    ///   [`RunBudget`](crate::RunBudget) trips mid-walk (the partial
+    ///   report carries only `Unevaluated` markers here — the typed
+    ///   visit results cannot be turned back into reports; use
+    ///   [`EnsembleRunner::check_program`](crate::runner::EnsembleRunner::check_program)
+    ///   for interruption with a real evaluated prefix);
     /// * whatever `visit` returns.
     pub fn walk_backend<B: SimBackend, T>(
         &self,
         program: &Program,
         plan: &CompiledCircuit,
-        mut visit: impl FnMut(usize, &Breakpoint, &B) -> Result<T, CoreError>,
+        visit: impl FnMut(usize, &Breakpoint, &B) -> Result<T, CoreError>,
     ) -> Result<Vec<T>, CoreError> {
+        let governor = Governor::new(&self.config.budget);
+        let (out, interrupted) = self.walk_backend_governed(program, plan, &governor, visit)?;
+        match interrupted {
+            None => Ok(out),
+            Some(cause) => Err(governor::interrupted(program, Vec::new(), cause)),
+        }
+    }
+
+    /// The governed engine under [`walk_backend`](SweepRunner::walk_backend)
+    /// and the check path: evolve the state segment by segment, polling
+    /// `governor` every [`Governor::batch_ops`] compiled ops and after
+    /// each segment, with each segment's work panic-contained.
+    ///
+    /// On a trip, returns the visits completed **before** the tripping
+    /// segment (a strict prefix, bit-identical to the uninterrupted
+    /// walk's prefix) together with the cause; `Ok((…, None))` is an
+    /// uninterrupted walk.
+    pub(crate) fn walk_backend_governed<B: SimBackend, T>(
+        &self,
+        program: &Program,
+        plan: &CompiledCircuit,
+        governor: &Governor,
+        mut visit: impl FnMut(usize, &Breakpoint, &B) -> Result<T, CoreError>,
+    ) -> Result<(Vec<T>, Option<InterruptCause>), CoreError> {
         self.config.validate()?;
         let breakpoints = program.breakpoints();
         let mut out = Vec::with_capacity(breakpoints.len());
         if breakpoints.is_empty() {
-            return Ok(out);
+            return Ok((out, None));
+        }
+        let num_qubits = program.circuit().num_qubits();
+        match governor.contain(|| governor.injected_fork_fault()) {
+            Ok(None) => {}
+            Ok(Some(cause)) | Err(cause) => return Ok((out, Some(cause))),
         }
         // Matches the per-prefix path's `prefix.run_on_basis(0)` start
-        // state (and its error for zero-qubit programs).
-        let mut backend = B::zero(program.circuit().num_qubits())
-            .map_err(|e| CoreError::Circuit(qdb_circuit::CircuitError::Sim(e)))?;
+        // state (and its error for zero-qubit programs); the fallible
+        // allocation degrades an allocator refusal into a trip.
+        let mut backend = match B::try_zero_state(num_qubits) {
+            Ok(backend) => backend,
+            Err(qdb_sim::SimError::AllocationFailed { bytes }) => {
+                let cause = InterruptCause::AllocationFailed { bytes };
+                governor.trip(cause.clone());
+                return Ok((out, Some(cause)));
+            }
+            Err(e) => return Err(CoreError::Circuit(qdb_circuit::CircuitError::Sim(e))),
+        };
+        let batch = Governor::batch_ops(num_qubits);
         for segment in program.segments() {
-            plan.apply_range_to_backend(&mut backend, segment.range());
-            out.push(visit(segment.index, &breakpoints[segment.index], &backend)?);
+            let step = governor.contain(|| -> Result<T, CoreError> {
+                plan.apply_range_to_backend_polled(
+                    &mut backend,
+                    segment.range(),
+                    batch,
+                    &mut |state: &B, _| governor.poll(state),
+                )
+                .map_err(governor::trip_error)?;
+                visit(segment.index, &breakpoints[segment.index], &backend)
+            });
+            match step {
+                Ok(Ok(item)) => out.push(item),
+                Ok(Err(CoreError::Interrupted { cause, .. })) => {
+                    governor.trip(cause.clone());
+                    return Ok((out, Some(cause)));
+                }
+                Ok(Err(e)) => return Err(e),
+                Err(cause) => return Ok((out, Some(cause))),
+            }
         }
-        Ok(out)
+        Ok((out, None))
     }
 
     /// Below this many shots the per-shot CDF inversions (one binary
@@ -235,7 +297,7 @@ mod tests {
     fn sweep_ensembles_match_per_prefix_bit_for_bit() {
         let p = staircase_program();
         let config = EnsembleConfig::default().with_shots(128).with_seed(9);
-        let sweep = SweepRunner::new(config).run_all(&p).unwrap();
+        let sweep = SweepRunner::new(config.clone()).run_all(&p).unwrap();
         let reference = EnsembleRunner::new(config.with_strategy(ExecutionStrategy::PerPrefix));
         assert_eq!(sweep.len(), p.breakpoints().len());
         for (index, ensemble) in sweep.iter().enumerate() {
@@ -251,7 +313,7 @@ mod tests {
         let positions: Vec<u64> = p.breakpoints().iter().map(|b| b.position as u64).collect();
         let config = EnsembleConfig::default().with_shots(16);
 
-        let sweep = SweepRunner::new(config).run_all(&p).unwrap();
+        let sweep = SweepRunner::new(config.clone()).run_all(&p).unwrap();
         for (ensemble, &position) in sweep.iter().zip(&positions) {
             // Checkpoint i has undergone exactly prefix-i's gates once.
             assert_eq!(ensemble.state.gate_ops(), position);

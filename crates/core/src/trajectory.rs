@@ -81,6 +81,7 @@ use qdb_sim::measure::extract_bits;
 use qdb_sim::{NoiseModel, Sampler, SimBackend, StatePool};
 
 use crate::error::CoreError;
+use crate::governor::{Governor, InterruptCause};
 use crate::runner::{shot_seed, EnsembleConfig};
 
 /// Per-breakpoint work census of a trajectory-tree session.
@@ -115,6 +116,11 @@ pub struct NoisySessionStats {
     /// simultaneous checkout count): 1 in serial mode, at most one
     /// replay wave in parallel mode — never `O(shots)`.
     pub states_allocated: usize,
+    /// Pool buffers still checked out when the session returned. This
+    /// is 0 on **every** exit path — completed, interrupted, and
+    /// fault-injected alike (the reclamation invariant
+    /// `governor_equivalence.rs` asserts).
+    pub states_outstanding: usize,
 }
 
 impl NoisySessionStats {
@@ -190,12 +196,20 @@ pub(crate) struct NoisySession<'a> {
 /// `measure_qubits` lists, per breakpoint, the qubits a shot measures
 /// (packed LSB-first) — the classical readout error then flips each
 /// measured bit.
+///
+/// The `governor` is polled at op-batch granularity during the frontier
+/// walk and every fork replay, consulted at every fork/allocation site,
+/// and every replay worker runs panic-contained. On a trip the function
+/// returns the breakpoints visited **before** the trip (a strict prefix
+/// of the uninterrupted run's results, bit for bit) plus the cause —
+/// with every pool buffer reclaimed first, whatever the exit path.
 pub(crate) fn run_noisy_tree<B: SimBackend, T>(
     session: &NoisySession<'_>,
+    governor: &Governor,
     measure_qubits: impl Fn(&Breakpoint) -> Vec<usize>,
     mut visit: impl FnMut(usize, &Breakpoint, Vec<u64>, &B) -> Result<T, CoreError>,
     stats_out: Option<&mut NoisySessionStats>,
-) -> Result<Vec<T>, CoreError> {
+) -> Result<(Vec<T>, Option<InterruptCause>), CoreError> {
     let NoisySession {
         config,
         program,
@@ -207,7 +221,7 @@ pub(crate) fn run_noisy_tree<B: SimBackend, T>(
     let breakpoints = program.breakpoints();
     let mut out = Vec::with_capacity(breakpoints.len());
     if breakpoints.is_empty() {
-        return Ok(out);
+        return Ok((out, None));
     }
     let shots = config.shots;
 
@@ -279,8 +293,22 @@ pub(crate) fn run_noisy_tree<B: SimBackend, T>(
     // serving re-reads it per group, which can happen once per unique
     // trajectory.
     let qubits_for: Vec<Vec<usize>> = breakpoints.iter().map(measure_qubits).collect();
-    let mut frontier =
-        B::zero(num_qubits).map_err(|e| CoreError::Circuit(qdb_circuit::CircuitError::Sim(e)))?;
+    if let Some(cause) = match governor.contain(|| governor.injected_fork_fault()) {
+        Ok(fault) => fault,
+        Err(cause) => Some(cause),
+    } {
+        return Ok((out, Some(cause)));
+    }
+    let mut frontier = match B::try_zero_state(num_qubits) {
+        Ok(state) => state,
+        Err(qdb_sim::SimError::AllocationFailed { bytes }) => {
+            let cause = InterruptCause::AllocationFailed { bytes };
+            governor.trip(cause.clone());
+            return Ok((out, Some(cause)));
+        }
+        Err(e) => return Err(CoreError::Circuit(qdb_circuit::CircuitError::Sim(e))),
+    };
+    let batch = Governor::batch_ops(num_qubits);
     let pool: StatePool<B> = StatePool::new();
     let mut scratch = Sampler::default();
     let mut outcomes: Vec<Vec<u64>> = (0..breakpoints.len()).map(|_| vec![0; shots]).collect();
@@ -289,75 +317,115 @@ pub(crate) fn run_noisy_tree<B: SimBackend, T>(
     let mut wave: Vec<WaveSlot<B>> = Vec::new();
     let mut position = 0usize;
     let mut next_fork = 0usize;
+    let mut trip: Option<InterruptCause> = None;
 
-    // Replay one fork's faulty trajectory to its breakpoint position.
-    let replay = |state: &mut B, bp: usize, group: &Group| {
+    // Advance a state through an ideal window of the plan, polling the
+    // governor per op batch, with panic containment.
+    let advance = |state: &mut B, range: std::ops::Range<usize>| -> Result<(), InterruptCause> {
+        governor
+            .contain(|| {
+                plan.apply_range_to_backend_polled(state, range, batch, &mut |s: &B, _| {
+                    governor.poll(s)
+                })
+            })
+            .and_then(|polled| polled)
+    };
+
+    // Replay one fork's faulty trajectory to its breakpoint position,
+    // governor-polled and panic-contained (a panicking worker leaves
+    // `state` intact in the caller so its buffer is still reclaimed).
+    let replay = |state: &mut B, bp: usize, group: &Group| -> Result<(), InterruptCause> {
         let first = group.pattern[0];
         let at_fork = group.pattern.partition_point(|f| f.op == first.op);
-        for fault in &group.pattern[..at_fork] {
-            state.apply_pauli(fault.qubit, fault.pauli);
-        }
-        plan.apply_range_to_backend_with_faults(
-            state,
-            first.op + 1..breakpoints[bp].position,
-            &group.pattern[at_fork..],
-        );
+        governor
+            .contain(|| {
+                for fault in &group.pattern[..at_fork] {
+                    state.apply_pauli(fault.qubit, fault.pauli);
+                }
+                plan.apply_range_to_backend_with_faults_polled(
+                    state,
+                    first.op + 1..breakpoints[bp].position,
+                    &group.pattern[at_fork..],
+                    batch,
+                    &mut |s: &B, _| governor.poll(s),
+                )
+            })
+            .and_then(|polled| polled)
     };
 
     // Drain the pending wave: replay every fork (the one parallel axis
     // of the tree), then serve its shots serially and recycle buffers.
+    // On a trip (any slot), every buffer still goes back to the pool
+    // and `trip` is set — no shots are served from a tripped wave.
     macro_rules! flush_wave {
         () => {
             if !wave.is_empty() {
-                let run_slot = |slot: &WaveSlot<B>| {
+                let run_slot = |slot: &WaveSlot<B>| -> Option<InterruptCause> {
                     let mut state = slot
                         .state
                         .lock()
                         .expect("wave slot lock")
                         .take()
                         .expect("wave slot filled at fork time");
-                    replay(&mut state, slot.bp, &groups[slot.bp][slot.group]);
+                    let replayed_ok = replay(&mut state, slot.bp, &groups[slot.bp][slot.group]);
                     *slot.state.lock().expect("wave slot lock") = Some(state);
+                    replayed_ok.err()
                 };
-                if config.parallel {
-                    wave.as_slice().into_par_iter().for_each(run_slot);
+                let slot_trips: Vec<Option<InterruptCause>> = if config.parallel {
+                    wave.as_slice().into_par_iter().map(run_slot).collect()
                 } else {
-                    wave.iter().for_each(run_slot);
-                }
+                    wave.iter().map(run_slot).collect()
+                };
+                let wave_trip = slot_trips.into_iter().flatten().next();
                 for slot in wave.drain(..) {
                     let state = slot
                         .state
                         .into_inner()
                         .expect("wave slot lock")
                         .expect("replayed state present");
-                    let group = &groups[slot.bp][slot.group];
-                    serve_group(
-                        &state,
-                        group,
-                        &qubits_for[slot.bp],
-                        noise,
-                        &mut rngs[slot.bp],
-                        &mut outcomes[slot.bp],
-                        &mut scratch,
-                    );
-                    replayed[slot.bp] +=
-                        (breakpoints[slot.bp].position - group.pattern[0].op - 1) as u64;
+                    if wave_trip.is_none() {
+                        let group = &groups[slot.bp][slot.group];
+                        serve_group(
+                            &state,
+                            group,
+                            &qubits_for[slot.bp],
+                            noise,
+                            &mut rngs[slot.bp],
+                            &mut outcomes[slot.bp],
+                            &mut scratch,
+                        );
+                        replayed[slot.bp] +=
+                            (breakpoints[slot.bp].position - group.pattern[0].op - 1) as u64;
+                    }
                     pool.release(state);
+                }
+                if wave_trip.is_some() {
+                    trip = wave_trip;
                 }
             }
         };
     }
 
-    for (index, bp) in breakpoints.iter().enumerate() {
+    'walk: for (index, bp) in breakpoints.iter().enumerate() {
         // Schedule (and in serial mode, immediately retire) every fork
         // up to this breakpoint's position.
         while next_fork < forks.len() && forks[next_fork].position <= bp.position {
             let fork = &forks[next_fork];
             next_fork += 1;
             if fork.position > position {
-                plan.apply_range_to_backend(&mut frontier, position..fork.position);
+                if let Err(cause) = advance(&mut frontier, position..fork.position) {
+                    trip = Some(cause);
+                    break 'walk;
+                }
                 frontier_ops += (fork.position - position) as u64;
                 position = fork.position;
+            }
+            match governor.contain(|| governor.injected_fork_fault()) {
+                Ok(None) => {}
+                Ok(Some(cause)) | Err(cause) => {
+                    trip = Some(cause);
+                    break 'walk;
+                }
             }
             let state = pool.acquire_copy(&frontier);
             wave.push(WaveSlot {
@@ -367,12 +435,21 @@ pub(crate) fn run_noisy_tree<B: SimBackend, T>(
             });
             if !config.parallel || wave.len() >= WAVE_CAP {
                 flush_wave!();
+                if trip.is_some() {
+                    break 'walk;
+                }
             }
         }
         // The report for this breakpoint needs every group served.
         flush_wave!();
+        if trip.is_some() {
+            break 'walk;
+        }
         if bp.position > position {
-            plan.apply_range_to_backend(&mut frontier, position..bp.position);
+            if let Err(cause) = advance(&mut frontier, position..bp.position) {
+                trip = Some(cause);
+                break 'walk;
+            }
             frontier_ops += (bp.position - position) as u64;
             position = bp.position;
         }
@@ -389,14 +466,41 @@ pub(crate) fn run_noisy_tree<B: SimBackend, T>(
                 &mut scratch,
             );
         }
-        out.push(visit(
-            index,
-            bp,
-            std::mem::take(&mut outcomes[index]),
-            &frontier,
-        )?);
+        let step =
+            governor.contain(|| visit(index, bp, std::mem::take(&mut outcomes[index]), &frontier));
+        match step {
+            Ok(Ok(item)) => out.push(item),
+            Ok(Err(CoreError::Interrupted { cause, .. })) => {
+                governor.trip(cause.clone());
+                trip = Some(cause);
+                break 'walk;
+            }
+            Ok(Err(e)) => return Err(e),
+            Err(cause) => {
+                trip = Some(cause);
+                break 'walk;
+            }
+        }
     }
-    debug_assert_eq!(next_fork, forks.len(), "every fork scheduled");
+    // Reclaim any wave buffers stranded by an early exit; completed
+    // runs flushed everything already, so this loop is then empty.
+    for slot in wave.drain(..) {
+        if let Some(state) = slot
+            .state
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+        {
+            pool.release(state);
+        }
+    }
+    // A hard assert (not debug_assert): this is once per session, and
+    // the release-mode fault-injection CI run relies on a leak here
+    // panicking into the containment boundary.
+    assert_eq!(pool.outstanding(), 0, "every pooled buffer reclaimed");
+    debug_assert!(
+        trip.is_some() || next_fork == forks.len(),
+        "every fork scheduled"
+    );
 
     if let Some(stats) = stats_out {
         stats.per_breakpoint = groups
@@ -415,8 +519,9 @@ pub(crate) fn run_noisy_tree<B: SimBackend, T>(
             .collect();
         stats.frontier_ops = frontier_ops;
         stats.states_allocated = pool.states_allocated();
+        stats.states_outstanding = pool.outstanding();
     }
-    Ok(out)
+    Ok((out, trip))
 }
 
 /// Serve every shot of one group from the group's shared final state:

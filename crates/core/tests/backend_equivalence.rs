@@ -302,7 +302,9 @@ fn auto_never_changes_a_verdict_across_representative_programs() {
         for noise in [None, Some(qdb_sim::NoiseModel::depolarizing(0.002))] {
             let mut base = EnsembleConfig::builder().shots(256).seed(8).build();
             base.noise = noise;
-            let default_engine = EnsembleRunner::new(base).check_program(program).unwrap();
+            let default_engine = EnsembleRunner::new(base.clone())
+                .check_program(program)
+                .unwrap();
             let auto = EnsembleRunner::new(base.with_backend(BackendChoice::Auto))
                 .check_program(program)
                 .unwrap();

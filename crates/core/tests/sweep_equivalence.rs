@@ -149,7 +149,7 @@ proptest! {
 
         // Sweep: checkpoint `i` has undergone exactly prefix `i` once,
         // and the final checkpoint's counter is the whole run's work.
-        let swept = SweepRunner::new(base).run_all(&program).unwrap();
+        let swept = SweepRunner::new(base.clone()).run_all(&program).unwrap();
         for (ensemble, &position) in swept.iter().zip(&positions) {
             prop_assert_eq!(ensemble.state.gate_ops(), position);
         }

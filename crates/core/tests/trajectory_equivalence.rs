@@ -330,7 +330,7 @@ fn hundred_qubit_noisy_repetition_code_on_auto() {
         .noise(NoiseModel::depolarizing(1e-4).with_readout_flip(1e-3))
         .backend(BackendChoice::Auto)
         .build();
-    let (reports, stats) = EnsembleRunner::new(config)
+    let (reports, stats) = EnsembleRunner::new(config.clone())
         .check_program_stats(&program)
         .expect("101-qubit noisy Auto session");
     // The syndrome-is-zero claim is wrong (the planted X fault lights

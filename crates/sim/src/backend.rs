@@ -223,6 +223,36 @@ pub trait SimBackend: Sized + Clone + Send + Sync {
     /// * [`SimError::TooManyQubits`] beyond the backend's capacity.
     fn zero(num_qubits: usize) -> Result<Self, SimError>;
 
+    /// The all-zeros state `|0…0⟩`, with the backing buffer allocated
+    /// *fallibly*: an allocation the system cannot satisfy returns
+    /// [`SimError::AllocationFailed`] instead of aborting the process.
+    ///
+    /// The default delegates to [`zero`](SimBackend::zero), which is
+    /// correct for backends whose construction cost is trivially small
+    /// (tableau rows, a one-entry support map); the dense statevector
+    /// overrides it with a `try_reserve`-based path so a near-ceiling
+    /// `2ⁿ` request degrades into a typed error the execution governor
+    /// can turn into a partial report. Successful construction is
+    /// bit-for-bit [`zero`](SimBackend::zero).
+    ///
+    /// # Errors
+    ///
+    /// As [`zero`](SimBackend::zero), plus
+    /// [`SimError::AllocationFailed`] when the buffer cannot be
+    /// allocated.
+    fn try_zero_state(num_qubits: usize) -> Result<Self, SimError> {
+        Self::zero(num_qubits)
+    }
+
+    /// Bytes of memory this state currently holds resident (buffers
+    /// plus header). The execution governor polls this against its
+    /// `max_resident_bytes` budget; an estimate is fine as long as it
+    /// tracks the dominant buffer, so the default — the struct header
+    /// alone — is only acceptable for backends with no heap state.
+    fn resident_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+    }
+
     /// Number of qubits.
     fn num_qubits(&self) -> usize;
 
@@ -377,6 +407,14 @@ impl SimBackend for State {
 
     fn zero(num_qubits: usize) -> Result<Self, SimError> {
         State::basis(num_qubits, 0)
+    }
+
+    fn try_zero_state(num_qubits: usize) -> Result<Self, SimError> {
+        State::try_zero_state(num_qubits)
+    }
+
+    fn resident_bytes(&self) -> usize {
+        State::resident_bytes(self)
     }
 
     fn num_qubits(&self) -> usize {

@@ -31,6 +31,16 @@ pub enum SimError {
     /// A proposed Kraus-operator set does not describe a valid (CPTP)
     /// quantum channel; the message names the violated condition.
     NotCptp(String),
+    /// The allocator refused the state's backing buffer. Raised by the
+    /// fallible construction path
+    /// ([`SimBackend::try_zero_state`](crate::SimBackend::try_zero_state))
+    /// so a near-limit `2ⁿ` request surfaces as a typed error the
+    /// execution governor can convert into a partial report, instead of
+    /// aborting the process mid-allocation.
+    AllocationFailed {
+        /// The number of bytes the backend asked for.
+        bytes: usize,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -55,6 +65,9 @@ impl fmt::Display for SimError {
             }
             SimError::NotCptp(why) => {
                 write!(f, "not a valid CPTP channel: {why}")
+            }
+            SimError::AllocationFailed { bytes } => {
+                write!(f, "allocator refused {bytes} bytes for the state buffer")
             }
         }
     }

@@ -39,6 +39,7 @@ use crate::backend::SimBackend;
 pub struct StatePool<B> {
     free: Mutex<Vec<B>>,
     allocated: AtomicUsize,
+    outstanding: AtomicUsize,
 }
 
 impl<B: SimBackend> StatePool<B> {
@@ -48,6 +49,7 @@ impl<B: SimBackend> StatePool<B> {
         Self {
             free: Mutex::new(Vec::new()),
             allocated: AtomicUsize::new(0),
+            outstanding: AtomicUsize::new(0),
         }
     }
 
@@ -58,6 +60,7 @@ impl<B: SimBackend> StatePool<B> {
     /// [`states_allocated`](StatePool::states_allocated)). Either way
     /// the result is bit-for-bit `source`.
     pub fn acquire_copy(&self, source: &B) -> B {
+        self.outstanding.fetch_add(1, Ordering::Relaxed);
         let recycled = self.free.lock().expect("state pool lock").pop();
         match recycled {
             Some(mut state) => {
@@ -74,6 +77,7 @@ impl<B: SimBackend> StatePool<B> {
     /// Return a state to the free list for future
     /// [`acquire_copy`](StatePool::acquire_copy) calls to recycle.
     pub fn release(&self, state: B) {
+        self.outstanding.fetch_sub(1, Ordering::Relaxed);
         self.free.lock().expect("state pool lock").push(state);
     }
 
@@ -83,6 +87,16 @@ impl<B: SimBackend> StatePool<B> {
     #[must_use]
     pub fn states_allocated(&self) -> usize {
         self.allocated.load(Ordering::Relaxed)
+    }
+
+    /// Number of states currently checked out (acquired but not yet
+    /// released). The execution-governor tests assert this census
+    /// returns to zero on every exit path — normal completion, budget
+    /// trips, and injected faults alike — proving no fork buffer leaks
+    /// when a run is cut short.
+    #[must_use]
+    pub fn outstanding(&self) -> usize {
+        self.outstanding.load(Ordering::Relaxed)
     }
 }
 
@@ -145,6 +159,20 @@ mod tests {
         assert_eq!(fork, small);
         pool.release(fork);
         assert_eq!(pool.states_allocated(), 1);
+    }
+
+    #[test]
+    fn outstanding_census_tracks_checkouts() {
+        let checkpoint = State::zero(3);
+        let pool: StatePool<State> = StatePool::new();
+        assert_eq!(pool.outstanding(), 0);
+        let a = pool.acquire_copy(&checkpoint);
+        let b = pool.acquire_copy(&checkpoint);
+        assert_eq!(pool.outstanding(), 2);
+        pool.release(a);
+        assert_eq!(pool.outstanding(), 1);
+        pool.release(b);
+        assert_eq!(pool.outstanding(), 0);
     }
 
     #[test]

@@ -297,6 +297,14 @@ impl SimBackend for SparseState {
         SparseState::zero(num_qubits)
     }
 
+    fn resident_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + match &self.repr {
+                Repr::Amps(amps) => amps.capacity() * std::mem::size_of::<(u64, Complex)>(),
+                Repr::Dense(state) => state.resident_bytes(),
+            }
+    }
+
     fn num_qubits(&self) -> usize {
         self.num_qubits
     }

@@ -549,6 +549,12 @@ impl SimBackend for StabilizerState {
         StabilizerState::zero(num_qubits)
     }
 
+    fn resident_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + (self.xs.capacity() + self.zs.capacity()) * std::mem::size_of::<u64>()
+            + self.phase.capacity() * std::mem::size_of::<bool>()
+    }
+
     fn num_qubits(&self) -> usize {
         self.n
     }

@@ -75,6 +75,52 @@ impl State {
         Self::basis(num_qubits, 0).expect("|0…0⟩ always exists")
     }
 
+    /// The all-zeros state `|0…0⟩`, with the amplitude buffer allocated
+    /// *fallibly*: a `2ⁿ` request the allocator cannot satisfy returns
+    /// [`SimError::AllocationFailed`] instead of aborting the process.
+    ///
+    /// This is the construction path the execution governor routes
+    /// through — near the dense ceiling a failed allocation becomes a
+    /// typed error carrying the byte count, which the ensemble layer
+    /// converts into an interrupted session with a partial report.
+    /// States built this way are bit-for-bit [`State::zero`].
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::InvalidDimension`] when `num_qubits == 0`;
+    /// * [`SimError::TooManyQubits`] beyond [`MAX_QUBITS`];
+    /// * [`SimError::AllocationFailed`] when the allocator refuses the
+    ///   `2ⁿ` amplitude buffer.
+    pub fn try_zero_state(num_qubits: usize) -> Result<Self, SimError> {
+        if num_qubits == 0 {
+            return Err(SimError::InvalidDimension(0));
+        }
+        if num_qubits > MAX_QUBITS {
+            return Err(SimError::TooManyQubits(num_qubits));
+        }
+        let dim = 1usize << num_qubits;
+        let bytes = dim * std::mem::size_of::<Complex>();
+        let mut amps: Vec<Complex> = Vec::new();
+        amps.try_reserve_exact(dim)
+            .map_err(|_| SimError::AllocationFailed { bytes })?;
+        amps.resize(dim, Complex::ZERO);
+        amps[0] = Complex::ONE;
+        Ok(Self {
+            num_qubits,
+            amps,
+            gate_ops: 0,
+            index_ops: 0,
+        })
+    }
+
+    /// Bytes of memory this state holds resident — the amplitude
+    /// buffer's capacity plus the struct header. The execution
+    /// governor's `max_resident_bytes` budget polls this.
+    #[must_use]
+    pub fn resident_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.amps.capacity() * std::mem::size_of::<Complex>()
+    }
+
     /// The computational basis state `|index⟩`.
     ///
     /// # Errors

@@ -29,7 +29,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .seed(2019)
         .backend(BackendChoice::Auto)
         .build();
-    let debugger = Debugger::new(config);
+    let debugger = Debugger::new(config.clone());
 
     // --- 34-qubit Shor-style period finding. -----------------------------
     // A 5-qubit counting register drives controlled multiply-by-2

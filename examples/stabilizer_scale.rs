@@ -27,7 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .seed(2019)
         .backend(BackendChoice::Auto)
         .build();
-    let debugger = Debugger::new(config);
+    let debugger = Debugger::new(config.clone());
 
     // --- A 100-qubit GHZ ladder. ----------------------------------------
     let ghz = ghz_program(100);

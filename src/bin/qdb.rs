@@ -94,7 +94,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
 }
 
 fn check_program(program: &Program, options: &Options) -> Result<bool, String> {
-    let report = Debugger::new(options.config)
+    let report = Debugger::new(options.config.clone())
         .run(program)
         .map_err(|e| e.to_string())?;
     println!("{report}");
@@ -187,7 +187,7 @@ fn run() -> Result<bool, String> {
                         let options = parse_options(opts)?;
                         for bug in BugType::all() {
                             let (program, _) = bug.demonstration();
-                            let report = Debugger::new(options.config)
+                            let report = Debugger::new(options.config.clone())
                                 .run(&program)
                                 .map_err(|e| e.to_string())?;
                             println!(
