@@ -80,17 +80,9 @@ fn noisy_config(shots: usize) -> EnsembleConfig {
 /// point); its own speedup claim is asserted in the
 /// `noisy_trajectory` bench against the per-shot reference instead.
 fn assert_parallel_speedup(program: &Program, shots: usize) {
-    // Worker threads beyond the physical core count add no speedup, so
-    // the expectation is set by whichever is smaller.
-    let cores = std::thread::available_parallelism().map_or(1, usize::from);
-    let workers = rayon::current_num_threads().min(cores);
-    if workers < 2 {
-        println!(
-            "ensemble_parallel speedup check: SKIPPED (1 effective worker; \
-             run on a multi-core host to exercise the \u{2265}2x expectation)"
-        );
+    let Some(workers) = qdb_bench::multicore_gate("ensemble_parallel speedup check") else {
         return;
-    }
+    };
     let time_one = |parallel: bool| {
         let config = noisy_config(shots)
             .with_strategy(qdb_core::ExecutionStrategy::PerPrefix)
@@ -135,21 +127,30 @@ fn bench_serial_vs_parallel(c: &mut Criterion) {
     // aimed at some other bench must not pay for our sessions here.
     let filter: Option<String> = std::env::args().skip(1).find(|arg| !arg.starts_with("--"));
     // The headline speedup expectation, checked once per run on the
-    // Grover case (the cheapest of the three) — but only in full
-    // `cargo bench` mode. Under `cargo test` the benches smoke-run on
-    // shared CI hosts where wall-clock timing assertions would be both
-    // load-sensitive and a tax on every test run.
+    // Grover case (the cheapest of the three) and on the Shor flagship
+    // — but only in full `cargo bench` mode. Under `cargo test` the
+    // benches smoke-run on shared CI hosts where wall-clock timing
+    // assertions would be both load-sensitive and a tax on every test
+    // run.
     let bench_mode = std::env::args().any(|arg| arg == "--bench");
     if !bench_mode {
         println!(
             "ensemble_parallel speedup check: smoke mode, timing assertion deferred \
              to `cargo bench`"
         );
-    } else if filter
-        .as_deref()
-        .is_none_or(|f| "noisy_ensemble_grover".contains(f))
-    {
-        assert_parallel_speedup(&grover_benchmark(), 64);
+    } else {
+        if filter
+            .as_deref()
+            .is_none_or(|f| "noisy_ensemble_grover".contains(f))
+        {
+            assert_parallel_speedup(&grover_benchmark(), 64);
+        }
+        if filter
+            .as_deref()
+            .is_none_or(|f| "noisy_ensemble_shor_n15".contains(f))
+        {
+            assert_parallel_speedup(&shor_benchmark(), 16);
+        }
     }
     let cases: [(&str, Program, usize); 3] = [
         ("grover", grover_benchmark(), 64),

@@ -70,6 +70,39 @@ pub fn joint_distribution(
     joint
 }
 
+/// Effective parallel workers for speedup gating: the smaller of the
+/// rayon pool size (which honors `RAYON_NUM_THREADS`) and the host's
+/// available parallelism — worker threads beyond the physical core
+/// count add no speedup, so expectations are set by whichever is
+/// smaller.
+#[must_use]
+pub fn effective_workers() -> usize {
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    rayon::current_num_threads().min(cores)
+}
+
+/// Gate a measured-speedup assertion on multi-core availability.
+///
+/// Benches that assert "parallel beats serial by ≥ N×" share this
+/// helper so they skip uniformly: on a single-worker host (one core,
+/// or `RAYON_NUM_THREADS=1`) no speedup is possible, so the check
+/// prints a `SKIPPED` notice naming `what` — instead of silently
+/// passing — and returns `None`. With ≥ 2 effective workers it returns
+/// `Some(workers)` so the caller can scale its expectation to the
+/// parallelism this host can actually deliver.
+#[must_use]
+pub fn multicore_gate(what: &str) -> Option<usize> {
+    let workers = effective_workers();
+    if workers < 2 {
+        println!(
+            "{what}: SKIPPED (1 effective worker; run on a multi-core host \
+             to exercise the \u{2265}2x expectation)"
+        );
+        return None;
+    }
+    Some(workers)
+}
+
 /// A fixed-width banner separating experiment sections.
 #[must_use]
 pub fn banner(text: &str) -> String {
@@ -112,5 +145,21 @@ mod tests {
     #[test]
     fn banner_contains_text() {
         assert!(banner("Table 3").contains("Table 3"));
+    }
+
+    #[test]
+    fn effective_workers_is_positive_and_core_bounded() {
+        let workers = effective_workers();
+        assert!(workers >= 1);
+        let cores = std::thread::available_parallelism().map_or(1, usize::from);
+        assert!(workers <= cores);
+    }
+
+    #[test]
+    fn multicore_gate_agrees_with_effective_workers() {
+        match multicore_gate("unit test gate") {
+            Some(workers) => assert_eq!(workers, effective_workers()),
+            None => assert_eq!(effective_workers(), 1),
+        }
     }
 }

@@ -20,7 +20,9 @@
 //!    matching), so Clifford-only plans ([`CompiledCircuit::is_clifford`])
 //!    can run on the polynomial-time stabilizer backend;
 //! 4. optionally ([`OptLevel::Fuse`]) runs of adjacent uncontrolled
-//!    single-qubit gates on the same target are fused into one matrix.
+//!    single-qubit gates on the same target are fused into one matrix —
+//!    or ([`OptLevel::FuseExact`]) only the runs for which that fusion
+//!    is provably bit-exact.
 //!
 //! The result is reused across every application: the ensemble sweep,
 //! per-prefix replays, and noisy trajectories all walk the same plan —
@@ -43,6 +45,10 @@
 //! noisy-trajectory entry points, whose per-instruction noise insertion
 //! points fusion would erase, and drop the per-op Clifford
 //! classification (a fused plan is never [`is_clifford`]).
+//! [`OptLevel::FuseExact`] restricts fusion to unit-monomial runs
+//! (entries in `{0, ±1, ±i}`) where the composition is exact in f64,
+//! preserving the bit-for-bit report guarantee while still collapsing
+//! Pauli/phase gate runs.
 //!
 //! ## Clifford classification
 //!
@@ -59,7 +65,7 @@
 use crate::circuit::{Circuit, GateSink};
 use crate::instruction::{GateKind, Instruction};
 use qdb_sim::kernels::{classify, MatrixClass};
-use qdb_sim::{CliffordGate1, CliffordOp, KernelOp, Matrix2, SimBackend, SimOp, State};
+use qdb_sim::{CliffordGate1, CliffordOp, KernelOp, Matrix2, SimBackend, SimOp, State, StatePack};
 
 /// How aggressively [`CompiledCircuit::compile`] lowers a circuit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -78,6 +84,20 @@ pub enum OptLevel {
     /// explicitly where that trade is acceptable. Fused plans cannot
     /// replay noisy trajectories and are never Clifford-classified.
     Fuse,
+    /// Fuse **only** runs whose matrices are *unit-monomial* — every
+    /// entry in `{0, ±1, ±i}`: X, Y, Z, S, S†, and their products.
+    /// For this class fusion is exact, not approximate: composing the
+    /// matrices in f64 is exact and closed under products, and applying
+    /// the composed matrix is value-identical to applying the gates one
+    /// by one (see `is_unit_monomial`), so results keep
+    /// [`OptLevel::Specialize`]'s bit-for-bit report guarantee. Gates
+    /// outside the class (T, H, rotations) are emitted unfused, 1:1
+    /// with classification, exactly as `Specialize` would. Multi-gate
+    /// fused runs still erase per-instruction noise insertion points,
+    /// so `FuseExact` plans refuse the noisy-trajectory entry points,
+    /// multi-gate runs drop Clifford classification, and gate-op
+    /// counters advance per compiled op (a fused run counts once).
+    FuseExact,
 }
 
 /// Which specialized kernel a [`CompiledOp`] dispatches to.
@@ -211,10 +231,18 @@ impl CompiledCircuit {
         let flush =
             |ops: &mut Vec<CompiledOp>, run: &mut Option<(usize, usize, Matrix2)>, end: usize| {
                 if let Some((start, target, m)) = run.take() {
-                    // A fused run reassociates matrices; it carries no
-                    // Clifford classification even if every source gate
-                    // had one.
-                    ops.push(lower_matrix(Vec::new(), target, &m, None, start, end));
+                    // A multi-gate fused run composes matrices; it
+                    // carries no Clifford classification even if every
+                    // source gate had one. A single-gate "run" under
+                    // FuseExact is 1:1 with its source instruction, so
+                    // it keeps the classification Specialize would have
+                    // attached.
+                    let clifford = if opt == OptLevel::FuseExact && end == start + 1 {
+                        classify_clifford(&instructions[start])
+                    } else {
+                        None
+                    };
+                    ops.push(lower_matrix(Vec::new(), target, &m, clifford, start, end));
                 }
             };
 
@@ -230,7 +258,10 @@ impl CompiledCircuit {
                     controls,
                     target,
                     kind,
-                } if controls.is_empty() && opt == OptLevel::Fuse => {
+                } if controls.is_empty()
+                    && (opt == OptLevel::Fuse
+                        || (opt == OptLevel::FuseExact && is_unit_monomial(&kind.matrix()))) =>
+                {
                     let m = kind.matrix();
                     match &mut run {
                         Some((_, t, acc)) if *t == *target => {
@@ -503,7 +534,7 @@ impl CompiledCircuit {
         rng: &mut R,
     ) {
         assert!(
-            self.opt != OptLevel::Fuse,
+            self.opt == OptLevel::Specialize,
             "noisy replay requires an unfused plan (compile at OptLevel::Specialize)"
         );
         for op in self.ops_for_range(backend.num_qubits(), &range) {
@@ -609,7 +640,7 @@ impl CompiledCircuit {
         out: &mut Vec<FaultEvent>,
     ) {
         assert!(
-            self.opt != OptLevel::Fuse,
+            self.opt == OptLevel::Specialize,
             "noisy replay requires an unfused plan (compile at OptLevel::Specialize)"
         );
         out.clear();
@@ -653,7 +684,7 @@ impl CompiledCircuit {
         faults: &[FaultEvent],
     ) {
         assert!(
-            self.opt != OptLevel::Fuse,
+            self.opt == OptLevel::Specialize,
             "noisy replay requires an unfused plan (compile at OptLevel::Specialize)"
         );
         let mut pending = faults.iter().peekable();
@@ -701,7 +732,7 @@ impl CompiledCircuit {
         poll: &mut impl FnMut(&B, usize) -> Result<(), E>,
     ) -> Result<(), E> {
         assert!(
-            self.opt != OptLevel::Fuse,
+            self.opt == OptLevel::Specialize,
             "noisy replay requires an unfused plan (compile at OptLevel::Specialize)"
         );
         let batch = batch_ops.max(1);
@@ -734,6 +765,114 @@ impl CompiledCircuit {
         }
         Ok(())
     }
+
+    /// Replay `range` across every lane of a [`StatePack`] at once —
+    /// the cross-trajectory analogue of
+    /// [`apply_range_to_backend_with_faults_polled`](Self::apply_range_to_backend_with_faults_polled).
+    ///
+    /// Each compiled op in the window is applied *once* to the whole
+    /// pack, then each lane's pending faults against that op fire into
+    /// that lane alone (via [`StatePack::apply_pauli_lane`]), in the
+    /// same op-then-fault order the per-state replay uses. Because the
+    /// pack kernels perform the identical arithmetic per lane that the
+    /// [`State`] kernels perform per amplitude, every lane ends
+    /// bit-for-bit equal to a solo replay of that lane's fault pattern
+    /// over the same window.
+    ///
+    /// `lane_faults[k]` is lane `k`'s fault pattern, sorted by
+    /// [`FaultEvent::op`] and confined to `range` (lanes whose
+    /// trajectory forks *later* than `range.start` simply have no
+    /// faults against the early ops — the ideal trunk prefix replays
+    /// into them for free). `poll` runs with the pack after every
+    /// `batch_ops` ops and once at the window's end; `Err` stops the
+    /// replay immediately.
+    ///
+    /// # Errors
+    ///
+    /// Whatever `poll` returns, unchanged.
+    ///
+    /// # Panics
+    ///
+    /// If the plan is fused, `lane_faults.len()` differs from the pack
+    /// width, the pack's qubit count differs from the plan's, or a
+    /// lane's fault pattern leaves `range` (the trailing check only
+    /// runs if the replay completes).
+    pub fn apply_range_to_pack_polled<E>(
+        &self,
+        pack: &mut StatePack,
+        range: std::ops::Range<usize>,
+        lane_faults: &[&[FaultEvent]],
+        batch_ops: usize,
+        poll: &mut impl FnMut(&StatePack, usize) -> Result<(), E>,
+    ) -> Result<(), E> {
+        assert!(
+            self.opt == OptLevel::Specialize,
+            "noisy replay requires an unfused plan (compile at OptLevel::Specialize)"
+        );
+        assert_eq!(
+            lane_faults.len(),
+            pack.width(),
+            "one fault pattern per pack lane"
+        );
+        let batch = batch_ops.max(1);
+        let mut since_poll = 0usize;
+        let mut total = 0usize;
+        let mut pending: Vec<_> = lane_faults.iter().map(|f| f.iter().peekable()).collect();
+        for op in self.ops_for_range(pack.num_qubits(), &range) {
+            pack.apply_op(&op.op);
+            for (k, lane) in pending.iter_mut().enumerate() {
+                while let Some(fault) = lane.next_if(|f| f.op < op.end) {
+                    assert!(
+                        fault.op >= op.start,
+                        "lane {k} fault at op {} precedes replay window {range:?}",
+                        fault.op
+                    );
+                    pack.apply_pauli_lane(k, fault.qubit, fault.pauli);
+                }
+            }
+            total += 1;
+            since_poll += 1;
+            if since_poll >= batch {
+                since_poll = 0;
+                poll(pack, total)?;
+            }
+        }
+        for (k, lane) in pending.iter_mut().enumerate() {
+            assert!(
+                lane.next().is_none(),
+                "lane {k} fault pattern extends past replay window {range:?}"
+            );
+        }
+        if since_poll > 0 {
+            poll(pack, total)?;
+        }
+        Ok(())
+    }
+}
+
+/// `true` when every entry of `m` lies in `{0, ±1, ±i}` — i.e. every
+/// component of every entry is exactly `0.0`, `1.0`, or `-1.0`, and no
+/// entry has both components nonzero. For a *unitary* 2×2 this makes
+/// the matrix monomial (one nonzero entry per row and column): X, Y, Z,
+/// S, S†, and products thereof qualify; T (`e^{iπ/4}`), Hadamard
+/// (`1/√2`), and rotations do not.
+///
+/// This is the exactness class behind [`OptLevel::FuseExact`].
+/// Multiplying any f64 by `0`, `±1`, or `±i` is exact (component swaps
+/// and sign flips), and each entry of the product of two unit-monomial
+/// matrices is one such exact product plus a structurally-zero term —
+/// adding it can only normalize the sign of an exact zero, the caveat
+/// the specialized kernels already carry. Hence composing a run's
+/// matrices in f64 is exact, the class is closed under products, and
+/// applying the composed matrix is value-identical (`==` on every
+/// amplitude component) to applying the gates one by one.
+fn is_unit_monomial(m: &Matrix2) -> bool {
+    fn unit(x: f64) -> bool {
+        x == 0.0 || x == 1.0 || x == -1.0
+    }
+    m.0.iter()
+        .flatten()
+        .all(|c| unit(c.re) && unit(c.im) && !(c.re != 0.0 && c.im != 0.0))
 }
 
 /// Classify a (possibly fused) 2×2 matrix into its kernel.
@@ -1232,5 +1371,176 @@ mod tests {
         let mut s = State::zero(2);
         plan.apply_to(&mut s);
         assert_eq!(s.gate_ops(), 0);
+    }
+
+    #[test]
+    fn fuse_exact_fuses_monomial_runs_and_stays_bit_identical() {
+        let mut c = Circuit::new(2);
+        c.x(0);
+        c.z(0);
+        c.s(0); // unit-monomial run of 3: fuses exactly
+        c.t(0); // T is not unit-monomial: breaks the run, stays 1:1
+        c.h(1); // H is not unit-monomial either
+        c.y(1);
+        c.sdg(1); // Y·S† run of 2 fuses
+        c.cx(0, 1);
+        let plan = c.compile(OptLevel::FuseExact);
+        // 3+1 on qubit 0 → 2 ops; 1+2 on qubit 1 → 2 ops; cx → 1 op.
+        assert_eq!(plan.ops().len(), 5);
+        assert_eq!(plan.ops()[0].source_range(), 0..3);
+        assert_eq!(plan.ops()[1].source_range(), 3..4);
+        assert_eq!(plan.ops()[2].source_range(), 4..5);
+        assert_eq!(plan.ops()[3].source_range(), 5..7);
+        // Unlike OptLevel::Fuse, results keep the bit-for-bit guarantee.
+        let mut fused = State::zero(2);
+        plan.apply_to(&mut fused);
+        let mut reference = State::zero(2);
+        c.compile(OptLevel::Specialize).apply_to(&mut reference);
+        assert_eq!(fused, reference);
+        // Op counters advance per *compiled* op: fused runs count once.
+        assert_eq!(fused.gate_ops(), plan.ops().len() as u64);
+    }
+
+    #[test]
+    fn fuse_exact_single_gate_runs_keep_clifford_classification() {
+        // clifford_circuit has no adjacent same-target runs, so every
+        // op stays single-gate and keeps its classification: the plan
+        // remains stabilizer-eligible.
+        let plan = clifford_circuit().compile(OptLevel::FuseExact);
+        assert!(plan.is_clifford());
+        // A genuinely fused run drops it (matrix-level, like Fuse).
+        let mut c = Circuit::new(1);
+        c.x(0);
+        c.z(0);
+        let plan = c.compile(OptLevel::FuseExact);
+        assert_eq!(plan.ops().len(), 1);
+        assert!(!plan.is_clifford());
+    }
+
+    #[test]
+    fn unit_monomial_classifies_the_exact_gate_set() {
+        use crate::instruction::GateKind;
+        for kind in [
+            GateKind::X,
+            GateKind::Y,
+            GateKind::Z,
+            GateKind::S,
+            GateKind::Sdg,
+        ] {
+            assert!(is_unit_monomial(&kind.matrix()), "{kind:?}");
+        }
+        for kind in [
+            GateKind::H,
+            GateKind::T,
+            GateKind::Rz(0.3),
+            GateKind::Ry(-0.9),
+            GateKind::Phase(0.25),
+        ] {
+            assert!(!is_unit_monomial(&kind.matrix()), "{kind:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "requires an unfused plan")]
+    fn fuse_exact_noisy_replay_panics() {
+        let mut c = Circuit::new(1);
+        c.x(0);
+        c.z(0);
+        let plan = c.compile(OptLevel::FuseExact);
+        let mut s = State::zero(1);
+        plan.apply_range_to_backend_with_faults(&mut s, 0..2, &[]);
+    }
+
+    #[test]
+    fn packed_replay_matches_per_state_faulted_replay() {
+        use rand::SeedableRng;
+        let c = mixed_circuit();
+        let plan = c.compile(OptLevel::Specialize);
+        let noise = qdb_sim::NoiseModel::depolarizing(0.3);
+        let fork_at = 4;
+        // Shared ideal trunk through the fork point.
+        let mut trunk = State::zero(4);
+        plan.apply_range_to(&mut trunk, 0..fork_at);
+        // Per-lane fault patterns confined to the suffix window.
+        let window = fork_at..c.len();
+        let mut lanes: Vec<Vec<FaultEvent>> = Vec::new();
+        let mut seed = 0;
+        while lanes.len() < 3 {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            seed += 1;
+            let mut pattern = Vec::new();
+            plan.presample_faults(window.clone(), &noise, &mut rng, &mut pattern);
+            if !pattern.is_empty() {
+                lanes.push(pattern);
+            }
+        }
+        lanes.push(Vec::new()); // one fault-free lane rides along
+        let lane_refs: Vec<&[FaultEvent]> = lanes.iter().map(Vec::as_slice).collect();
+        // Packed replay: every op applied once across all four lanes.
+        let mut pack = StatePack::broadcast(&trunk, lanes.len());
+        let mut polls = 0usize;
+        plan.apply_range_to_pack_polled(
+            &mut pack,
+            window.clone(),
+            &lane_refs,
+            3,
+            &mut |p, total| {
+                polls += 1;
+                assert!(p.gate_ops() > 0 && total > 0);
+                Ok::<(), ()>(())
+            },
+        )
+        .unwrap();
+        assert!(polls >= 2, "batch polls must fire mid-window");
+        // Each extracted lane is bit-for-bit the solo faulted replay.
+        for (k, faults) in lanes.iter().enumerate() {
+            let mut solo = trunk.clone();
+            plan.apply_range_to_backend_with_faults(&mut solo, window.clone(), faults);
+            let mut extracted = State::zero(4);
+            pack.extract_lane_into(k, &mut extracted);
+            for i in 0..solo.dim() {
+                assert_eq!(
+                    extracted.amplitude(i).re.to_bits(),
+                    solo.amplitude(i).re.to_bits(),
+                    "lane {k}, amp {i}"
+                );
+                assert_eq!(
+                    extracted.amplitude(i).im.to_bits(),
+                    solo.amplitude(i).im.to_bits(),
+                    "lane {k}, amp {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn packed_replay_poll_error_stops_immediately() {
+        let c = mixed_circuit();
+        let plan = c.compile(OptLevel::Specialize);
+        let trunk = State::zero(4);
+        let mut pack = StatePack::broadcast(&trunk, 2);
+        let lane_refs: Vec<&[FaultEvent]> = vec![&[], &[]];
+        let mut polls = 0usize;
+        let result =
+            plan.apply_range_to_pack_polled(&mut pack, 0..c.len(), &lane_refs, 2, &mut |_, _| {
+                polls += 1;
+                Err("tripped")
+            });
+        assert_eq!(result, Err("tripped"));
+        assert_eq!(polls, 1, "first failing poll must stop the replay");
+        assert_eq!(pack.gate_ops(), 2, "only the first batch ran");
+    }
+
+    #[test]
+    #[should_panic(expected = "one fault pattern per pack lane")]
+    fn packed_replay_rejects_mismatched_lane_count() {
+        let c = mixed_circuit();
+        let plan = c.compile(OptLevel::Specialize);
+        let mut pack = StatePack::broadcast(&State::zero(4), 3);
+        let lane_refs: Vec<&[FaultEvent]> = vec![&[], &[]];
+        let _ =
+            plan.apply_range_to_pack_polled(&mut pack, 0..c.len(), &lane_refs, 8, &mut |_, _| {
+                Ok::<(), ()>(())
+            });
     }
 }

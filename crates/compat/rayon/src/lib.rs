@@ -73,6 +73,69 @@ fn drive<T: IndexedTask>(task: &T) -> Vec<T::Output> {
         .collect()
 }
 
+/// Run two closures, potentially on two threads, and return both
+/// results — rayon's `join`, minus work stealing.
+///
+/// With one worker (or `RAYON_NUM_THREADS=1`) both closures run on the
+/// calling thread, `a` first; otherwise `b` runs on a scoped thread
+/// while the caller runs `a`. Results are returned in argument order
+/// either way, and a panic in either closure propagates to the caller.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
+    std::thread::scope(|scope| {
+        let handle = scope.spawn(b);
+        let ra = a();
+        let rb = handle
+            .join()
+            .unwrap_or_else(|payload| std::panic::resume_unwind(payload));
+        (ra, rb)
+    })
+}
+
+/// Partition `0..len` into at most [`current_num_threads`] contiguous
+/// chunks and run `body` once per chunk (concurrently when more than
+/// one worker is available), returning the number of chunks dispatched.
+///
+/// This is the disjoint-slice dispatch surface the amplitude-parallel
+/// kernels chunk their run space over: every index appears in exactly
+/// one chunk, chunks are maximal contiguous ranges in ascending order,
+/// and the chunk *boundaries* are the only thing that varies with the
+/// worker count — callers whose per-index work is self-contained are
+/// therefore bit-identical across thread counts by construction. An
+/// empty `len` dispatches nothing and returns 0; a panicking chunk
+/// propagates to the caller after the scope joins.
+pub fn dispatch_chunks<F: Fn(Range<usize>) + Sync>(len: usize, body: F) -> usize {
+    let threads = current_num_threads().min(len);
+    if threads <= 1 {
+        if len > 0 {
+            body(0..len);
+        }
+        return usize::from(len > 0);
+    }
+    let chunk = len.div_ceil(threads);
+    let chunks = len.div_ceil(chunk);
+    std::thread::scope(|scope| {
+        for c in 0..chunks {
+            let body = &body;
+            scope.spawn(move || {
+                let start = c * chunk;
+                body(start..(start + chunk).min(len));
+            });
+        }
+    });
+    chunks
+}
+
 /// The subset of rayon's `ParallelIterator` used by this workspace.
 pub trait ParallelIterator: IndexedTask + Sized {
     /// Apply `f` to every item in parallel.
@@ -275,6 +338,49 @@ mod tests {
     fn empty_range_is_fine() {
         let out: Vec<usize> = (5..5).into_par_iter().map(|i| i + 1).collect();
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn join_returns_both_results_in_order() {
+        let xs: Vec<u32> = (0..64).collect();
+        let (evens, odds) = super::join(
+            || xs.iter().filter(|x| *x % 2 == 0).sum::<u32>(),
+            || xs.iter().filter(|x| *x % 2 == 1).sum::<u32>(),
+        );
+        assert_eq!(evens + odds, xs.iter().sum::<u32>());
+        assert_eq!(evens, (0..64).step_by(2).sum::<u32>());
+        // Serial path (threads == 1) must agree with the threaded path.
+        std::env::set_var("RAYON_NUM_THREADS", "1");
+        let serial = super::join(|| 2 + 2, || "b");
+        std::env::remove_var("RAYON_NUM_THREADS");
+        assert_eq!(serial, (4, "b"));
+    }
+
+    #[test]
+    fn dispatch_chunks_covers_every_index_exactly_once() {
+        use std::sync::Mutex;
+        for threads in ["1", "2", "4", "7"] {
+            std::env::set_var("RAYON_NUM_THREADS", threads);
+            let hits = Mutex::new(vec![0u32; 1000]);
+            let chunks = super::dispatch_chunks(1000, |range| {
+                let mut hits = hits.lock().unwrap();
+                for i in range {
+                    hits[i] += 1;
+                }
+            });
+            std::env::remove_var("RAYON_NUM_THREADS");
+            let hits = hits.into_inner().unwrap();
+            assert!(hits.iter().all(|&h| h == 1), "threads={threads}");
+            assert!(chunks >= 1 && chunks <= threads.parse::<usize>().unwrap());
+        }
+    }
+
+    #[test]
+    fn dispatch_chunks_handles_empty_and_tiny_lengths() {
+        let chunks = super::dispatch_chunks(0, |_| panic!("no chunks expected"));
+        assert_eq!(chunks, 0);
+        let chunks = super::dispatch_chunks(1, |range| assert_eq!(range, 0..1));
+        assert_eq!(chunks, 1);
     }
 
     #[test]

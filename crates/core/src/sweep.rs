@@ -29,12 +29,20 @@
 //! The opt-in `OptLevel::Fuse` trades that guarantee for fewer, fatter
 //! ops (approximate equality only).
 //!
-//! Within the sweep the only parallel axis is per-shot sampling: the
-//! uniform variates are drawn serially (they *are* the determinism
-//! contract) and the CDF inversions fan out over rayon
-//! ([`Sampler::sample_at`](qdb_sim::Sampler::sample_at)). Gate
-//! evolution is inherently serial here; programs wanting breakpoint
-//! fan-out instead can keep [`ExecutionStrategy::PerPrefix`].
+//! Within the sweep two parallel axes exist, both bit-neutral. Per-shot
+//! sampling: the uniform variates are drawn serially (they *are* the
+//! determinism contract) and the CDF inversions fan out over rayon
+//! ([`Sampler::sample_at`](qdb_sim::Sampler::sample_at)). Intra-state
+//! kernels: when the configured [`ParallelAxis`](crate::ParallelAxis)
+//! allows it (the default `Auto`
+//! axis requires
+//! ≥ [`INTRA_PAR_MIN_QUBITS`](qdb_sim::kernels::INTRA_PAR_MIN_QUBITS)
+//! qubits),
+//! the walked backend chunks each gate's amplitude runs across workers
+//! — same pairs, same order, same arithmetic, so the evolution is
+//! bit-identical to the serial walk at any thread count. Programs
+//! wanting breakpoint fan-out instead can keep
+//! [`ExecutionStrategy::PerPrefix`].
 //!
 //! Noisy ensembles have their own sharing engine: under the default
 //! [`ExecutionStrategy::Sweep`], [`EnsembleRunner`] routes them to the
@@ -180,6 +188,10 @@ impl SweepRunner {
             }
             Err(e) => return Err(CoreError::Circuit(qdb_circuit::CircuitError::Sim(e))),
         };
+        // The walk is a single serial state, so intra-state kernel
+        // chunking never competes with shot fan-out here (the sweep's
+        // only shot axis is CDF inversion, which runs between segments).
+        backend.set_intra_parallel(self.config.intra_state(num_qubits));
         let batch = Governor::batch_ops(num_qubits);
         for segment in program.segments() {
             let step = governor.contain(|| -> Result<T, CoreError> {
@@ -230,7 +242,7 @@ impl SweepRunner {
     ) -> Vec<u64> {
         let mut rng = StdRng::seed_from_u64(self.config.seed.wrapping_add(index as u64));
         sampler.rebuild(state);
-        if self.config.parallel && self.config.shots >= Self::PARALLEL_SAMPLING_MIN_SHOTS {
+        if self.config.shot_parallel() && self.config.shots >= Self::PARALLEL_SAMPLING_MIN_SHOTS {
             let uniforms: Vec<f64> = (0..self.config.shots).map(|_| rng.gen::<f64>()).collect();
             (0..self.config.shots)
                 .into_par_iter()

@@ -36,6 +36,7 @@ use crate::complex::Complex;
 use crate::error::SimError;
 use crate::gates::Matrix2;
 use crate::measure::{extract_bits, Sampler};
+use crate::pack::StatePack;
 use crate::state::{Pauli, State};
 
 /// A single-qubit Clifford gate the stabilizer backend understands.
@@ -295,6 +296,51 @@ pub trait SimBackend: Sized + Clone + Send + Sync {
         false
     }
 
+    /// Opt this state in to (or out of) amplitude-parallel kernels.
+    ///
+    /// A *policy* switch, not a semantic one: backends with chunked
+    /// kernels (the dense statevector) produce bit-identical results at
+    /// any thread count and merely spread the work; backends without
+    /// them ignore the call entirely (the default is a no-op). Callers
+    /// that fan out *across* states must leave the fanned-out states
+    /// opted out so parallelism never nests.
+    fn set_intra_parallel(&mut self, enabled: bool) {
+        let _ = enabled;
+    }
+
+    /// Whether amplitude-parallel kernels are enabled for this state.
+    /// Backends without chunked kernels always report `false`.
+    fn intra_parallel(&self) -> bool {
+        false
+    }
+
+    /// Broadcast this state into a `width`-lane
+    /// [`StatePack`] for packed suffix replay,
+    /// or `None` when the backend has no packed form (the default —
+    /// only the dense statevector packs, so tableau and sparse
+    /// trajectories fall back to per-fork replay).
+    fn pack_broadcast(&self, width: usize) -> Option<StatePack> {
+        let _ = width;
+        None
+    }
+
+    /// Re-broadcast this state into an existing pack buffer (recycling
+    /// its allocation), returning `false` when the backend has no
+    /// packed form.
+    fn pack_broadcast_into(&self, pack: &mut StatePack, width: usize) -> bool {
+        let _ = (pack, width);
+        false
+    }
+
+    /// Overwrite `self` with lane `k` of `pack`, returning `false` when
+    /// the backend has no packed form. `self` must already have the
+    /// pack's qubit count (it comes out of the same pool the pack's
+    /// checkpoint went in).
+    fn pack_extract_into(&mut self, pack: &StatePack, k: usize) -> bool {
+        let _ = (pack, k);
+        false
+    }
+
     /// Apply one lowered op.
     ///
     /// # Panics
@@ -431,6 +477,28 @@ impl SimBackend for State {
 
     fn rebuild_shot_sampler(&self, sampler: &mut Sampler) -> bool {
         sampler.rebuild(self);
+        true
+    }
+
+    fn set_intra_parallel(&mut self, enabled: bool) {
+        State::set_intra_parallel(self, enabled);
+    }
+
+    fn intra_parallel(&self) -> bool {
+        State::intra_parallel(self)
+    }
+
+    fn pack_broadcast(&self, width: usize) -> Option<StatePack> {
+        Some(StatePack::broadcast(self, width))
+    }
+
+    fn pack_broadcast_into(&self, pack: &mut StatePack, width: usize) -> bool {
+        pack.broadcast_into(self, width);
+        true
+    }
+
+    fn pack_extract_into(&mut self, pack: &StatePack, k: usize) -> bool {
+        pack.extract_lane_into(k, self);
         true
     }
 

@@ -49,10 +49,31 @@
 //! probability is bit-identical) but a zero amplitude component may
 //! carry the opposite sign. No downstream computation — probabilities,
 //! sampling, inner products, reports — can observe the difference.
+//!
+//! ## Amplitude-parallel chunking
+//!
+//! When a state is opted in ([`State::set_intra_parallel`]), is at or
+//! above [`INTRA_PAR_MIN_QUBITS`], and more than one rayon worker is
+//! configured, each kernel partitions its *run space* into contiguous
+//! chunks and dispatches them across workers
+//! ([`rayon::dispatch_chunks`]). Runs are disjoint and every run's
+//! work is self-contained (the same pairs, the same in-run order, the
+//! same arithmetic as the serial loop — a chunk seeks to its first run
+//! with `Subspace::base_at` and then steps with the identical carry
+//! trick), so the amplitudes produced are **bit-for-bit identical at
+//! any thread count**; only wall-clock changes. Serial invocations and
+//! below-threshold states run the exact safe-slice loops documented
+//! above.
 
 use crate::complex::Complex;
 use crate::gates::Matrix2;
 use crate::state::State;
+
+/// States below this many qubits never chunk their kernels: at
+/// `2¹⁴ = 16384` amplitudes a full sweep is a few microseconds, which
+/// thread dispatch overhead would swamp. At and above this threshold
+/// (`2¹⁵` amplitudes, ½ MiB) chunking wins on multi-core hosts.
+pub const INTRA_PAR_MIN_QUBITS: usize = 15;
 
 /// The sparsity structure of a 2×2 unitary, used by the lowering layer
 /// in `qdb-circuit` to pick a kernel once per compiled instruction.
@@ -101,22 +122,22 @@ pub fn classify(m: &Matrix2) -> MatrixClass {
 /// carries straight over both — three ALU ops per run, while the run
 /// interiors are plain contiguous slices the inner loops can zip over
 /// without bounds checks.
-struct Subspace {
+pub(crate) struct Subspace {
     /// Carry-trick step mask: fixed bits plus the in-run low bits.
-    step: usize,
+    pub(crate) step: usize,
     /// The control bits, OR-ed into every enumerated index.
-    cmask: usize,
+    pub(crate) cmask: usize,
     /// Length of each contiguous run (`2^lowest_fixed_bit`).
-    run_len: usize,
+    pub(crate) run_len: usize,
     /// Number of runs covering the subspace.
-    runs: usize,
+    pub(crate) runs: usize,
 }
 
 impl Subspace {
     /// Build the enumeration for `count` touched representatives over
     /// fixed mask `fixed` (`count` is `2ⁿ⁻¹⁻ᶜ` for single-target
     /// kernels, `2ⁿ⁻²⁻ᶜ` for swaps).
-    fn new(fixed: usize, cmask: usize, count: usize) -> Self {
+    pub(crate) fn new(fixed: usize, cmask: usize, count: usize) -> Self {
         let low = fixed.trailing_zeros() as usize;
         let run_len = 1usize << low;
         Self {
@@ -128,8 +149,107 @@ impl Subspace {
     }
 
     #[inline]
-    fn next(&self, base: usize) -> usize {
+    pub(crate) fn next(&self, base: usize) -> usize {
         ((base | self.step) + 1) & !self.step
+    }
+
+    /// The base index of run `k` — the value `k` applications of
+    /// [`next`](Subspace::next) reach from zero.
+    ///
+    /// The carry trick counts through the free (zero) bits of `step`
+    /// in ascending position order, so run `k`'s base is `k` with its
+    /// bits deposited into those positions. This lets a chunk worker
+    /// seek straight to its first run instead of replaying the carry
+    /// chain from zero.
+    fn base_at(&self, mut k: usize) -> usize {
+        let mut free = !self.step;
+        let mut base = 0usize;
+        while k != 0 {
+            let bit = free & free.wrapping_neg();
+            if k & 1 == 1 {
+                base |= bit;
+            }
+            free &= !bit;
+            k >>= 1;
+        }
+        base
+    }
+}
+
+/// Raw pointer to the amplitude buffer, shared across chunk workers.
+///
+/// Sharing is sound because the run enumeration is a *partition*: each
+/// worker owns a disjoint contiguous range of run indices, every run is
+/// visited by exactly one worker, and a run's slices never overlap any
+/// other run's (run bases differ in bits at or above the lowest fixed
+/// bit while each slice spans only the `run_len = 2^lowest` indices
+/// below it; within a pair, the `target = 1` slice starts `tmask ≥
+/// run_len` above the `target = 0` slice).
+#[derive(Clone, Copy)]
+struct SharedAmps(*mut Complex);
+
+unsafe impl Send for SharedAmps {}
+unsafe impl Sync for SharedAmps {}
+
+impl SharedAmps {
+    /// The contiguous run `[start, start + len)` as a mutable slice.
+    ///
+    /// # Safety
+    ///
+    /// `[start, start + len)` must be in bounds of the buffer and no
+    /// other live reference (on any thread) may overlap it — which the
+    /// run-disjointness argument above guarantees when each run is
+    /// handed to exactly one worker.
+    #[inline]
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn run<'a>(&self, start: usize, len: usize) -> &'a mut [Complex] {
+        unsafe { std::slice::from_raw_parts_mut(self.0.add(start), len) }
+    }
+}
+
+/// Apply `body` to every `(target = 0, target = 1)` run pair of `sub`,
+/// chunking the run space across rayon workers when `workers > 1`.
+/// Returns the number of parallel chunks dispatched (0 when serial).
+///
+/// The chunk *boundaries* are the only thing that varies with the
+/// worker count: every chunk seeks to its first run with
+/// [`Subspace::base_at`] and then steps with the same carry trick the
+/// serial loop uses, so each run sees the same base, the same slices,
+/// and the same per-pair arithmetic in the same in-run order — results
+/// are bit-for-bit identical across thread counts.
+fn pair_run_chunks<F>(
+    workers: usize,
+    sub: &Subspace,
+    tmask: usize,
+    amps: &mut [Complex],
+    body: F,
+) -> usize
+where
+    F: Fn(&mut [Complex], &mut [Complex]) + Sync,
+{
+    if workers > 1 && sub.runs > 1 {
+        let shared = SharedAmps(amps.as_mut_ptr());
+        rayon::dispatch_chunks(sub.runs, |chunk| {
+            let mut base = sub.base_at(chunk.start);
+            for _ in chunk {
+                let start0 = base | sub.cmask;
+                // SAFETY: this chunk owns runs `chunk.start..chunk.end`
+                // exclusively and the two slices of a pair are disjoint
+                // (see `SharedAmps`).
+                let run0 = unsafe { shared.run(start0, sub.run_len) };
+                let run1 = unsafe { shared.run(start0 | tmask, sub.run_len) };
+                body(run0, run1);
+                base = sub.next(base);
+            }
+        })
+    } else {
+        let mut base = 0usize;
+        for _ in 0..sub.runs {
+            let (run0, run1) = pair_runs(amps, base | sub.cmask, tmask, sub.run_len);
+            body(run0, run1);
+            base = sub.next(base);
+        }
+        0
     }
 }
 
@@ -170,6 +290,19 @@ impl State {
         Subspace::new(fixed, cmask, self.dim() >> (1 + controls.len()))
     }
 
+    /// Worker count the kernels may chunk over: 1 (serial) unless this
+    /// state opted in via [`State::set_intra_parallel`], is at or above
+    /// [`INTRA_PAR_MIN_QUBITS`], and rayon has more than one worker
+    /// (`RAYON_NUM_THREADS` is re-read per call, as everywhere else in
+    /// the workspace).
+    fn kernel_workers(&self) -> usize {
+        if self.intra_parallel() && self.num_qubits() >= INTRA_PAR_MIN_QUBITS {
+            rayon::current_num_threads()
+        } else {
+            1
+        }
+    }
+
     /// Apply `diag(d0, d1)` to `target`, conditioned on all `controls`
     /// being `|1⟩`: `2ⁿ⁻¹⁻ᶜ` pairs of scalar multiplies, no cross
     /// terms, no index filtering (see the
@@ -184,28 +317,48 @@ impl State {
         let pairs = self.dim() >> (1 + controls.len());
         self.record_gate_op();
         self.record_index_ops(pairs as u64);
+        let workers = self.kernel_workers();
         let amps = self.amps_mut();
-        let mut base = 0usize;
-        if d0 == Complex::ONE {
+        let chunks = if d0 == Complex::ONE {
             // Phase-type gates (`s`, `t`, `phase`, every `cphase` /
             // `ccphase` of the QFT ladders): the |…0⟩ branch is
             // untouched, so only the set branch is multiplied.
-            for _ in 0..sub.runs {
-                let start1 = base | sub.cmask | tmask;
-                for a in &mut amps[start1..start1 + sub.run_len] {
+            let scale = |run1: &mut [Complex]| {
+                for a in run1 {
                     *a = d1 * *a;
                 }
-                base = sub.next(base);
+            };
+            if workers > 1 && sub.runs > 1 {
+                let shared = SharedAmps(amps.as_mut_ptr());
+                rayon::dispatch_chunks(sub.runs, |chunk| {
+                    let mut base = sub.base_at(chunk.start);
+                    for _ in chunk {
+                        let start1 = base | sub.cmask | tmask;
+                        // SAFETY: this chunk owns its runs exclusively
+                        // (see `SharedAmps`).
+                        scale(unsafe { shared.run(start1, sub.run_len) });
+                        base = sub.next(base);
+                    }
+                })
+            } else {
+                let mut base = 0usize;
+                for _ in 0..sub.runs {
+                    let start1 = base | sub.cmask | tmask;
+                    scale(&mut amps[start1..start1 + sub.run_len]);
+                    base = sub.next(base);
+                }
+                0
             }
         } else {
-            for _ in 0..sub.runs {
-                let (run0, run1) = pair_runs(amps, base | sub.cmask, tmask, sub.run_len);
+            pair_run_chunks(workers, &sub, tmask, amps, |run0, run1| {
                 for (a, b) in run0.iter_mut().zip(run1.iter_mut()) {
                     *a = d0 * *a;
                     *b = d1 * *b;
                 }
-                base = sub.next(base);
-            }
+            })
+        };
+        if chunks > 0 {
+            self.record_par_chunks(chunks as u64);
         }
     }
 
@@ -229,11 +382,10 @@ impl State {
         let pairs = self.dim() >> (1 + controls.len());
         self.record_gate_op();
         self.record_index_ops(pairs as u64);
-        let amps = self.amps_mut();
-        let mut base = 0usize;
+        let workers = self.kernel_workers();
         let pure_x = a01 == Complex::ONE && a10 == Complex::ONE;
-        for _ in 0..sub.runs {
-            let (run0, run1) = pair_runs(amps, base | sub.cmask, tmask, sub.run_len);
+        let amps = self.amps_mut();
+        let chunks = pair_run_chunks(workers, &sub, tmask, amps, |run0, run1| {
             if pure_x {
                 // X-type gates (`x`, CNOT, Toffoli): a pure amplitude
                 // permutation, no arithmetic at all.
@@ -246,7 +398,9 @@ impl State {
                     *y = a10 * a;
                 }
             }
-            base = sub.next(base);
+        });
+        if chunks > 0 {
+            self.record_par_chunks(chunks as u64);
         }
     }
 
@@ -268,18 +422,19 @@ impl State {
         let pairs = self.dim() >> (1 + controls.len());
         self.record_gate_op();
         self.record_index_ops(pairs as u64);
+        let workers = self.kernel_workers();
         let m = m.0;
         let amps = self.amps_mut();
-        let mut base = 0usize;
-        for _ in 0..sub.runs {
-            let (run0, run1) = pair_runs(amps, base | sub.cmask, tmask, sub.run_len);
+        let chunks = pair_run_chunks(workers, &sub, tmask, amps, |run0, run1| {
             for (x, y) in run0.iter_mut().zip(run1.iter_mut()) {
                 let a = *x;
                 let b = *y;
                 *x = m[0][0] * a + m[0][1] * b;
                 *y = m[1][0] * a + m[1][1] * b;
             }
-            base = sub.next(base);
+        });
+        if chunks > 0 {
+            self.record_par_chunks(chunks as u64);
         }
     }
 
@@ -319,18 +474,42 @@ impl State {
         let sub = Subspace::new(fixed, cmask, count);
         self.record_gate_op();
         self.record_index_ops(count as u64);
+        let workers = self.kernel_workers();
         let amps = self.amps_mut();
-        let mut base = 0usize;
-        for _ in 0..sub.runs {
-            // Representative run: controls 1, low bit 1, high bit 0 —
-            // swapped with the run at low bit 0, high bit 1. Both runs
-            // are contiguous (`run_len ≤ lo_mask < hi_mask`) and the
-            // partner run starts strictly above the representative.
-            let start_i = base | sub.cmask | lo_mask;
-            let start_j = (start_i & !lo_mask) | hi_mask;
-            let (lo, hi) = amps.split_at_mut(start_j);
-            lo[start_i..start_i + sub.run_len].swap_with_slice(&mut hi[..sub.run_len]);
-            base = sub.next(base);
+        let chunks = if workers > 1 && sub.runs > 1 {
+            let shared = SharedAmps(amps.as_mut_ptr());
+            rayon::dispatch_chunks(sub.runs, |chunk| {
+                let mut base = sub.base_at(chunk.start);
+                for _ in chunk {
+                    let start_i = base | sub.cmask | lo_mask;
+                    let start_j = (start_i & !lo_mask) | hi_mask;
+                    // SAFETY: this chunk owns its runs exclusively; the
+                    // partner run starts strictly above the
+                    // representative and `run_len ≤ lo_mask < hi_mask`,
+                    // so the two slices never overlap (see `SharedAmps`).
+                    let run_i = unsafe { shared.run(start_i, sub.run_len) };
+                    let run_j = unsafe { shared.run(start_j, sub.run_len) };
+                    run_i.swap_with_slice(run_j);
+                    base = sub.next(base);
+                }
+            })
+        } else {
+            let mut base = 0usize;
+            for _ in 0..sub.runs {
+                // Representative run: controls 1, low bit 1, high bit 0 —
+                // swapped with the run at low bit 0, high bit 1. Both runs
+                // are contiguous (`run_len ≤ lo_mask < hi_mask`) and the
+                // partner run starts strictly above the representative.
+                let start_i = base | sub.cmask | lo_mask;
+                let start_j = (start_i & !lo_mask) | hi_mask;
+                let (lo, hi) = amps.split_at_mut(start_j);
+                lo[start_i..start_i + sub.run_len].swap_with_slice(&mut hi[..sub.run_len]);
+                base = sub.next(base);
+            }
+            0
+        };
+        if chunks > 0 {
+            self.record_par_chunks(chunks as u64);
         }
     }
 }
@@ -499,6 +678,84 @@ mod tests {
                 "input {input}"
             );
         }
+    }
+
+    /// Guards the `RAYON_NUM_THREADS` toggling below against the test
+    /// harness running these tests concurrently.
+    static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn base_at_matches_carry_enumeration() {
+        // (fixed, cmask, count) shapes: plain 1q targets at several
+        // positions, controlled kernels, and a swap-style double-fixed
+        // mask, all over a 2¹⁰ space.
+        for (fixed, cmask, count) in [
+            (0b1usize, 0usize, 512),
+            (0b100, 0, 512),
+            (1 << 9, 0, 512),
+            (0b10011, 0b10010, 128),
+            (0b1100000, 0b0100000, 256),
+            (0b0000110, 0, 256),
+        ] {
+            let sub = Subspace::new(fixed, cmask, count);
+            let mut base = 0usize;
+            for k in 0..sub.runs {
+                assert_eq!(
+                    sub.base_at(k),
+                    base,
+                    "run {k} of fixed {fixed:#b} cmask {cmask:#b}"
+                );
+                base = sub.next(base);
+            }
+        }
+    }
+
+    #[test]
+    fn intra_parallel_kernels_are_bit_identical() {
+        let _guard = ENV_LOCK.lock().unwrap();
+        // 16 qubits is above INTRA_PAR_MIN_QUBITS, so with 4 workers
+        // the opted-in state chunks every kernel.
+        let drive = |s: &mut State| {
+            for q in 0..16 {
+                s.apply_1q_subspace(&[], q, &gates::h());
+            }
+            let t = gates::t();
+            s.apply_diagonal(&[], 3, t.0[0][0], t.0[1][1]);
+            let rz = gates::rz(0.9);
+            s.apply_diagonal(&[5], 9, rz.0[0][0], rz.0[1][1]);
+            s.apply_diagonal(&[2], 15, rz.0[0][0], rz.0[1][1]);
+            s.apply_antidiagonal(&[1], 14, Complex::ONE, Complex::ONE);
+            let y = gates::y();
+            s.apply_antidiagonal(&[], 7, y.0[0][1], y.0[1][0]);
+            s.apply_1q_subspace(&[0, 8], 12, &gates::u3(0.3, 1.1, -0.4));
+            s.apply_swap_subspace(&[4], 6, 13);
+            s.apply_swap_subspace(&[], 0, 15);
+        };
+        std::env::set_var("RAYON_NUM_THREADS", "4");
+        let mut serial = State::zero(16);
+        drive(&mut serial);
+        let mut chunked = State::zero(16);
+        chunked.set_intra_parallel(true);
+        drive(&mut chunked);
+        std::env::remove_var("RAYON_NUM_THREADS");
+        assert_bits_identical(&serial, &chunked);
+        assert_eq!(serial.par_chunks(), 0);
+        assert!(chunked.par_chunks() > 0, "chunking never engaged");
+        assert_eq!(serial.index_ops(), chunked.index_ops());
+        assert_eq!(serial.gate_ops(), chunked.gate_ops());
+    }
+
+    #[test]
+    fn small_states_stay_serial_even_when_opted_in() {
+        let _guard = ENV_LOCK.lock().unwrap();
+        std::env::set_var("RAYON_NUM_THREADS", "4");
+        let mut s = dense_state(); // 4 qubits, far below the threshold
+        s.set_intra_parallel(true);
+        s.apply_1q_subspace(&[], 0, &gates::h());
+        s.apply_diagonal(&[], 1, Complex::ONE, Complex::I);
+        s.apply_swap_subspace(&[], 0, 1);
+        std::env::remove_var("RAYON_NUM_THREADS");
+        assert_eq!(s.par_chunks(), 0);
     }
 
     #[test]
