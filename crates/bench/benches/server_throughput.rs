@@ -1,0 +1,168 @@
+//! Session-service throughput and cache-warmth — asserted under
+//! `cargo bench`, not narrated.
+//!
+//! Three claims about `qdb-server` are pinned here:
+//!
+//! * **Throughput**: a batch of concurrent sessions drains through the
+//!   bounded worker pool (sessions/second recorded into
+//!   `BENCH_results.json`);
+//! * **Cache hit rate**: after a cold batch, a warm identical batch is
+//!   answered entirely from the plan cache — zero new compilations —
+//!   and the exact-oracle cache serves every cross-check (hit-rate
+//!   metrics recorded);
+//! * **Warm speedup**: the warm batch is no slower than the cold batch
+//!   (asserted with slack under `cargo bench`; compilation plus the
+//!   exact cross-check is real work the caches delete).
+//!
+//! Every run — smoke mode included — cross-checks that warm-batch
+//! reports are bit-identical to cold-batch reports and that the hit
+//! counters actually advanced, so the caching layer cannot silently
+//! stop engaging (or start changing results).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qdb_circuit::{GateSink, Program, QReg};
+use qdb_core::EnsembleConfig;
+use qdb_server::{Server, ServerConfig, SessionState};
+
+/// Distinct non-Clifford programs, so the batch exercises the cache
+/// across several fingerprints rather than one hot entry.
+fn program(variant: usize) -> Program {
+    let mut p = Program::new();
+    let a: QReg = p.alloc_register("a", 3);
+    let b: QReg = p.alloc_register("b", 2);
+    p.prep_int(&a, variant as u64 % 8);
+    p.assert_classical(&a, variant as u64 % 8);
+    p.h(b.bit(0));
+    p.cx(b.bit(0), b.bit(1));
+    let b0 = QReg::new("b0", vec![b.bit(0)]);
+    let b1 = QReg::new("b1", vec![b.bit(1)]);
+    p.assert_entangled(&b0, &b1);
+    for i in 0..3 {
+        p.h(a.bit(i));
+    }
+    p.t(a.bit(variant % 3));
+    p.assert_superposition(&a);
+    p
+}
+
+const BATCH: usize = 24;
+const VARIANTS: usize = 4;
+
+fn config(i: usize) -> EnsembleConfig {
+    EnsembleConfig::default()
+        .with_shots(48)
+        .with_seed(900 + (i % VARIANTS) as u64)
+}
+
+/// Submit one full batch and wait it out; returns elapsed seconds and
+/// the outcomes' report vectors (in submission order).
+fn run_batch(server: &Server) -> (f64, Vec<Vec<qdb_core::AssertionReport>>) {
+    let start = std::time::Instant::now();
+    let ids: Vec<_> = (0..BATCH)
+        .map(|i| {
+            server
+                .submit(program(i % VARIANTS), config(i))
+                .expect("batch submission admitted")
+        })
+        .collect();
+    let reports = ids
+        .into_iter()
+        .map(|id| {
+            let outcome = server.wait(id).expect("batch session settles");
+            assert_eq!(outcome.state, SessionState::Completed);
+            outcome.reports.expect("completed session has reports")
+        })
+        .collect();
+    (start.elapsed().as_secs_f64(), reports)
+}
+
+fn bench_server_throughput(c: &mut Criterion) {
+    let bench_mode = std::env::args().any(|arg| arg == "--bench");
+
+    // Correctness cross-checks on every invocation, smoke mode
+    // included.
+    let server = Server::start(
+        ServerConfig::default()
+            .with_workers(qdb_bench::effective_workers().max(2))
+            .with_queue_capacity(BATCH * 2),
+    );
+    let (cold_secs, cold_reports) = run_batch(&server);
+    let cold = server.metrics();
+    assert!(cold.plan_cache_misses > 0, "cold batch must compile plans");
+
+    let (warm_secs, warm_reports) = run_batch(&server);
+    let warm = server.metrics();
+    assert_eq!(
+        warm_reports, cold_reports,
+        "warm batch must be bit-identical to the cold batch"
+    );
+    assert_eq!(
+        warm.plan_cache_misses, cold.plan_cache_misses,
+        "warm batch must not compile a single new plan"
+    );
+    assert!(
+        warm.plan_cache_hits > cold.plan_cache_hits,
+        "warm batch must hit the plan cache"
+    );
+    assert!(
+        warm.oracle_cache_hits >= cold.oracle_cache_hits + BATCH as u64,
+        "warm batch must serve every exact cross-check from the oracle cache"
+    );
+    server.shutdown();
+
+    if bench_mode {
+        let throughput = BATCH as f64 / cold_secs;
+        let speedup = cold_secs / warm_secs;
+        let hit_rate =
+            warm.plan_cache_hits as f64 / (warm.plan_cache_hits + warm.plan_cache_misses) as f64;
+        println!(
+            "server_throughput: {throughput:.0} sessions/s cold, warm batch {speedup:.2}x \
+             ({:.1} ms vs {:.1} ms), plan-cache hit rate {:.0}%",
+            warm_secs * 1e3,
+            cold_secs * 1e3,
+            hit_rate * 100.0
+        );
+        // The caches delete compilation and the exact cross-check from
+        // the warm batch; it must not be slower. Generous slack (15%)
+        // keeps shared-host scheduling noise from flaking the gate on
+        // these short batches.
+        assert!(
+            speedup > 0.85,
+            "warm resubmission ran {speedup:.2}x vs cold — caches are not engaging"
+        );
+        let label = "server_throughput/batch24";
+        criterion::record_metric(label, "sessions_per_sec_cold", throughput);
+        criterion::record_metric(label, "warm_speedup", speedup);
+        criterion::record_metric(label, "plan_cache_hit_rate", hit_rate);
+        criterion::record_metric(label, "oracle_cache_hits", warm.oracle_cache_hits as f64);
+    }
+
+    let mut group = c.benchmark_group("server_throughput");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::new("batch24", "cold"), &(), |b, ()| {
+        b.iter(|| {
+            let server = Server::start(
+                ServerConfig::default()
+                    .with_workers(qdb_bench::effective_workers().max(2))
+                    .with_queue_capacity(BATCH * 2),
+            );
+            let (_, reports) = run_batch(&server);
+            server.shutdown();
+            std::hint::black_box(reports)
+        });
+    });
+    group.bench_with_input(BenchmarkId::new("batch24", "warm"), &(), |b, ()| {
+        let server = Server::start(
+            ServerConfig::default()
+                .with_workers(qdb_bench::effective_workers().max(2))
+                .with_queue_capacity(BATCH * 2),
+        );
+        run_batch(&server); // prime the caches
+        b.iter(|| std::hint::black_box(run_batch(&server).1));
+        server.shutdown();
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_server_throughput);
+criterion_main!(benches);

@@ -204,6 +204,20 @@ impl Circuit {
         }
     }
 
+    /// A stable 64-bit content fingerprint of this circuit: an
+    /// order-sensitive hash over the instruction stream (gate kinds,
+    /// raw parameter bits, control lists, targets) and the qubit
+    /// count. Equal circuits fingerprint equal across builds and
+    /// processes; any content difference — a transposed pair, a
+    /// one-ulp angle nudge, a swapped control — fingerprints apart.
+    /// The cache key [`crate::PlanCache`] memoizes compiled plans
+    /// under; see [`crate::Program::fingerprint`] for the
+    /// breakpoint-aware variant.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        crate::fingerprint::circuit_fingerprint(self)
+    }
+
     /// Number of instructions.
     #[must_use]
     pub fn len(&self) -> usize {

@@ -47,6 +47,7 @@
 pub mod circuit;
 pub mod compile;
 pub mod instruction;
+pub mod plan_cache;
 pub mod program;
 pub mod qasm;
 pub mod register;
@@ -54,11 +55,13 @@ pub mod scaffold;
 pub mod scopes;
 
 mod error;
+mod fingerprint;
 
 pub use circuit::{Circuit, GateSink};
 pub use compile::{CompiledCircuit, CompiledOp, FaultEvent, KernelClass, OptLevel};
 pub use error::CircuitError;
 pub use instruction::{GateKind, Instruction};
+pub use plan_cache::PlanCache;
 pub use program::{Breakpoint, BreakpointKind, Program, Segment};
 pub use qasm::{from_qasm, to_qasm, ParsedQasm};
 pub use register::QReg;

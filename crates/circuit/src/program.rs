@@ -309,6 +309,20 @@ impl Program {
     pub fn num_qubits(&self) -> usize {
         self.next_free_qubit
     }
+
+    /// A stable 64-bit content fingerprint of this program: the
+    /// [`Circuit::fingerprint`] of its gate stream folded together with
+    /// every breakpoint (position, label, assertion kind, register
+    /// bindings, expected values), order-sensitively and in a separate
+    /// hash domain — a program never fingerprints equal to its bare
+    /// circuit, so plans compiled with breakpoint cuts
+    /// ([`Program::compile`]) and plans compiled without them key
+    /// apart in a [`crate::PlanCache`]. Stable across builds and
+    /// processes; any content change changes the fingerprint.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        crate::fingerprint::program_fingerprint(self)
+    }
 }
 
 impl GateSink for Program {

@@ -204,6 +204,29 @@ impl PartialReport {
     pub fn unevaluated_reports(&self) -> &[AssertionReport] {
         &self.reports[self.completed..]
     }
+
+    /// Where a resumed session picks up: the index of the first
+    /// breakpoint this partial never evaluated (equal to
+    /// [`completed`](PartialReport::completed), and to `reports.len()`
+    /// when nothing is left to do). This is the position
+    /// [`EnsembleRunner::resume_program`] re-enters the engines at —
+    /// the strict-prefix guarantee above is exactly what makes that
+    /// sound: every report before this index is already bit-identical
+    /// to what a full run would produce, so only the suffix needs
+    /// computing.
+    ///
+    /// [`EnsembleRunner::resume_program`]: crate::EnsembleRunner::resume_program
+    #[must_use]
+    pub fn resume_position(&self) -> usize {
+        self.completed
+    }
+
+    /// `true` when every breakpoint was evaluated — nothing left for a
+    /// resume to run.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.completed == self.reports.len()
+    }
 }
 
 impl fmt::Display for PartialReport {

@@ -38,11 +38,15 @@
 //! bit-for-bit identical across thread counts and across the
 //! serial/parallel paths.
 
+use std::sync::Arc;
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
 
-use qdb_circuit::{Breakpoint, BreakpointKind, CompiledCircuit, GateSink, OptLevel, Program};
+use qdb_circuit::{
+    Breakpoint, BreakpointKind, Circuit, CompiledCircuit, GateSink, OptLevel, PlanCache, Program,
+};
 use qdb_sim::{NoiseModel, Sampler, SimBackend, SparseState, StabilizerState, State};
 use qdb_stats::Histogram;
 
@@ -52,7 +56,7 @@ use crate::checker::{
 };
 use crate::error::CoreError;
 use crate::governor::{self, Governor, InterruptCause, RunBudget};
-use crate::report::AssertionReport;
+use crate::report::{AssertionReport, PartialReport, Verdict};
 use crate::sweep::SweepRunner;
 use crate::trajectory::NoisySessionStats;
 
@@ -245,7 +249,7 @@ pub struct EnsembleConfig {
     /// The default is unlimited. All engines poll it at op-batch
     /// granularity; a tripped budget surfaces as
     /// [`CoreError::Interrupted`] with the completed breakpoints
-    /// preserved in a [`PartialReport`](crate::PartialReport) (see
+    /// preserved in a [`PartialReport`] (see
     /// [`crate::governor`]).
     pub budget: RunBudget,
 }
@@ -597,19 +601,54 @@ pub struct MeasuredEnsemble {
 #[derive(Debug, Clone, Default)]
 pub struct EnsembleRunner {
     config: EnsembleConfig,
+    plan_cache: Option<Arc<PlanCache>>,
 }
 
 impl EnsembleRunner {
     /// Create a runner with the given configuration.
     #[must_use]
     pub fn new(config: EnsembleConfig) -> Self {
-        Self { config }
+        Self {
+            config,
+            plan_cache: None,
+        }
     }
 
     /// The active configuration.
     #[must_use]
     pub fn config(&self) -> &EnsembleConfig {
         &self.config
+    }
+
+    /// Route this runner's internal compilations through a shared
+    /// [`PlanCache`]: repeated sessions over the same program (the
+    /// service common case) then reuse one lowered plan instead of
+    /// recompiling, with the saving observable through the cache's
+    /// hit/miss counters. Results are unchanged — a cached plan is the
+    /// value a fresh compile would produce — so every bit-stability
+    /// guarantee holds with or without the cache.
+    #[must_use]
+    pub fn with_plan_cache(mut self, cache: Arc<PlanCache>) -> Self {
+        self.plan_cache = Some(cache);
+        self
+    }
+
+    /// The whole-program plan (with breakpoint cuts) at `opt`, served
+    /// from the plan cache when one is attached.
+    fn plan_for_program(&self, program: &Program, opt: OptLevel) -> Arc<CompiledCircuit> {
+        match &self.plan_cache {
+            Some(cache) => cache.plan_for_program(program, opt),
+            None => Arc::new(program.compile(opt)),
+        }
+    }
+
+    /// The bare-circuit plan (no cuts) at `opt`, served from the plan
+    /// cache when one is attached.
+    fn plan_for_circuit(&self, circuit: &Circuit, opt: OptLevel) -> Arc<CompiledCircuit> {
+        match &self.plan_cache {
+            Some(cache) => cache.plan_for_circuit(circuit, opt),
+            None => Arc::new(CompiledCircuit::compile(circuit, opt)),
+        }
     }
 
     /// Simulate the prefix for breakpoint `index` and draw the ensemble.
@@ -793,7 +832,7 @@ impl EnsembleRunner {
         if let Some(noise) = self.config.noise {
             // Lower the whole program once; every breakpoint's
             // trajectories replay windows of the same plan.
-            let plan = CompiledCircuit::compile(program.circuit(), OptLevel::Specialize);
+            let plan = self.plan_for_circuit(program.circuit(), OptLevel::Specialize);
             // The trajectory tree presamples and deduplicates fault
             // patterns, which only exist for state-independent (Pauli)
             // channels; Kraus noise takes the per-shot reference path,
@@ -808,6 +847,7 @@ impl EnsembleRunner {
                     &noise,
                     None,
                     &governor,
+                    0,
                     |_, _, outcomes, ideal| {
                         Ok(MeasuredEnsemble {
                             outcomes,
@@ -842,6 +882,7 @@ impl EnsembleRunner {
     /// [`run_all`](EnsembleRunner::run_all) and
     /// [`check_program`](EnsembleRunner::check_program), which differ
     /// only in what they build from each breakpoint's ensemble.
+    #[allow(clippy::too_many_arguments)]
     fn run_dense_tree<T>(
         &self,
         program: &Program,
@@ -849,6 +890,7 @@ impl EnsembleRunner {
         noise: &NoiseModel,
         stats: Option<&mut NoisySessionStats>,
         governor: &Governor,
+        resume_from: usize,
         visit: impl FnMut(usize, &Breakpoint, Vec<u64>, &State) -> Result<T, CoreError>,
     ) -> Result<(Vec<T>, Option<InterruptCause>), CoreError> {
         let n = program.num_qubits().max(1);
@@ -860,6 +902,7 @@ impl EnsembleRunner {
                 plan,
                 noise,
                 num_qubits: n,
+                resume_from,
             },
             governor,
             |_| full_register.clone(),
@@ -987,10 +1030,10 @@ impl EnsembleRunner {
                 ))
             }
             BackendChoice::Sparse => Ok(ResolvedBackend::Sparse(
-                program.compile(OptLevel::Specialize),
+                self.plan_for_program(program, OptLevel::Specialize),
             )),
             BackendChoice::Auto if clifford() => Ok(ResolvedBackend::Stabilizer(
-                program.compile(OptLevel::Specialize),
+                self.plan_for_program(program, OptLevel::Specialize),
             )),
             // Within the dense ceiling, Auto stays bit-identical to the
             // default engine on non-Clifford programs (a documented
@@ -1003,7 +1046,7 @@ impl EnsembleRunner {
                 // tier is the only candidate. Route to it when the
                 // compiled plan's support bound says the state stays
                 // sparse; otherwise fail with a typed error up front.
-                let plan = program.compile(OptLevel::Specialize);
+                let plan = self.plan_for_program(program, OptLevel::Specialize);
                 let support_log2 = plan.support_log2_bound();
                 if n <= qdb_sim::sparse::MAX_QUBITS && support_log2 <= SPARSE_SUPPORT_LOG2_LIMIT {
                     Ok(ResolvedBackend::Sparse(plan))
@@ -1023,7 +1066,7 @@ impl EnsembleRunner {
                 }
             }
             BackendChoice::Stabilizer if clifford() => Ok(ResolvedBackend::Stabilizer(
-                program.compile(OptLevel::Specialize),
+                self.plan_for_program(program, OptLevel::Specialize),
             )),
             BackendChoice::Stabilizer => Err(CoreError::backend_unsupported(
                 StabilizerState::NAME,
@@ -1049,7 +1092,134 @@ impl EnsembleRunner {
     /// [`CoreError::BackendUnsupported`] when an explicitly requested
     /// backend cannot run the program.
     pub fn check_program(&self, program: &Program) -> Result<Vec<AssertionReport>, CoreError> {
-        self.check_program_inner(program, None)
+        self.check_program_inner(program, None, None)
+    }
+
+    /// Resume an interrupted [`check_program`](Self::check_program)
+    /// session from its [`PartialReport`] checkpoint: re-enter the
+    /// engines at [`PartialReport::resume_position`], splice the
+    /// already-evaluated prefix in verbatim, and compute only the
+    /// remaining breakpoints.
+    ///
+    /// Under the same configuration (same seed, shots, strategy,
+    /// backend — anything that affects bits), the resumed result is
+    /// **bit-identical** to the report an uninterrupted run would have
+    /// produced: every breakpoint's ensemble is a pure function of
+    /// `(seed, breakpoint, shot)`, so skipping completed breakpoints
+    /// perturbs nothing downstream. A resumed session can itself trip
+    /// again; the new [`CoreError::Interrupted`] partial then contains
+    /// the spliced prefix plus whatever the resumed run added — resume
+    /// is safely repeatable until the session completes.
+    ///
+    /// What resume *skips* depends on the engine: per-prefix sessions
+    /// skip the whole prefix simulation for completed breakpoints;
+    /// the trajectory tree skips their presampling, forks, and suffix
+    /// replays (paying only the shared frontier walk); the checkpointed
+    /// sweep skips their sampling and statistics (the walk itself is
+    /// already `O(G)` once).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::BadConfig`] when `partial` does not match `program`
+    /// and this configuration (wrong report count, mismatched
+    /// breakpoint labels/kinds, wrong shot count, or an evaluated
+    /// prefix containing `Unevaluated` verdicts); otherwise as
+    /// [`check_program`](Self::check_program).
+    pub fn resume_program(
+        &self,
+        program: &Program,
+        partial: &PartialReport,
+    ) -> Result<Vec<AssertionReport>, CoreError> {
+        self.validate_resume(program, partial)?;
+        if partial.is_complete() {
+            return Ok(partial.reports.clone());
+        }
+        self.check_program_inner(program, None, Some(partial))
+    }
+
+    /// [`resume_program`](Self::resume_program), additionally returning
+    /// the trajectory-tree work census exactly as
+    /// [`check_program_stats`](Self::check_program_stats) would — the
+    /// census covers only the resumed suffix (completed breakpoints
+    /// are never re-run, so they contribute no work).
+    ///
+    /// # Errors
+    ///
+    /// As [`resume_program`](Self::resume_program).
+    pub fn resume_program_stats(
+        &self,
+        program: &Program,
+        partial: &PartialReport,
+    ) -> Result<(Vec<AssertionReport>, Option<NoisySessionStats>), CoreError> {
+        self.validate_resume(program, partial)?;
+        if partial.is_complete() {
+            return Ok((partial.reports.clone(), None));
+        }
+        let mut stats = NoisySessionStats::default();
+        let reports = self.check_program_inner(program, Some(&mut stats), Some(partial))?;
+        Ok((reports, self.ran_tree().then_some(stats)))
+    }
+
+    /// Check that `partial` is a plausible checkpoint of `program`
+    /// under this configuration — shape, per-breakpoint identity, and
+    /// the strict-prefix invariant. Cheap (no simulation), so resume
+    /// entry points always run it before touching an engine.
+    fn validate_resume(&self, program: &Program, partial: &PartialReport) -> Result<(), CoreError> {
+        let breakpoints = program.breakpoints();
+        if partial.reports.len() != breakpoints.len() {
+            return Err(CoreError::BadConfig(format!(
+                "resume checkpoint covers {} breakpoints but the program has {}",
+                partial.reports.len(),
+                breakpoints.len()
+            )));
+        }
+        if partial.completed > partial.reports.len() {
+            return Err(CoreError::BadConfig(format!(
+                "resume checkpoint claims {} completed of {} reports",
+                partial.completed,
+                partial.reports.len()
+            )));
+        }
+        for (index, (report, bp)) in partial
+            .reports
+            .iter()
+            .zip(breakpoints)
+            .take(partial.completed)
+            .enumerate()
+        {
+            if report.index != index || report.label != bp.label || report.kind != bp.kind {
+                return Err(CoreError::BadConfig(format!(
+                    "resume checkpoint entry {index} does not match breakpoint \
+                     `{}` — it records `{}`",
+                    bp.label, report.label
+                )));
+            }
+            if report.verdict == Verdict::Unevaluated {
+                return Err(CoreError::BadConfig(format!(
+                    "resume checkpoint entry {index} inside the completed prefix \
+                     is Unevaluated — the strict-prefix invariant is broken"
+                )));
+            }
+            if report.shots != self.config.shots {
+                return Err(CoreError::BadConfig(format!(
+                    "resume checkpoint entry {index} was evaluated with {} shots \
+                     but this configuration draws {} — resume requires the same \
+                     configuration for bit-identical results",
+                    report.shots, self.config.shots
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether this configuration routes through the trajectory tree
+    /// (the engine whose work census [`NoisySessionStats`] reports).
+    fn ran_tree(&self) -> bool {
+        self.config
+            .noise
+            .as_ref()
+            .is_some_and(NoiseModel::gate_noise_is_pauli)
+            && self.config.strategy == ExecutionStrategy::Sweep
     }
 
     /// [`check_program`](EnsembleRunner::check_program), additionally
@@ -1071,30 +1241,26 @@ impl EnsembleRunner {
         program: &Program,
     ) -> Result<(Vec<AssertionReport>, Option<NoisySessionStats>), CoreError> {
         let mut stats = NoisySessionStats::default();
-        let reports = self.check_program_inner(program, Some(&mut stats))?;
-        let ran_tree = self
-            .config
-            .noise
-            .as_ref()
-            .is_some_and(NoiseModel::gate_noise_is_pauli)
-            && self.config.strategy == ExecutionStrategy::Sweep;
-        Ok((reports, ran_tree.then_some(stats)))
+        let reports = self.check_program_inner(program, Some(&mut stats), None)?;
+        Ok((reports, self.ran_tree().then_some(stats)))
     }
 
     fn check_program_inner(
         &self,
         program: &Program,
         stats: Option<&mut NoisySessionStats>,
+        resume: Option<&PartialReport>,
     ) -> Result<Vec<AssertionReport>, CoreError> {
         self.config.validate()?;
         let governor = Governor::new(&self.config.budget);
         // The outermost containment boundary: a worker panic anywhere in
         // the session surfaces as `CoreError::Interrupted`, never as an
         // unwinding process. The governed engines hand back the reports
-        // they completed before a trip; the re-wrap below pads the
+        // they completed before a trip (resumed sessions splice the
+        // checkpoint prefix back in first); the re-wrap below pads the
         // remainder with `Verdict::Unevaluated` markers so the partial
         // always spans every breakpoint.
-        match governor.contain(|| self.check_program_governed(program, stats, &governor)) {
+        match governor.contain(|| self.check_program_governed(program, stats, &governor, resume)) {
             Ok(result) => {
                 let (completed, interrupted) = result?;
                 match interrupted {
@@ -1102,7 +1268,12 @@ impl EnsembleRunner {
                     Some(cause) => Err(governor::interrupted(program, completed, cause)),
                 }
             }
-            Err(cause) => Err(governor::interrupted(program, Vec::new(), cause)),
+            Err(cause) => {
+                // Even a panic outside any engine keeps the resumed
+                // prefix: those reports were already on file.
+                let kept = resume.map_or_else(Vec::new, |p| p.completed_reports().to_vec());
+                Err(governor::interrupted(program, kept, cause))
+            }
         }
     }
 
@@ -1117,13 +1288,29 @@ impl EnsembleRunner {
         program: &Program,
         stats: Option<&mut NoisySessionStats>,
         governor: &Governor,
+        resume: Option<&PartialReport>,
     ) -> Result<(Vec<AssertionReport>, Option<InterruptCause>), CoreError> {
+        // Resumed sessions re-enter each engine at the checkpoint
+        // frontier: breakpoints before `start` are never re-simulated —
+        // their reports are spliced back in from the checkpoint, which
+        // is sound (and bit-identical to an uninterrupted run) because
+        // every breakpoint's ensemble is a pure function of
+        // `(seed, breakpoint, shot)`.
+        let start = resume.map_or(0, PartialReport::resume_position);
+        let cached = |index: usize| -> AssertionReport {
+            resume
+                .expect("cached() is only called when resuming")
+                .reports[index]
+                .clone()
+        };
         match self.resolve_backend(program)? {
             ResolvedBackend::Stabilizer(plan) => {
-                return self.check_program_on::<StabilizerState>(program, &plan, stats, governor);
+                return self
+                    .check_program_on::<StabilizerState>(program, &plan, stats, governor, resume);
             }
             ResolvedBackend::Sparse(plan) => {
-                return self.check_program_on::<SparseState>(program, &plan, stats, governor);
+                return self
+                    .check_program_on::<SparseState>(program, &plan, stats, governor, resume);
             }
             ResolvedBackend::Statevector => {}
         }
@@ -1132,15 +1319,20 @@ impl EnsembleRunner {
             // breakpoint in place from the live state — no prefix
             // replay, no state clones. Per-shot sampling is the one
             // rayon axis in here (see `crate::sweep`). One sampler
-            // buffer serves every breakpoint.
+            // buffer serves every breakpoint. On resume the walk still
+            // advances the state (later breakpoints need it) but
+            // completed breakpoints skip sampling and statistics.
             let sweep = SweepRunner::new(self.config.clone());
-            let plan = program.compile(self.config.opt);
+            let plan = self.plan_for_program(program, self.config.opt);
             let mut sampler = Sampler::default();
             return sweep.walk_backend_governed::<State, _>(
                 program,
                 &plan,
                 governor,
                 |index, bp, state| {
+                    if index < start {
+                        return Ok(cached(index));
+                    }
                     let outcomes = sweep.draw_ensemble(index, state, &mut sampler);
                     self.report_for(index, bp, &outcomes, state)
                 },
@@ -1154,7 +1346,7 @@ impl EnsembleRunner {
         // by every trajectory; without noise, each breakpoint is a
         // single prefix simulation, so fan out here.
         if let Some(noise) = self.config.noise {
-            let plan = CompiledCircuit::compile(program.circuit(), OptLevel::Specialize);
+            let plan = self.plan_for_circuit(program.circuit(), OptLevel::Specialize);
             // Pauli noise only: the tree's presample/dedup machinery has
             // no meaning for state-dependent Kraus branches, which fall
             // through to the per-shot reference path below.
@@ -1163,21 +1355,31 @@ impl EnsembleRunner {
                 // the shared ideal frontier (which doubles as the
                 // exact-cross-check state), with fault-identical shots
                 // deduplicated and distinct trajectories replaying only
-                // their faulty suffixes.
-                return self.run_dense_tree(
+                // their faulty suffixes. The tree visits only
+                // breakpoints past the resume frontier; splice the
+                // checkpoint prefix in front of what it returns.
+                let (tail, interrupted) = self.run_dense_tree(
                     program,
                     &plan,
                     &noise,
                     stats,
                     governor,
+                    start,
                     |index, bp, outcomes, ideal| self.report_for(index, bp, &outcomes, ideal),
-                );
+                )?;
+                let mut completed: Vec<AssertionReport> = (0..start).map(cached).collect();
+                completed.extend(tail);
+                return Ok((completed, interrupted));
             }
             // Per-shot reference: one full noisy replay per shot. Serial
             // over breakpoints (shots fan out inside), so the first trip
             // cleanly truncates to a strict prefix.
             let mut completed = Vec::with_capacity(count);
             for index in 0..count {
+                if index < start {
+                    completed.push(cached(index));
+                    continue;
+                }
                 let step = governor.contain(|| -> Result<AssertionReport, CoreError> {
                     let bp = &program.breakpoints()[index];
                     let ensemble =
@@ -1201,8 +1403,14 @@ impl EnsembleRunner {
         // fanned out), but the assembly below keeps only the strictly
         // completed prefix, so the partial is bit-identical to an
         // untripped run's prefix regardless of which worker tripped
-        // first.
+        // first. Resumed breakpoints return their cached report without
+        // simulating anything — the per-prefix engine's biggest resume
+        // saving, since each one would otherwise replay its whole
+        // prefix.
         let check_one = |index: usize| -> Result<AssertionReport, CoreError> {
+            if index < start {
+                return Ok(cached(index));
+            }
             governor
                 .contain(|| -> Result<AssertionReport, CoreError> {
                     let bp = &program.breakpoints()[index];
@@ -1265,7 +1473,15 @@ impl EnsembleRunner {
         plan: &CompiledCircuit,
         stats: Option<&mut NoisySessionStats>,
         governor: &Governor,
+        resume: Option<&PartialReport>,
     ) -> Result<(Vec<AssertionReport>, Option<InterruptCause>), CoreError> {
+        let start = resume.map_or(0, PartialReport::resume_position);
+        let cached = |index: usize| -> AssertionReport {
+            resume
+                .expect("cached() is only called when resuming")
+                .reports[index]
+                .clone()
+        };
         if let Some(noise) = self.config.noise {
             if self.config.strategy == ExecutionStrategy::Sweep {
                 // The tree engine measures with `sample_once`, whose
@@ -1281,24 +1497,31 @@ impl EnsembleRunner {
                         });
                     }
                 }
-                return crate::trajectory::run_noisy_tree::<B, _>(
+                let (tail, interrupted) = crate::trajectory::run_noisy_tree::<B, _>(
                     &crate::trajectory::NoisySession {
                         config: &self.config,
                         program,
                         plan,
                         noise: &noise,
                         num_qubits: program.circuit().num_qubits(),
+                        resume_from: start,
                     },
                     governor,
                     |bp| breakpoint_qubits(&bp.kind),
                     |index, bp, outcomes, ideal| self.backend_report(index, bp, outcomes, ideal),
                     stats,
-                );
+                )?;
+                let mut completed: Vec<AssertionReport> = (0..start).map(cached).collect();
+                completed.extend(tail);
+                return Ok((completed, interrupted));
             }
         }
         match self.config.strategy {
             ExecutionStrategy::Sweep => SweepRunner::new(self.config.clone())
                 .walk_backend_governed::<B, _>(program, plan, governor, |index, bp, ideal| {
+                    if index < start {
+                        return Ok(cached(index));
+                    }
                     self.report_for_backend(plan, index, bp, ideal, governor)
                 }),
             ExecutionStrategy::PerPrefix => {
@@ -1307,11 +1530,16 @@ impl EnsembleRunner {
                 // `walk_backend_governed` merely re-validates). Serial
                 // over breakpoints (the backend-generic reference path
                 // has always been), so the first trip truncates to a
-                // strict prefix with no retraction needed.
+                // strict prefix with no retraction needed. Resumed
+                // breakpoints skip their whole prefix replay.
                 let n = program.circuit().num_qubits();
                 let batch = Governor::batch_ops(n);
                 let mut completed = Vec::with_capacity(program.breakpoints().len());
                 for (index, bp) in program.breakpoints().iter().enumerate() {
+                    if index < start {
+                        completed.push(cached(index));
+                        continue;
+                    }
                     let step = governor.contain(|| -> Result<AssertionReport, CoreError> {
                         if let Some(cause) = governor.injected_fork_fault() {
                             return Err(governor::trip_error(cause));
@@ -1538,13 +1766,13 @@ enum ResolvedBackend {
     Statevector,
     /// The backend-generic engine on the stabilizer tableau, with the
     /// Clifford-only plan the resolution verified.
-    Stabilizer(CompiledCircuit),
+    Stabilizer(Arc<CompiledCircuit>),
     /// The backend-generic engine on the sparse amplitude map, with the
     /// plan the resolution compiled (and, for `Auto`, judged
     /// sparse-friendly by [`CompiledCircuit::support_log2_bound`]).
     ///
     /// [`CompiledCircuit::support_log2_bound`]: qdb_circuit::CompiledCircuit::support_log2_bound
-    Sparse(CompiledCircuit),
+    Sparse(Arc<CompiledCircuit>),
 }
 
 /// The qubits a breakpoint's assertion measures, in packing order: the

@@ -237,6 +237,15 @@ pub const PACK_WINDOW: usize = 32;
 /// the program and its compiled plan, the unwrapped noise model
 /// (`config.noise` is ignored in its favor), and the backend width
 /// (`num_qubits`, the caller's reference-path convention).
+///
+/// `resume_from` skips the first breakpoints entirely — no presample,
+/// no forks, no serving, no visit — so a checkpoint-resumed session
+/// pays only the shared frontier walk for the prefix it already has
+/// reports for. Skipping is bit-neutral for the remaining breakpoints:
+/// every `(breakpoint, shot)` RNG stream is independent, fork packing
+/// only ever groups same-breakpoint siblings, and the frontier applies
+/// the same ops in the same order regardless of where earlier
+/// breakpoints' forks used to split the walk. `0` runs everything.
 #[derive(Clone, Copy)]
 pub(crate) struct NoisySession<'a> {
     pub config: &'a EnsembleConfig,
@@ -244,11 +253,14 @@ pub(crate) struct NoisySession<'a> {
     pub plan: &'a CompiledCircuit,
     pub noise: &'a NoiseModel,
     pub num_qubits: usize,
+    pub resume_from: usize,
 }
 
 /// Run a noisy session as a trajectory tree over backend `B`, invoking
 /// `visit` once per breakpoint (in order) with the complete measured
-/// ensemble and the ideal frontier state at that breakpoint.
+/// ensemble and the ideal frontier state at that breakpoint —
+/// starting at the session's `resume_from` index; earlier breakpoints
+/// are walked through but never sampled, served, or visited.
 ///
 /// `measure_qubits` lists, per breakpoint, the qubits a shot measures
 /// (packed LSB-first) — the classical readout error then flips each
@@ -273,6 +285,7 @@ pub(crate) fn run_noisy_tree<B: SimBackend, T>(
         plan,
         noise,
         num_qubits,
+        resume_from,
     } = *session;
     config.validate()?;
     let breakpoints = program.breakpoints();
@@ -285,10 +298,17 @@ pub(crate) fn run_noisy_tree<B: SimBackend, T>(
     // ---- 1. Presample every (breakpoint, shot) fault pattern. ------
     // Each shot owns the same `(seed, breakpoint, shot)` RNG stream the
     // reference path uses; after presampling it sits at the shot's
-    // measurement draw and is kept for serving.
+    // measurement draw and is kept for serving. Breakpoints behind the
+    // resume frontier contribute nothing: no patterns, so no groups,
+    // forks, or replays downstream — their reports already exist.
     let mut rngs: Vec<Vec<StdRng>> = Vec::with_capacity(breakpoints.len());
     let mut patterns: Vec<Vec<Vec<FaultEvent>>> = Vec::with_capacity(breakpoints.len());
     for (index, bp) in breakpoints.iter().enumerate() {
+        if index < resume_from {
+            rngs.push(Vec::new());
+            patterns.push(Vec::new());
+            continue;
+        }
         let presample_shot = |shot: usize| {
             let mut rng = StdRng::seed_from_u64(shot_seed(config.seed, index as u64, shot as u64));
             let mut pattern = Vec::new();
@@ -674,6 +694,11 @@ pub(crate) fn run_noisy_tree<B: SimBackend, T>(
             }
             frontier_ops += (bp.position - position) as u64;
             position = bp.position;
+        }
+        // A resumed-past breakpoint only needed the frontier advanced
+        // through its window; its report is already on file.
+        if index < resume_from {
+            continue;
         }
         // The frontier *is* the fault-free trajectory's final state —
         // and the ideal state for the exact cross-check.

@@ -1,0 +1,341 @@
+//! Checkpoint-resume, pinned end to end:
+//!
+//! * **Bit-identity** — `EnsembleRunner::resume_program` from any
+//!   evaluated-prefix checkpoint must reproduce the uninterrupted
+//!   session's report bit for bit, across every engine: the dense
+//!   sweep, the per-prefix reference, the noisy trajectory tree, the
+//!   per-shot Kraus path, and the stabilizer/sparse backend-generic
+//!   paths. The checkpoint used is the *real* artifact — a truncated
+//!   prefix of the full run plus `Unevaluated` placeholders, exactly
+//!   what `CoreError::Interrupted` carries — so the test covers every
+//!   resume position, not just the ones a timed trip happens to hit.
+//! * **Re-interruption** — a resumed session that trips again surfaces
+//!   a partial containing the spliced prefix plus the newly completed
+//!   reports (resume is repeatable).
+//! * **Checkpoint validation** — mismatched programs, shot counts, and
+//!   corrupted prefixes are rejected with `CoreError::BadConfig`
+//!   before any simulation runs.
+//! * **Plan-cache transparency** — a runner routed through a shared
+//!   `PlanCache` produces bit-identical reports, and warm lookups are
+//!   observable through the hit counter.
+//!
+//! The injected-fault round-trip (trip → resume → bit-identity) needs
+//! `qdb_core::faultinject` and compiles only with
+//! `--features faultinject`, like `governor_equivalence.rs`.
+
+use std::sync::Arc;
+
+use qdb_circuit::{GateSink, PlanCache, Program, QReg};
+use qdb_core::{
+    AssertionReport, BackendChoice, CoreError, EnsembleConfig, EnsembleRunner, ExecutionStrategy,
+    PartialReport, Verdict,
+};
+use qdb_sim::{NoiseChannel, NoiseModel, ReadoutError};
+
+/// Four decisive assertions; `clifford` keeps the program lowerable to
+/// the stabilizer tableau.
+fn staircase(clifford: bool) -> Program {
+    let mut p = Program::new();
+    let a: QReg = p.alloc_register("a", 2);
+    let b: QReg = p.alloc_register("b", 2);
+    p.prep_int(&a, 3);
+    p.assert_classical(&a, 3);
+    p.h(b.bit(0));
+    p.cx(b.bit(0), b.bit(1));
+    let b0 = QReg::new("b0", vec![b.bit(0)]);
+    let b1 = QReg::new("b1", vec![b.bit(1)]);
+    p.assert_entangled(&b0, &b1);
+    for i in 0..2 {
+        p.h(a.bit(i));
+    }
+    if !clifford {
+        p.t(a.bit(0));
+        p.cz(a.bit(0), a.bit(1));
+    }
+    p.assert_superposition(&a);
+    p.h(a.bit(0));
+    if !clifford {
+        p.tdg(a.bit(1));
+    }
+    p.assert_superposition(&b);
+    p
+}
+
+/// The checkpoint an interruption after `completed` breakpoints leaves
+/// behind: the full run's evaluated prefix plus `Unevaluated`
+/// placeholders — the exact shape `CoreError::Interrupted` carries.
+fn checkpoint_at(program: &Program, full: &[AssertionReport], completed: usize) -> PartialReport {
+    let mut reports: Vec<AssertionReport> = full[..completed].to_vec();
+    for (index, bp) in program.breakpoints().iter().enumerate().skip(completed) {
+        reports.push(AssertionReport::unevaluated(index, bp));
+    }
+    PartialReport { reports, completed }
+}
+
+/// Assert `resume_program` from **every** resume position reproduces
+/// the full report bit for bit.
+fn assert_resume_bit_identity(program: &Program, config: EnsembleConfig) {
+    let runner = EnsembleRunner::new(config);
+    let full = runner.check_program(program).expect("full run");
+    for completed in 0..=full.len() {
+        let checkpoint = checkpoint_at(program, &full, completed);
+        assert_eq!(checkpoint.resume_position(), completed);
+        let resumed = runner
+            .resume_program(program, &checkpoint)
+            .unwrap_or_else(|e| panic!("resume from {completed} failed: {e}"));
+        assert_eq!(
+            resumed, full,
+            "resume from position {completed} diverged from the uninterrupted run"
+        );
+    }
+}
+
+fn base_config() -> EnsembleConfig {
+    EnsembleConfig::default().with_shots(48).with_seed(2019)
+}
+
+#[test]
+fn dense_sweep_resumes_bit_identically() {
+    assert_resume_bit_identity(&staircase(false), base_config());
+}
+
+#[test]
+fn dense_per_prefix_resumes_bit_identically() {
+    for parallel in [false, true] {
+        assert_resume_bit_identity(
+            &staircase(false),
+            base_config()
+                .with_strategy(ExecutionStrategy::PerPrefix)
+                .with_parallel(parallel),
+        );
+    }
+}
+
+#[test]
+fn noisy_tree_resumes_bit_identically() {
+    assert_resume_bit_identity(
+        &staircase(false),
+        base_config().with_noise(NoiseModel::depolarizing(5e-3).with_readout_flip(1e-3)),
+    );
+}
+
+#[test]
+fn noisy_per_shot_kraus_resumes_bit_identically() {
+    // Amplitude damping is a Kraus channel, which routes past the tree
+    // to the per-shot reference path.
+    let damping = NoiseModel {
+        gate_noise: Some(NoiseChannel::amplitude_damping(5e-3).unwrap()),
+        readout: ReadoutError::default(),
+    };
+    assert_resume_bit_identity(&staircase(false), base_config().with_noise(damping));
+}
+
+#[test]
+fn stabilizer_backend_resumes_bit_identically() {
+    for strategy in [ExecutionStrategy::Sweep, ExecutionStrategy::PerPrefix] {
+        assert_resume_bit_identity(
+            &staircase(true),
+            base_config()
+                .with_backend(BackendChoice::Stabilizer)
+                .with_strategy(strategy),
+        );
+    }
+}
+
+#[test]
+fn sparse_backend_resumes_bit_identically() {
+    for strategy in [ExecutionStrategy::Sweep, ExecutionStrategy::PerPrefix] {
+        assert_resume_bit_identity(
+            &staircase(false),
+            base_config()
+                .with_backend(BackendChoice::Sparse)
+                .with_strategy(strategy),
+        );
+    }
+}
+
+#[test]
+fn noisy_stabilizer_tree_resumes_bit_identically() {
+    assert_resume_bit_identity(
+        &staircase(true),
+        base_config()
+            .with_backend(BackendChoice::Stabilizer)
+            .with_noise(NoiseModel::depolarizing(5e-3)),
+    );
+}
+
+#[test]
+fn complete_checkpoint_resumes_without_running() {
+    let program = staircase(false);
+    let runner = EnsembleRunner::new(base_config());
+    let full = runner.check_program(&program).expect("full run");
+    let checkpoint = checkpoint_at(&program, &full, full.len());
+    assert!(checkpoint.is_complete());
+    let resumed = runner
+        .resume_program(&program, &checkpoint)
+        .expect("resume");
+    assert_eq!(resumed, full);
+}
+
+#[test]
+fn checkpoint_shape_mismatch_is_rejected() {
+    let program = staircase(false);
+    let runner = EnsembleRunner::new(base_config());
+    let full = runner.check_program(&program).expect("full run");
+
+    // Wrong breakpoint count.
+    let mut short = checkpoint_at(&program, &full, 1);
+    short.reports.pop();
+    assert!(matches!(
+        runner.resume_program(&program, &short),
+        Err(CoreError::BadConfig(_))
+    ));
+
+    // Wrong shot count (checkpoint from a different configuration).
+    let other = EnsembleRunner::new(base_config().with_shots(16));
+    let other_full = other.check_program(&program).expect("16-shot run");
+    let foreign = checkpoint_at(&program, &other_full, 2);
+    assert!(matches!(
+        runner.resume_program(&program, &foreign),
+        Err(CoreError::BadConfig(_))
+    ));
+
+    // Unevaluated verdict smuggled inside the completed prefix.
+    let mut corrupt = checkpoint_at(&program, &full, 2);
+    corrupt.reports[1].verdict = Verdict::Unevaluated;
+    assert!(matches!(
+        runner.resume_program(&program, &corrupt),
+        Err(CoreError::BadConfig(_))
+    ));
+
+    // Checkpoint from a different program (label mismatch).
+    let mut renamed = staircase(false);
+    renamed.assert_superposition(&QReg::contiguous("extra", 0, 1));
+    let renamed_full = EnsembleRunner::new(base_config())
+        .check_program(&renamed)
+        .expect("renamed run");
+    let alien = checkpoint_at(&renamed, &renamed_full, 2);
+    assert!(matches!(
+        runner.resume_program(&program, &alien),
+        Err(CoreError::BadConfig(_))
+    ));
+}
+
+#[test]
+fn plan_cache_is_transparent_and_observable() {
+    let program = staircase(false);
+    let cache = Arc::new(PlanCache::new(16));
+    let plain = EnsembleRunner::new(base_config());
+    let cached = EnsembleRunner::new(base_config()).with_plan_cache(Arc::clone(&cache));
+
+    let baseline = plain.check_program(&program).expect("uncached run");
+    let first = cached.check_program(&program).expect("cold cached run");
+    assert_eq!(first, baseline, "the cache must not change results");
+    assert_eq!(cache.hits(), 0);
+    let cold_misses = cache.misses();
+    assert!(cold_misses > 0, "cold run compiles at least one plan");
+
+    let second = cached.check_program(&program).expect("warm cached run");
+    assert_eq!(second, baseline);
+    assert!(cache.hits() > 0, "warm run must hit the cache");
+    assert_eq!(cache.misses(), cold_misses, "warm run compiles nothing");
+}
+
+#[test]
+fn plan_cache_covers_every_backend_resolution() {
+    for (clifford, backend) in [
+        (false, BackendChoice::Auto),
+        (true, BackendChoice::Stabilizer),
+        (false, BackendChoice::Sparse),
+    ] {
+        let program = staircase(clifford);
+        let cache = Arc::new(PlanCache::new(16));
+        let runner = EnsembleRunner::new(base_config().with_backend(backend))
+            .with_plan_cache(Arc::clone(&cache));
+        let first = runner.check_program(&program).expect("cold run");
+        let misses = cache.misses();
+        let second = runner.check_program(&program).expect("warm run");
+        assert_eq!(first, second);
+        assert_eq!(
+            cache.misses(),
+            misses,
+            "{backend:?}: warm resubmission recompiled a plan"
+        );
+        assert!(
+            cache.hits() > 0,
+            "{backend:?}: warm run never hit the cache"
+        );
+    }
+}
+
+/// The injected-fault round trip: trip a real session at an arbitrary
+/// site, take the partial the error carries, resume it, and demand the
+/// full report — the supervisor loop `qdb-server` runs, minus the
+/// server.
+#[cfg(feature = "faultinject")]
+mod injected {
+    use super::*;
+    use qdb_core::faultinject::{FaultKind, FaultPlan, FaultSite};
+    use qdb_core::RunBudget;
+
+    fn trip_then_resume(config: EnsembleConfig, program: &Program) {
+        let full = EnsembleRunner::new(config.clone())
+            .check_program(program)
+            .expect("uninterrupted run");
+        for (site, n) in [
+            (FaultSite::Op, 1),
+            (FaultSite::Op, 7),
+            (FaultSite::Fork, 1),
+            (FaultSite::Fork, 3),
+        ] {
+            let armed = config.clone().with_budget(
+                RunBudget::default().with_injected_fault(FaultPlan::new(
+                    FaultKind::DeadlineExhaustion,
+                    site,
+                    n,
+                )),
+            );
+            let partial = match EnsembleRunner::new(armed).check_program(program) {
+                Err(CoreError::Interrupted { partial, .. }) => *partial,
+                Ok(_) => continue, // fault site never reached: nothing to resume
+                Err(e) => panic!("unexpected error: {e}"),
+            };
+            let resumed = EnsembleRunner::new(config.clone())
+                .resume_program(program, &partial)
+                .expect("resume after injected trip");
+            assert_eq!(
+                resumed, full,
+                "resume after a {site:?}/{n} trip diverged from the uninterrupted run"
+            );
+        }
+    }
+
+    #[test]
+    fn dense_engines_resume_after_injected_trips() {
+        trip_then_resume(base_config(), &staircase(false));
+        trip_then_resume(
+            base_config().with_strategy(ExecutionStrategy::PerPrefix),
+            &staircase(false),
+        );
+    }
+
+    #[test]
+    fn noisy_tree_resumes_after_injected_trips() {
+        trip_then_resume(
+            base_config().with_noise(NoiseModel::depolarizing(5e-3)),
+            &staircase(false),
+        );
+    }
+
+    #[test]
+    fn backend_engines_resume_after_injected_trips() {
+        trip_then_resume(
+            base_config().with_backend(BackendChoice::Stabilizer),
+            &staircase(true),
+        );
+        trip_then_resume(
+            base_config().with_backend(BackendChoice::Sparse),
+            &staircase(false),
+        );
+    }
+}

@@ -1,0 +1,99 @@
+//! Typed failures of the session service.
+
+use std::error::Error;
+use std::fmt;
+
+use qdb_core::{CoreError, InterruptCause};
+
+use crate::session::SessionId;
+
+/// Errors surfaced by [`Server`](crate::Server) APIs and terminal
+/// session failures. Every way a session can go wrong is a variant
+/// here — supervisors classify by matching, never by parsing `Display`.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ServerError {
+    /// Admission control refused the submission because the bounded
+    /// queue is at capacity. Backpressure, not failure: resubmit after
+    /// draining.
+    QueueFull {
+        /// The configured queue capacity that was hit.
+        capacity: usize,
+    },
+    /// Admission control refused the submission on policy grounds
+    /// (zero shots, register wider than the admission ceiling, shot
+    /// count over quota). Resubmitting the same session will never
+    /// succeed.
+    Rejected {
+        /// Why the session can never be admitted.
+        reason: String,
+    },
+    /// The server is shutting down and accepts no new work.
+    ShuttingDown,
+    /// No session with this id was ever admitted.
+    UnknownSession(SessionId),
+    /// [`Server::resume`](crate::Server::resume) was called on a
+    /// session that is not parked in the `Evicted` state.
+    NotEvicted {
+        /// The session that was asked to resume.
+        id: SessionId,
+        /// The state it was actually in.
+        state: crate::session::SessionState,
+    },
+    /// A transient interruption (deadline, memory ceiling, allocation
+    /// failure) recurred past the retry policy's cap. The session's
+    /// checkpoint survives in its outcome's event log.
+    RetriesExhausted {
+        /// The cause of the final, unretried interruption.
+        cause: InterruptCause,
+        /// Attempts performed, including the first.
+        attempts: u32,
+    },
+    /// A worker panicked while running the session. The panic was
+    /// contained — sibling sessions and the worker pool are unharmed —
+    /// and the session is terminally failed (panics are bugs, not
+    /// load; retrying them would loop).
+    Panicked {
+        /// The panic payload's message, when it carried one.
+        message: String,
+    },
+    /// The assertion engine failed in a non-interrupt way (bad
+    /// configuration, unsupported backend, simulator error).
+    Session(CoreError),
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::QueueFull { capacity } => {
+                write!(f, "submission queue is full ({capacity} pending sessions)")
+            }
+            ServerError::Rejected { reason } => write!(f, "session rejected: {reason}"),
+            ServerError::ShuttingDown => f.write_str("server is shutting down"),
+            ServerError::UnknownSession(id) => write!(f, "unknown session {id}"),
+            ServerError::NotEvicted { id, state } => {
+                write!(f, "session {id} is {state}, not evicted; cannot resume")
+            }
+            ServerError::RetriesExhausted { cause, attempts } => {
+                write!(f, "retries exhausted after {attempts} attempts ({cause})")
+            }
+            ServerError::Panicked { message } => write!(f, "session worker panicked: {message}"),
+            ServerError::Session(e) => write!(f, "session failed: {e}"),
+        }
+    }
+}
+
+impl Error for ServerError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ServerError::Session(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for ServerError {
+    fn from(e: CoreError) -> Self {
+        ServerError::Session(e)
+    }
+}

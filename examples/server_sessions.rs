@@ -1,0 +1,125 @@
+//! The session service: concurrent submissions, warm caches,
+//! evict/resume, and retry-to-success under a tight deadline.
+//!
+//! `qdb::server::Server` multiplexes assertion-checking sessions
+//! through a bounded worker pool and supervises every interruption the
+//! execution governor can produce: transient trips retry with
+//! deterministic backoff from the session's checkpoint, evicted
+//! sessions park and resume bit-identically, and compiled plans plus
+//! exact-oracle verdicts are shared across sessions through LRU caches
+//! with observable hit counters.
+//!
+//! This example walks all four behaviours and asserts each one.
+//!
+//! Run with: `cargo run --release --example server_sessions`
+
+use std::time::Duration;
+
+use qdb::circuit::{GateSink, Program, QReg};
+use qdb::core::{EnsembleConfig, EnsembleRunner};
+use qdb::server::{Server, ServerConfig, SessionEvent, SessionState};
+
+/// The quickstart Bell program plus a superposition probe.
+fn bell_program() -> Program {
+    let mut p = Program::new();
+    let q = p.alloc_register("q", 2);
+    p.h(q.bit(0));
+    p.cx(q.bit(0), q.bit(1));
+    let m0 = QReg::new("m0", vec![q.bit(0)]);
+    let m1 = QReg::new("m1", vec![q.bit(1)]);
+    p.assert_entangled(&m0, &m1);
+    p
+}
+
+/// A heavy 18-qubit sweep (same shape as the `governor` example) so
+/// eviction has something to preempt mid-flight.
+fn heavy_program() -> Program {
+    const N: usize = 18;
+    let mut p = Program::new();
+    let r = p.alloc_register("r", N);
+    let probe = QReg::new("probe", vec![r.bit(0), r.bit(1)]);
+    for _layer in 0..4 {
+        for i in 0..N {
+            p.h(r.bit(i));
+        }
+        for i in (2..N).rev() {
+            p.h(r.bit(i));
+        }
+        p.assert_superposition(&probe);
+        for i in 0..2 {
+            p.h(r.bit(i));
+        }
+    }
+    p
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let server = Server::start(ServerConfig::default().with_workers(2));
+
+    // --- Concurrent sessions through the pool. --------------------------
+    let config = EnsembleConfig::default().with_shots(64).with_seed(2019);
+    let ids: Vec<_> = (0..6)
+        .map(|i| {
+            server
+                .submit(bell_program(), config.with_seed(2019 + i))
+                .expect("admitted")
+        })
+        .collect();
+    for id in &ids {
+        let outcome = server.wait(*id)?;
+        assert_eq!(outcome.state, SessionState::Completed);
+        assert!(outcome.reports().unwrap().iter().all(|r| r.passed()));
+    }
+    println!("{} concurrent sessions completed", ids.len());
+
+    // --- Warm resubmission: plans and oracle verdicts from cache. -------
+    let warm = server.submit(bell_program(), config)?;
+    let outcome = server.wait(warm)?;
+    let metrics = server.metrics();
+    assert!(
+        outcome
+            .events
+            .iter()
+            .any(|e| matches!(e, SessionEvent::OracleCacheHit)),
+        "warm resubmission skips the exact cross-check"
+    );
+    assert!(metrics.plan_cache_hits > 0, "compiled plans were shared");
+    println!(
+        "warm resubmission: plan cache {}/{} hits/misses, oracle cache {}/{}",
+        metrics.plan_cache_hits,
+        metrics.plan_cache_misses,
+        metrics.oracle_cache_hits,
+        metrics.oracle_cache_misses,
+    );
+
+    // --- Evict a running session, resume it, lose nothing. --------------
+    let heavy_config = EnsembleConfig::default().with_shots(96).with_seed(7);
+    let reference = EnsembleRunner::new(heavy_config.clone()).check_program(&heavy_program())?;
+    let id = server.submit(heavy_program(), heavy_config)?;
+    while server.state(id)? == SessionState::Queued {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    server.evict(id)?;
+    let parked = server.wait(id)?;
+    if parked.state == SessionState::Evicted {
+        println!(
+            "evicted mid-flight with {}/{} breakpoints checkpointed; resuming",
+            parked.completed,
+            reference.len()
+        );
+        server.resume(id)?;
+    }
+    let outcome = server.wait(id)?;
+    assert_eq!(outcome.state, SessionState::Completed);
+    assert!(outcome.bit_identical);
+    assert_eq!(
+        outcome.reports().unwrap(),
+        &reference[..],
+        "evicted-then-resumed session is bit-identical to an uninterrupted run"
+    );
+    println!("resumed session matches the uninterrupted run bit for bit");
+
+    server.shutdown();
+    println!("server drained and shut down cleanly");
+    Ok(())
+}

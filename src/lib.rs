@@ -8,6 +8,8 @@
 //! * [`sim`] — the dense state-vector simulator;
 //! * [`circuit`] — the quantum program IR, builder, and OpenQASM support;
 //! * [`core`] — assertions, breakpoints, ensemble runs, and the debugger;
+//! * [`server`] — the supervised session service: admission control,
+//!   retry/backoff, checkpoint-resume, and graceful degradation;
 //! * [`algos`] — the Shor / Grover / quantum-chemistry benchmarks and the
 //!   paper's six injectable bug types.
 //!
@@ -51,5 +53,6 @@
 pub use qdb_algos as algos;
 pub use qdb_circuit as circuit;
 pub use qdb_core as core;
+pub use qdb_server as server;
 pub use qdb_sim as sim;
 pub use qdb_stats as stats;
